@@ -1,0 +1,41 @@
+"""Shared fixtures and helpers for the benchmark harness.
+
+Every paper table/figure has one benchmark module.  The full paper-scale
+protocol (5000 SA runs x 10k-50k iterations per game) takes hours in a
+pure-Python simulation, so the benchmarks run the same experiment code at
+the ``smoke`` scale by default; pass ``--benchmark-scale=default`` (or
+``paper``) for larger runs.  The structural assertions (who wins, which
+solver finds mixed solutions, direction of the speedups) hold at every
+scale.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import get_scale
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--benchmark-scale",
+        action="store",
+        default="smoke",
+        choices=["smoke", "default", "paper"],
+        help="experiment scale used by the table/figure benchmarks",
+    )
+
+
+@pytest.fixture(scope="session")
+def experiment_scale(request):
+    """The experiment scale selected on the command line."""
+    return get_scale(request.config.getoption("--benchmark-scale"))
+
+
+def run_once(benchmark, function, *args, **kwargs):
+    """Run ``function`` exactly once under pytest-benchmark timing.
+
+    The experiment functions are long-running and deterministic given the
+    seed, so a single timed round is the right granularity.
+    """
+    return benchmark.pedantic(function, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,54 @@
+"""Micro-benchmarks of the performance-critical kernels.
+
+These are not paper figures; they track the cost of the inner-loop
+operations the experiments are built from (objective evaluation, hardware
+evaluation, one SA run, one baseline sample, ground-truth enumeration).
+"""
+
+import numpy as np
+
+from repro.baselines import DWaveLikeSolver
+from repro.core import CNashConfig, CNashSolver, IdealEvaluator, QuantizedStrategyPair
+from repro.games import battle_of_the_sexes, bird_game, support_enumeration
+from repro.hardware import BiCrossbar, PAPER_VARIABILITY, StrategyQuantizer
+
+
+def test_ideal_objective_evaluation(benchmark):
+    """One exact MAX-QUBO objective evaluation (the software inner loop)."""
+    game = bird_game()
+    evaluator = IdealEvaluator(game)
+    state = QuantizedStrategyPair(np.array([3, 3, 2]), np.array([2, 4, 2]), 8)
+    value = benchmark(evaluator.evaluate, state)
+    assert value >= 0
+
+
+def test_hardware_objective_evaluation(benchmark):
+    """One bi-crossbar objective evaluation (two phases, noise, ADC, WTA)."""
+    game = bird_game()
+    bicrossbar = BiCrossbar(game, num_intervals=8, variability=PAPER_VARIABILITY, seed=0)
+    quantizer = StrategyQuantizer(8)
+    p_counts = quantizer.to_counts(np.array([0.25, 0.5, 0.25]))
+    q_counts = quantizer.to_counts(np.array([0.5, 0.25, 0.25]))
+    breakdown = benchmark(bicrossbar.evaluate, p_counts, q_counts)
+    assert breakdown.objective > -1.0
+
+
+def test_single_sa_run_battle_of_the_sexes(benchmark):
+    """One complete C-Nash SA run on the 2-action game."""
+    solver = CNashSolver(battle_of_the_sexes(), CNashConfig(num_intervals=8, num_iterations=1000))
+    result = benchmark.pedantic(solver.solve, kwargs={"seed": 0}, rounds=3, iterations=1)
+    assert result.iterations == 1000
+
+
+def test_single_baseline_sample(benchmark):
+    """One S-QUBO baseline anneal-and-read sample."""
+    solver = DWaveLikeSolver(battle_of_the_sexes(), num_sweeps=200, seed=0)
+    result = benchmark.pedantic(solver.sample, kwargs={"seed": 1}, rounds=3, iterations=1)
+    assert result.classification in ("pure", "mixed", "error")
+
+
+def test_ground_truth_enumeration_bird_game(benchmark):
+    """Support enumeration of the 3-action benchmark game."""
+    game = bird_game()
+    equilibria = benchmark.pedantic(support_enumeration, args=(game,), rounds=3, iterations=1)
+    assert len(equilibria) >= 3

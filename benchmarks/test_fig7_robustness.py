@@ -1,0 +1,28 @@
+"""Benchmark regenerating Fig. 7 (hardware robustness).
+
+(a) 100 Monte-Carlo samples of a 64x64 crossbar column: output current vs
+    activated cells must stay linear under the paper's variability
+    (sigma = 40 mV V_TH, 8 % resistor).
+(b) The WTA tree must pick the correct maximum at all five process corners.
+"""
+
+from conftest import run_once
+
+from repro.experiments import run_fig7
+
+
+def test_fig7_crossbar_linearity_and_wta_corners(benchmark):
+    result = run_once(benchmark, run_fig7, num_monte_carlo=100, crossbar_size=64, seed=0)
+    print()
+    print(result.render())
+
+    # Paper shape (Fig. 7a): robust linearity across Monte-Carlo samples.
+    assert result.linearity.num_samples == 100
+    assert result.linearity.linearity_r2 > 0.9999
+    # Spread stays small relative to the signal (the 1FeFET1R suppression works).
+    assert result.linearity.max_relative_spread < 0.05
+    # Paper shape (Fig. 7b): the WTA tree is functional at every corner.
+    assert len(result.wta_corners) == 5
+    assert result.all_corners_correct()
+    for corner in result.wta_corners:
+        assert corner.relative_error < 0.02

@@ -1,0 +1,31 @@
+"""Benchmark regenerating Fig. 8 (solution distributions per solver per game).
+
+Checks the qualitative shape: the S-QUBO baselines never produce mixed
+NE solutions (their formulation cannot represent them), while C-Nash
+produces both pure and mixed solutions, and C-Nash's error fraction never
+exceeds the baselines' on the same game.
+"""
+
+from conftest import run_once
+
+from repro.baselines.literature import PAPER_GAME_NAMES
+from repro.experiments import run_fig8
+
+
+def test_fig8_solution_distributions(benchmark, experiment_scale):
+    result = run_once(benchmark, run_fig8, experiment_scale, seed=0)
+    print()
+    print(result.render())
+
+    for game in PAPER_GAME_NAMES:
+        # Paper shape: baselines are structurally pure-only.
+        assert result.baselines_find_no_mixed(game)
+        for solver in ("D-Wave 2000 Q6", "D-Wave Advantage 4.1", "C-Nash"):
+            fractions = result.distribution(game, solver).fractions
+            assert abs(sum(fractions.values()) - 1.0) < 1e-9
+        # Paper shape: C-Nash has the lowest error fraction on every game.
+        cnash_error = result.distribution(game, "C-Nash").error_fraction
+        for solver in ("D-Wave 2000 Q6", "D-Wave Advantage 4.1"):
+            assert cnash_error <= result.distribution(game, solver).error_fraction + 1e-9
+    # Paper shape: C-Nash discovers mixed equilibria on the benchmark set.
+    assert any(result.cnash_finds_mixed(game) for game in PAPER_GAME_NAMES)

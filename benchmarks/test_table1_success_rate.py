@@ -1,0 +1,28 @@
+"""Benchmark regenerating Table 1 (success rates of finding an NE solution).
+
+Prints the same rows the paper reports (three solvers x three games) and
+checks the headline ordering: C-Nash's success rate is at least as high
+as both S-QUBO baselines on every game.
+"""
+
+from conftest import run_once
+
+from repro.baselines.literature import PAPER_GAME_NAMES
+from repro.experiments import run_table1
+
+
+def test_table1_success_rates(benchmark, experiment_scale):
+    result = run_once(benchmark, run_table1, experiment_scale, seed=0)
+    print()
+    print(result.render())
+
+    for game in PAPER_GAME_NAMES:
+        # Paper shape: C-Nash >= both baselines on every benchmark game.
+        assert result.cnash_beats_baselines(game)
+    # Paper shape: C-Nash is (near-)perfect on the 2-action game.
+    assert result.measured_rate("C-Nash", "Battle of the Sexes") >= 90.0
+    # Paper shape: the S-QUBO baselines degrade as the action count grows.
+    for solver in ("D-Wave 2000 Q6", "D-Wave Advantage 4.1"):
+        assert result.measured_rate(solver, "Modified Prisoner's Dilemma") <= result.measured_rate(
+            solver, "Battle of the Sexes"
+        )

@@ -1,0 +1,93 @@
+"""Hardware-in-the-loop solving and robustness exploration.
+
+This example exercises the FeFET CiM hardware model directly:
+
+1. characterises a 64x64 crossbar column (the Fig.-7(a) linearity study),
+2. checks the WTA tree across process corners (Fig. 7(b)),
+3. solves the Bird Game with the objective evaluated *through* the
+   bi-crossbar datapath (device variability, read noise, ADC
+   quantisation, WTA offsets) and compares against the ideal software
+   evaluation,
+4. reports the per-iteration latency and energy of the mapped game.
+
+Run with::
+
+    python examples/hardware_in_the_loop.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import CNashConfig, CNashSolver, bird_game
+from repro.experiments.fig7_robustness import run_crossbar_linearity, run_wta_corners
+from repro.hardware import (
+    BiCrossbar,
+    CNashEnergyModel,
+    PAPER_VARIABILITY,
+    timing_for_game_shape,
+)
+
+
+def characterise_crossbar() -> None:
+    print("=== Crossbar Monte-Carlo linearity (Fig. 7a) ===")
+    result = run_crossbar_linearity(rows=64, columns=64, num_monte_carlo=50, seed=0)
+    print(f"  linear-fit R^2        : {result.linearity_r2:.6f}")
+    print(f"  max relative spread   : {result.max_relative_spread:.4f}")
+    print(f"  mean current @ 64 rows: {result.mean_currents_ua[-1]:.2f} uA")
+
+
+def characterise_wta() -> None:
+    print("\n=== WTA tree across process corners (Fig. 7b) ===")
+    for corner in run_wta_corners(seed=0):
+        print(
+            f"  {corner.corner_name:<5} correct={corner.selected_correct_max} "
+            f"error={corner.relative_error:.4f} latency={corner.latency_ns:.3f} ns"
+        )
+
+
+def solve_with_hardware() -> None:
+    print("\n=== Solving the Bird Game through the hardware model ===")
+    game = bird_game()
+    software = CNashSolver(game, CNashConfig(num_intervals=8, num_iterations=3000))
+    hardware = CNashSolver(
+        game,
+        CNashConfig(num_intervals=8, num_iterations=3000, use_hardware=True),
+        variability=PAPER_VARIABILITY,
+        seed=1,
+    )
+    software_batch = software.solve_batch(num_runs=20, seed=0)
+    hardware_batch = hardware.solve_batch(num_runs=20, seed=0)
+    print(f"  software (exact) success rate : {software_batch.success_rate:.1%}")
+    print(f"  hardware (noisy) success rate : {hardware_batch.success_rate:.1%}")
+    found = hardware.distinct_solutions(hardware_batch)
+    print(f"  distinct solutions via hardware: {len(found)}")
+    for profile in found:
+        kind = "pure " if profile.is_pure(atol=1e-3) else "mixed"
+        print(f"    [{kind}] p={np.round(profile.p, 3)}, q={np.round(profile.q, 3)}")
+
+
+def report_cost_model() -> None:
+    print("\n=== Per-iteration latency and energy of the mapped Bird Game ===")
+    game = bird_game()
+    bicrossbar = BiCrossbar(game, num_intervals=8, seed=0)
+    timing = timing_for_game_shape(*game.shape)
+    energy = CNashEnergyModel.for_bicrossbar(bicrossbar)
+    print(f"  crossbar cells (both arrays)  : {bicrossbar.total_cells}")
+    print(f"  WTA cells (both trees)        : {bicrossbar.total_wta_cells}")
+    print(f"  iteration latency             : {timing.iteration_latency_ns:.2f} ns")
+    print(f"  iteration rate                : {timing.iteration_frequency_hz / 1e6:.1f} M iterations/s")
+    print(f"  iteration energy              : {energy.iteration_energy_j * 1e12:.2f} pJ")
+    print(f"  15000-iteration run (paper)   : {timing.run_time_s(15000) * 1e6:.1f} us, "
+          f"{energy.run_energy_j(15000) * 1e9:.1f} nJ")
+
+
+def main() -> None:
+    characterise_crossbar()
+    characterise_wta()
+    solve_with_hardware()
+    report_cost_model()
+
+
+if __name__ == "__main__":
+    main()

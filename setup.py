@@ -1,0 +1,8 @@
+"""Setup shim for environments without the `wheel` package (offline installs).
+
+The canonical metadata lives in pyproject.toml; this file only enables the
+legacy `pip install -e . --no-use-pep517` / `python setup.py develop` paths.
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,62 @@
+"""C-Nash reproduction library.
+
+A from-scratch Python reproduction of *"C-Nash: A Novel Ferroelectric
+Computing-in-Memory Architecture for Solving Mixed Strategy Nash
+Equilibrium"* (DAC 2024): the MAX-QUBO transformation, the FeFET
+bi-crossbar / WTA-tree hardware model, the two-phase simulated-annealing
+solver, the S-QUBO quantum-annealer baselines, and the full experiment
+harness regenerating every table and figure of the paper's evaluation.
+
+Quickstart::
+
+    from repro import CNashSolver, CNashConfig, battle_of_the_sexes
+
+    solver = CNashSolver(battle_of_the_sexes(), CNashConfig(num_intervals=8))
+    batch = solver.solve_batch(num_runs=100, seed=0)
+    print(f"success rate: {batch.success_rate:.1%}")
+    for profile in solver.distinct_solutions(batch):
+        print(profile)
+"""
+
+from repro.core import (
+    CNashConfig,
+    CNashSolver,
+    HardwareEvaluator,
+    IdealEvaluator,
+    QuantizedStrategyPair,
+    SolverBatchResult,
+    SolverRunResult,
+    max_qubo_objective,
+)
+from repro.games import (
+    BimatrixGame,
+    StrategyProfile,
+    battle_of_the_sexes,
+    bird_game,
+    is_nash_equilibrium,
+    modified_prisoners_dilemma,
+    paper_benchmark_games,
+    support_enumeration,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "CNashSolver",
+    "CNashConfig",
+    "QuantizedStrategyPair",
+    "SolverRunResult",
+    "SolverBatchResult",
+    "IdealEvaluator",
+    "HardwareEvaluator",
+    "max_qubo_objective",
+    "BimatrixGame",
+    "StrategyProfile",
+    "is_nash_equilibrium",
+    "support_enumeration",
+    "battle_of_the_sexes",
+    "bird_game",
+    "modified_prisoners_dilemma",
+    "paper_benchmark_games",
+]

@@ -1,0 +1,65 @@
+"""Analysis layer: metrics, solution distributions and text reporting."""
+
+from repro.analysis.convergence import (
+    BatchConvergence,
+    ConvergenceSummary,
+    summarize_batch,
+    summarize_history,
+)
+from repro.analysis.distributions import (
+    SolutionDistributionSummary,
+    compare_distributions,
+    distribution_from_equilibrium_set,
+)
+from repro.analysis.metrics import (
+    DistinctSolutionMetric,
+    SuccessRateMetric,
+    TimeToSolutionMetric,
+    classification_fractions,
+    distinct_solutions_found,
+    ground_truth_equilibria,
+    success_rate,
+)
+from repro.analysis.reporting import (
+    format_cell,
+    render_bar_chart,
+    render_comparison,
+    render_distribution_chart,
+    render_table,
+)
+from repro.analysis.sweeps import (
+    SweepPoint,
+    SweepResult,
+    sweep_adc_bits,
+    sweep_num_intervals,
+    sweep_num_iterations,
+    sweep_variability,
+)
+
+__all__ = [
+    "SuccessRateMetric",
+    "DistinctSolutionMetric",
+    "TimeToSolutionMetric",
+    "success_rate",
+    "classification_fractions",
+    "distinct_solutions_found",
+    "ground_truth_equilibria",
+    "SolutionDistributionSummary",
+    "compare_distributions",
+    "distribution_from_equilibrium_set",
+    "render_table",
+    "render_bar_chart",
+    "render_distribution_chart",
+    "render_comparison",
+    "format_cell",
+    "ConvergenceSummary",
+    "BatchConvergence",
+    "summarize_history",
+    "summarize_batch",
+    "SweepPoint",
+    "SweepResult",
+    "sweep_num_intervals",
+    "sweep_num_iterations",
+    "sweep_adc_bits",
+    "sweep_variability",
+]

@@ -1,0 +1,132 @@
+"""Solution-distribution summaries (the Fig. 8 pie charts, as data).
+
+Fig. 8 of the paper shows, for each solver and game, the fraction of SA
+runs / annealer samples whose best output was an error solution, a pure
+NE, or a mixed NE.  :class:`SolutionDistributionSummary` holds those
+fractions together with the distinct solutions behind them, and provides
+comparison helpers used by tests and reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.baselines.literature import SolutionDistribution
+from repro.games.equilibrium import EquilibriumSet, StrategyProfile
+
+
+@dataclass
+class SolutionDistributionSummary:
+    """Observed outcome distribution of one solver on one game."""
+
+    solver_name: str
+    game_name: str
+    num_runs: int
+    fractions: Dict[str, float]
+    distinct_profiles: List[StrategyProfile] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        for key in ("error", "pure", "mixed"):
+            if key not in self.fractions:
+                raise ValueError(f"fractions must include {key!r}")
+        total = sum(self.fractions.values())
+        if self.num_runs > 0 and abs(total - 1.0) > 1e-6:
+            raise ValueError(f"fractions must sum to 1, got {total}")
+
+    @property
+    def error_fraction(self) -> float:
+        """Fraction of runs that produced a non-equilibrium."""
+        return self.fractions["error"]
+
+    @property
+    def pure_fraction(self) -> float:
+        """Fraction of runs that produced a pure equilibrium."""
+        return self.fractions["pure"]
+
+    @property
+    def mixed_fraction(self) -> float:
+        """Fraction of runs that produced a mixed equilibrium."""
+        return self.fractions["mixed"]
+
+    @property
+    def success_fraction(self) -> float:
+        """Fraction of runs that produced any equilibrium."""
+        return self.pure_fraction + self.mixed_fraction
+
+    def finds_mixed_solutions(self) -> bool:
+        """Whether this solver produced at least one mixed equilibrium."""
+        return self.mixed_fraction > 0.0
+
+    def to_literature_format(self) -> SolutionDistribution:
+        """Convert to the literature record type for side-by-side reporting."""
+        return SolutionDistribution(
+            error=self.error_fraction, pure=self.pure_fraction, mixed=self.mixed_fraction
+        )
+
+    @classmethod
+    def from_classifications(
+        cls,
+        solver_name: str,
+        game_name: str,
+        classifications: Sequence[str],
+        distinct_profiles: Optional[List[StrategyProfile]] = None,
+    ) -> "SolutionDistributionSummary":
+        """Build a summary from per-run classifications."""
+        from repro.analysis.metrics import classification_fractions
+
+        return cls(
+            solver_name=solver_name,
+            game_name=game_name,
+            num_runs=len(classifications),
+            fractions=classification_fractions(classifications),
+            distinct_profiles=list(distinct_profiles or []),
+        )
+
+
+def compare_distributions(
+    measured: SolutionDistributionSummary, reported: Optional[SolutionDistribution]
+) -> Dict[str, Optional[float]]:
+    """Differences between a measured distribution and the paper's values.
+
+    Returns per-class ``measured - reported`` differences (``None`` when
+    the paper did not report the value).
+    """
+    if reported is None:
+        return {"error": None, "pure": None, "mixed": None}
+    return {
+        "error": measured.error_fraction - reported.error,
+        "pure": measured.pure_fraction - reported.pure,
+        "mixed": measured.mixed_fraction - reported.mixed,
+    }
+
+
+def distribution_from_equilibrium_set(
+    solver_name: str,
+    game_name: str,
+    found: EquilibriumSet,
+    num_runs: int,
+    purity_atol: float = 1e-6,
+) -> SolutionDistributionSummary:
+    """Summarise a set of found equilibria as if each were one run's outcome.
+
+    Convenience for reporting the *distinct* solutions' composition (how
+    many of them are pure vs mixed), independent of run frequencies.
+    """
+    if num_runs < len(found):
+        raise ValueError("num_runs must be at least the number of distinct solutions")
+    pure = sum(1 for profile in found if profile.is_pure(purity_atol))
+    mixed = len(found) - pure
+    remaining = num_runs - len(found)
+    total = max(num_runs, 1)
+    return SolutionDistributionSummary(
+        solver_name=solver_name,
+        game_name=game_name,
+        num_runs=num_runs,
+        fractions={
+            "pure": pure / total,
+            "mixed": mixed / total,
+            "error": remaining / total,
+        },
+        distinct_profiles=list(found),
+    )

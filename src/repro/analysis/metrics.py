@@ -1,0 +1,126 @@
+"""Evaluation metrics shared by the experiments.
+
+The paper evaluates solvers along three axes: the *success rate* of
+finding an NE solution (Table 1), the *distribution* of solution types
+across runs (Fig. 8), and the number of *distinct* target solutions
+discovered (Fig. 9).  These helpers compute all three from a list of
+classified run outcomes plus a ground-truth equilibrium set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.games.bimatrix import BimatrixGame
+from repro.games.equilibrium import EquilibriumSet, StrategyProfile
+
+
+@dataclass(frozen=True)
+class SuccessRateMetric:
+    """Success rate with its sample count (so tables can show both)."""
+
+    successes: int
+    total: int
+
+    def __post_init__(self) -> None:
+        if self.total < 0 or self.successes < 0:
+            raise ValueError("counts must be non-negative")
+        if self.successes > self.total:
+            raise ValueError(f"successes ({self.successes}) exceed total ({self.total})")
+
+    @property
+    def rate(self) -> float:
+        """Success rate in [0, 1]."""
+        if self.total == 0:
+            return 0.0
+        return self.successes / self.total
+
+    @property
+    def percent(self) -> float:
+        """Success rate in percent (the unit Table 1 uses)."""
+        return 100.0 * self.rate
+
+
+def success_rate(classifications: Sequence[str]) -> SuccessRateMetric:
+    """Success rate from a sequence of run classifications.
+
+    A run counts as successful when it produced any equilibrium
+    (classification ``"pure"`` or ``"mixed"``).
+    """
+    successes = sum(1 for label in classifications if label in ("pure", "mixed"))
+    return SuccessRateMetric(successes=successes, total=len(classifications))
+
+
+def classification_fractions(classifications: Sequence[str]) -> Dict[str, float]:
+    """Fractions of runs per class (``error`` / ``pure`` / ``mixed``)."""
+    fractions = {"error": 0.0, "pure": 0.0, "mixed": 0.0}
+    if not classifications:
+        return fractions
+    for label in classifications:
+        if label not in fractions:
+            raise ValueError(f"unknown classification {label!r}")
+        fractions[label] += 1.0
+    return {key: value / len(classifications) for key, value in fractions.items()}
+
+
+@dataclass(frozen=True)
+class DistinctSolutionMetric:
+    """How many of the target equilibria a solver discovered (Fig. 9)."""
+
+    found: int
+    target: int
+
+    def __post_init__(self) -> None:
+        if self.found < 0 or self.target < 0:
+            raise ValueError("counts must be non-negative")
+
+    @property
+    def fraction(self) -> float:
+        """Fraction of target solutions found (0 when there is no target)."""
+        if self.target == 0:
+            return 0.0
+        return self.found / self.target
+
+    @property
+    def percent(self) -> float:
+        """Fraction of target solutions found in percent."""
+        return 100.0 * self.fraction
+
+
+def distinct_solutions_found(
+    ground_truth: EquilibriumSet,
+    candidates: Iterable[StrategyProfile],
+    atol: Optional[float] = None,
+) -> DistinctSolutionMetric:
+    """Count how many ground-truth equilibria appear among ``candidates``."""
+    profiles: List[StrategyProfile] = list(candidates)
+    found = ground_truth.count_found(profiles, atol=atol)
+    return DistinctSolutionMetric(found=found, target=len(ground_truth))
+
+
+@dataclass(frozen=True)
+class TimeToSolutionMetric:
+    """Time-to-solution of one solver on one game, with a baseline ratio."""
+
+    solver_name: str
+    game_name: str
+    seconds: Optional[float]
+
+    def speedup_over(self, other: "TimeToSolutionMetric") -> Optional[float]:
+        """How many times faster ``self`` is than ``other`` (None if unknown)."""
+        if self.seconds is None or other.seconds is None or self.seconds == 0:
+            return None
+        return other.seconds / self.seconds
+
+
+def ground_truth_equilibria(game: BimatrixGame) -> EquilibriumSet:
+    """The target equilibrium set of a game, via support enumeration.
+
+    This is the stand-in for the paper's Nashpy ground truth; results are
+    not cached here — experiments cache them per game because the 8-action
+    game takes a few seconds to enumerate.
+    """
+    from repro.games.support_enumeration import support_enumeration
+
+    return support_enumeration(game)

@@ -1,0 +1,118 @@
+"""Plain-text table and figure rendering.
+
+The experiments print their results as aligned text tables (the same
+rows/series the paper's tables and figures report) and simple ASCII bar
+charts for the figure-style data.  Keeping the rendering here means the
+experiment modules only deal with data.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+
+def format_cell(value, precision: int = 2, missing: str = "-") -> str:
+    """Format one table cell: floats with fixed precision, None as missing."""
+    if value is None:
+        return missing
+    if isinstance(value, float):
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: Optional[str] = None,
+    precision: int = 2,
+) -> str:
+    """Render an aligned plain-text table."""
+    formatted_rows = [[format_cell(cell, precision) for cell in row] for row in rows]
+    widths = [len(str(header)) for header in headers]
+    for row in formatted_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but there are {len(headers)} headers"
+            )
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    header_line = "  ".join(str(header).ljust(widths[index]) for index, header in enumerate(headers))
+    lines.append(header_line)
+    lines.append("  ".join("-" * width for width in widths))
+    for row in formatted_rows:
+        lines.append("  ".join(cell.ljust(widths[index]) for index, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def render_bar_chart(
+    labels: Sequence[str],
+    values: Sequence[Optional[float]],
+    title: Optional[str] = None,
+    width: int = 40,
+    unit: str = "",
+) -> str:
+    """Render a horizontal ASCII bar chart (one bar per label)."""
+    if len(labels) != len(values):
+        raise ValueError("labels and values must have the same length")
+    present = [value for value in values if value is not None]
+    maximum = max(present) if present else 1.0
+    maximum = maximum if maximum > 0 else 1.0
+    label_width = max((len(label) for label in labels), default=0)
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+        lines.append("-" * len(title))
+    for label, value in zip(labels, values):
+        if value is None:
+            lines.append(f"{label.ljust(label_width)} | (not available)")
+            continue
+        bar = "#" * max(0, int(round(width * value / maximum)))
+        lines.append(f"{label.ljust(label_width)} | {bar} {value:.3g}{unit}")
+    return "\n".join(lines)
+
+
+def render_distribution_chart(
+    entries: Dict[str, Dict[str, float]],
+    title: Optional[str] = None,
+    width: int = 40,
+) -> str:
+    """Render stacked error/pure/mixed distributions as ASCII bars.
+
+    ``entries`` maps a label (solver name) to a dict with ``error``,
+    ``pure`` and ``mixed`` fractions.
+    """
+    label_width = max((len(label) for label in entries), default=0)
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+        lines.append("-" * len(title))
+    for label, fractions in entries.items():
+        error = fractions.get("error", 0.0)
+        pure = fractions.get("pure", 0.0)
+        mixed = fractions.get("mixed", 0.0)
+        error_chars = int(round(width * error))
+        pure_chars = int(round(width * pure))
+        mixed_chars = max(0, width - error_chars - pure_chars) if (error + pure + mixed) > 0.999 else int(round(width * mixed))
+        bar = "E" * error_chars + "P" * pure_chars + "M" * mixed_chars
+        lines.append(
+            f"{label.ljust(label_width)} | {bar} "
+            f"(error {error:.1%}, pure {pure:.1%}, mixed {mixed:.1%})"
+        )
+    return "\n".join(lines)
+
+
+def render_comparison(
+    metric_name: str,
+    paper_value: Optional[float],
+    measured_value: Optional[float],
+    precision: int = 2,
+) -> str:
+    """One-line paper-vs-measured comparison used in EXPERIMENTS.md."""
+    return (
+        f"{metric_name}: paper={format_cell(paper_value, precision)} "
+        f"measured={format_cell(measured_value, precision)}"
+    )

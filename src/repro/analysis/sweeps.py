@@ -1,0 +1,187 @@
+"""Parameter-sweep utilities for design-space exploration.
+
+The paper fixes one operating point (I intervals, one SA schedule, one
+variability corner); these helpers make it easy to sweep the design
+parameters the ablation benchmarks study — quantisation interval, SA
+iteration budget, ADC resolution, device variability — and collect the
+success-rate / distinct-solution / timing metrics for each point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.metrics import distinct_solutions_found, ground_truth_equilibria
+from repro.core.config import CNashConfig
+from repro.core.solver import CNashSolver
+from repro.games.bimatrix import BimatrixGame
+from repro.games.equilibrium import EquilibriumSet
+from repro.hardware.noise import VariabilityModel
+from repro.utils.rng import SeedLike
+
+
+@dataclass
+class SweepPoint:
+    """One operating point of a sweep and its measured metrics."""
+
+    label: str
+    config: CNashConfig
+    success_rate: float
+    mixed_fraction: float
+    distinct_found: int
+    distinct_target: int
+    mean_best_objective: float
+    wall_clock_seconds: float
+
+    @property
+    def distinct_fraction(self) -> float:
+        """Fraction of ground-truth equilibria found at this point."""
+        if self.distinct_target == 0:
+            return 0.0
+        return self.distinct_found / self.distinct_target
+
+
+@dataclass
+class SweepResult:
+    """All points of one sweep over a single game."""
+
+    game_name: str
+    parameter_name: str
+    points: List[SweepPoint] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def __iter__(self):
+        return iter(self.points)
+
+    def best_point(self) -> SweepPoint:
+        """The point with the highest success rate (ties: more distinct solutions)."""
+        if not self.points:
+            raise ValueError("sweep has no points")
+        return max(self.points, key=lambda point: (point.success_rate, point.distinct_found))
+
+    def as_rows(self) -> List[List[object]]:
+        """Rows for :func:`repro.analysis.reporting.render_table`."""
+        return [
+            [
+                point.label,
+                100.0 * point.success_rate,
+                100.0 * point.mixed_fraction,
+                f"{point.distinct_found}/{point.distinct_target}",
+                point.mean_best_objective,
+            ]
+            for point in self.points
+        ]
+
+
+def _evaluate_point(
+    game: BimatrixGame,
+    config: CNashConfig,
+    label: str,
+    num_runs: int,
+    seed: SeedLike,
+    ground_truth: EquilibriumSet,
+    variability: Optional[VariabilityModel] = None,
+) -> SweepPoint:
+    solver = CNashSolver(game, config, variability=variability, seed=0)
+    batch = solver.solve_batch(num_runs=num_runs, seed=seed)
+    found = solver.distinct_solutions(batch)
+    metric = distinct_solutions_found(
+        ground_truth, list(found), atol=0.6 / config.num_intervals
+    )
+    fractions = batch.classification_fractions()
+    objectives = [run.best_objective for run in batch.runs]
+    return SweepPoint(
+        label=label,
+        config=config,
+        success_rate=batch.success_rate,
+        mixed_fraction=fractions["mixed"],
+        distinct_found=metric.found,
+        distinct_target=metric.target,
+        mean_best_objective=sum(objectives) / len(objectives),
+        wall_clock_seconds=batch.wall_clock_seconds,
+    )
+
+
+def sweep_num_intervals(
+    game: BimatrixGame,
+    intervals: Sequence[int],
+    base_config: Optional[CNashConfig] = None,
+    num_runs: int = 30,
+    seed: SeedLike = 0,
+) -> SweepResult:
+    """Sweep the strategy quantisation ``I``."""
+    base_config = base_config or CNashConfig()
+    ground_truth = ground_truth_equilibria(game)
+    result = SweepResult(game_name=game.name, parameter_name="num_intervals")
+    for value in intervals:
+        config = replace(base_config, num_intervals=int(value))
+        result.points.append(
+            _evaluate_point(game, config, f"I={value}", num_runs, seed, ground_truth)
+        )
+    return result
+
+
+def sweep_num_iterations(
+    game: BimatrixGame,
+    iteration_counts: Sequence[int],
+    base_config: Optional[CNashConfig] = None,
+    num_runs: int = 30,
+    seed: SeedLike = 0,
+) -> SweepResult:
+    """Sweep the SA iteration budget per run."""
+    base_config = base_config or CNashConfig()
+    ground_truth = ground_truth_equilibria(game)
+    result = SweepResult(game_name=game.name, parameter_name="num_iterations")
+    for value in iteration_counts:
+        config = replace(base_config, num_iterations=int(value))
+        result.points.append(
+            _evaluate_point(game, config, f"iters={value}", num_runs, seed, ground_truth)
+        )
+    return result
+
+
+def sweep_adc_bits(
+    game: BimatrixGame,
+    bit_widths: Sequence[int],
+    base_config: Optional[CNashConfig] = None,
+    num_runs: int = 15,
+    seed: SeedLike = 0,
+    variability: Optional[VariabilityModel] = None,
+) -> SweepResult:
+    """Sweep the ADC resolution with hardware-in-the-loop evaluation."""
+    base_config = base_config or CNashConfig(num_iterations=1500)
+    ground_truth = ground_truth_equilibria(game)
+    result = SweepResult(game_name=game.name, parameter_name="adc_bits")
+    for value in bit_widths:
+        config = replace(base_config, adc_bits=int(value), use_hardware=True)
+        result.points.append(
+            _evaluate_point(
+                game, config, f"adc={value}b", num_runs, seed, ground_truth, variability
+            )
+        )
+    return result
+
+
+def sweep_variability(
+    game: BimatrixGame,
+    vth_sigmas_mv: Sequence[float],
+    base_config: Optional[CNashConfig] = None,
+    num_runs: int = 15,
+    seed: SeedLike = 0,
+) -> SweepResult:
+    """Sweep the FeFET V_TH variability with hardware-in-the-loop evaluation."""
+    base_config = base_config or CNashConfig(num_iterations=1500)
+    ground_truth = ground_truth_equilibria(game)
+    result = SweepResult(game_name=game.name, parameter_name="fefet_vth_sigma_mv")
+    for sigma in vth_sigmas_mv:
+        config = replace(base_config, use_hardware=True)
+        variability = VariabilityModel(fefet_vth_sigma_mv=float(sigma))
+        result.points.append(
+            _evaluate_point(
+                game, config, f"sigma={sigma}mV", num_runs, seed, ground_truth, variability
+            )
+        )
+    return result

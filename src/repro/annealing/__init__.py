@@ -1,0 +1,50 @@
+"""Generic simulated-annealing substrate.
+
+Temperature schedules, acceptance rules, a reusable annealing engine and
+multi-run batch orchestration.  Both the C-Nash two-phase SA controller
+and the S-QUBO baseline annealer are built on these pieces.
+"""
+
+from repro.annealing.acceptance import (
+    AcceptanceRule,
+    GlauberAcceptance,
+    GreedyAcceptance,
+    MetropolisAcceptance,
+    make_acceptance_rule,
+)
+from repro.annealing.batch import BatchResult, BatchStatistics, run_batch
+from repro.annealing.engine import (
+    AnnealingConfig,
+    AnnealingProblem,
+    AnnealingResult,
+    SimulatedAnnealer,
+)
+from repro.annealing.temperature import (
+    ConstantSchedule,
+    ExponentialSchedule,
+    GeometricSchedule,
+    LinearSchedule,
+    LogarithmicSchedule,
+    TemperatureSchedule,
+)
+
+__all__ = [
+    "TemperatureSchedule",
+    "GeometricSchedule",
+    "LinearSchedule",
+    "ExponentialSchedule",
+    "LogarithmicSchedule",
+    "ConstantSchedule",
+    "AcceptanceRule",
+    "MetropolisAcceptance",
+    "GreedyAcceptance",
+    "GlauberAcceptance",
+    "make_acceptance_rule",
+    "AnnealingProblem",
+    "AnnealingConfig",
+    "AnnealingResult",
+    "SimulatedAnnealer",
+    "BatchResult",
+    "BatchStatistics",
+    "run_batch",
+]

@@ -1,0 +1,84 @@
+"""Acceptance rules for simulated annealing.
+
+Alg. 1 of the paper accepts an uphill move with probability
+``exp(-dE / T)`` — the Metropolis criterion.  The annealing substrate
+also offers a greedy rule (T = 0 limit) and a Glauber/heat-bath rule so
+the ablation benchmarks can compare acceptance strategies.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.rng import SeedLike, as_generator
+
+
+class AcceptanceRule(ABC):
+    """Decides whether to accept a candidate state given the energy change."""
+
+    @abstractmethod
+    def accept(self, delta_energy: float, temperature: float, rng: np.random.Generator) -> bool:
+        """Return ``True`` to accept a move with energy change ``delta_energy``."""
+
+    def acceptance_probability(self, delta_energy: float, temperature: float) -> float:
+        """Probability of accepting the move (used in tests and analysis)."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class MetropolisAcceptance(AcceptanceRule):
+    """Accept downhill moves always, uphill with probability ``exp(-dE/T)``."""
+
+    def acceptance_probability(self, delta_energy: float, temperature: float) -> float:
+        if delta_energy <= 0:
+            return 1.0
+        if temperature <= 0:
+            return 0.0
+        return float(np.exp(-delta_energy / temperature))
+
+    def accept(self, delta_energy: float, temperature: float, rng: np.random.Generator) -> bool:
+        if delta_energy <= 0:
+            return True
+        if temperature <= 0:
+            return False
+        return bool(rng.random() < np.exp(-delta_energy / temperature))
+
+
+@dataclass(frozen=True)
+class GreedyAcceptance(AcceptanceRule):
+    """Accept only non-increasing moves (the zero-temperature limit)."""
+
+    def acceptance_probability(self, delta_energy: float, temperature: float) -> float:
+        return 1.0 if delta_energy <= 0 else 0.0
+
+    def accept(self, delta_energy: float, temperature: float, rng: np.random.Generator) -> bool:
+        return delta_energy <= 0
+
+
+@dataclass(frozen=True)
+class GlauberAcceptance(AcceptanceRule):
+    """Heat-bath rule: accept with probability ``1 / (1 + exp(dE/T))``."""
+
+    def acceptance_probability(self, delta_energy: float, temperature: float) -> float:
+        if temperature <= 0:
+            return 1.0 if delta_energy < 0 else (0.5 if delta_energy == 0 else 0.0)
+        return float(1.0 / (1.0 + np.exp(delta_energy / temperature)))
+
+    def accept(self, delta_energy: float, temperature: float, rng: np.random.Generator) -> bool:
+        return bool(rng.random() < self.acceptance_probability(delta_energy, temperature))
+
+
+def make_acceptance_rule(name: str) -> AcceptanceRule:
+    """Factory by name: ``"metropolis"``, ``"greedy"`` or ``"glauber"``."""
+    rules = {
+        "metropolis": MetropolisAcceptance,
+        "greedy": GreedyAcceptance,
+        "glauber": GlauberAcceptance,
+    }
+    key = name.strip().lower()
+    if key not in rules:
+        raise KeyError(f"unknown acceptance rule {name!r}; available: {', '.join(sorted(rules))}")
+    return rules[key]()

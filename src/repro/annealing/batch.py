@@ -1,0 +1,97 @@
+"""Multi-run annealing orchestration.
+
+The paper's evaluation runs each game for 5000 independent SA runs; this
+module provides reproducible batched execution with per-run seeds derived
+from a single base seed, plus summary statistics over the batch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Generic, List, Optional, Sequence, TypeVar
+
+import numpy as np
+
+from repro.utils.rng import SeedLike, spawn_generators
+
+ResultT = TypeVar("ResultT")
+
+
+@dataclass
+class BatchStatistics:
+    """Summary statistics of a scalar metric over a batch of runs."""
+
+    count: int
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+    median: float
+
+    @classmethod
+    def from_values(cls, values: Sequence[float]) -> "BatchStatistics":
+        """Compute the statistics of ``values`` (must be non-empty)."""
+        if len(values) == 0:
+            raise ValueError("cannot summarise an empty batch")
+        array = np.asarray(values, dtype=float)
+        return cls(
+            count=int(array.size),
+            mean=float(array.mean()),
+            std=float(array.std()),
+            minimum=float(array.min()),
+            maximum=float(array.max()),
+            median=float(np.median(array)),
+        )
+
+
+@dataclass
+class BatchResult(Generic[ResultT]):
+    """All per-run results of a batch plus convenience accessors."""
+
+    results: List[ResultT]
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def __iter__(self):
+        return iter(self.results)
+
+    def __getitem__(self, index: int) -> ResultT:
+        return self.results[index]
+
+    def metric(self, extractor: Callable[[ResultT], float]) -> BatchStatistics:
+        """Summarise ``extractor(result)`` over all runs."""
+        return BatchStatistics.from_values([extractor(result) for result in self.results])
+
+    def fraction(self, predicate: Callable[[ResultT], bool]) -> float:
+        """Fraction of runs satisfying ``predicate``."""
+        if not self.results:
+            return 0.0
+        return sum(1 for result in self.results if predicate(result)) / len(self.results)
+
+
+def run_batch(
+    run_fn: Callable[[np.random.Generator, int], ResultT],
+    num_runs: int,
+    seed: SeedLike = None,
+    progress: Optional[Callable[[int, int], None]] = None,
+) -> BatchResult[ResultT]:
+    """Execute ``run_fn`` ``num_runs`` times with independent generators.
+
+    Parameters
+    ----------
+    run_fn:
+        Called as ``run_fn(rng, run_index)``; must be deterministic given
+        the generator so the whole batch is reproducible from ``seed``.
+    progress:
+        Optional ``progress(completed, total)`` hook.
+    """
+    if num_runs <= 0:
+        raise ValueError(f"num_runs must be positive, got {num_runs}")
+    generators = spawn_generators(seed, num_runs)
+    results: List[ResultT] = []
+    for index, rng in enumerate(generators):
+        results.append(run_fn(rng, index))
+        if progress is not None:
+            progress(index + 1, num_runs)
+    return BatchResult(results=results)

@@ -1,0 +1,142 @@
+"""Generic simulated-annealing engine.
+
+The two-phase SA controller of C-Nash and the S-QUBO baseline annealer
+share the same skeleton: propose a neighbour, evaluate the objective,
+accept/reject, cool down.  :class:`SimulatedAnnealer` implements that
+skeleton over an abstract :class:`AnnealingProblem`, so that the domain
+specific parts (state representation, move generation, objective
+evaluation — possibly through the hardware model) stay in their own
+modules.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Any, Callable, Generic, List, Optional, TypeVar
+
+from repro.annealing.acceptance import AcceptanceRule, MetropolisAcceptance
+from repro.annealing.temperature import GeometricSchedule, TemperatureSchedule
+from repro.utils.rng import SeedLike, as_generator
+
+StateT = TypeVar("StateT")
+
+
+class AnnealingProblem(ABC, Generic[StateT]):
+    """A problem that can be optimised by :class:`SimulatedAnnealer`."""
+
+    @abstractmethod
+    def initial_state(self, rng) -> StateT:
+        """Produce an initial state."""
+
+    @abstractmethod
+    def propose(self, state: StateT, rng) -> StateT:
+        """Produce a neighbouring candidate state."""
+
+    @abstractmethod
+    def energy(self, state: StateT) -> float:
+        """Objective value of a state (lower is better)."""
+
+    def copy_state(self, state: StateT) -> StateT:
+        """Copy a state; override when states are mutable."""
+        return state
+
+
+@dataclass
+class AnnealingConfig:
+    """Shared annealing configuration."""
+
+    num_iterations: int = 1000
+    schedule: TemperatureSchedule = field(
+        default_factory=lambda: GeometricSchedule(initial=5.0, final=0.01)
+    )
+    acceptance: AcceptanceRule = field(default_factory=MetropolisAcceptance)
+    record_history: bool = False
+
+    def __post_init__(self) -> None:
+        if self.num_iterations <= 0:
+            raise ValueError(f"num_iterations must be positive, got {self.num_iterations}")
+
+
+@dataclass
+class AnnealingResult(Generic[StateT]):
+    """Outcome of one annealing run."""
+
+    best_state: StateT
+    best_energy: float
+    final_state: StateT
+    final_energy: float
+    num_iterations: int
+    num_accepted: int
+    iterations_to_best: int
+    energy_history: List[float] = field(default_factory=list)
+
+    @property
+    def acceptance_rate(self) -> float:
+        """Fraction of proposals that were accepted."""
+        if self.num_iterations == 0:
+            return 0.0
+        return self.num_accepted / self.num_iterations
+
+
+class SimulatedAnnealer(Generic[StateT]):
+    """Runs simulated annealing over an :class:`AnnealingProblem`."""
+
+    def __init__(self, problem: AnnealingProblem[StateT], config: Optional[AnnealingConfig] = None):
+        self.problem = problem
+        self.config = config or AnnealingConfig()
+
+    def run(
+        self,
+        seed: SeedLike = None,
+        initial_state: Optional[StateT] = None,
+        callback: Optional[Callable[[int, StateT, float], None]] = None,
+    ) -> AnnealingResult[StateT]:
+        """Execute one annealing run.
+
+        Parameters
+        ----------
+        callback:
+            Optional function called as ``callback(iteration, state, energy)``
+            after every iteration (used by the experiments to record
+            iterations-to-solution without re-running).
+        """
+        config = self.config
+        rng = as_generator(seed)
+        state = initial_state if initial_state is not None else self.problem.initial_state(rng)
+        state = self.problem.copy_state(state)
+        energy = self.problem.energy(state)
+        best_state = self.problem.copy_state(state)
+        best_energy = energy
+        iterations_to_best = 0
+        accepted = 0
+        history: List[float] = []
+
+        for iteration in range(config.num_iterations):
+            temperature = config.schedule.temperature(iteration, config.num_iterations)
+            candidate = self.problem.propose(state, rng)
+            candidate_energy = self.problem.energy(candidate)
+            delta = candidate_energy - energy
+            if config.acceptance.accept(delta, temperature, rng):
+                state = candidate
+                energy = candidate_energy
+                accepted += 1
+                if energy < best_energy:
+                    best_energy = energy
+                    best_state = self.problem.copy_state(state)
+                    iterations_to_best = iteration + 1
+            if config.record_history:
+                history.append(energy)
+            if callback is not None:
+                callback(iteration, state, energy)
+
+        return AnnealingResult(
+            best_state=best_state,
+            best_energy=float(best_energy),
+            final_state=state,
+            final_energy=float(energy),
+            num_iterations=config.num_iterations,
+            num_accepted=accepted,
+            iterations_to_best=iterations_to_best,
+            energy_history=history,
+        )

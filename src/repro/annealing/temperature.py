@@ -1,0 +1,126 @@
+"""Temperature schedules for simulated annealing.
+
+The paper's Alg. 1 anneals from ``T_max`` down to ``T_min`` with a decay
+function ``T = D(T)``.  This module provides the decay functions used
+across the library: geometric (the default, matching the usual hardware
+annealer implementation), linear, exponential-in-iteration, and a
+logarithmic schedule useful for stress-testing convergence behaviour.
+
+All schedules implement :class:`TemperatureSchedule`, mapping an
+iteration index (and the total number of iterations) to a temperature.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+import numpy as np
+
+
+class TemperatureSchedule(ABC):
+    """Maps an iteration index to an annealing temperature."""
+
+    @abstractmethod
+    def temperature(self, iteration: int, num_iterations: int) -> float:
+        """Temperature at ``iteration`` out of ``num_iterations`` total."""
+
+    def temperatures(self, num_iterations: int) -> np.ndarray:
+        """The full temperature trajectory as an array (for plots/tests)."""
+        return np.array(
+            [self.temperature(step, num_iterations) for step in range(num_iterations)]
+        )
+
+
+def _validate_bounds(initial: float, final: float) -> None:
+    if initial <= 0 or final <= 0:
+        raise ValueError(f"temperatures must be positive, got initial={initial}, final={final}")
+    if final > initial:
+        raise ValueError(
+            f"final temperature must not exceed initial temperature, got {initial} -> {final}"
+        )
+
+
+@dataclass(frozen=True)
+class GeometricSchedule(TemperatureSchedule):
+    """Geometric decay ``T_k = T_0 * r^k`` with ``r`` chosen to land on ``final``."""
+
+    initial: float = 10.0
+    final: float = 0.01
+
+    def __post_init__(self) -> None:
+        _validate_bounds(self.initial, self.final)
+
+    def temperature(self, iteration: int, num_iterations: int) -> float:
+        if num_iterations <= 1:
+            return self.final
+        ratio = (self.final / self.initial) ** (iteration / (num_iterations - 1))
+        return float(self.initial * ratio)
+
+
+@dataclass(frozen=True)
+class LinearSchedule(TemperatureSchedule):
+    """Linear interpolation from ``initial`` to ``final``."""
+
+    initial: float = 10.0
+    final: float = 0.01
+
+    def __post_init__(self) -> None:
+        _validate_bounds(self.initial, self.final)
+
+    def temperature(self, iteration: int, num_iterations: int) -> float:
+        if num_iterations <= 1:
+            return self.final
+        fraction = iteration / (num_iterations - 1)
+        return float(self.initial + (self.final - self.initial) * fraction)
+
+
+@dataclass(frozen=True)
+class ExponentialSchedule(TemperatureSchedule):
+    """Exponential decay ``T_k = T_0 * exp(-decay_rate * k / num_iterations)``."""
+
+    initial: float = 10.0
+    decay_rate: float = 5.0
+    floor: float = 1e-6
+
+    def __post_init__(self) -> None:
+        if self.initial <= 0:
+            raise ValueError(f"initial temperature must be positive, got {self.initial}")
+        if self.decay_rate <= 0:
+            raise ValueError(f"decay_rate must be positive, got {self.decay_rate}")
+        if self.floor <= 0:
+            raise ValueError(f"floor must be positive, got {self.floor}")
+
+    def temperature(self, iteration: int, num_iterations: int) -> float:
+        if num_iterations <= 0:
+            return self.floor
+        value = self.initial * np.exp(-self.decay_rate * iteration / num_iterations)
+        return float(max(value, self.floor))
+
+
+@dataclass(frozen=True)
+class LogarithmicSchedule(TemperatureSchedule):
+    """Classic ``T_k = c / log(k + 2)`` schedule (slow, asymptotically optimal)."""
+
+    scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.scale <= 0:
+            raise ValueError(f"scale must be positive, got {self.scale}")
+
+    def temperature(self, iteration: int, num_iterations: int) -> float:
+        return float(self.scale / np.log(iteration + 2.0))
+
+
+@dataclass(frozen=True)
+class ConstantSchedule(TemperatureSchedule):
+    """Constant temperature (used to isolate acceptance-rule behaviour in tests)."""
+
+    value: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.value < 0:
+            raise ValueError(f"value must be non-negative, got {self.value}")
+
+    def temperature(self, iteration: int, num_iterations: int) -> float:
+        return float(self.value)

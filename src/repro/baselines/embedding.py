@@ -1,0 +1,295 @@
+"""Minor-embedding model for the quantum-annealer baselines.
+
+Real D-Wave machines have sparse qubit-connectivity graphs (Chimera for
+the 2000Q, Pegasus for Advantage), so a dense S-QUBO problem must be
+*minor-embedded*: each logical variable becomes a chain of physical
+qubits coupled ferromagnetically.  Long chains dilute the programmable
+coupling range and break more easily, which is the physical origin of the
+degradation the baseline solver models.
+
+This module builds simplified Chimera/Pegasus-like hardware graphs with
+networkx, performs a greedy chain-growth embedding of a dense problem
+graph, and reports the chain-length statistics that
+:class:`repro.baselines.dwave_like.DWaveLikeSolver` can use instead of
+its closed-form connectivity heuristic.
+
+The embedder is deliberately simple: it grows chains forward only (no
+rip-up/reroute), so on the sparse Chimera skeleton it handles cliques up
+to roughly K6 — enough to calibrate the chain-length trends the baseline
+degradation model needs.  Denser problems embed on the Pegasus-like
+graph, or fall back to the closed-form
+:meth:`~repro.baselines.machines.AnnealerProfile.embedding_overhead`
+estimate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import networkx as nx
+import numpy as np
+
+from repro.baselines.machines import AnnealerProfile
+from repro.utils.rng import SeedLike, as_generator
+
+
+def chimera_graph(rows: int = 4, columns: int = 4, shore_size: int = 4) -> nx.Graph:
+    """A Chimera-style hardware graph (grid of complete bipartite unit cells).
+
+    Each unit cell is a K_{shore,shore}; horizontal shores connect to the
+    neighbouring cell in the same row, vertical shores to the cell below.
+    This matches the structure (and degree ~6) of the D-Wave 2000Q family
+    without modelling fabrication defects.
+    """
+    if rows < 1 or columns < 1 or shore_size < 1:
+        raise ValueError("rows, columns and shore_size must all be >= 1")
+    graph = nx.Graph()
+
+    def node(row: int, column: int, shore: int, index: int) -> tuple:
+        return (row, column, shore, index)
+
+    for row in range(rows):
+        for column in range(columns):
+            # Intra-cell bipartite coupling.
+            for i in range(shore_size):
+                for j in range(shore_size):
+                    graph.add_edge(node(row, column, 0, i), node(row, column, 1, j))
+            # Inter-cell couplers.
+            if column + 1 < columns:
+                for i in range(shore_size):
+                    graph.add_edge(node(row, column, 1, i), node(row, column + 1, 1, i))
+            if row + 1 < rows:
+                for i in range(shore_size):
+                    graph.add_edge(node(row, column, 0, i), node(row + 1, column, 0, i))
+    return graph
+
+
+def pegasus_like_graph(rows: int = 4, columns: int = 4, shore_size: int = 4) -> nx.Graph:
+    """A Pegasus-like hardware graph: Chimera plus extra odd/diagonal couplers.
+
+    The real Pegasus topology has degree ~15; this approximation augments
+    the Chimera skeleton with intra-shore ("odd") couplers and diagonal
+    inter-cell couplers, raising the average degree into the same regime
+    so that embeddings need the shorter chains the Advantage machine
+    enjoys in practice.
+    """
+    graph = chimera_graph(rows, columns, shore_size)
+    nodes = list(graph.nodes)
+    for row, column, shore, index in nodes:
+        # Odd couplers: adjacent qubits within the same shore.
+        if index + 1 < shore_size:
+            graph.add_edge((row, column, shore, index), (row, column, shore, index + 1))
+        # Diagonal inter-cell couplers.
+        if row + 1 < rows and column + 1 < columns:
+            graph.add_edge((row, column, shore, index), (row + 1, column + 1, shore, index))
+    return graph
+
+
+def hardware_graph_for(profile: AnnealerProfile, scale: int = 4) -> nx.Graph:
+    """Build the hardware graph matching a machine profile's topology family."""
+    if scale < 1:
+        raise ValueError(f"scale must be >= 1, got {scale}")
+    if profile.connectivity_degree >= 10:
+        return pegasus_like_graph(rows=scale, columns=scale)
+    return chimera_graph(rows=scale, columns=scale)
+
+
+@dataclass
+class Embedding:
+    """A minor embedding: logical variable -> chain of physical qubits."""
+
+    chains: Dict[int, List] = field(default_factory=dict)
+
+    @property
+    def num_variables(self) -> int:
+        """Number of embedded logical variables."""
+        return len(self.chains)
+
+    @property
+    def chain_lengths(self) -> List[int]:
+        """Length of every chain."""
+        return [len(chain) for chain in self.chains.values()]
+
+    @property
+    def max_chain_length(self) -> int:
+        """Longest chain (drives the coupling dilution)."""
+        return max(self.chain_lengths, default=0)
+
+    @property
+    def average_chain_length(self) -> float:
+        """Mean chain length."""
+        lengths = self.chain_lengths
+        return float(np.mean(lengths)) if lengths else 0.0
+
+    @property
+    def total_physical_qubits(self) -> int:
+        """Total number of physical qubits used."""
+        return int(sum(self.chain_lengths))
+
+    def is_valid(self, problem: nx.Graph, hardware: nx.Graph) -> bool:
+        """Check chain connectivity and coverage of every problem edge."""
+        used = set()
+        for chain in self.chains.values():
+            if not chain:
+                return False
+            if used.intersection(chain):
+                return False
+            used.update(chain)
+            if len(chain) > 1 and not nx.is_connected(hardware.subgraph(chain)):
+                return False
+        for u, v in problem.edges:
+            if u not in self.chains or v not in self.chains:
+                return False
+            if not any(
+                hardware.has_edge(a, b) for a in self.chains[u] for b in self.chains[v]
+            ):
+                return False
+        return True
+
+
+class EmbeddingError(RuntimeError):
+    """Raised when the greedy embedder cannot place the problem."""
+
+
+def _connect_chains(
+    hardware: nx.Graph,
+    free: set,
+    growing_chain: List,
+    fixed_chain: List,
+    max_chain_length: int,
+) -> bool:
+    """Grow ``growing_chain`` through free qubits until it touches ``fixed_chain``.
+
+    Returns ``True`` on success (``growing_chain`` and ``free`` are updated
+    in place) and ``False`` when no route exists or the chain-length budget
+    would be exceeded.
+    """
+    target_qubits = {
+        q for qubit in fixed_chain for q in hardware.neighbors(qubit) if q in free
+    }
+    if not target_qubits:
+        return False
+    allowed = free | set(growing_chain)
+    subgraph = hardware.subgraph(allowed)
+    paths = nx.multi_source_dijkstra_path(subgraph, set(growing_chain))
+    reachable = [q for q in target_qubits if q in paths]
+    if not reachable:
+        return False
+    best_target = min(reachable, key=lambda q: len(paths[q]))
+    extension = [q for q in paths[best_target] if q not in growing_chain]
+    if len(growing_chain) + len(extension) > max_chain_length:
+        return False
+    for qubit in extension:
+        growing_chain.append(qubit)
+        free.discard(qubit)
+    return True
+
+
+def greedy_embed(
+    problem: nx.Graph,
+    hardware: nx.Graph,
+    seed: SeedLike = None,
+    max_chain_length: int = 64,
+) -> Embedding:
+    """Greedy chain-growth minor embedding.
+
+    Variables are processed in decreasing-degree order; each is assigned a
+    chain grown (breadth-first over free qubits) until it touches the
+    chain of every already-embedded neighbour.  This is not minimal, but
+    it produces the qualitative chain-length growth with problem density
+    that the baseline degradation model needs, with chains verified by
+    :meth:`Embedding.is_valid`.
+    """
+    rng = as_generator(seed)
+    if problem.number_of_nodes() == 0:
+        return Embedding()
+    if problem.number_of_nodes() > hardware.number_of_nodes():
+        raise EmbeddingError(
+            f"problem has {problem.number_of_nodes()} variables but hardware only "
+            f"{hardware.number_of_nodes()} qubits"
+        )
+    free = set(hardware.nodes)
+    chains: Dict[int, List] = {}
+    order = sorted(problem.nodes, key=lambda node: -problem.degree[node])
+
+    for variable in order:
+        embedded_neighbors = [n for n in problem.neighbors(variable) if n in chains]
+        # Seed the chain at a free qubit, preferring one adjacent to a neighbour chain.
+        candidates = []
+        for neighbor in embedded_neighbors:
+            for qubit in chains[neighbor]:
+                candidates.extend(q for q in hardware.neighbors(qubit) if q in free)
+        if not candidates:
+            candidates = list(free)
+        if not candidates:
+            raise EmbeddingError("ran out of free qubits while embedding")
+        start = candidates[int(rng.integers(len(candidates)))]
+        chain = [start]
+        free.discard(start)
+
+        def chain_touches(neighbor: int) -> bool:
+            return any(
+                hardware.has_edge(a, b) for a in chain for b in chains[neighbor]
+            )
+
+        remaining = [n for n in embedded_neighbors if not chain_touches(n)]
+        while remaining:
+            if len(chain) >= max_chain_length:
+                raise EmbeddingError(
+                    f"chain for variable {variable} exceeded {max_chain_length} qubits"
+                )
+            # Route through free qubits so the two chains become adjacent.
+            # Prefer growing the new variable's chain towards the neighbour's
+            # chain; if the neighbour's chain has no free qubits around it
+            # (it is boxed in by other chains), grow the neighbour's chain
+            # towards this one instead.
+            target_neighbor = remaining[0]
+            grown = _connect_chains(hardware, free, chain, chains[target_neighbor], max_chain_length)
+            if not grown:
+                grown = _connect_chains(
+                    hardware, free, chains[target_neighbor], chain, max_chain_length
+                )
+            if not grown:
+                raise EmbeddingError(f"cannot grow chain for variable {variable}")
+            remaining = [n for n in embedded_neighbors if not chain_touches(n)]
+        chains[variable] = chain
+
+    embedding = Embedding(chains=chains)
+    if not embedding.is_valid(problem, hardware):
+        raise EmbeddingError("greedy embedding failed validation")
+    return embedding
+
+
+def embed_dense_problem(
+    num_variables: int,
+    profile: AnnealerProfile,
+    seed: SeedLike = None,
+    scale: Optional[int] = None,
+    max_attempts: int = 8,
+) -> Embedding:
+    """Embed a fully-connected problem of ``num_variables`` onto a machine.
+
+    Used to calibrate the chain-length-based degradation of
+    :class:`~repro.baselines.dwave_like.DWaveLikeSolver`: denser problems
+    and sparser topologies produce longer chains.  The greedy embedder has
+    no backtracking, so unlucky qubit choices are retried with fresh seeds
+    and, if needed, a larger hardware lattice.
+    """
+    if num_variables < 1:
+        raise ValueError(f"num_variables must be >= 1, got {num_variables}")
+    if max_attempts < 1:
+        raise ValueError(f"max_attempts must be >= 1, got {max_attempts}")
+    problem = nx.complete_graph(num_variables)
+    base_scale = scale if scale is not None else max(3, int(np.ceil(num_variables / 3)))
+    rng = as_generator(seed)
+    last_error: Optional[EmbeddingError] = None
+    for attempt in range(max_attempts):
+        attempt_scale = base_scale + attempt // 2
+        hardware = hardware_graph_for(profile, scale=attempt_scale)
+        try:
+            return greedy_embed(problem, hardware, seed=rng)
+        except EmbeddingError as error:
+            last_error = error
+    assert last_error is not None
+    raise last_error

@@ -1,0 +1,95 @@
+"""Exhaustive quantised-strategy search baseline.
+
+A brute-force software baseline that scans the whole quantised strategy
+grid for (approximate) equilibria.  It is exponential in the number of
+actions, so it only runs for the smaller benchmark games, where it serves
+two purposes: an independent check that the SA solver's grid optimum is
+the true grid optimum, and a reference for the ablation benchmarks
+(SA vs exhaustive scaling).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations_with_replacement
+from typing import Iterator, List
+
+import numpy as np
+
+from repro.core.max_qubo import IdealEvaluator
+from repro.core.strategy import QuantizedStrategyPair
+from repro.games.bimatrix import BimatrixGame
+from repro.games.equilibrium import EquilibriumSet, StrategyProfile, classify_profile
+
+
+def _compositions(total: int, parts: int) -> Iterator[np.ndarray]:
+    """All length-``parts`` non-negative integer vectors summing to ``total``."""
+    for dividers in combinations_with_replacement(range(parts), total):
+        counts = np.zeros(parts, dtype=int)
+        for index in dividers:
+            counts[index] += 1
+        yield counts
+
+
+@dataclass
+class ExhaustiveSearchResult:
+    """Every (approximate) equilibrium on the quantised strategy grid."""
+
+    game: BimatrixGame
+    num_intervals: int
+    epsilon: float
+    equilibria: EquilibriumSet
+    num_states_scanned: int
+    best_objective: float
+
+    @property
+    def num_equilibria(self) -> int:
+        """Number of distinct grid equilibria found."""
+        return len(self.equilibria)
+
+
+def exhaustive_grid_search(
+    game: BimatrixGame,
+    num_intervals: int,
+    epsilon: float,
+    dedup_atol: float = 1e-6,
+    max_states: int = 2_000_000,
+) -> ExhaustiveSearchResult:
+    """Scan every quantised strategy pair and collect the epsilon-equilibria.
+
+    Parameters
+    ----------
+    epsilon:
+        Equilibrium tolerance (typically matched to the quantisation step
+        as in :meth:`repro.core.config.CNashConfig.effective_epsilon`).
+    max_states:
+        Guard against accidentally launching an infeasible scan.
+    """
+    n, m = game.shape
+    evaluator = IdealEvaluator(game)
+    p_grid: List[np.ndarray] = list(_compositions(num_intervals, n))
+    q_grid: List[np.ndarray] = list(_compositions(num_intervals, m))
+    total = len(p_grid) * len(q_grid)
+    if total > max_states:
+        raise ValueError(
+            f"grid has {total} states which exceeds max_states={max_states}; "
+            "reduce num_intervals or use the SA solver"
+        )
+    equilibria = EquilibriumSet(game=game, atol=dedup_atol)
+    best_objective = np.inf
+    for p_counts in p_grid:
+        for q_counts in q_grid:
+            state = QuantizedStrategyPair(p_counts, q_counts, num_intervals)
+            objective = evaluator.evaluate(state)
+            best_objective = min(best_objective, objective)
+            profile = state.to_profile()
+            if classify_profile(game, profile, epsilon=epsilon, purity_atol=1e-9) != "error":
+                equilibria.add(profile)
+    return ExhaustiveSearchResult(
+        game=game,
+        num_intervals=num_intervals,
+        epsilon=epsilon,
+        equilibria=equilibria,
+        num_states_scanned=total,
+        best_objective=float(best_objective),
+    )

@@ -1,0 +1,137 @@
+"""Timing and capability profiles of the baseline quantum annealers.
+
+The paper compares C-Nash against the D-Wave 2000 Q6 and D-Wave
+Advantage 4.1 machines.  We obviously cannot run those machines, so the
+baseline solver (:mod:`repro.baselines.dwave_like`) is a classical
+simulated annealer over the same S-QUBO formulation, and this module
+records the per-sample timing and connectivity figures of the real
+machines (from D-Wave's public documentation) so that the Fig. 10
+time-to-solution comparison can be carried out with realistic per-sample
+costs on the baseline side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+
+@dataclass(frozen=True)
+class AnnealerProfile:
+    """Capability/timing profile of one quantum annealer.
+
+    Parameters
+    ----------
+    name:
+        Human-readable machine name.
+    num_qubits:
+        Number of physical qubits.
+    connectivity_degree:
+        Typical per-qubit coupler count (Chimera: 6, Pegasus: 15).  Lower
+        connectivity forces longer embedding chains, which degrade the
+        effective coupling precision; the baseline solver converts this
+        into extra coefficient noise.
+    anneal_time_us / readout_time_us / programming_time_ms:
+        Per-sample anneal and readout times and the per-problem
+        programming overhead.
+    coupling_precision_bits:
+        Effective precision of the programmable couplings; the S-QUBO
+        coefficients are quantised to this precision before solving,
+        modelling the analog control error (ICE) of the hardware.
+    """
+
+    name: str
+    num_qubits: int
+    connectivity_degree: int
+    anneal_time_us: float = 20.0
+    readout_time_us: float = 120.0
+    programming_time_ms: float = 10.0
+    coupling_precision_bits: int = 5
+
+    def __post_init__(self) -> None:
+        if self.num_qubits < 1:
+            raise ValueError(f"num_qubits must be >= 1, got {self.num_qubits}")
+        if self.connectivity_degree < 1:
+            raise ValueError(
+                f"connectivity_degree must be >= 1, got {self.connectivity_degree}"
+            )
+        for label, value in (
+            ("anneal_time_us", self.anneal_time_us),
+            ("readout_time_us", self.readout_time_us),
+            ("programming_time_ms", self.programming_time_ms),
+        ):
+            if value < 0:
+                raise ValueError(f"{label} must be non-negative, got {value}")
+        if self.coupling_precision_bits < 1:
+            raise ValueError(
+                f"coupling_precision_bits must be >= 1, got {self.coupling_precision_bits}"
+            )
+
+    @property
+    def sample_time_s(self) -> float:
+        """Wall-clock time of one anneal-and-read sample."""
+        return (self.anneal_time_us + self.readout_time_us) * 1e-6
+
+    def batch_time_s(self, num_samples: int) -> float:
+        """Time for one programming cycle plus ``num_samples`` samples."""
+        if num_samples < 0:
+            raise ValueError(f"num_samples must be non-negative, got {num_samples}")
+        return self.programming_time_ms * 1e-3 + num_samples * self.sample_time_s
+
+    def embedding_overhead(self, num_logical_variables: int) -> float:
+        """Average chain length needed to embed a dense problem.
+
+        Dense QUBOs on sparse hardware need chains of roughly
+        ``num_variables / connectivity`` physical qubits per logical
+        variable; the baseline uses this to scale its coefficient noise.
+        """
+        if num_logical_variables < 1:
+            raise ValueError(
+                f"num_logical_variables must be >= 1, got {num_logical_variables}"
+            )
+        return max(1.0, num_logical_variables / self.connectivity_degree)
+
+
+#: D-Wave 2000Q (Chimera topology) profile.
+DWAVE_2000Q6 = AnnealerProfile(
+    name="D-Wave 2000 Q6",
+    num_qubits=2048,
+    connectivity_degree=6,
+    anneal_time_us=20.0,
+    readout_time_us=200.0,
+    programming_time_ms=12.0,
+    coupling_precision_bits=4,
+)
+
+#: D-Wave Advantage 4.1 (Pegasus topology) profile.
+DWAVE_ADVANTAGE_4_1 = AnnealerProfile(
+    name="D-Wave Advantage 4.1",
+    num_qubits=5627,
+    connectivity_degree=15,
+    anneal_time_us=20.0,
+    readout_time_us=120.0,
+    programming_time_ms=10.0,
+    coupling_precision_bits=5,
+)
+
+
+def available_machines() -> List[AnnealerProfile]:
+    """The machine profiles used in the paper's comparison."""
+    return [DWAVE_2000Q6, DWAVE_ADVANTAGE_4_1]
+
+
+def get_machine(name: str) -> AnnealerProfile:
+    """Look up a machine profile by (case-insensitive, fuzzy) name."""
+    key = name.strip().lower().replace(" ", "").replace("-", "").replace("_", "").replace(".", "")
+    table: Dict[str, AnnealerProfile] = {
+        "dwave2000q6": DWAVE_2000Q6,
+        "2000q6": DWAVE_2000Q6,
+        "dwaveadvantage41": DWAVE_ADVANTAGE_4_1,
+        "advantage41": DWAVE_ADVANTAGE_4_1,
+    }
+    if key not in table:
+        raise KeyError(
+            f"unknown machine {name!r}; available: "
+            + ", ".join(profile.name for profile in available_machines())
+        )
+    return table[key]

@@ -1,0 +1,104 @@
+"""Configuration of the C-Nash solver."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.annealing.acceptance import AcceptanceRule, MetropolisAcceptance
+from repro.annealing.temperature import GeometricSchedule, TemperatureSchedule
+
+
+@dataclass(frozen=True)
+class CNashConfig:
+    """Solver configuration.
+
+    Parameters
+    ----------
+    num_intervals:
+        Strategy quantisation ``I`` (probabilities live on a ``1/I``
+        grid).  The paper's mapping example uses ``I = 4``; the default
+        of 8 resolves the mixed equilibria of all three benchmark games.
+    num_iterations:
+        SA iterations per run (the paper uses 10 000 / 15 000 / 50 000
+        for the three games; the default is sized for the default grid).
+    initial_temperature / final_temperature:
+        The ``T_max`` / ``T_min`` of Alg. 1, in units of the objective.
+    use_hardware:
+        Evaluate the objective through the FeFET bi-crossbar model
+        (device variability, read noise, ADC and WTA non-idealities)
+        instead of exact floating point.
+    cells_per_element:
+        ``t`` for the hardware mapping (0 = automatic).
+    adc_bits:
+        ADC resolution of the hardware datapath.
+    epsilon:
+        Equilibrium tolerance used when classifying the solver output;
+        when ``None`` a tolerance matched to the quantisation step and
+        payoff scale is derived automatically.
+    move_both_players:
+        Whether an SA move perturbs both players simultaneously.
+    pure_start_bias:
+        Probability that a run starts from a random pure strategy pair
+        rather than a random mixed one.
+    record_history:
+        Record the objective trajectory of each run (memory heavy for
+        long runs).
+    """
+
+    num_intervals: int = 8
+    num_iterations: int = 5000
+    initial_temperature: float = 1.0
+    final_temperature: float = 1e-3
+    use_hardware: bool = False
+    cells_per_element: int = 0
+    adc_bits: int = 10
+    epsilon: Optional[float] = None
+    move_both_players: bool = False
+    pure_start_bias: float = 0.5
+    record_history: bool = False
+    acceptance: AcceptanceRule = field(default_factory=MetropolisAcceptance)
+
+    def __post_init__(self) -> None:
+        if self.num_intervals < 1:
+            raise ValueError(f"num_intervals must be >= 1, got {self.num_intervals}")
+        if self.num_iterations < 1:
+            raise ValueError(f"num_iterations must be >= 1, got {self.num_iterations}")
+        if self.initial_temperature <= 0 or self.final_temperature <= 0:
+            raise ValueError("temperatures must be positive")
+        if self.final_temperature > self.initial_temperature:
+            raise ValueError("final_temperature must not exceed initial_temperature")
+        if not (0.0 <= self.pure_start_bias <= 1.0):
+            raise ValueError(f"pure_start_bias must be in [0, 1], got {self.pure_start_bias}")
+        if self.epsilon is not None and self.epsilon < 0:
+            raise ValueError(f"epsilon must be non-negative, got {self.epsilon}")
+        if self.adc_bits < 1:
+            raise ValueError(f"adc_bits must be >= 1, got {self.adc_bits}")
+
+    def schedule(self) -> TemperatureSchedule:
+        """The temperature schedule implied by the configured bounds."""
+        return GeometricSchedule(initial=self.initial_temperature, final=self.final_temperature)
+
+    def effective_epsilon(self, payoff_scale: float) -> float:
+        """The equilibrium tolerance to use for a game with the given payoff scale.
+
+        Quantising probabilities to ``1/I`` perturbs expected payoffs by
+        at most roughly ``payoff_scale / I`` per player, so the automatic
+        tolerance scales with both.
+        """
+        if self.epsilon is not None:
+            return self.epsilon
+        if payoff_scale <= 0:
+            payoff_scale = 1.0
+        return 1.5 * payoff_scale / self.num_intervals
+
+
+#: Paper-scale iteration counts for the three benchmark games (Sec. 4.2).
+PAPER_ITERATIONS = {
+    "Battle of the Sexes": 10_000,
+    "Bird Game": 15_000,
+    "Modified Prisoner's Dilemma (8 actions)": 50_000,
+}
+
+#: Number of SA runs per game used in the paper's evaluation.
+PAPER_NUM_RUNS = 5000

@@ -1,0 +1,186 @@
+"""The MAX-QUBO transformation and its evaluators.
+
+Sec. 3.1 of the paper converts the Mangasarian–Stone quadratic program
+for Nash equilibria into the *lossless* MAX-QUBO form
+
+    min_{p, q}  f(p, q) = max(Mq) + max(N^T p) - p^T (M + N) q        (Eq. 9)
+
+with the simplex constraints enforced structurally.  The objective is
+non-negative for every strategy pair and equals zero exactly at the Nash
+equilibria, so minimising it (over the quantised strategy grid) searches
+for equilibria without any slack variables or penalty weights.
+
+Two evaluators are provided behind a common interface:
+
+* :class:`IdealEvaluator` — exact floating-point evaluation, used for the
+  large statistical sweeps and as the reference in tests;
+* :class:`HardwareEvaluator` — evaluation through the FeFET bi-crossbar,
+  WTA trees and ADCs (:class:`~repro.hardware.bicrossbar.BiCrossbar`),
+  i.e. what the silicon would compute, with device variability and
+  quantisation included.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.games.bimatrix import BimatrixGame
+from repro.core.strategy import QuantizedStrategyPair
+from repro.hardware.bicrossbar import BiCrossbar, ObjectiveBreakdown
+
+
+def max_qubo_objective(game: BimatrixGame, p: np.ndarray, q: np.ndarray) -> float:
+    """Exact MAX-QUBO objective value for probability vectors ``p, q``.
+
+    ``f(p, q) = max(Mq) + max(N^T p) - p^T (M + N) q``; non-negative, and
+    zero exactly when ``(p, q)`` is a Nash equilibrium.
+    """
+    row_values = game.row_action_values(q)
+    col_values = game.col_action_values(p)
+    bilinear = float(p @ (game.payoff_row + game.payoff_col) @ q)
+    return float(row_values.max() + col_values.max() - bilinear)
+
+
+def max_qubo_breakdown(game: BimatrixGame, p: np.ndarray, q: np.ndarray) -> ObjectiveBreakdown:
+    """Exact values of the three MAX-QUBO components."""
+    row_values = game.row_action_values(q)
+    col_values = game.col_action_values(p)
+    bilinear = float(p @ (game.payoff_row + game.payoff_col) @ q)
+    return ObjectiveBreakdown(
+        max_row_value=float(row_values.max()),
+        max_col_value=float(col_values.max()),
+        vmv_value=bilinear,
+    )
+
+
+class ObjectiveEvaluator(ABC):
+    """Evaluates the MAX-QUBO objective for quantised strategy pairs."""
+
+    @abstractmethod
+    def evaluate(self, state: QuantizedStrategyPair) -> float:
+        """Objective value (lower is better, zero at an equilibrium)."""
+
+    @property
+    @abstractmethod
+    def game(self) -> BimatrixGame:
+        """The game whose objective is being evaluated."""
+
+    def evaluate_breakdown(self, state: QuantizedStrategyPair) -> ObjectiveBreakdown:
+        """The three objective components (default: exact recomputation)."""
+        return max_qubo_breakdown(self.game, state.p, state.q)
+
+
+class IdealEvaluator(ObjectiveEvaluator):
+    """Exact (noise-free, infinite-precision) MAX-QUBO evaluation."""
+
+    def __init__(self, game: BimatrixGame):
+        self._game = game
+        # Pre-compute the combined payoff for the bilinear term.
+        self._combined = game.payoff_row + game.payoff_col
+
+    @property
+    def game(self) -> BimatrixGame:
+        return self._game
+
+    def evaluate(self, state: QuantizedStrategyPair) -> float:
+        p = state.p
+        q = state.q
+        row_values = self._game.payoff_row @ q
+        col_values = self._game.payoff_col.T @ p
+        bilinear = float(p @ self._combined @ q)
+        return float(row_values.max() + col_values.max() - bilinear)
+
+
+class HardwareEvaluator(ObjectiveEvaluator):
+    """MAX-QUBO evaluation through the FeFET bi-crossbar datapath.
+
+    The evaluator owns a :class:`~repro.hardware.bicrossbar.BiCrossbar`
+    configured for the game; every evaluation performs the two-phase
+    computation (crossbar MV reads + WTA for the max terms, crossbar VMV
+    reads for the bilinear term) including device variability, read noise
+    and ADC quantisation.
+
+    Note that the bi-crossbar operates on the *shifted* (non-negative)
+    payoffs; shifting changes the objective by a constant only at fixed
+    ``p``/``q`` sums, so the annealer's accept/reject decisions — which
+    depend on objective differences — are unaffected.
+    """
+
+    def __init__(self, game: BimatrixGame, bicrossbar: BiCrossbar):
+        expected = game.shape
+        actual = bicrossbar.game.shape
+        if expected != actual:
+            raise ValueError(
+                f"bicrossbar shape {actual} does not match game shape {expected}"
+            )
+        self._game = game
+        self.bicrossbar = bicrossbar
+
+    @property
+    def game(self) -> BimatrixGame:
+        return self._game
+
+    @property
+    def num_intervals(self) -> int:
+        """The strategy quantisation of the underlying hardware."""
+        return self.bicrossbar.num_intervals
+
+    def evaluate(self, state: QuantizedStrategyPair) -> float:
+        if state.num_intervals != self.bicrossbar.num_intervals:
+            raise ValueError(
+                f"state quantised with I={state.num_intervals} but hardware uses "
+                f"I={self.bicrossbar.num_intervals}"
+            )
+        return self.bicrossbar.evaluate(state.p_counts, state.q_counts).objective
+
+    def evaluate_breakdown(self, state: QuantizedStrategyPair) -> ObjectiveBreakdown:
+        return self.bicrossbar.evaluate(state.p_counts, state.q_counts)
+
+
+@dataclass(frozen=True)
+class GridOptimum:
+    """Result of exhaustively scanning the quantised strategy grid."""
+
+    best_state: QuantizedStrategyPair
+    best_objective: float
+    num_states: int
+
+
+def enumerate_grid_optimum(
+    game: BimatrixGame, num_intervals: int, evaluator: Optional[ObjectiveEvaluator] = None
+) -> GridOptimum:
+    """Exhaustively minimise the MAX-QUBO objective over the strategy grid.
+
+    Only practical for small games / coarse grids (the grid has
+    ``C(I+n-1, n-1) * C(I+m-1, m-1)`` points); used in tests to verify
+    that the annealer reaches the grid optimum.
+    """
+    from itertools import combinations_with_replacement
+
+    evaluator = evaluator or IdealEvaluator(game)
+    n, m = game.shape
+
+    def compositions(total: int, parts: int):
+        for dividers in combinations_with_replacement(range(parts), total):
+            counts = np.zeros(parts, dtype=int)
+            for index in dividers:
+                counts[index] += 1
+            yield counts
+
+    best_state: Optional[QuantizedStrategyPair] = None
+    best_objective = np.inf
+    num_states = 0
+    for p_counts in compositions(num_intervals, n):
+        for q_counts in compositions(num_intervals, m):
+            state = QuantizedStrategyPair(p_counts.copy(), q_counts.copy(), num_intervals)
+            value = evaluator.evaluate(state)
+            num_states += 1
+            if value < best_objective:
+                best_objective = value
+                best_state = state
+    assert best_state is not None  # the grid is never empty
+    return GridOptimum(best_state=best_state, best_objective=float(best_objective), num_states=num_states)

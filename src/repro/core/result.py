@@ -1,0 +1,110 @@
+"""Result types returned by the C-Nash solver."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.strategy import QuantizedStrategyPair
+from repro.games.equilibrium import StrategyProfile
+
+
+@dataclass
+class SolverRunResult:
+    """Outcome of a single C-Nash SA run.
+
+    Attributes
+    ----------
+    best_state:
+        The lowest-objective quantised strategy pair visited.
+    best_objective:
+        Its MAX-QUBO objective value (as seen by the evaluator used).
+    is_equilibrium:
+        Whether the best state is an epsilon-equilibrium of the game.
+    classification:
+        ``"pure"``, ``"mixed"`` or ``"error"`` (Fig. 8's categories).
+    iterations:
+        Number of SA iterations executed.
+    iterations_to_best:
+        Iteration index at which the best state was first reached (0 if
+        the initial state was never improved upon).
+    acceptance_rate:
+        Fraction of proposed moves accepted.
+    objective_history:
+        Objective trajectory (only when history recording was enabled).
+    """
+
+    best_state: QuantizedStrategyPair
+    best_objective: float
+    is_equilibrium: bool
+    classification: str
+    iterations: int
+    iterations_to_best: int
+    acceptance_rate: float
+    objective_history: List[float] = field(default_factory=list)
+
+    @property
+    def profile(self) -> StrategyProfile:
+        """The best state as a strategy profile."""
+        return self.best_state.to_profile()
+
+    @property
+    def success(self) -> bool:
+        """Alias for :attr:`is_equilibrium` (the paper's success criterion)."""
+        return self.is_equilibrium
+
+
+@dataclass
+class SolverBatchResult:
+    """Aggregate of many independent SA runs on one game."""
+
+    game_name: str
+    runs: List[SolverRunResult]
+    num_intervals: int
+    wall_clock_seconds: float = 0.0
+
+    def __len__(self) -> int:
+        return len(self.runs)
+
+    def __iter__(self):
+        return iter(self.runs)
+
+    @property
+    def num_runs(self) -> int:
+        """Number of runs in the batch."""
+        return len(self.runs)
+
+    @property
+    def success_rate(self) -> float:
+        """Fraction of runs that ended on an equilibrium (Table 1 metric)."""
+        if not self.runs:
+            return 0.0
+        return sum(run.success for run in self.runs) / len(self.runs)
+
+    @property
+    def successful_profiles(self) -> List[StrategyProfile]:
+        """Profiles of the successful runs (possibly with duplicates)."""
+        return [run.profile for run in self.runs if run.success]
+
+    def classification_fractions(self) -> dict:
+        """Fractions of runs per classification (Fig. 8 metric)."""
+        if not self.runs:
+            return {"pure": 0.0, "mixed": 0.0, "error": 0.0}
+        total = len(self.runs)
+        fractions = {"pure": 0.0, "mixed": 0.0, "error": 0.0}
+        for run in self.runs:
+            fractions[run.classification] += 1.0
+        return {key: value / total for key, value in fractions.items()}
+
+    def mean_iterations_to_solution(self) -> Optional[float]:
+        """Average iterations-to-best over the *successful* runs.
+
+        Returns ``None`` when no run succeeded.  This is the quantity the
+        hardware timing model converts into time-to-solution (Fig. 10).
+        """
+        successful = [run.iterations_to_best for run in self.runs if run.success]
+        if not successful:
+            return None
+        return float(np.mean(successful))

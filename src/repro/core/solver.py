@@ -1,0 +1,194 @@
+"""The C-Nash solver: the paper's primary contribution as a library API.
+
+:class:`CNashSolver` ties together the MAX-QUBO transformation, the
+quantised strategy representation, the two-phase SA controller and
+(optionally) the FeFET bi-crossbar hardware model.  Typical use::
+
+    from repro import CNashSolver, battle_of_the_sexes
+
+    solver = CNashSolver(battle_of_the_sexes())
+    batch = solver.solve_batch(num_runs=100, seed=0)
+    print(batch.success_rate)
+    equilibria = solver.distinct_solutions(batch)
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.config import CNashConfig
+from repro.core.max_qubo import HardwareEvaluator, IdealEvaluator, ObjectiveEvaluator
+from repro.core.result import SolverBatchResult, SolverRunResult
+from repro.core.strategy import QuantizedStrategyPair
+from repro.core.two_phase_sa import run_two_phase_sa
+from repro.games.bimatrix import BimatrixGame
+from repro.games.equilibrium import (
+    EquilibriumSet,
+    StrategyProfile,
+    classify_profile,
+    is_epsilon_equilibrium,
+)
+from repro.hardware.bicrossbar import BiCrossbar
+from repro.hardware.corners import ProcessCorner, TT
+from repro.hardware.noise import VariabilityModel
+from repro.hardware.timing import CNashTimingModel, timing_for_game_shape
+from repro.utils.rng import SeedLike, as_generator, spawn_generators
+
+
+class CNashSolver:
+    """Finds pure and mixed Nash equilibria with the C-Nash architecture.
+
+    Parameters
+    ----------
+    game:
+        The two-player game to solve.
+    config:
+        Solver configuration (quantisation, iterations, temperatures,
+        hardware-in-the-loop evaluation, ...).
+    variability:
+        Hardware variability model (only used with
+        ``config.use_hardware``); defaults to the paper's parameters.
+    corner:
+        Process corner for the hardware model.
+    seed:
+        Seed for the *hardware instance* (device-to-device variability);
+        per-run seeds are passed to the solve methods.
+    """
+
+    def __init__(
+        self,
+        game: BimatrixGame,
+        config: Optional[CNashConfig] = None,
+        variability: Optional[VariabilityModel] = None,
+        corner: ProcessCorner = TT,
+        seed: SeedLike = None,
+    ) -> None:
+        self.game = game
+        self.config = config or CNashConfig()
+        self.corner = corner
+        self._purity_atol = 0.5 / self.config.num_intervals
+        if self.config.use_hardware:
+            bicrossbar = BiCrossbar(
+                game,
+                num_intervals=self.config.num_intervals,
+                cells_per_element=self.config.cells_per_element,
+                variability=variability,
+                adc_bits=self.config.adc_bits,
+                corner=corner,
+                seed=seed,
+            )
+            self.evaluator: ObjectiveEvaluator = HardwareEvaluator(game, bicrossbar)
+        else:
+            self.evaluator = IdealEvaluator(game)
+
+    # ------------------------------------------------------------------
+    # Properties
+    # ------------------------------------------------------------------
+    @property
+    def epsilon(self) -> float:
+        """Equilibrium tolerance used to classify solver output."""
+        payoff_scale = float(
+            max(abs(self.game.payoff_row).max(), abs(self.game.payoff_col).max())
+        )
+        return self.config.effective_epsilon(payoff_scale)
+
+    def timing_model(self) -> CNashTimingModel:
+        """The hardware timing model for this game's shape."""
+        n, m = self.game.shape
+        return timing_for_game_shape(n, m)
+
+    # ------------------------------------------------------------------
+    # Solving
+    # ------------------------------------------------------------------
+    def solve(
+        self, seed: SeedLike = None, initial_state: Optional[QuantizedStrategyPair] = None
+    ) -> SolverRunResult:
+        """Run one SA run and classify its best strategy pair."""
+        run = run_two_phase_sa(self.evaluator, self.config, seed=seed, initial_state=initial_state)
+        best_state = run.best_state
+        profile = best_state.to_profile()
+        # Classification is always done against the *exact* game payoffs:
+        # the hardware may report a noisy objective, but whether the
+        # returned strategy pair is an equilibrium is a property of the game.
+        classification = classify_profile(
+            self.game, profile, epsilon=self.epsilon, purity_atol=self._purity_atol
+        )
+        is_equilibrium = classification != "error"
+        return SolverRunResult(
+            best_state=best_state,
+            best_objective=run.best_objective,
+            is_equilibrium=is_equilibrium,
+            classification=classification,
+            iterations=run.result.num_iterations,
+            iterations_to_best=run.result.iterations_to_best,
+            acceptance_rate=run.result.acceptance_rate,
+            objective_history=run.result.energy_history,
+        )
+
+    def solve_batch(
+        self,
+        num_runs: int,
+        seed: SeedLike = None,
+        progress=None,
+    ) -> SolverBatchResult:
+        """Run ``num_runs`` independent SA runs (the paper's 5000-run protocol).
+
+        Parameters
+        ----------
+        progress:
+            Optional ``progress(completed, total)`` callback.
+        """
+        if num_runs <= 0:
+            raise ValueError(f"num_runs must be positive, got {num_runs}")
+        generators = spawn_generators(seed, num_runs)
+        runs: List[SolverRunResult] = []
+        start = time.perf_counter()
+        for index, rng in enumerate(generators):
+            runs.append(self.solve(seed=rng))
+            if progress is not None:
+                progress(index + 1, num_runs)
+        elapsed = time.perf_counter() - start
+        return SolverBatchResult(
+            game_name=self.game.name,
+            runs=runs,
+            num_intervals=self.config.num_intervals,
+            wall_clock_seconds=elapsed,
+        )
+
+    # ------------------------------------------------------------------
+    # Post-processing
+    # ------------------------------------------------------------------
+    def distinct_solutions(
+        self, batch: SolverBatchResult, atol: Optional[float] = None
+    ) -> EquilibriumSet:
+        """De-duplicated equilibria found across a batch of runs."""
+        atol = atol if atol is not None else 0.5 / self.config.num_intervals
+        found = EquilibriumSet(game=self.game, atol=atol)
+        for run in batch.runs:
+            if run.success:
+                found.add(run.profile)
+        return found
+
+    def verify(self, profile: StrategyProfile, epsilon: Optional[float] = None) -> bool:
+        """Check a profile against the game with the solver's tolerance."""
+        return is_epsilon_equilibrium(
+            self.game, profile.p, profile.q, self.epsilon if epsilon is None else epsilon
+        )
+
+    def time_to_solution_s(self, batch: SolverBatchResult) -> Optional[float]:
+        """Estimated hardware time to find a solution, from a batch's statistics.
+
+        Each SA run costs its full iteration budget on the hardware (the
+        annealing schedule runs to completion before the result is read
+        out, as in the paper's protocol), and the expected number of runs
+        until a success is ``1 / success_rate``.
+        """
+        if batch.success_rate == 0:
+            return None
+        timing = self.timing_model()
+        expected_runs = 1.0 / batch.success_rate
+        total_iterations = expected_runs * self.config.num_iterations
+        return timing.time_to_solution_s(total_iterations)

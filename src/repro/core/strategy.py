@@ -1,0 +1,171 @@
+"""Quantized strategy pairs and the SA move generator.
+
+The C-Nash hardware represents each player's mixed strategy as integer
+interval counts: action ``i`` of the row player is played with
+probability ``counts[i] / I``, with the counts summing to ``I``.  The SA
+logic (Alg. 1) explores this grid by randomly moving one interval of
+probability mass from one action to another, which preserves the simplex
+constraint by construction ("satisfied by circuits" in the paper's
+words).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.games.equilibrium import StrategyProfile
+from repro.hardware.mapping import StrategyQuantizer
+from repro.utils.rng import SeedLike, as_generator
+
+
+@dataclass(frozen=True)
+class QuantizedStrategyPair:
+    """A pair of quantised strategies stored as interval counts.
+
+    Attributes
+    ----------
+    p_counts, q_counts:
+        Integer arrays summing to ``num_intervals`` for the row and
+        column players respectively.
+    num_intervals:
+        The quantisation ``I``.
+    """
+
+    p_counts: np.ndarray
+    q_counts: np.ndarray
+    num_intervals: int
+
+    def __post_init__(self) -> None:
+        p = np.asarray(self.p_counts, dtype=int)
+        q = np.asarray(self.q_counts, dtype=int)
+        if self.num_intervals < 1:
+            raise ValueError(f"num_intervals must be >= 1, got {self.num_intervals}")
+        for name, counts in (("p_counts", p), ("q_counts", q)):
+            if counts.ndim != 1 or counts.size == 0:
+                raise ValueError(f"{name} must be a non-empty 1-D array")
+            if np.any(counts < 0):
+                raise ValueError(f"{name} must be non-negative, got {counts}")
+            if counts.sum() != self.num_intervals:
+                raise ValueError(
+                    f"{name} must sum to {self.num_intervals}, got {int(counts.sum())}"
+                )
+        object.__setattr__(self, "p_counts", p)
+        object.__setattr__(self, "q_counts", q)
+
+    @property
+    def p(self) -> np.ndarray:
+        """Row player's probabilities."""
+        return self.p_counts.astype(float) / self.num_intervals
+
+    @property
+    def q(self) -> np.ndarray:
+        """Column player's probabilities."""
+        return self.q_counts.astype(float) / self.num_intervals
+
+    def to_profile(self) -> StrategyProfile:
+        """Convert to a :class:`~repro.games.equilibrium.StrategyProfile`."""
+        return StrategyProfile(self.p, self.q)
+
+    def is_pure(self) -> bool:
+        """True when both players put all intervals on a single action."""
+        return bool(self.p_counts.max() == self.num_intervals and self.q_counts.max() == self.num_intervals)
+
+    def key(self) -> Tuple[Tuple[int, ...], Tuple[int, ...]]:
+        """Hashable representation (used to de-duplicate visited states)."""
+        return tuple(int(c) for c in self.p_counts), tuple(int(c) for c in self.q_counts)
+
+    @classmethod
+    def from_probabilities(
+        cls, p: np.ndarray, q: np.ndarray, num_intervals: int
+    ) -> "QuantizedStrategyPair":
+        """Quantise a pair of probability vectors onto the grid."""
+        quantizer = StrategyQuantizer(num_intervals)
+        return cls(
+            p_counts=quantizer.to_counts(p),
+            q_counts=quantizer.to_counts(q),
+            num_intervals=num_intervals,
+        )
+
+    @classmethod
+    def uniform(cls, num_row_actions: int, num_col_actions: int, num_intervals: int) -> "QuantizedStrategyPair":
+        """The (quantised) uniform strategy pair."""
+        quantizer = StrategyQuantizer(num_intervals)
+        p = np.full(num_row_actions, 1.0 / num_row_actions)
+        q = np.full(num_col_actions, 1.0 / num_col_actions)
+        return cls(quantizer.to_counts(p), quantizer.to_counts(q), num_intervals)
+
+
+class StrategyMoveGenerator:
+    """Generates random neighbouring strategy pairs for the SA search.
+
+    A move picks one player (or both, per ``move_both_players``) and
+    transfers one interval of probability mass from a randomly chosen
+    donor action (with at least one interval) to a different randomly
+    chosen receiver action.  Moves therefore always stay on the simplex
+    grid.
+    """
+
+    def __init__(self, move_both_players: bool = False):
+        self.move_both_players = move_both_players
+
+    @staticmethod
+    def _transfer(counts: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        result = counts.copy()
+        if result.size < 2:
+            return result
+        donors = np.flatnonzero(result > 0)
+        donor = int(rng.choice(donors))
+        receiver = int(rng.integers(result.size - 1))
+        if receiver >= donor:
+            receiver += 1
+        result[donor] -= 1
+        result[receiver] += 1
+        return result
+
+    def propose(
+        self, state: QuantizedStrategyPair, rng: np.random.Generator
+    ) -> QuantizedStrategyPair:
+        """Return a neighbouring strategy pair."""
+        p_counts = state.p_counts
+        q_counts = state.q_counts
+        if self.move_both_players:
+            p_counts = self._transfer(p_counts, rng)
+            q_counts = self._transfer(q_counts, rng)
+        else:
+            if rng.random() < 0.5:
+                p_counts = self._transfer(p_counts, rng)
+            else:
+                q_counts = self._transfer(q_counts, rng)
+        return QuantizedStrategyPair(p_counts, q_counts, state.num_intervals)
+
+    def random_state(
+        self,
+        num_row_actions: int,
+        num_col_actions: int,
+        num_intervals: int,
+        rng: np.random.Generator,
+        pure_bias: float = 0.5,
+    ) -> QuantizedStrategyPair:
+        """Generate a random initial strategy pair.
+
+        With probability ``pure_bias`` each player starts from a random
+        pure strategy; otherwise from a random point of the simplex grid
+        (multinomial over actions).  Mixing both kinds of starts helps
+        the annealer reach both pure and mixed equilibria.
+        """
+        if not (0.0 <= pure_bias <= 1.0):
+            raise ValueError(f"pure_bias must be in [0, 1], got {pure_bias}")
+
+        def sample(num_actions: int) -> np.ndarray:
+            if rng.random() < pure_bias:
+                counts = np.zeros(num_actions, dtype=int)
+                counts[int(rng.integers(num_actions))] = num_intervals
+                return counts
+            return rng.multinomial(num_intervals, np.full(num_actions, 1.0 / num_actions))
+
+        return QuantizedStrategyPair(
+            sample(num_row_actions), sample(num_col_actions), num_intervals
+        )

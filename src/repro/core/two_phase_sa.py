@@ -1,0 +1,112 @@
+"""The two-phase simulated-annealing controller (Alg. 1).
+
+Each SA iteration consists of two hardware phases (Sec. 3.4):
+
+* **Phase 1** — the crossbars compute the matrix-vector products ``Mq``
+  and ``N^T p`` with unit row/column inputs and the WTA trees extract
+  ``max(Mq)`` and ``max(N^T p)``;
+* **Phase 2** — the crossbars compute the VMV products ``p^T M q`` and
+  ``p^T N q`` with the WTA trees deactivated.
+
+The SA logic combines the three terms into the MAX-QUBO objective,
+compares it with the recorded value, and accepts or rejects the new
+strategy pair with the Metropolis rule at the current temperature
+(Alg. 1, lines 8–13).  In this reproduction both phases are performed by
+the :class:`~repro.core.max_qubo.ObjectiveEvaluator` (either exact or
+through the bi-crossbar model), and this module supplies the annealing
+problem definition plus a convenience runner.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.annealing.engine import AnnealingConfig, AnnealingResult, AnnealingProblem, SimulatedAnnealer
+from repro.core.config import CNashConfig
+from repro.core.max_qubo import ObjectiveEvaluator
+from repro.core.strategy import QuantizedStrategyPair, StrategyMoveGenerator
+from repro.utils.rng import SeedLike
+
+
+class TwoPhaseAnnealingProblem(AnnealingProblem[QuantizedStrategyPair]):
+    """The MAX-QUBO minimisation over the quantised strategy grid."""
+
+    def __init__(
+        self,
+        evaluator: ObjectiveEvaluator,
+        num_intervals: int,
+        move_generator: Optional[StrategyMoveGenerator] = None,
+        pure_start_bias: float = 0.5,
+    ) -> None:
+        self.evaluator = evaluator
+        self.num_intervals = num_intervals
+        self.move_generator = move_generator or StrategyMoveGenerator()
+        self.pure_start_bias = pure_start_bias
+        self._shape = evaluator.game.shape
+
+    def initial_state(self, rng: np.random.Generator) -> QuantizedStrategyPair:
+        n, m = self._shape
+        return self.move_generator.random_state(
+            n, m, self.num_intervals, rng, pure_bias=self.pure_start_bias
+        )
+
+    def propose(
+        self, state: QuantizedStrategyPair, rng: np.random.Generator
+    ) -> QuantizedStrategyPair:
+        return self.move_generator.propose(state, rng)
+
+    def energy(self, state: QuantizedStrategyPair) -> float:
+        return self.evaluator.evaluate(state)
+
+
+@dataclass
+class TwoPhaseSARun:
+    """Raw outcome of one two-phase SA run (before NE classification)."""
+
+    result: AnnealingResult[QuantizedStrategyPair]
+
+    @property
+    def best_state(self) -> QuantizedStrategyPair:
+        """The lowest-objective state visited."""
+        return self.result.best_state
+
+    @property
+    def best_objective(self) -> float:
+        """The lowest objective value observed."""
+        return self.result.best_energy
+
+
+def run_two_phase_sa(
+    evaluator: ObjectiveEvaluator,
+    config: CNashConfig,
+    seed: SeedLike = None,
+    initial_state: Optional[QuantizedStrategyPair] = None,
+) -> TwoPhaseSARun:
+    """Run Alg. 1 once and return the raw annealing result.
+
+    The temperature starts at ``config.initial_temperature`` and decays
+    geometrically to ``config.final_temperature`` over
+    ``config.num_iterations`` iterations; each iteration proposes a
+    neighbouring strategy pair, evaluates the objective via the two
+    hardware phases, and applies the Metropolis acceptance rule.
+    """
+    problem = TwoPhaseAnnealingProblem(
+        evaluator=evaluator,
+        num_intervals=config.num_intervals,
+        move_generator=StrategyMoveGenerator(move_both_players=config.move_both_players),
+        pure_start_bias=config.pure_start_bias,
+    )
+    annealer = SimulatedAnnealer(
+        problem,
+        AnnealingConfig(
+            num_iterations=config.num_iterations,
+            schedule=config.schedule(),
+            acceptance=config.acceptance,
+            record_history=config.record_history,
+        ),
+    )
+    result = annealer.run(seed=seed, initial_state=initial_state)
+    return TwoPhaseSARun(result=result)

@@ -1,0 +1,60 @@
+"""Reproduction experiments: one module per paper table/figure plus a CLI runner.
+
+* :mod:`repro.experiments.table1_success_rate` — Table 1 (success rates).
+* :mod:`repro.experiments.fig7_robustness` — Fig. 7 (crossbar linearity,
+  WTA corners).
+* :mod:`repro.experiments.fig8_solution_distribution` — Fig. 8 (solution
+  type distributions).
+* :mod:`repro.experiments.fig9_distinct_solutions` — Fig. 9 (distinct NE
+  solutions found).
+* :mod:`repro.experiments.fig10_time_to_solution` — Fig. 10
+  (time-to-solution and speedups).
+
+Run them all with ``cnash-experiments all`` or
+``python -m repro.experiments all``.
+"""
+
+from repro.experiments.common import (
+    DEFAULT_SCALE,
+    PAPER_SCALE,
+    SMOKE_SCALE,
+    SOLVER_NAMES,
+    ExperimentScale,
+    GameBudget,
+    GameEvaluation,
+    benchmark_games,
+    clear_evaluation_cache,
+    evaluate_all_games,
+    evaluate_game,
+    get_scale,
+)
+from repro.experiments.fig7_robustness import Fig7Result, run_fig7
+from repro.experiments.fig8_solution_distribution import Fig8Result, run_fig8
+from repro.experiments.fig9_distinct_solutions import Fig9Result, run_fig9
+from repro.experiments.fig10_time_to_solution import Fig10Result, run_fig10
+from repro.experiments.table1_success_rate import Table1Result, run_table1
+
+__all__ = [
+    "ExperimentScale",
+    "GameBudget",
+    "GameEvaluation",
+    "SMOKE_SCALE",
+    "DEFAULT_SCALE",
+    "PAPER_SCALE",
+    "SOLVER_NAMES",
+    "get_scale",
+    "benchmark_games",
+    "evaluate_game",
+    "evaluate_all_games",
+    "clear_evaluation_cache",
+    "run_table1",
+    "Table1Result",
+    "run_fig7",
+    "Fig7Result",
+    "run_fig8",
+    "Fig8Result",
+    "run_fig9",
+    "Fig9Result",
+    "run_fig10",
+    "Fig10Result",
+]

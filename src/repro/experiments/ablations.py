@@ -1,0 +1,155 @@
+"""Ablation experiments beyond the paper's figures.
+
+DESIGN.md calls out the design choices whose impact is worth quantifying:
+
+* the strategy quantisation ``I`` (how finely mixed strategies are
+  resolved by the crossbar mapping),
+* the SA iteration budget,
+* hardware non-idealities (ADC resolution and FeFET variability),
+* the MAX-QUBO transformation itself versus the lossy S-QUBO baseline on
+  a game with only mixed equilibria.
+
+Each ablation returns a :class:`~repro.analysis.sweeps.SweepResult` (or a
+small dataclass for the transformation ablation) and has a ``render``
+helper, mirroring the table/figure experiment modules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.analysis.reporting import render_table
+from repro.analysis.sweeps import (
+    SweepResult,
+    sweep_adc_bits,
+    sweep_num_intervals,
+    sweep_num_iterations,
+    sweep_variability,
+)
+from repro.baselines.dwave_like import DWaveLikeSolver
+from repro.core.config import CNashConfig
+from repro.core.solver import CNashSolver
+from repro.games.bimatrix import BimatrixGame
+from repro.games.library import battle_of_the_sexes, bird_game, matching_pennies
+
+
+def render_sweep(result: SweepResult, title: str) -> str:
+    """Render a sweep result as an aligned text table."""
+    headers = ["Point", "Success (%)", "Mixed (%)", "Distinct found", "Mean objective"]
+    return render_table(headers, result.as_rows(), title=title)
+
+
+def ablation_quantization(
+    game: Optional[BimatrixGame] = None,
+    intervals: Sequence[int] = (2, 4, 6, 8, 12),
+    num_runs: int = 30,
+    seed: int = 0,
+) -> SweepResult:
+    """How the quantisation interval affects success and mixed-solution discovery."""
+    game = game or battle_of_the_sexes()
+    config = CNashConfig(num_iterations=1500)
+    return sweep_num_intervals(game, intervals, base_config=config, num_runs=num_runs, seed=seed)
+
+
+def ablation_iterations(
+    game: Optional[BimatrixGame] = None,
+    iteration_counts: Sequence[int] = (250, 500, 1000, 2000, 4000),
+    num_runs: int = 20,
+    seed: int = 0,
+) -> SweepResult:
+    """How the SA iteration budget affects success rate (convergence curve)."""
+    game = game or bird_game()
+    config = CNashConfig(num_intervals=8)
+    return sweep_num_iterations(
+        game, iteration_counts, base_config=config, num_runs=num_runs, seed=seed
+    )
+
+
+def ablation_adc_resolution(
+    game: Optional[BimatrixGame] = None,
+    bit_widths: Sequence[int] = (4, 6, 8, 10),
+    num_runs: int = 10,
+    seed: int = 0,
+) -> SweepResult:
+    """How ADC resolution affects hardware-in-the-loop success rate."""
+    game = game or battle_of_the_sexes()
+    config = CNashConfig(num_intervals=4, num_iterations=1200)
+    return sweep_adc_bits(game, bit_widths, base_config=config, num_runs=num_runs, seed=seed)
+
+
+def ablation_device_variability(
+    game: Optional[BimatrixGame] = None,
+    vth_sigmas_mv: Sequence[float] = (0.0, 40.0, 80.0, 160.0),
+    num_runs: int = 10,
+    seed: int = 0,
+) -> SweepResult:
+    """How FeFET V_TH variability affects hardware-in-the-loop success rate."""
+    game = game or battle_of_the_sexes()
+    config = CNashConfig(num_intervals=4, num_iterations=1200)
+    return sweep_variability(game, vth_sigmas_mv, base_config=config, num_runs=num_runs, seed=seed)
+
+
+@dataclass
+class TransformationAblationResult:
+    """MAX-QUBO vs S-QUBO on a game whose only equilibrium is mixed."""
+
+    game_name: str
+    cnash_success_rate: float
+    cnash_mixed_fraction: float
+    baseline_success_rate: float
+
+    def render(self) -> str:
+        """Plain-text rendering of the comparison."""
+        headers = ["Solver", "Success (%)", "Mixed solutions (%)"]
+        rows = [
+            ["C-Nash (MAX-QUBO)", 100.0 * self.cnash_success_rate, 100.0 * self.cnash_mixed_fraction],
+            ["S-QUBO baseline", 100.0 * self.baseline_success_rate, 0.0],
+        ]
+        return render_table(
+            headers, rows, title=f"Transformation ablation on {self.game_name}"
+        )
+
+
+def ablation_transformation(
+    game: Optional[BimatrixGame] = None,
+    num_runs: int = 20,
+    seed: int = 0,
+) -> TransformationAblationResult:
+    """The core ablation: lossless MAX-QUBO vs lossy, pure-only S-QUBO.
+
+    On Matching Pennies (default) the unique equilibrium is fully mixed,
+    so the S-QUBO baseline cannot succeed at all while C-Nash can.
+    """
+    game = game or matching_pennies()
+    solver = CNashSolver(game, CNashConfig(num_intervals=4, num_iterations=1500))
+    batch = solver.solve_batch(num_runs=num_runs, seed=seed)
+    baseline = DWaveLikeSolver(game, num_sweeps=200, seed=seed)
+    baseline_batch = baseline.sample_batch(num_runs, seed=seed + 1)
+    return TransformationAblationResult(
+        game_name=game.name,
+        cnash_success_rate=batch.success_rate,
+        cnash_mixed_fraction=batch.classification_fractions()["mixed"],
+        baseline_success_rate=baseline_batch.success_rate,
+    )
+
+
+def main(seed: int = 0) -> None:
+    """Run and print all ablations (used by ``python -m repro.experiments.ablations``)."""
+    print(render_sweep(ablation_quantization(seed=seed), "Ablation: strategy quantisation I"))
+    print()
+    print(render_sweep(ablation_iterations(seed=seed), "Ablation: SA iteration budget"))
+    print()
+    print(render_sweep(ablation_adc_resolution(seed=seed), "Ablation: ADC resolution"))
+    print()
+    print(
+        render_sweep(
+            ablation_device_variability(seed=seed), "Ablation: FeFET V_TH variability"
+        )
+    )
+    print()
+    print(ablation_transformation(seed=seed).render())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

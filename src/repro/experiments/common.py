@@ -1,0 +1,206 @@
+"""Shared infrastructure for the paper-reproduction experiments.
+
+Table 1 and Figs. 8–10 are all derived from the same underlying runs
+(C-Nash SA batches and baseline sample batches on the three benchmark
+games), so this module provides:
+
+* :class:`ExperimentScale` — smoke / default / paper-scale run budgets.
+  The paper's protocol (5000 runs of 10k–50k iterations per game) takes
+  hours in a Python simulation; the default scale preserves the
+  comparison structure at a laptop-friendly budget, and ``paper`` scale
+  is available for full-fidelity reruns.
+* :class:`GameEvaluation` — the bundle of per-game results every
+  downstream experiment consumes.
+* :func:`evaluate_game` / :func:`evaluate_all_games` — run (and cache,
+  per process) the solvers on the benchmark games.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.metrics import ground_truth_equilibria
+from repro.baselines.dwave_like import BaselineBatchResult, DWaveLikeSolver
+from repro.baselines.literature import canonical_game_name
+from repro.baselines.machines import DWAVE_2000Q6, DWAVE_ADVANTAGE_4_1, AnnealerProfile
+from repro.core.config import CNashConfig
+from repro.core.result import SolverBatchResult
+from repro.core.solver import CNashSolver
+from repro.games.bimatrix import BimatrixGame
+from repro.games.equilibrium import EquilibriumSet
+from repro.games.library import battle_of_the_sexes, bird_game, modified_prisoners_dilemma
+
+#: Names of the solvers compared in every experiment, in table order.
+SOLVER_NAMES = ("D-Wave 2000 Q6", "D-Wave Advantage 4.1", "C-Nash")
+
+
+@dataclass(frozen=True)
+class GameBudget:
+    """Run budget for one game at one scale."""
+
+    num_runs: int
+    num_iterations: int
+    num_intervals: int
+    baseline_samples: int
+    baseline_sweeps: int
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """A complete experiment budget across the three benchmark games."""
+
+    name: str
+    budgets: Dict[str, GameBudget]
+    use_hardware: bool = False
+
+    def budget_for(self, game_name: str) -> GameBudget:
+        """The budget of one benchmark game (by canonical name)."""
+        key = canonical_game_name(game_name)
+        return self.budgets[key]
+
+
+#: Minimal budget used by the test suite and CI smoke runs.
+SMOKE_SCALE = ExperimentScale(
+    name="smoke",
+    budgets={
+        "Battle of the Sexes": GameBudget(10, 800, 6, 8, 60),
+        "Bird Game": GameBudget(10, 1500, 6, 8, 60),
+        "Modified Prisoner's Dilemma": GameBudget(6, 2500, 4, 4, 60),
+    },
+)
+
+#: Default laptop-scale budget (a few minutes for the full experiment set).
+DEFAULT_SCALE = ExperimentScale(
+    name="default",
+    budgets={
+        "Battle of the Sexes": GameBudget(100, 2000, 6, 40, 200),
+        "Bird Game": GameBudget(100, 4000, 8, 40, 300),
+        "Modified Prisoner's Dilemma": GameBudget(60, 8000, 8, 25, 500),
+    },
+)
+
+#: The paper's full protocol (5000 runs; 10k/15k/50k iterations).
+PAPER_SCALE = ExperimentScale(
+    name="paper",
+    budgets={
+        "Battle of the Sexes": GameBudget(5000, 10_000, 6, 1000, 300),
+        "Bird Game": GameBudget(5000, 15_000, 8, 1000, 300),
+        "Modified Prisoner's Dilemma": GameBudget(5000, 50_000, 8, 1000, 300),
+    },
+)
+
+_SCALES = {scale.name: scale for scale in (SMOKE_SCALE, DEFAULT_SCALE, PAPER_SCALE)}
+
+
+def get_scale(name: str) -> ExperimentScale:
+    """Look up an experiment scale by name."""
+    key = name.strip().lower()
+    if key not in _SCALES:
+        raise KeyError(f"unknown scale {name!r}; available: {', '.join(sorted(_SCALES))}")
+    return _SCALES[key]
+
+
+def benchmark_games() -> List[BimatrixGame]:
+    """The three benchmark games in the paper's order."""
+    return [battle_of_the_sexes(), bird_game(), modified_prisoners_dilemma()]
+
+
+@dataclass
+class GameEvaluation:
+    """Everything the experiments need about one game."""
+
+    game: BimatrixGame
+    canonical_name: str
+    ground_truth: EquilibriumSet
+    cnash_solver: CNashSolver
+    cnash_batch: SolverBatchResult
+    baseline_solvers: Dict[str, DWaveLikeSolver]
+    baseline_batches: Dict[str, BaselineBatchResult]
+    budget: GameBudget
+
+    @property
+    def match_atol(self) -> float:
+        """Tolerance used when matching found solutions to ground truth."""
+        return 0.6 / self.budget.num_intervals
+
+    def cnash_distinct(self) -> EquilibriumSet:
+        """Distinct equilibria C-Nash found in its batch."""
+        return self.cnash_solver.distinct_solutions(self.cnash_batch)
+
+    def baseline_distinct(self, solver_name: str) -> EquilibriumSet:
+        """Distinct equilibria one baseline found in its batch."""
+        solver = self.baseline_solvers[solver_name]
+        return solver.distinct_solutions(self.baseline_batches[solver_name])
+
+
+_EVALUATION_CACHE: Dict[Tuple[str, int, bool], Dict[str, GameEvaluation]] = {}
+
+
+def evaluate_game(
+    game: BimatrixGame,
+    scale: ExperimentScale,
+    seed: int = 0,
+) -> GameEvaluation:
+    """Run C-Nash and both baselines on one game at the given scale."""
+    budget = scale.budget_for(game.name)
+    config = CNashConfig(
+        num_intervals=budget.num_intervals,
+        num_iterations=budget.num_iterations,
+        use_hardware=scale.use_hardware,
+    )
+    cnash = CNashSolver(game, config, seed=seed)
+    cnash_batch = cnash.solve_batch(num_runs=budget.num_runs, seed=seed)
+
+    baseline_solvers: Dict[str, DWaveLikeSolver] = {}
+    baseline_batches: Dict[str, BaselineBatchResult] = {}
+    machines: Dict[str, AnnealerProfile] = {
+        "D-Wave 2000 Q6": DWAVE_2000Q6,
+        "D-Wave Advantage 4.1": DWAVE_ADVANTAGE_4_1,
+    }
+    for solver_name, machine in machines.items():
+        solver = DWaveLikeSolver(
+            game, machine=machine, num_sweeps=budget.baseline_sweeps, seed=seed
+        )
+        baseline_solvers[solver_name] = solver
+        baseline_batches[solver_name] = solver.sample_batch(
+            budget.baseline_samples, seed=seed + 1
+        )
+
+    return GameEvaluation(
+        game=game,
+        canonical_name=canonical_game_name(game.name),
+        ground_truth=ground_truth_equilibria(game),
+        cnash_solver=cnash,
+        cnash_batch=cnash_batch,
+        baseline_solvers=baseline_solvers,
+        baseline_batches=baseline_batches,
+        budget=budget,
+    )
+
+
+def evaluate_all_games(
+    scale: ExperimentScale = DEFAULT_SCALE,
+    seed: int = 0,
+    use_cache: bool = True,
+) -> Dict[str, GameEvaluation]:
+    """Evaluate the three benchmark games, caching per (scale, seed) in-process.
+
+    The cache means Table 1 and Figs. 8–10 share one set of runs, exactly
+    as in the paper's protocol.
+    """
+    key = (scale.name, seed, scale.use_hardware)
+    if use_cache and key in _EVALUATION_CACHE:
+        return _EVALUATION_CACHE[key]
+    evaluations = {}
+    for game in benchmark_games():
+        evaluation = evaluate_game(game, scale, seed=seed)
+        evaluations[evaluation.canonical_name] = evaluation
+    if use_cache:
+        _EVALUATION_CACHE[key] = evaluations
+    return evaluations
+
+
+def clear_evaluation_cache() -> None:
+    """Drop all cached evaluations (used by tests)."""
+    _EVALUATION_CACHE.clear()

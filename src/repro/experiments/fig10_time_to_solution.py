@@ -1,0 +1,125 @@
+"""Fig. 10 — time-to-solution comparison.
+
+The paper reports the average time each solver needs to find an NE
+solution: C-Nash times come from the FeFET crossbar iteration latency
+times the iterations needed, D-Wave times from the machines' per-sample
+timing.  C-Nash is reported 105.3–157.9x faster than the 2000 Q6 and
+18.4–79.0x faster than the Advantage 4.1.
+
+Here the C-Nash time uses :class:`~repro.hardware.timing.CNashTimingModel`
+with the measured iterations-to-solution statistics, and the baseline
+times use the machine profiles with the measured per-sample success
+rates, so the *ratios* are the quantity to compare against the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.analysis.reporting import render_bar_chart, render_table
+from repro.baselines.literature import FIG10_SPEEDUP_OVER_CNASH, PAPER_GAME_NAMES
+from repro.experiments.common import (
+    DEFAULT_SCALE,
+    SOLVER_NAMES,
+    ExperimentScale,
+    evaluate_all_games,
+)
+
+
+@dataclass
+class Fig10Result:
+    """Measured time-to-solution per solver per game, plus speedups."""
+
+    scale_name: str
+    times_s: Dict[str, Dict[str, Optional[float]]] = field(default_factory=dict)
+    reported_speedups: Dict[str, Dict[str, Optional[float]]] = field(default_factory=dict)
+
+    def time_s(self, game: str, solver: str) -> Optional[float]:
+        """Measured time-to-solution (seconds); None when never successful."""
+        return self.times_s[game][solver]
+
+    def speedup(self, game: str, baseline: str) -> Optional[float]:
+        """Measured C-Nash speedup over one baseline on one game."""
+        cnash = self.times_s[game]["C-Nash"]
+        other = self.times_s[game][baseline]
+        if cnash is None or other is None or cnash == 0:
+            return None
+        return other / cnash
+
+    def cnash_fastest(self, game: str) -> bool:
+        """Whether measured C-Nash is the fastest solver on ``game``."""
+        cnash = self.times_s[game]["C-Nash"]
+        if cnash is None:
+            return False
+        others = [
+            self.times_s[game][solver]
+            for solver in SOLVER_NAMES
+            if solver != "C-Nash" and self.times_s[game][solver] is not None
+        ]
+        return all(cnash <= other for other in others) if others else True
+
+    def render(self) -> str:
+        """Plain-text rendering: times table plus per-game speedup bars."""
+        headers = ["Game"] + [f"{solver} (s)" for solver in SOLVER_NAMES] + [
+            "Speedup vs 2000Q6 (measured/paper)",
+            "Speedup vs Advantage (measured/paper)",
+        ]
+        rows = []
+        for game in PAPER_GAME_NAMES:
+            row = [game]
+            for solver in SOLVER_NAMES:
+                value = self.times_s[game][solver]
+                row.append(f"{value:.3e}" if value is not None else "-")
+            for baseline in ("D-Wave 2000 Q6", "D-Wave Advantage 4.1"):
+                measured = self.speedup(game, baseline)
+                reported = self.reported_speedups.get(baseline, {}).get(game)
+                measured_text = f"{measured:.1f}x" if measured is not None else "-"
+                reported_text = f"{reported:.1f}x" if reported is not None else "-"
+                row.append(f"{measured_text} / {reported_text}")
+            rows.append(row)
+        table = render_table(
+            headers, rows, title=f"Fig. 10: time to solution [{self.scale_name} scale]"
+        )
+        charts = []
+        for game in PAPER_GAME_NAMES:
+            labels = list(SOLVER_NAMES)
+            values = [self.times_s[game][solver] for solver in SOLVER_NAMES]
+            charts.append(
+                render_bar_chart(labels, values, title=f"Time to solution — {game}", unit=" s")
+            )
+        return table + "\n\n" + "\n\n".join(charts)
+
+
+def run_fig10(scale: ExperimentScale = DEFAULT_SCALE, seed: int = 0) -> Fig10Result:
+    """Reproduce Fig. 10 at the given scale."""
+    evaluations = evaluate_all_games(scale, seed=seed)
+    result = Fig10Result(scale_name=scale.name, reported_speedups=FIG10_SPEEDUP_OVER_CNASH)
+    times: Dict[str, Dict[str, Optional[float]]] = {}
+    for game_name, evaluation in evaluations.items():
+        per_solver: Dict[str, Optional[float]] = {}
+        per_solver["C-Nash"] = evaluation.cnash_solver.time_to_solution_s(
+            evaluation.cnash_batch
+        )
+        for solver_name in SOLVER_NAMES:
+            if solver_name == "C-Nash":
+                continue
+            solver = evaluation.baseline_solvers[solver_name]
+            batch = evaluation.baseline_batches[solver_name]
+            per_solver[solver_name] = solver.time_to_solution_s(batch)
+        times[game_name] = per_solver
+    result.times_s = times
+    return result
+
+
+def main(scale_name: str = "default", seed: int = 0) -> Fig10Result:
+    """Run and print Fig. 10 (entry point used by the CLI runner)."""
+    from repro.experiments.common import get_scale
+
+    result = run_fig10(get_scale(scale_name), seed=seed)
+    print(result.render())
+    return result
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,198 @@
+"""Fig. 7 — robustness of the C-Nash hardware components.
+
+(a) Monte-Carlo linearity of a 64x64 crossbar: the column output current
+    versus the number of activated cells, across 100 samples of the
+    device-to-device variability (sigma = 40 mV V_TH, 8 % resistor).
+(b) WTA behaviour across process corners (ss, snfp, fnsp, ff, tt): the
+    tree must still select the correct maximum, with corner-dependent
+    output level and latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+import numpy as np
+
+from repro.analysis.reporting import render_table
+from repro.hardware.corners import all_corners
+from repro.hardware.crossbar import FeFETCrossbar
+from repro.hardware.noise import PAPER_VARIABILITY, VariabilityModel
+from repro.hardware.wta import WTAParameters, WTATree
+from repro.utils.rng import spawn_generators
+
+
+@dataclass
+class CrossbarLinearityResult:
+    """Monte-Carlo linearity study of one crossbar column (Fig. 7(a))."""
+
+    activated_counts: np.ndarray
+    currents_ua: np.ndarray  # shape (num_samples, num_counts)
+
+    @property
+    def num_samples(self) -> int:
+        """Number of Monte-Carlo samples."""
+        return int(self.currents_ua.shape[0])
+
+    @property
+    def mean_currents_ua(self) -> np.ndarray:
+        """Mean column current per activated-cell count."""
+        return self.currents_ua.mean(axis=0)
+
+    @property
+    def std_currents_ua(self) -> np.ndarray:
+        """Standard deviation of the column current per count."""
+        return self.currents_ua.std(axis=0)
+
+    @property
+    def linearity_r2(self) -> float:
+        """Coefficient of determination of a linear fit of mean current vs count."""
+        x = self.activated_counts.astype(float)
+        y = self.mean_currents_ua
+        coeffs = np.polyfit(x, y, 1)
+        prediction = np.polyval(coeffs, x)
+        residual = np.sum((y - prediction) ** 2)
+        total = np.sum((y - y.mean()) ** 2)
+        if total == 0:
+            return 1.0
+        return float(1.0 - residual / total)
+
+    @property
+    def max_relative_spread(self) -> float:
+        """Largest std/mean ratio over the non-zero counts."""
+        mean = self.mean_currents_ua
+        std = self.std_currents_ua
+        nonzero = mean > 0
+        if not np.any(nonzero):
+            return 0.0
+        return float((std[nonzero] / mean[nonzero]).max())
+
+
+@dataclass
+class WTACornerResult:
+    """WTA tree behaviour at one process corner (Fig. 7(b))."""
+
+    corner_name: str
+    selected_correct_max: bool
+    relative_error: float
+    latency_ns: float
+    output_current_ua: float
+
+
+@dataclass
+class Fig7Result:
+    """Combined robustness results."""
+
+    linearity: CrossbarLinearityResult
+    wta_corners: List[WTACornerResult] = field(default_factory=list)
+
+    def all_corners_correct(self) -> bool:
+        """Whether the WTA tree picked the true maximum at every corner."""
+        return all(corner.selected_correct_max for corner in self.wta_corners)
+
+    def render(self) -> str:
+        """Plain-text rendering of both panels."""
+        lines = [
+            "Fig. 7(a): 64x64 crossbar Monte-Carlo linearity "
+            f"({self.linearity.num_samples} runs)",
+            f"  linear-fit R^2          : {self.linearity.linearity_r2:.6f}",
+            f"  max relative spread      : {self.linearity.max_relative_spread:.4f}",
+            f"  current @ 64 cells (uA)  : {self.linearity.mean_currents_ua[-1]:.2f}",
+            "",
+        ]
+        headers = ["Corner", "Correct max", "Relative error", "Latency (ns)", "Output (uA)"]
+        rows = [
+            [
+                corner.corner_name,
+                "yes" if corner.selected_correct_max else "NO",
+                f"{corner.relative_error:.4f}",
+                f"{corner.latency_ns:.3f}",
+                f"{corner.output_current_ua:.3f}",
+            ]
+            for corner in self.wta_corners
+        ]
+        lines.append(render_table(headers, rows, title="Fig. 7(b): WTA tree across process corners"))
+        return "\n".join(lines)
+
+
+def run_crossbar_linearity(
+    rows: int = 64,
+    columns: int = 64,
+    num_monte_carlo: int = 100,
+    variability: VariabilityModel = PAPER_VARIABILITY,
+    seed: int = 0,
+) -> CrossbarLinearityResult:
+    """Fig. 7(a): sweep the activated-cell count across Monte-Carlo samples."""
+    if num_monte_carlo < 1:
+        raise ValueError(f"num_monte_carlo must be >= 1, got {num_monte_carlo}")
+    counts = np.arange(0, rows + 1, max(1, rows // 16))
+    if counts[-1] != rows:
+        counts = np.append(counts, rows)
+    currents = np.empty((num_monte_carlo, len(counts)))
+    generators = spawn_generators(seed, num_monte_carlo)
+    for sample_index, rng in enumerate(generators):
+        crossbar = FeFETCrossbar(rows, columns, variability=variability, seed=rng)
+        crossbar.program(np.ones((rows, columns), dtype=int))
+        _, column_currents = crossbar.column_linearity_sweep(
+            column=0, activated_counts=counts, seed=rng
+        )
+        currents[sample_index] = column_currents * 1e6
+    return CrossbarLinearityResult(activated_counts=counts, currents_ua=currents)
+
+
+def run_wta_corners(
+    num_inputs: int = 4,
+    seed: int = 0,
+) -> List[WTACornerResult]:
+    """Fig. 7(b): exercise the WTA tree at every process corner."""
+    rng_inputs = np.array([12.0e-6, 18.0e-6, 15.0e-6, 9.0e-6])[:num_inputs]
+    if num_inputs > 4:
+        rng_inputs = np.linspace(5e-6, 20e-6, num_inputs)
+    results = []
+    for corner in all_corners():
+        tree = WTATree(num_inputs, parameters=WTAParameters(), corner=corner, seed=seed)
+        output = tree.output_current_a(rng_inputs)
+        exact = float(rng_inputs.max())
+        # Each tree level multiplies by the corner's mirror gain; remove that
+        # systematic factor before judging whether the true maximum was selected.
+        normalised = output / (corner.mirror_gain**tree.num_levels)
+        runner_up = float(np.sort(rng_inputs)[-2]) if num_inputs > 1 else exact
+        selected_correct = abs(normalised - exact) < abs(normalised - runner_up)
+        results.append(
+            WTACornerResult(
+                corner_name=corner.name,
+                selected_correct_max=bool(selected_correct),
+                relative_error=abs(normalised - exact) / exact,
+                latency_ns=tree.latency_ns,
+                output_current_ua=output * 1e6,
+            )
+        )
+    return results
+
+
+def run_fig7(
+    num_monte_carlo: int = 100,
+    crossbar_size: int = 64,
+    seed: int = 0,
+) -> Fig7Result:
+    """Reproduce both panels of Fig. 7."""
+    linearity = run_crossbar_linearity(
+        rows=crossbar_size,
+        columns=crossbar_size,
+        num_monte_carlo=num_monte_carlo,
+        seed=seed,
+    )
+    corners = run_wta_corners(seed=seed)
+    return Fig7Result(linearity=linearity, wta_corners=corners)
+
+
+def main(num_monte_carlo: int = 100, seed: int = 0) -> Fig7Result:
+    """Run and print Fig. 7 (entry point used by the CLI runner)."""
+    result = run_fig7(num_monte_carlo=num_monte_carlo, seed=seed)
+    print(result.render())
+    return result
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,106 @@
+"""Fig. 8 — distribution of solution types per solver per game.
+
+For every benchmark game the paper shows, per solver, the fraction of
+runs/samples whose outcome was an error solution, a pure NE, or a mixed
+NE.  The headline observation is that the S-QUBO baselines never produce
+mixed solutions (they cannot represent them) while C-Nash does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.analysis.distributions import SolutionDistributionSummary
+from repro.analysis.reporting import render_distribution_chart
+from repro.baselines.literature import (
+    FIG8_SOLUTION_DISTRIBUTIONS,
+    PAPER_GAME_NAMES,
+    SolutionDistribution,
+)
+from repro.experiments.common import (
+    DEFAULT_SCALE,
+    SOLVER_NAMES,
+    ExperimentScale,
+    evaluate_all_games,
+)
+
+
+@dataclass
+class Fig8Result:
+    """Measured and paper-reported solution distributions."""
+
+    scale_name: str
+    measured: Dict[str, Dict[str, SolutionDistributionSummary]] = field(default_factory=dict)
+    reported: Dict[str, Dict[str, Optional[SolutionDistribution]]] = field(default_factory=dict)
+
+    def distribution(self, game: str, solver: str) -> SolutionDistributionSummary:
+        """Measured distribution of one solver on one game."""
+        return self.measured[game][solver]
+
+    def cnash_finds_mixed(self, game: str) -> bool:
+        """Whether measured C-Nash produced at least one mixed NE on ``game``."""
+        return self.measured[game]["C-Nash"].finds_mixed_solutions()
+
+    def baselines_find_no_mixed(self, game: str) -> bool:
+        """Whether neither baseline produced a mixed NE on ``game``."""
+        return all(
+            not self.measured[game][solver].finds_mixed_solutions()
+            for solver in SOLVER_NAMES
+            if solver != "C-Nash"
+        )
+
+    def render(self) -> str:
+        """Plain-text rendering: one stacked bar chart per game."""
+        sections = []
+        for game in PAPER_GAME_NAMES:
+            entries = {
+                solver: self.measured[game][solver].fractions for solver in SOLVER_NAMES
+            }
+            sections.append(
+                render_distribution_chart(
+                    entries,
+                    title=f"Fig. 8: solution distribution — {game} [{self.scale_name} scale]",
+                )
+            )
+        return "\n\n".join(sections)
+
+
+def run_fig8(scale: ExperimentScale = DEFAULT_SCALE, seed: int = 0) -> Fig8Result:
+    """Reproduce Fig. 8 at the given scale."""
+    evaluations = evaluate_all_games(scale, seed=seed)
+    result = Fig8Result(scale_name=scale.name, reported=FIG8_SOLUTION_DISTRIBUTIONS)
+    measured: Dict[str, Dict[str, SolutionDistributionSummary]] = {}
+    for game_name, evaluation in evaluations.items():
+        per_solver: Dict[str, SolutionDistributionSummary] = {}
+        cnash_classifications = [run.classification for run in evaluation.cnash_batch.runs]
+        per_solver["C-Nash"] = SolutionDistributionSummary.from_classifications(
+            "C-Nash", game_name, cnash_classifications, list(evaluation.cnash_distinct())
+        )
+        for solver_name in SOLVER_NAMES:
+            if solver_name == "C-Nash":
+                continue
+            batch = evaluation.baseline_batches[solver_name]
+            classifications = [run.classification for run in batch.runs]
+            per_solver[solver_name] = SolutionDistributionSummary.from_classifications(
+                solver_name,
+                game_name,
+                classifications,
+                list(evaluation.baseline_distinct(solver_name)),
+            )
+        measured[game_name] = per_solver
+    result.measured = measured
+    return result
+
+
+def main(scale_name: str = "default", seed: int = 0) -> Fig8Result:
+    """Run and print Fig. 8 (entry point used by the CLI runner)."""
+    from repro.experiments.common import get_scale
+
+    result = run_fig8(get_scale(scale_name), seed=seed)
+    print(result.render())
+    return result
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,113 @@
+"""Fig. 9 — proportion of distinct NE solutions found by each solver.
+
+The paper counts, for each game, how many of the ground-truth equilibria
+(obtained from Nashpy) each solver discovered across all its runs.
+C-Nash finds all of them (3/3, 6/6, 25/25); the S-QUBO baselines find
+only a subset of the pure ones.  Here the ground truth is computed by our
+own support-enumeration solver and the same counting is applied to the
+simulated solvers' output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.analysis.metrics import DistinctSolutionMetric, distinct_solutions_found
+from repro.analysis.reporting import render_table
+from repro.baselines.literature import (
+    FIG9_SOLUTIONS_FOUND,
+    FIG9_TARGET_SOLUTIONS,
+    PAPER_GAME_NAMES,
+)
+from repro.experiments.common import (
+    DEFAULT_SCALE,
+    SOLVER_NAMES,
+    ExperimentScale,
+    evaluate_all_games,
+)
+
+
+@dataclass
+class Fig9Result:
+    """Distinct-solution counts: measured (vs our ground truth) and paper."""
+
+    scale_name: str
+    measured: Dict[str, Dict[str, DistinctSolutionMetric]] = field(default_factory=dict)
+    measured_targets: Dict[str, int] = field(default_factory=dict)
+    reported_targets: Dict[str, int] = field(default_factory=dict)
+    reported_found: Dict[str, Dict[str, Optional[int]]] = field(default_factory=dict)
+
+    def metric(self, game: str, solver: str) -> DistinctSolutionMetric:
+        """Measured distinct-solution metric of one solver on one game."""
+        return self.measured[game][solver]
+
+    def cnash_fraction(self, game: str) -> float:
+        """Fraction of our ground-truth equilibria C-Nash found on ``game``."""
+        return self.measured[game]["C-Nash"].fraction
+
+    def render(self) -> str:
+        """Plain-text rendering in the paper's layout."""
+        headers = ["Game", "Target (ours / paper)"] + list(SOLVER_NAMES)
+        rows = []
+        for game in PAPER_GAME_NAMES:
+            row = [
+                game,
+                f"{self.measured_targets[game]} / {self.reported_targets.get(game, '-')}",
+            ]
+            for solver in SOLVER_NAMES:
+                metric = self.measured[game][solver]
+                paper = self.reported_found.get(solver, {}).get(game)
+                paper_text = str(paper) if paper is not None else "-"
+                row.append(f"{metric.found}/{metric.target} (paper {paper_text})")
+            rows.append(row)
+        return render_table(
+            headers,
+            rows,
+            title=f"Fig. 9: distinct NE solutions found [{self.scale_name} scale]",
+        )
+
+
+def run_fig9(scale: ExperimentScale = DEFAULT_SCALE, seed: int = 0) -> Fig9Result:
+    """Reproduce Fig. 9 at the given scale."""
+    evaluations = evaluate_all_games(scale, seed=seed)
+    result = Fig9Result(
+        scale_name=scale.name,
+        reported_targets=FIG9_TARGET_SOLUTIONS,
+        reported_found=FIG9_SOLUTIONS_FOUND,
+    )
+    measured: Dict[str, Dict[str, DistinctSolutionMetric]] = {}
+    targets: Dict[str, int] = {}
+    for game_name, evaluation in evaluations.items():
+        ground_truth = evaluation.ground_truth
+        targets[game_name] = len(ground_truth)
+        per_solver: Dict[str, DistinctSolutionMetric] = {}
+        per_solver["C-Nash"] = distinct_solutions_found(
+            ground_truth,
+            evaluation.cnash_batch.successful_profiles,
+            atol=evaluation.match_atol,
+        )
+        for solver_name in SOLVER_NAMES:
+            if solver_name == "C-Nash":
+                continue
+            batch = evaluation.baseline_batches[solver_name]
+            per_solver[solver_name] = distinct_solutions_found(
+                ground_truth, batch.successful_profiles, atol=1e-3
+            )
+        measured[game_name] = per_solver
+    result.measured = measured
+    result.measured_targets = targets
+    return result
+
+
+def main(scale_name: str = "default", seed: int = 0) -> Fig9Result:
+    """Run and print Fig. 9 (entry point used by the CLI runner)."""
+    from repro.experiments.common import get_scale
+
+    result = run_fig9(get_scale(scale_name), seed=seed)
+    print(result.render())
+    return result
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,74 @@
+"""Command-line runner for the paper-reproduction experiments.
+
+Usage (after ``pip install -e .``)::
+
+    cnash-experiments table1            # Table 1 at the default scale
+    cnash-experiments fig7 fig8         # several experiments in one go
+    cnash-experiments all --scale smoke # everything, quickly
+    python -m repro.experiments all     # equivalent module invocation
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Sequence
+
+from repro.experiments import (
+    fig7_robustness,
+    fig8_solution_distribution,
+    fig9_distinct_solutions,
+    fig10_time_to_solution,
+    table1_success_rate,
+)
+
+_EXPERIMENTS: Dict[str, Callable[[str, int], object]] = {
+    "table1": table1_success_rate.main,
+    "fig7": lambda scale, seed: fig7_robustness.main(seed=seed),
+    "fig8": fig8_solution_distribution.main,
+    "fig9": fig9_distinct_solutions.main,
+    "fig10": fig10_time_to_solution.main,
+}
+
+_ORDER = ("table1", "fig7", "fig8", "fig9", "fig10")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="cnash-experiments",
+        description="Reproduce the tables and figures of the C-Nash paper (DAC 2024).",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="+",
+        choices=list(_ORDER) + ["all"],
+        help="which experiments to run",
+    )
+    parser.add_argument(
+        "--scale",
+        default="default",
+        choices=["smoke", "default", "paper"],
+        help="run budget (paper scale takes hours)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="base random seed")
+    return parser
+
+
+def main(argv: Sequence[str] = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    selected: List[str] = list(args.experiments)
+    if "all" in selected:
+        selected = list(_ORDER)
+    for name in selected:
+        print()
+        print(f"### Running {name} (scale={args.scale}, seed={args.seed})")
+        print()
+        _EXPERIMENTS[name](args.scale, args.seed)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

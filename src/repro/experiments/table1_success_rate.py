@@ -1,0 +1,100 @@
+"""Table 1 — success rates of finding an NE solution.
+
+For each of the three benchmark games and each solver (D-Wave 2000 Q6,
+D-Wave Advantage 4.1, C-Nash) the paper reports the percentage of runs /
+samples that produced a Nash equilibrium.  This module reruns that
+protocol with the simulated solvers and reports measured values next to
+the paper's.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.analysis.reporting import render_table
+from repro.baselines.literature import (
+    PAPER_GAME_NAMES,
+    TABLE1_SUCCESS_RATE_PERCENT,
+)
+from repro.experiments.common import (
+    DEFAULT_SCALE,
+    SOLVER_NAMES,
+    ExperimentScale,
+    evaluate_all_games,
+)
+
+
+@dataclass
+class Table1Result:
+    """Measured and paper-reported success rates (percent)."""
+
+    scale_name: str
+    measured: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    reported: Dict[str, Dict[str, Optional[float]]] = field(default_factory=dict)
+
+    def measured_rate(self, solver: str, game: str) -> float:
+        """Measured success rate (percent) of one solver on one game."""
+        return self.measured[solver][game]
+
+    def reported_rate(self, solver: str, game: str) -> Optional[float]:
+        """Paper-reported success rate (percent), ``None`` if not reported."""
+        return self.reported[solver][game]
+
+    def cnash_beats_baselines(self, game: str) -> bool:
+        """Whether measured C-Nash success is >= both measured baselines."""
+        cnash = self.measured["C-Nash"][game]
+        return all(
+            cnash >= self.measured[solver][game]
+            for solver in SOLVER_NAMES
+            if solver != "C-Nash"
+        )
+
+    def render(self) -> str:
+        """Plain-text rendering in the paper's row/column layout."""
+        headers = ["Nash Solver"] + [
+            f"{game} (measured / paper)" for game in PAPER_GAME_NAMES
+        ]
+        rows = []
+        for solver in SOLVER_NAMES:
+            row = [solver]
+            for game in PAPER_GAME_NAMES:
+                measured = self.measured[solver][game]
+                reported = self.reported[solver][game]
+                reported_text = f"{reported:.2f}" if reported is not None else "-"
+                row.append(f"{measured:.2f} / {reported_text}")
+            rows.append(row)
+        return render_table(
+            headers, rows, title=f"Table 1: Success rates (%) [{self.scale_name} scale]"
+        )
+
+
+def run_table1(
+    scale: ExperimentScale = DEFAULT_SCALE, seed: int = 0
+) -> Table1Result:
+    """Reproduce Table 1 at the given scale."""
+    evaluations = evaluate_all_games(scale, seed=seed)
+    result = Table1Result(scale_name=scale.name, reported=TABLE1_SUCCESS_RATE_PERCENT)
+    measured: Dict[str, Dict[str, float]] = {solver: {} for solver in SOLVER_NAMES}
+    for game_name, evaluation in evaluations.items():
+        measured["C-Nash"][game_name] = 100.0 * evaluation.cnash_batch.success_rate
+        for solver_name in SOLVER_NAMES:
+            if solver_name == "C-Nash":
+                continue
+            batch = evaluation.baseline_batches[solver_name]
+            measured[solver_name][game_name] = 100.0 * batch.success_rate
+    result.measured = measured
+    return result
+
+
+def main(scale_name: str = "default", seed: int = 0) -> Table1Result:
+    """Run and print Table 1 (entry point used by the CLI runner)."""
+    from repro.experiments.common import get_scale
+
+    result = run_table1(get_scale(scale_name), seed=seed)
+    print(result.render())
+    return result
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,95 @@
+"""Game-theory substrate: bimatrix games, NE verification and ground-truth solvers.
+
+The C-Nash architecture solves two-player normal-form games; this package
+provides the game representation (:class:`~repro.games.bimatrix.BimatrixGame`),
+equilibrium verification and classification, three independent ground-truth
+solvers (support enumeration, vertex enumeration, Lemke–Howson), the paper's
+benchmark games, and random game generators.
+"""
+
+from repro.games.best_response import (
+    best_response_col,
+    best_response_dynamics,
+    best_response_row,
+    fictitious_play,
+)
+from repro.games.bimatrix import BimatrixGame
+from repro.games.dominance import (
+    ReducedGame,
+    is_solvable_by_elimination,
+    iterated_elimination,
+    strictly_dominated_cols,
+    strictly_dominated_rows,
+)
+from repro.games.equilibrium import (
+    EquilibriumSet,
+    StrategyProfile,
+    classify_profile,
+    is_epsilon_equilibrium,
+    is_nash_equilibrium,
+)
+from repro.games.generators import (
+    random_coordination_game,
+    random_game,
+    random_game_with_pure_equilibrium,
+    random_symmetric_game,
+    random_zero_sum_game,
+)
+from repro.games.lemke_howson import lemke_howson, lemke_howson_all_labels
+from repro.games.library import (
+    available_games,
+    battle_of_the_sexes,
+    bird_game,
+    chicken,
+    coordination_game,
+    get_game,
+    matching_pennies,
+    modified_prisoners_dilemma,
+    paper_benchmark_games,
+    prisoners_dilemma,
+    rock_paper_scissors,
+    stag_hunt,
+)
+from repro.games.support_enumeration import pure_equilibria, support_enumeration
+from repro.games.vertex_enumeration import cross_check_equilibria, vertex_enumeration
+
+__all__ = [
+    "BimatrixGame",
+    "ReducedGame",
+    "iterated_elimination",
+    "is_solvable_by_elimination",
+    "strictly_dominated_rows",
+    "strictly_dominated_cols",
+    "StrategyProfile",
+    "EquilibriumSet",
+    "is_nash_equilibrium",
+    "is_epsilon_equilibrium",
+    "classify_profile",
+    "support_enumeration",
+    "pure_equilibria",
+    "vertex_enumeration",
+    "cross_check_equilibria",
+    "lemke_howson",
+    "lemke_howson_all_labels",
+    "fictitious_play",
+    "best_response_dynamics",
+    "best_response_row",
+    "best_response_col",
+    "battle_of_the_sexes",
+    "bird_game",
+    "modified_prisoners_dilemma",
+    "prisoners_dilemma",
+    "matching_pennies",
+    "stag_hunt",
+    "chicken",
+    "rock_paper_scissors",
+    "coordination_game",
+    "paper_benchmark_games",
+    "available_games",
+    "get_game",
+    "random_game",
+    "random_zero_sum_game",
+    "random_coordination_game",
+    "random_symmetric_game",
+    "random_game_with_pure_equilibrium",
+]

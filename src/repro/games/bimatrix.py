@@ -1,0 +1,211 @@
+"""Two-player bimatrix games.
+
+The whole C-Nash pipeline operates on two-player normal-form games given
+by a pair of payoff matrices ``(M, N)``: row player (player 1) receives
+``p^T M q`` and column player (player 2) receives ``p^T N q`` when the
+players use mixed strategies ``p`` and ``q``.  This module provides the
+:class:`BimatrixGame` container with the payoff, best-response and regret
+computations every higher layer builds on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional, Tuple
+
+import numpy as np
+
+from repro.utils.validation import (
+    ensure_matrix,
+    ensure_probability_vector,
+    ensure_same_shape,
+)
+
+
+@dataclass(frozen=True)
+class BimatrixGame:
+    """A two-player normal-form game.
+
+    Parameters
+    ----------
+    payoff_row:
+        ``n x m`` payoff matrix ``M`` for the row player; entry ``M[i, j]``
+        is the row player's payoff when the row player plays action ``i``
+        and the column player plays action ``j``.
+    payoff_col:
+        ``n x m`` payoff matrix ``N`` for the column player.
+    name:
+        Optional human-readable name (used in reports and benchmarks).
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> game = BimatrixGame(np.array([[2, 0], [0, 1]]),
+    ...                     np.array([[1, 0], [0, 2]]),
+    ...                     name="Battle of the Sexes")
+    >>> game.num_row_actions, game.num_col_actions
+    (2, 2)
+    """
+
+    payoff_row: np.ndarray
+    payoff_col: np.ndarray
+    name: str = field(default="unnamed game")
+
+    def __post_init__(self) -> None:
+        row = ensure_matrix(self.payoff_row, "payoff_row")
+        col = ensure_matrix(self.payoff_col, "payoff_col")
+        ensure_same_shape(row, col, ("payoff_row", "payoff_col"))
+        object.__setattr__(self, "payoff_row", row)
+        object.__setattr__(self, "payoff_col", col)
+
+    # ------------------------------------------------------------------
+    # Shape helpers
+    # ------------------------------------------------------------------
+    @property
+    def num_row_actions(self) -> int:
+        """Number of actions available to the row player (``n``)."""
+        return int(self.payoff_row.shape[0])
+
+    @property
+    def num_col_actions(self) -> int:
+        """Number of actions available to the column player (``m``)."""
+        return int(self.payoff_row.shape[1])
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        """The ``(n, m)`` action-count pair."""
+        return (self.num_row_actions, self.num_col_actions)
+
+    @property
+    def num_actions(self) -> int:
+        """The larger of the two action counts (used as the game "size")."""
+        return max(self.shape)
+
+    # ------------------------------------------------------------------
+    # Payoffs
+    # ------------------------------------------------------------------
+    def payoffs(self, p: np.ndarray, q: np.ndarray) -> Tuple[float, float]:
+        """Expected payoffs ``(f1, f2)`` for strategy pair ``(p, q)``.
+
+        ``f1 = p^T M q`` and ``f2 = p^T N q`` as in Eq. (2) of the paper.
+        """
+        p = ensure_probability_vector(p, "p")
+        q = ensure_probability_vector(q, "q")
+        self._check_strategy_shapes(p, q)
+        f1 = float(p @ self.payoff_row @ q)
+        f2 = float(p @ self.payoff_col @ q)
+        return f1, f2
+
+    def row_payoff(self, p: np.ndarray, q: np.ndarray) -> float:
+        """Row player's expected payoff ``p^T M q``."""
+        return self.payoffs(p, q)[0]
+
+    def col_payoff(self, p: np.ndarray, q: np.ndarray) -> float:
+        """Column player's expected payoff ``p^T N q``."""
+        return self.payoffs(p, q)[1]
+
+    def pure_payoffs(self, i: int, j: int) -> Tuple[float, float]:
+        """Payoffs for the pure action profile ``(i, j)``."""
+        if not (0 <= i < self.num_row_actions):
+            raise IndexError(f"row action {i} out of range for {self.num_row_actions} actions")
+        if not (0 <= j < self.num_col_actions):
+            raise IndexError(f"column action {j} out of range for {self.num_col_actions} actions")
+        return float(self.payoff_row[i, j]), float(self.payoff_col[i, j])
+
+    # ------------------------------------------------------------------
+    # Best responses and regret
+    # ------------------------------------------------------------------
+    def row_action_values(self, q: np.ndarray) -> np.ndarray:
+        """Vector ``Mq``: expected payoff of each pure row action against ``q``."""
+        q = ensure_probability_vector(q, "q")
+        if q.shape[0] != self.num_col_actions:
+            raise ValueError(
+                f"q has {q.shape[0]} entries but the game has {self.num_col_actions} column actions"
+            )
+        return self.payoff_row @ q
+
+    def col_action_values(self, p: np.ndarray) -> np.ndarray:
+        """Vector ``N^T p``: expected payoff of each pure column action against ``p``."""
+        p = ensure_probability_vector(p, "p")
+        if p.shape[0] != self.num_row_actions:
+            raise ValueError(
+                f"p has {p.shape[0]} entries but the game has {self.num_row_actions} row actions"
+            )
+        return self.payoff_col.T @ p
+
+    def row_regret(self, p: np.ndarray, q: np.ndarray) -> float:
+        """How much the row player could gain by deviating from ``p``.
+
+        ``max(Mq) - p^T M q``; zero exactly when ``p`` is a best response
+        to ``q``.  This is the quantity the MAX-QUBO objective penalises.
+        """
+        values = self.row_action_values(q)
+        p = ensure_probability_vector(p, "p")
+        return float(values.max() - p @ values)
+
+    def col_regret(self, p: np.ndarray, q: np.ndarray) -> float:
+        """How much the column player could gain by deviating from ``q``."""
+        values = self.col_action_values(p)
+        q = ensure_probability_vector(q, "q")
+        return float(values.max() - q @ values)
+
+    def total_regret(self, p: np.ndarray, q: np.ndarray) -> float:
+        """Sum of the two players' regrets; zero iff ``(p, q)`` is an NE."""
+        return self.row_regret(p, q) + self.col_regret(p, q)
+
+    # ------------------------------------------------------------------
+    # Transformations
+    # ------------------------------------------------------------------
+    def shifted(self, offset: Optional[float] = None) -> "BimatrixGame":
+        """Return a strategically equivalent game with non-negative payoffs.
+
+        Adding a constant to all entries of a payoff matrix does not change
+        the set of Nash equilibria, but the hardware mapping requires
+        non-negative integer-ish payoffs.  When ``offset`` is ``None`` the
+        smallest shift making every payoff non-negative is used.
+        """
+        if offset is None:
+            offset = -min(float(self.payoff_row.min()), float(self.payoff_col.min()))
+            offset = max(offset, 0.0)
+        return BimatrixGame(
+            self.payoff_row + offset,
+            self.payoff_col + offset,
+            name=self.name,
+        )
+
+    def scaled(self, factor: float) -> "BimatrixGame":
+        """Return a strategically equivalent game with payoffs scaled by ``factor > 0``."""
+        if factor <= 0:
+            raise ValueError(f"factor must be positive, got {factor}")
+        return BimatrixGame(self.payoff_row * factor, self.payoff_col * factor, name=self.name)
+
+    def transpose(self) -> "BimatrixGame":
+        """Return the game with the players swapped."""
+        return BimatrixGame(self.payoff_col.T, self.payoff_row.T, name=f"{self.name} (transposed)")
+
+    # ------------------------------------------------------------------
+    # Iteration helpers
+    # ------------------------------------------------------------------
+    def pure_profiles(self) -> Iterator[Tuple[int, int]]:
+        """Iterate over all pure action profiles ``(i, j)``."""
+        for i in range(self.num_row_actions):
+            for j in range(self.num_col_actions):
+                yield i, j
+
+    def is_zero_sum(self, atol: float = 1e-9) -> bool:
+        """True when the game is (constant-shifted) zero-sum, ``M + N = const``."""
+        total = self.payoff_row + self.payoff_col
+        return bool(np.allclose(total, total.flat[0], atol=atol))
+
+    def _check_strategy_shapes(self, p: np.ndarray, q: np.ndarray) -> None:
+        if p.shape[0] != self.num_row_actions:
+            raise ValueError(
+                f"p has {p.shape[0]} entries but the game has {self.num_row_actions} row actions"
+            )
+        if q.shape[0] != self.num_col_actions:
+            raise ValueError(
+                f"q has {q.shape[0]} entries but the game has {self.num_col_actions} column actions"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"BimatrixGame(name={self.name!r}, shape={self.shape})"

@@ -1,0 +1,146 @@
+"""Dominated-strategy analysis and iterated elimination.
+
+Eliminating strictly dominated actions shrinks a game without removing
+any Nash equilibrium, which makes it a useful preprocessing step before
+mapping a large game onto a crossbar of limited size (fewer actions =
+fewer word/drain lines) and a helpful diagnostic for the benchmark games
+(e.g. the classic Prisoner's Dilemma reduces to a single profile).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.games.bimatrix import BimatrixGame
+from repro.games.equilibrium import StrategyProfile
+
+
+def strictly_dominated_rows(game: BimatrixGame, atol: float = 1e-12) -> List[int]:
+    """Row actions strictly dominated by another *pure* row action."""
+    payoff = game.payoff_row
+    dominated = []
+    for action in range(game.num_row_actions):
+        for other in range(game.num_row_actions):
+            if other == action:
+                continue
+            if np.all(payoff[other] > payoff[action] + atol):
+                dominated.append(action)
+                break
+    return dominated
+
+
+def strictly_dominated_cols(game: BimatrixGame, atol: float = 1e-12) -> List[int]:
+    """Column actions strictly dominated by another *pure* column action."""
+    payoff = game.payoff_col
+    dominated = []
+    for action in range(game.num_col_actions):
+        for other in range(game.num_col_actions):
+            if other == action:
+                continue
+            if np.all(payoff[:, other] > payoff[:, action] + atol):
+                dominated.append(action)
+                break
+    return dominated
+
+
+@dataclass
+class ReducedGame:
+    """A game after iterated elimination, with index maps back to the original."""
+
+    game: BimatrixGame
+    row_actions: List[int] = field(default_factory=list)
+    col_actions: List[int] = field(default_factory=list)
+    eliminated_rows: List[int] = field(default_factory=list)
+    eliminated_cols: List[int] = field(default_factory=list)
+    rounds: int = 0
+
+    @property
+    def was_reduced(self) -> bool:
+        """Whether any action was eliminated."""
+        return bool(self.eliminated_rows or self.eliminated_cols)
+
+    def lift_profile(self, profile: StrategyProfile) -> StrategyProfile:
+        """Map a profile of the reduced game back onto the original action sets.
+
+        Eliminated actions receive probability zero; because only strictly
+        dominated actions were removed, the lifted profile is an
+        equilibrium of the original game whenever the reduced profile is
+        an equilibrium of the reduced game.
+        """
+        original_rows = len(self.row_actions) + len(self.eliminated_rows)
+        original_cols = len(self.col_actions) + len(self.eliminated_cols)
+        p = np.zeros(original_rows)
+        q = np.zeros(original_cols)
+        if profile.p.shape[0] != len(self.row_actions) or profile.q.shape[0] != len(self.col_actions):
+            raise ValueError("profile shape does not match the reduced game")
+        p[self.row_actions] = profile.p
+        q[self.col_actions] = profile.q
+        return StrategyProfile(p, q)
+
+
+def iterated_elimination(
+    game: BimatrixGame,
+    max_rounds: Optional[int] = None,
+    atol: float = 1e-12,
+) -> ReducedGame:
+    """Iterated elimination of strictly dominated pure strategies.
+
+    Strict elimination is order-independent, so the result is canonical.
+    Stops when a round removes nothing or when ``max_rounds`` is reached.
+    """
+    row_actions = list(range(game.num_row_actions))
+    col_actions = list(range(game.num_col_actions))
+    payoff_row = game.payoff_row.copy()
+    payoff_col = game.payoff_col.copy()
+    eliminated_rows: List[int] = []
+    eliminated_cols: List[int] = []
+    rounds = 0
+    limit = max_rounds if max_rounds is not None else game.num_row_actions + game.num_col_actions
+
+    while rounds < limit:
+        current = BimatrixGame(payoff_row, payoff_col, name=game.name)
+        dominated_rows = strictly_dominated_rows(current, atol)
+        dominated_cols = strictly_dominated_cols(current, atol)
+        # Never eliminate the last remaining action of a player.
+        if len(dominated_rows) >= payoff_row.shape[0]:
+            dominated_rows = dominated_rows[: payoff_row.shape[0] - 1]
+        if len(dominated_cols) >= payoff_col.shape[1]:
+            dominated_cols = dominated_cols[: payoff_col.shape[1] - 1]
+        if not dominated_rows and not dominated_cols:
+            break
+        rounds += 1
+        keep_rows = [index for index in range(payoff_row.shape[0]) if index not in dominated_rows]
+        keep_cols = [index for index in range(payoff_row.shape[1]) if index not in dominated_cols]
+        eliminated_rows.extend(row_actions[index] for index in dominated_rows)
+        eliminated_cols.extend(col_actions[index] for index in dominated_cols)
+        row_actions = [row_actions[index] for index in keep_rows]
+        col_actions = [col_actions[index] for index in keep_cols]
+        payoff_row = payoff_row[np.ix_(keep_rows, keep_cols)]
+        payoff_col = payoff_col[np.ix_(keep_rows, keep_cols)]
+
+    reduced = BimatrixGame(payoff_row, payoff_col, name=f"{game.name} (reduced)")
+    return ReducedGame(
+        game=reduced,
+        row_actions=row_actions,
+        col_actions=col_actions,
+        eliminated_rows=sorted(eliminated_rows),
+        eliminated_cols=sorted(eliminated_cols),
+        rounds=rounds,
+    )
+
+
+def is_solvable_by_elimination(game: BimatrixGame) -> Tuple[bool, Optional[StrategyProfile]]:
+    """Whether iterated strict elimination reduces the game to one profile.
+
+    Returns the surviving profile (as a pure-strategy profile of the
+    original game) when it does — that profile is then the game's unique
+    Nash equilibrium.
+    """
+    reduced = iterated_elimination(game)
+    if reduced.game.shape == (1, 1):
+        profile = StrategyProfile(np.array([1.0]), np.array([1.0]))
+        return True, reduced.lift_profile(profile)
+    return False, None

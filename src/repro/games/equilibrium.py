@@ -1,0 +1,203 @@
+"""Nash-equilibrium verification and classification.
+
+A strategy pair ``(p*, q*)`` is a Nash equilibrium when neither player can
+improve their expected payoff by unilaterally deviating (Eq. (1) of the
+paper).  For bimatrix games this is equivalent to each player's regret
+being zero: ``p* ^T M q* = max(M q*)`` and ``p*^T N q* = max(N^T p*)``.
+
+This module provides exact and approximate (epsilon) NE checks, pure /
+mixed classification, and a small :class:`EquilibriumSet` container used
+by the analysis layer to match solver output against ground truth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.games.bimatrix import BimatrixGame
+from repro.utils.validation import ensure_probability_vector
+
+
+@dataclass(frozen=True)
+class StrategyProfile:
+    """An immutable strategy pair ``(p, q)`` with equality up to tolerance."""
+
+    p: np.ndarray
+    q: np.ndarray
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "p", ensure_probability_vector(self.p, "p"))
+        object.__setattr__(self, "q", ensure_probability_vector(self.q, "q"))
+
+    def is_pure(self, atol: float = 1e-6) -> bool:
+        """True when both players put (almost) all mass on a single action."""
+        return bool(self.p.max() >= 1.0 - atol and self.q.max() >= 1.0 - atol)
+
+    def support(self, atol: float = 1e-6) -> Tuple[Tuple[int, ...], Tuple[int, ...]]:
+        """Indices of actions played with probability greater than ``atol``."""
+        return (
+            tuple(int(i) for i in np.flatnonzero(self.p > atol)),
+            tuple(int(j) for j in np.flatnonzero(self.q > atol)),
+        )
+
+    def rounded(self, decimals: int = 4) -> "StrategyProfile":
+        """Return a profile with probabilities rounded and re-normalised."""
+        p = np.round(self.p, decimals)
+        q = np.round(self.q, decimals)
+        return StrategyProfile(p / p.sum(), q / q.sum())
+
+    def close_to(self, other: "StrategyProfile", atol: float = 1e-3) -> bool:
+        """Element-wise closeness of both strategies."""
+        if self.p.shape != other.p.shape or self.q.shape != other.q.shape:
+            return False
+        return bool(
+            np.allclose(self.p, other.p, atol=atol) and np.allclose(self.q, other.q, atol=atol)
+        )
+
+    def as_tuple(self) -> Tuple[Tuple[float, ...], Tuple[float, ...]]:
+        """Plain-Python tuple representation (useful for hashing/printing)."""
+        return tuple(float(x) for x in self.p), tuple(float(x) for x in self.q)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        p = np.array2string(self.p, precision=3, separator=", ")
+        q = np.array2string(self.q, precision=3, separator=", ")
+        return f"StrategyProfile(p={p}, q={q})"
+
+
+def best_response_gap(game: BimatrixGame, profile: StrategyProfile) -> Tuple[float, float]:
+    """Return each player's regret (gain available from best deviation)."""
+    return (
+        game.row_regret(profile.p, profile.q),
+        game.col_regret(profile.p, profile.q),
+    )
+
+
+def is_nash_equilibrium(
+    game: BimatrixGame,
+    p: np.ndarray,
+    q: np.ndarray,
+    tolerance: float = 1e-6,
+) -> bool:
+    """Check whether ``(p, q)`` is a Nash equilibrium of ``game``.
+
+    Parameters
+    ----------
+    tolerance:
+        Maximum allowed regret per player.  Exact equilibria of the
+        benchmark games verify with the default; quantized solver output
+        should be checked with :func:`is_epsilon_equilibrium` instead.
+    """
+    return is_epsilon_equilibrium(game, p, q, epsilon=tolerance)
+
+
+def is_epsilon_equilibrium(
+    game: BimatrixGame,
+    p: np.ndarray,
+    q: np.ndarray,
+    epsilon: float,
+) -> bool:
+    """Check whether ``(p, q)`` is an epsilon-Nash equilibrium.
+
+    Both players' regrets must be at most ``epsilon``.  Quantizing
+    probabilities to ``1/I`` intervals (as the C-Nash crossbar mapping
+    does) can make exact mixed equilibria representable only
+    approximately, so the evaluation uses an epsilon matched to the
+    quantization step.
+    """
+    if epsilon < 0:
+        raise ValueError(f"epsilon must be non-negative, got {epsilon}")
+    row_gap = game.row_regret(p, q)
+    col_gap = game.col_regret(p, q)
+    return bool(row_gap <= epsilon and col_gap <= epsilon)
+
+
+def classify_profile(
+    game: BimatrixGame,
+    profile: StrategyProfile,
+    epsilon: float = 1e-6,
+    purity_atol: float = 1e-6,
+) -> str:
+    """Classify a profile as ``"pure"``, ``"mixed"`` or ``"error"``.
+
+    ``"pure"`` and ``"mixed"`` refer to (epsilon-)equilibria; anything
+    that is not an equilibrium is an ``"error"`` solution, matching the
+    three categories of Fig. 8 in the paper.
+    """
+    if not is_epsilon_equilibrium(game, profile.p, profile.q, epsilon):
+        return "error"
+    return "pure" if profile.is_pure(purity_atol) else "mixed"
+
+
+@dataclass
+class EquilibriumSet:
+    """A de-duplicated collection of equilibria of one game.
+
+    Used both for ground-truth sets (from the enumeration solvers) and
+    for the sets discovered by annealing solvers; matching between the
+    two is done with :meth:`match` / :meth:`count_found`.
+    """
+
+    game: BimatrixGame
+    profiles: List[StrategyProfile] = field(default_factory=list)
+    atol: float = 1e-3
+
+    def add(self, profile: StrategyProfile) -> bool:
+        """Add ``profile`` unless an equivalent profile is already present.
+
+        Returns ``True`` when the profile was new.
+        """
+        for existing in self.profiles:
+            if existing.close_to(profile, atol=self.atol):
+                return False
+        self.profiles.append(profile)
+        return True
+
+    def extend(self, profiles: Iterable[StrategyProfile]) -> int:
+        """Add many profiles; returns the number actually inserted."""
+        return sum(1 for profile in profiles if self.add(profile))
+
+    def __len__(self) -> int:
+        return len(self.profiles)
+
+    def __iter__(self) -> Iterator[StrategyProfile]:
+        return iter(self.profiles)
+
+    def __contains__(self, profile: StrategyProfile) -> bool:
+        return self.match(profile) is not None
+
+    def match(self, profile: StrategyProfile, atol: Optional[float] = None) -> Optional[int]:
+        """Index of the stored profile equivalent to ``profile``, or ``None``."""
+        atol = self.atol if atol is None else atol
+        for index, existing in enumerate(self.profiles):
+            if existing.close_to(profile, atol=atol):
+                return index
+        return None
+
+    def count_found(
+        self, candidates: Sequence[StrategyProfile], atol: Optional[float] = None
+    ) -> int:
+        """How many of this set's profiles are matched by ``candidates``."""
+        found = set()
+        for candidate in candidates:
+            index = self.match(candidate, atol=atol)
+            if index is not None:
+                found.add(index)
+        return len(found)
+
+    def pure_profiles(self, atol: float = 1e-6) -> List[StrategyProfile]:
+        """The subset of stored equilibria that are pure."""
+        return [profile for profile in self.profiles if profile.is_pure(atol)]
+
+    def mixed_profiles(self, atol: float = 1e-6) -> List[StrategyProfile]:
+        """The subset of stored equilibria that are (strictly) mixed."""
+        return [profile for profile in self.profiles if not profile.is_pure(atol)]
+
+    def verify_all(self, epsilon: float = 1e-6) -> bool:
+        """True when every stored profile is an epsilon-equilibrium of the game."""
+        return all(
+            is_epsilon_equilibrium(self.game, profile.p, profile.q, epsilon)
+            for profile in self.profiles
+        )

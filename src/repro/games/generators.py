@@ -1,0 +1,132 @@
+"""Random game generators used by workload sweeps and property tests.
+
+The paper's evaluation uses three fixed games; the extension benchmarks
+and the property-based tests need families of games with controllable
+size and structure, which these generators provide.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.games.bimatrix import BimatrixGame
+from repro.utils.rng import SeedLike, as_generator
+from repro.utils.validation import ensure_int_at_least
+
+
+def random_game(
+    num_row_actions: int,
+    num_col_actions: Optional[int] = None,
+    payoff_range: Tuple[float, float] = (0.0, 10.0),
+    integer_payoffs: bool = False,
+    seed: SeedLike = None,
+    name: Optional[str] = None,
+) -> BimatrixGame:
+    """Generate a game with independently uniform payoffs.
+
+    Parameters
+    ----------
+    num_row_actions, num_col_actions:
+        Action counts; the column count defaults to the row count.
+    payoff_range:
+        Inclusive ``(low, high)`` range of payoffs.
+    integer_payoffs:
+        Round payoffs to integers (the hardware mapping stores integer
+        payoff levels, so integer games map without quantization error).
+    """
+    n = ensure_int_at_least(num_row_actions, 1, "num_row_actions")
+    m = ensure_int_at_least(
+        num_col_actions if num_col_actions is not None else num_row_actions,
+        1,
+        "num_col_actions",
+    )
+    low, high = payoff_range
+    if high <= low:
+        raise ValueError(f"payoff_range must satisfy low < high, got {payoff_range}")
+    rng = as_generator(seed)
+    payoff_row = rng.uniform(low, high, size=(n, m))
+    payoff_col = rng.uniform(low, high, size=(n, m))
+    if integer_payoffs:
+        payoff_row = np.round(payoff_row)
+        payoff_col = np.round(payoff_col)
+    return BimatrixGame(payoff_row, payoff_col, name=name or f"random {n}x{m} game")
+
+
+def random_zero_sum_game(
+    num_actions: int,
+    payoff_range: Tuple[float, float] = (-5.0, 5.0),
+    seed: SeedLike = None,
+) -> BimatrixGame:
+    """Generate a square zero-sum game (``N = -M``)."""
+    n = ensure_int_at_least(num_actions, 1, "num_actions")
+    low, high = payoff_range
+    if high <= low:
+        raise ValueError(f"payoff_range must satisfy low < high, got {payoff_range}")
+    rng = as_generator(seed)
+    payoff_row = rng.uniform(low, high, size=(n, n))
+    return BimatrixGame(payoff_row, -payoff_row, name=f"random zero-sum {n}x{n} game")
+
+
+def random_coordination_game(
+    num_actions: int,
+    diagonal_range: Tuple[float, float] = (1.0, 5.0),
+    off_diagonal: float = 0.0,
+    seed: SeedLike = None,
+) -> BimatrixGame:
+    """Generate a symmetric coordination game with random diagonal rewards.
+
+    Such games are guaranteed to have every pure diagonal profile as an
+    equilibrium, which makes them useful for testing success-rate metrics
+    (the solver should find at least the pure equilibria).
+    """
+    n = ensure_int_at_least(num_actions, 2, "num_actions")
+    low, high = diagonal_range
+    if high <= low:
+        raise ValueError(f"diagonal_range must satisfy low < high, got {diagonal_range}")
+    rng = as_generator(seed)
+    diagonal = rng.uniform(low, high, size=n)
+    payoff = np.full((n, n), off_diagonal, dtype=float)
+    np.fill_diagonal(payoff, diagonal)
+    return BimatrixGame(payoff, payoff.copy(), name=f"random coordination {n}x{n} game")
+
+
+def random_symmetric_game(
+    num_actions: int,
+    payoff_range: Tuple[float, float] = (0.0, 10.0),
+    seed: SeedLike = None,
+) -> BimatrixGame:
+    """Generate a symmetric game (``N = M^T``)."""
+    n = ensure_int_at_least(num_actions, 1, "num_actions")
+    low, high = payoff_range
+    if high <= low:
+        raise ValueError(f"payoff_range must satisfy low < high, got {payoff_range}")
+    rng = as_generator(seed)
+    payoff_row = rng.uniform(low, high, size=(n, n))
+    return BimatrixGame(payoff_row, payoff_row.T.copy(), name=f"random symmetric {n}x{n} game")
+
+
+def random_game_with_pure_equilibrium(
+    num_actions: int,
+    payoff_range: Tuple[float, float] = (0.0, 10.0),
+    seed: SeedLike = None,
+) -> Tuple[BimatrixGame, Tuple[int, int]]:
+    """Generate a game guaranteed to have a pure equilibrium at a known cell.
+
+    Returns the game and the ``(row, column)`` indices of the planted
+    equilibrium.  Used by integration tests to check the solver finds at
+    least one known solution.
+    """
+    rng = as_generator(seed)
+    game = random_game(num_actions, num_actions, payoff_range, seed=rng)
+    i = int(rng.integers(num_actions))
+    j = int(rng.integers(num_actions))
+    payoff_row = game.payoff_row.copy()
+    payoff_col = game.payoff_col.copy()
+    high = payoff_range[1]
+    # Make (i, j) a strict mutual best response.
+    payoff_row[i, j] = high + 1.0
+    payoff_col[i, j] = high + 1.0
+    planted = BimatrixGame(payoff_row, payoff_col, name=f"planted {num_actions}x{num_actions} game")
+    return planted, (i, j)

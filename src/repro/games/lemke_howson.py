@@ -1,0 +1,170 @@
+"""Lemke–Howson algorithm for finding one Nash equilibrium.
+
+The Lemke–Howson pivoting algorithm finds a single equilibrium of a
+bimatrix game by complementary pivoting on the players' best-response
+polytopes.  Running it from every initial dropped label gives a cheap way
+to sample several (not necessarily all) equilibria, which we use as an
+independent cross-check of the enumeration solvers and as a fast path for
+larger randomly generated games in the extension benchmarks.
+
+Label convention (the standard one):
+
+* labels ``0 .. n-1``      — the row player's actions,
+* labels ``n .. n+m-1``    — the column player's actions.
+
+The row player's best-response polytope ``{x >= 0 : N^T x <= 1}`` has the
+``x_i`` variables carrying labels ``i`` and its slack variables carrying
+labels ``n + j``; the column player's polytope ``{y >= 0 : M y <= 1}`` has
+the ``y_j`` variables carrying labels ``n + j`` and slacks carrying
+labels ``i``.  Pivoting alternates between the two tableaux, entering the
+label that just left the other tableau, until the initially dropped label
+leaves again.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.games.bimatrix import BimatrixGame
+from repro.games.equilibrium import EquilibriumSet, StrategyProfile, is_epsilon_equilibrium
+
+
+class LemkeHowsonError(RuntimeError):
+    """Raised when pivoting fails to terminate (degenerate cycling)."""
+
+
+class _Tableau:
+    """One player's best-response polytope in tableau form with label tracking."""
+
+    def __init__(self, constraint_matrix: np.ndarray, variable_labels: List[int], slack_labels: List[int]):
+        rows, cols = constraint_matrix.shape
+        if len(variable_labels) != cols or len(slack_labels) != rows:
+            raise ValueError("label lists must match the constraint matrix shape")
+        self.tableau = np.hstack([constraint_matrix.astype(float), np.eye(rows), np.ones((rows, 1))])
+        # Column k of the tableau (excluding rhs) carries this label:
+        self.column_labels = list(variable_labels) + list(slack_labels)
+        self.variable_labels = list(variable_labels)
+        # basis[row] = column index currently basic in that row.
+        self.basis = [len(variable_labels) + r for r in range(rows)]
+
+    def basic_labels(self) -> List[int]:
+        """Labels currently in the basis."""
+        return [self.column_labels[col] for col in self.basis]
+
+    def has_label(self, label: int) -> bool:
+        """Whether this tableau owns a column with the given label."""
+        return label in self.column_labels
+
+    def pivot_in(self, label: int) -> int:
+        """Pivot the column carrying ``label`` into the basis.
+
+        Returns the label of the leaving column.  A lexicographic-style
+        tie-break (smallest row index) keeps the benchmark games' mild
+        degeneracy from cycling.
+        """
+        entering = self.column_labels.index(label)
+        column = self.tableau[:, entering]
+        rhs = self.tableau[:, -1]
+        ratios = np.full(len(rhs), np.inf)
+        positive = column > 1e-12
+        ratios[positive] = rhs[positive] / column[positive]
+        if not np.any(np.isfinite(ratios)):
+            raise LemkeHowsonError("unbounded pivot: no positive entries in entering column")
+        row = int(np.argmin(ratios))
+        pivot_value = self.tableau[row, entering]
+        self.tableau[row] = self.tableau[row] / pivot_value
+        for other in range(self.tableau.shape[0]):
+            if other != row and abs(self.tableau[other, entering]) > 1e-15:
+                self.tableau[other] = self.tableau[other] - self.tableau[other, entering] * self.tableau[row]
+        leaving_column = self.basis[row]
+        self.basis[row] = entering
+        return self.column_labels[leaving_column]
+
+    def strategy(self) -> np.ndarray:
+        """Extract the normalised strategy over this tableau's own variables."""
+        values = np.zeros(len(self.variable_labels))
+        for row, column in enumerate(self.basis):
+            label = self.column_labels[column]
+            if label in self.variable_labels:
+                values[self.variable_labels.index(label)] = self.tableau[row, -1]
+        total = values.sum()
+        if total <= 0:
+            raise LemkeHowsonError("degenerate tableau produced the zero strategy")
+        return values / total
+
+
+def lemke_howson(
+    game: BimatrixGame,
+    initial_dropped_label: int = 0,
+    max_pivots: int = 10_000,
+) -> StrategyProfile:
+    """Run Lemke–Howson from one initial dropped label.
+
+    Parameters
+    ----------
+    initial_dropped_label:
+        An integer in ``[0, n + m)``; labels ``0..n-1`` are the row
+        player's actions, ``n..n+m-1`` the column player's actions.
+    max_pivots:
+        Safety bound on the number of pivots before declaring a cycle.
+    """
+    n, m = game.shape
+    if not (0 <= initial_dropped_label < n + m):
+        raise ValueError(
+            f"initial_dropped_label must be in [0, {n + m}), got {initial_dropped_label}"
+        )
+    # Shift payoffs to be strictly positive (required by the tableau method;
+    # shifting does not change the equilibria).
+    minimum = min(float(game.payoff_row.min()), float(game.payoff_col.min()))
+    shifted = game.shifted(offset=-minimum + 1.0)
+
+    row_labels = list(range(n))
+    col_labels = list(range(n, n + m))
+    # Row player's polytope: N^T x <= 1 ; x carries row labels, slacks carry column labels.
+    row_polytope = _Tableau(shifted.payoff_col.T, row_labels, col_labels)
+    # Column player's polytope: M y <= 1 ; y carries column labels, slacks carry row labels.
+    col_polytope = _Tableau(shifted.payoff_row, col_labels, row_labels)
+
+    # The dropped label is non-basic (a variable column) in exactly one
+    # tableau at the start; pivot it in there, then alternate.
+    current = row_polytope if initial_dropped_label in row_labels else col_polytope
+    other = col_polytope if current is row_polytope else row_polytope
+
+    entering = initial_dropped_label
+    for _ in range(max_pivots):
+        leaving = current.pivot_in(entering)
+        if leaving == initial_dropped_label:
+            break
+        entering = leaving
+        current, other = other, current
+    else:
+        raise LemkeHowsonError(f"no convergence within {max_pivots} pivots")
+
+    p = row_polytope.strategy()
+    q = col_polytope.strategy()
+    return StrategyProfile(p, q)
+
+
+def lemke_howson_all_labels(
+    game: BimatrixGame,
+    tolerance: float = 1e-6,
+    dedup_atol: float = 1e-4,
+) -> EquilibriumSet:
+    """Run Lemke–Howson from every initial label and collect valid equilibria.
+
+    This does not enumerate *all* equilibria, but for the benchmark games
+    it recovers at least one, and typically several; every returned
+    profile is verified to be an equilibrium before being included.
+    """
+    n, m = game.shape
+    equilibria = EquilibriumSet(game=game, atol=dedup_atol)
+    for label in range(n + m):
+        try:
+            profile = lemke_howson(game, initial_dropped_label=label)
+        except LemkeHowsonError:
+            continue
+        if is_epsilon_equilibrium(game, profile.p, profile.q, tolerance):
+            equilibria.add(profile)
+    return equilibria

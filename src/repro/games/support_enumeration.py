@@ -1,0 +1,153 @@
+"""Support-enumeration solver for bimatrix games.
+
+The paper uses Nashpy to obtain the ground-truth set of Nash equilibria
+for its three benchmark games.  This module implements the same
+support-enumeration algorithm from scratch: for every pair of equal-size
+supports, solve the indifference conditions and check the resulting
+strategies are valid and mutually best responses.
+
+Support enumeration finds every equilibrium of a *non-degenerate* game.
+For degenerate games (which the benchmark games are, mildly), we also
+enumerate unequal-size supports so that the equilibria the paper counts
+(e.g. the 25 solutions of the Modified Prisoner's Dilemma) are recovered;
+:mod:`repro.games.vertex_enumeration` offers an independent cross-check.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.games.bimatrix import BimatrixGame
+from repro.games.equilibrium import EquilibriumSet, StrategyProfile, is_epsilon_equilibrium
+
+
+def _solve_indifference(
+    payoff: np.ndarray,
+    own_support: Sequence[int],
+    opponent_support: Sequence[int],
+) -> Optional[np.ndarray]:
+    """Solve for the opponent's mixing that makes ``own_support`` indifferent.
+
+    Given the payoff matrix of the *supported* player (rows = own actions,
+    columns = opponent actions), find a probability vector ``x`` over
+    ``opponent_support`` such that every action in ``own_support`` yields
+    the same expected payoff, and actions outside the support are handled
+    by the caller's best-response check.  Returns ``None`` when the linear
+    system has no valid (non-negative, normalised) solution.
+    """
+    own = list(own_support)
+    opp = list(opponent_support)
+    k = len(opp)
+    # Unknowns: probabilities over the opponent support (k of them).
+    # Equations: payoff(own[0]) == payoff(own[i]) for i >= 1, plus sum == 1.
+    rows: List[np.ndarray] = []
+    rhs: List[float] = []
+    base = payoff[own[0], opp]
+    for action in own[1:]:
+        rows.append(base - payoff[action, opp])
+        rhs.append(0.0)
+    rows.append(np.ones(k))
+    rhs.append(1.0)
+    matrix = np.vstack(rows)
+    vector = np.asarray(rhs)
+    solution, residuals, rank, _ = np.linalg.lstsq(matrix, vector, rcond=None)
+    # Reject inconsistent or underdetermined systems that lstsq papered over.
+    if not np.allclose(matrix @ solution, vector, atol=1e-8):
+        return None
+    if np.any(solution < -1e-9):
+        return None
+    solution = np.clip(solution, 0.0, None)
+    total = solution.sum()
+    if total <= 0:
+        return None
+    return solution / total
+
+
+def _expand(support: Sequence[int], probabilities: np.ndarray, size: int) -> np.ndarray:
+    """Embed probabilities on a support into a full-length strategy vector."""
+    strategy = np.zeros(size)
+    strategy[list(support)] = probabilities
+    return strategy
+
+
+def _support_pairs(
+    n: int, m: int, include_unequal: bool
+) -> Iterator[Tuple[Tuple[int, ...], Tuple[int, ...]]]:
+    """Yield candidate support pairs ordered by total size."""
+    row_supports = [
+        combo for size in range(1, n + 1) for combo in combinations(range(n), size)
+    ]
+    col_supports = [
+        combo for size in range(1, m + 1) for combo in combinations(range(m), size)
+    ]
+    for row_support in row_supports:
+        for col_support in col_supports:
+            if not include_unequal and len(row_support) != len(col_support):
+                continue
+            yield row_support, col_support
+
+
+def support_enumeration(
+    game: BimatrixGame,
+    tolerance: float = 1e-8,
+    include_unequal_supports: bool = True,
+    dedup_atol: float = 1e-4,
+) -> EquilibriumSet:
+    """Enumerate the Nash equilibria of ``game``.
+
+    Parameters
+    ----------
+    tolerance:
+        Numerical tolerance used in the best-response verification.
+    include_unequal_supports:
+        Non-degenerate games only have equilibria with equal-size
+        supports; enabling unequal supports (the default) also covers
+        degenerate games at a modest cost for the small games used here.
+    dedup_atol:
+        Tolerance used when de-duplicating equilibria.
+
+    Returns
+    -------
+    EquilibriumSet
+        All equilibria found, pure and mixed, de-duplicated.
+    """
+    n, m = game.shape
+    equilibria = EquilibriumSet(game=game, atol=dedup_atol)
+
+    for row_support, col_support in _support_pairs(n, m, include_unequal_supports):
+        # Row player's mixing must make the column player's support indifferent
+        # and vice versa.
+        q_support = _solve_indifference(game.payoff_row, row_support, col_support)
+        if q_support is None:
+            continue
+        p_support = _solve_indifference(game.payoff_col.T, col_support, row_support)
+        if p_support is None:
+            continue
+        p = _expand(row_support, p_support, n)
+        q = _expand(col_support, q_support, m)
+        if not is_epsilon_equilibrium(game, p, q, tolerance):
+            continue
+        equilibria.add(StrategyProfile(p, q))
+    return equilibria
+
+
+def pure_equilibria(game: BimatrixGame) -> EquilibriumSet:
+    """Enumerate only the pure-strategy equilibria of ``game``.
+
+    Cheaper than full support enumeration and used by tests as an
+    independent cross-check of the pure subset.
+    """
+    equilibria = EquilibriumSet(game=game, atol=1e-6)
+    row_best = game.payoff_row.max(axis=0)
+    col_best = game.payoff_col.max(axis=1)
+    for i, j in game.pure_profiles():
+        if game.payoff_row[i, j] >= row_best[j] - 1e-12 and game.payoff_col[i, j] >= col_best[i] - 1e-12:
+            p = np.zeros(game.num_row_actions)
+            q = np.zeros(game.num_col_actions)
+            p[i] = 1.0
+            q[j] = 1.0
+            equilibria.add(StrategyProfile(p, q))
+    return equilibria

@@ -1,0 +1,135 @@
+"""Vertex-enumeration solver for bimatrix games.
+
+Independent cross-check of :mod:`repro.games.support_enumeration`.  The
+algorithm enumerates the vertices of each player's best-response polytope
+(following the labelled-polytope view of Nash equilibria) and reports the
+fully-labelled vertex pairs as equilibria.
+
+For the small benchmark games in the paper (up to 8x8) the polytopes are
+low-dimensional and this approach is fast enough to be used in tests.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.games.bimatrix import BimatrixGame
+from repro.games.equilibrium import EquilibriumSet, StrategyProfile, is_epsilon_equilibrium
+
+
+def _positive_shift(game: BimatrixGame) -> BimatrixGame:
+    """Shift payoffs so every entry is strictly positive (required below)."""
+    minimum = min(float(game.payoff_row.min()), float(game.payoff_col.min()))
+    return game.shifted(offset=-minimum + 1.0)
+
+
+def _polytope_vertices(
+    constraint_matrix: np.ndarray, rhs: np.ndarray, atol: float = 1e-9
+) -> List[Tuple[np.ndarray, frozenset]]:
+    """Vertices of ``{x >= 0 : A x <= b}`` with their sets of tight labels.
+
+    Labels follow the standard convention: label ``k`` for a tight
+    inequality row ``k`` of ``A``, and label ``num_rows + i`` for a tight
+    non-negativity constraint ``x_i == 0``.  The polytope here is always
+    bounded because the payoff matrices are strictly positive.
+    """
+    num_rows, dim = constraint_matrix.shape
+    # Stack A x <= b and -x <= 0 into one system; vertices are where `dim`
+    # linearly independent constraints are tight.
+    stacked = np.vstack([constraint_matrix, -np.eye(dim)])
+    stacked_rhs = np.concatenate([rhs, np.zeros(dim)])
+    total = stacked.shape[0]
+
+    vertices: List[Tuple[np.ndarray, frozenset]] = []
+    for tight in combinations(range(total), dim):
+        submatrix = stacked[list(tight)]
+        subrhs = stacked_rhs[list(tight)]
+        if abs(np.linalg.det(submatrix)) < atol:
+            continue
+        point = np.linalg.solve(submatrix, subrhs)
+        # Must satisfy all constraints.
+        if np.any(stacked @ point > stacked_rhs + 1e-7):
+            continue
+        if np.any(point < -1e-9):
+            continue
+        point = np.clip(point, 0.0, None)
+        # Collect every tight constraint at this vertex (not just the chosen ones)
+        slack = stacked_rhs - stacked @ point
+        labels = frozenset(int(k) for k in np.flatnonzero(slack <= 1e-7))
+        # Skip the origin: it carries every non-negativity label but cannot
+        # be normalised into a strategy.
+        if np.allclose(point, 0.0):
+            continue
+        if not any(np.allclose(point, existing, atol=1e-8) for existing, _ in vertices):
+            vertices.append((point, labels))
+    return vertices
+
+
+def vertex_enumeration(
+    game: BimatrixGame,
+    tolerance: float = 1e-6,
+    dedup_atol: float = 1e-4,
+) -> EquilibriumSet:
+    """Enumerate Nash equilibria via best-response polytope vertices.
+
+    Returns the same equilibria as support enumeration for non-degenerate
+    games; for degenerate games it returns the extreme equilibria.
+    """
+    shifted = _positive_shift(game)
+    n, m = shifted.shape
+    M = shifted.payoff_row
+    N = shifted.payoff_col
+
+    # Row player's polytope P = {x in R^n, x >= 0, N^T x <= 1}
+    # labels: 0..m-1 for column best-response constraints, m..m+n-1 for x_i = 0
+    row_vertices = _polytope_vertices(N.T, np.ones(m))
+    # Column player's polytope Q = {y in R^m, y >= 0, M y <= 1}
+    # labels: 0..n-1 for row best-response constraints, n..n+m-1 for y_j = 0
+    col_vertices = _polytope_vertices(M, np.ones(n))
+
+    equilibria = EquilibriumSet(game=game, atol=dedup_atol)
+    full_label_count = n + m
+    for x, x_labels in row_vertices:
+        # Translate row-polytope labels into the common label space:
+        # tight column constraint k -> label n + k ; tight x_i = 0 -> label i
+        translated_x = set()
+        for label in x_labels:
+            if label < m:
+                translated_x.add(n + label)
+            else:
+                translated_x.add(label - m)
+        for y, y_labels in col_vertices:
+            translated_y = set()
+            for label in y_labels:
+                if label < n:
+                    translated_y.add(label)
+                else:
+                    translated_y.add(n + (label - n))
+            if len(translated_x | translated_y) < full_label_count:
+                continue
+            p = x / x.sum()
+            q = y / y.sum()
+            if is_epsilon_equilibrium(game, p, q, tolerance):
+                equilibria.add(StrategyProfile(p, q))
+    return equilibria
+
+
+def cross_check_equilibria(
+    game: BimatrixGame,
+    atol: float = 1e-3,
+) -> Tuple[EquilibriumSet, EquilibriumSet, bool]:
+    """Run both enumeration solvers and report whether they agree.
+
+    Agreement means every vertex-enumeration equilibrium is matched by a
+    support-enumeration equilibrium (the converse can fail on degenerate
+    games where support enumeration reports non-extreme equilibria).
+    """
+    from repro.games.support_enumeration import support_enumeration
+
+    by_support = support_enumeration(game)
+    by_vertex = vertex_enumeration(game)
+    agree = all(by_support.match(profile, atol=atol) is not None for profile in by_vertex)
+    return by_support, by_vertex, agree

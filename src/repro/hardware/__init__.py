@@ -1,0 +1,74 @@
+"""FeFET computing-in-memory hardware substrate.
+
+Behavioural models of every hardware block the C-Nash architecture uses:
+the FeFET device and 1FeFET1R cell, the crossbar array with
+device-to-device variability, the payoff/strategy mapping of Fig. 4, the
+ADCs, the winner-takes-all tree, the process corners of Fig. 7(b), and
+the timing / energy models used for time-to-solution accounting.
+"""
+
+from repro.hardware.adc import ADC
+from repro.hardware.area import AreaBreakdown, AreaParameters, CNashAreaModel
+from repro.hardware.bicrossbar import BiCrossbar, ObjectiveBreakdown, PayoffCrossbar
+from repro.hardware.cell import CellParameters, OneFeFETOneRCell
+from repro.hardware.corners import FF, FNSP, SNFP, SS, TT, ProcessCorner, all_corners, get_corner
+from repro.hardware.crossbar import CrossbarDimensions, FeFETCrossbar
+from repro.hardware.energy import CNashEnergyModel, EnergyParameters
+from repro.hardware.fefet import FeFET, FeFETParameters
+from repro.hardware.mapping import (
+    CrossbarLayout,
+    PayoffMapping,
+    StrategyQuantizer,
+    layout_for_payoff,
+)
+from repro.hardware.noise import IDEAL_VARIABILITY, PAPER_VARIABILITY, VariabilityModel
+from repro.hardware.programming import (
+    CrossbarProgrammer,
+    ProgrammingCost,
+    ProgrammingParameters,
+)
+from repro.hardware.timing import CNashTimingModel, TimingParameters, timing_for_game_shape
+from repro.hardware.wta import WTACell, WTAParameters, WTATree, wta_cells_required
+
+__all__ = [
+    "FeFET",
+    "FeFETParameters",
+    "OneFeFETOneRCell",
+    "CellParameters",
+    "FeFETCrossbar",
+    "CrossbarDimensions",
+    "PayoffCrossbar",
+    "BiCrossbar",
+    "ObjectiveBreakdown",
+    "StrategyQuantizer",
+    "PayoffMapping",
+    "CrossbarLayout",
+    "layout_for_payoff",
+    "ADC",
+    "WTACell",
+    "WTATree",
+    "WTAParameters",
+    "wta_cells_required",
+    "VariabilityModel",
+    "PAPER_VARIABILITY",
+    "IDEAL_VARIABILITY",
+    "ProcessCorner",
+    "TT",
+    "SS",
+    "FF",
+    "SNFP",
+    "FNSP",
+    "all_corners",
+    "get_corner",
+    "CNashTimingModel",
+    "TimingParameters",
+    "timing_for_game_shape",
+    "CNashEnergyModel",
+    "EnergyParameters",
+    "CrossbarProgrammer",
+    "ProgrammingParameters",
+    "ProgrammingCost",
+    "CNashAreaModel",
+    "AreaParameters",
+    "AreaBreakdown",
+]

@@ -1,0 +1,128 @@
+"""Area model of the C-Nash datapath.
+
+The paper motivates FeFET CiM partly through density: the 1FeFET1R cell
+is compact and CMOS-compatible.  This model estimates the silicon area of
+a mapped game — crossbar cells, WTA trees, ADCs, drivers and the SA-logic
+block — at a configurable technology node, so that design-space sweeps
+(interval count, cells per element, game size) can report area next to
+latency and energy.  Figures are first-order estimates in the spirit of
+DESTINY-style modelling, exposed entirely through parameters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware.bicrossbar import BiCrossbar
+
+
+@dataclass(frozen=True)
+class AreaParameters:
+    """Per-component area figures (square micrometres, 28 nm defaults)."""
+
+    cell_area_um2: float = 0.06
+    wta_cell_area_um2: float = 4.0
+    adc_area_um2: float = 1500.0
+    wordline_driver_area_um2: float = 1.2
+    bitline_driver_area_um2: float = 1.2
+    sa_logic_area_um2: float = 5000.0
+
+    def __post_init__(self) -> None:
+        for label, value in (
+            ("cell_area_um2", self.cell_area_um2),
+            ("wta_cell_area_um2", self.wta_cell_area_um2),
+            ("adc_area_um2", self.adc_area_um2),
+            ("wordline_driver_area_um2", self.wordline_driver_area_um2),
+            ("bitline_driver_area_um2", self.bitline_driver_area_um2),
+            ("sa_logic_area_um2", self.sa_logic_area_um2),
+        ):
+            if value < 0:
+                raise ValueError(f"{label} must be non-negative, got {value}")
+
+
+@dataclass(frozen=True)
+class AreaBreakdown:
+    """Estimated area of one mapped C-Nash instance (square micrometres)."""
+
+    crossbar_um2: float
+    wta_um2: float
+    adc_um2: float
+    drivers_um2: float
+    sa_logic_um2: float
+
+    @property
+    def total_um2(self) -> float:
+        """Total estimated area."""
+        return (
+            self.crossbar_um2 + self.wta_um2 + self.adc_um2 + self.drivers_um2 + self.sa_logic_um2
+        )
+
+    @property
+    def total_mm2(self) -> float:
+        """Total estimated area in square millimetres."""
+        return self.total_um2 * 1e-6
+
+    def fractions(self) -> dict:
+        """Per-component share of the total area."""
+        total = self.total_um2
+        if total == 0:
+            return {"crossbar": 0.0, "wta": 0.0, "adc": 0.0, "drivers": 0.0, "sa_logic": 0.0}
+        return {
+            "crossbar": self.crossbar_um2 / total,
+            "wta": self.wta_um2 / total,
+            "adc": self.adc_um2 / total,
+            "drivers": self.drivers_um2 / total,
+            "sa_logic": self.sa_logic_um2 / total,
+        }
+
+
+@dataclass(frozen=True)
+class CNashAreaModel:
+    """Area estimator for one mapped bi-crossbar instance."""
+
+    num_crossbar_cells: int
+    num_wta_cells: int
+    num_wordlines: int
+    num_bitlines: int
+    num_adcs: int = 4
+    parameters: AreaParameters = AreaParameters()
+
+    def __post_init__(self) -> None:
+        if self.num_crossbar_cells < 1:
+            raise ValueError("num_crossbar_cells must be >= 1")
+        if min(self.num_wta_cells, self.num_wordlines, self.num_bitlines, self.num_adcs) < 0:
+            raise ValueError("component counts must be non-negative")
+
+    @classmethod
+    def for_bicrossbar(
+        cls, bicrossbar: BiCrossbar, parameters: AreaParameters = AreaParameters()
+    ) -> "CNashAreaModel":
+        """Build the model matching a concrete bi-crossbar instance."""
+        row_layout = bicrossbar.row_crossbar.layout
+        col_layout = bicrossbar.col_crossbar.layout
+        return cls(
+            num_crossbar_cells=bicrossbar.total_cells,
+            num_wta_cells=bicrossbar.total_wta_cells,
+            num_wordlines=row_layout.physical_rows + col_layout.physical_rows,
+            num_bitlines=row_layout.physical_columns + col_layout.physical_columns,
+            parameters=parameters,
+        )
+
+    def breakdown(self) -> AreaBreakdown:
+        """Estimate the per-component areas."""
+        p = self.parameters
+        return AreaBreakdown(
+            crossbar_um2=self.num_crossbar_cells * p.cell_area_um2,
+            wta_um2=self.num_wta_cells * p.wta_cell_area_um2,
+            adc_um2=self.num_adcs * p.adc_area_um2,
+            drivers_um2=(
+                self.num_wordlines * p.wordline_driver_area_um2
+                + self.num_bitlines * p.bitline_driver_area_um2
+            ),
+            sa_logic_um2=p.sa_logic_area_um2,
+        )
+
+    @property
+    def total_um2(self) -> float:
+        """Total estimated area in square micrometres."""
+        return self.breakdown().total_um2

@@ -1,0 +1,103 @@
+"""The 1FeFET1R compute cell.
+
+The paper adopts the 1FeFET1R structure of its reference [25]: a FeFET in
+series with an integrated resistor.  When the stored bit is 1 and both
+the word line (gate, carrying the ``p`` input) and the drain line
+(carrying the ``q`` input) are driven, the cell conducts a current set by
+the series resistor — which suppresses the FeFET's ON-current
+variability (Fig. 2(c)/(d)) and makes the cell behave as the product
+``i = p * m_i * q`` for binary ``p``/``q`` activations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.hardware.corners import ProcessCorner, TT
+from repro.hardware.fefet import FeFET, FeFETParameters
+from repro.hardware.noise import PAPER_VARIABILITY, VariabilityModel
+from repro.utils.rng import SeedLike, as_generator
+
+
+@dataclass(frozen=True)
+class CellParameters:
+    """Electrical parameters of the 1FeFET1R cell.
+
+    The unit ON current is the current one conducting cell contributes to
+    its source line; Fig. 7(a) of the paper shows roughly 0.5 uA per
+    activated cell for the 64x64 array, which is the default here.
+    """
+
+    unit_on_current_a: float = 0.5e-6
+    nominal_resistance_ohm: float = 2.0e6
+    read_voltage_v: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.unit_on_current_a <= 0:
+            raise ValueError(f"unit_on_current_a must be positive, got {self.unit_on_current_a}")
+        if self.nominal_resistance_ohm <= 0:
+            raise ValueError(
+                f"nominal_resistance_ohm must be positive, got {self.nominal_resistance_ohm}"
+            )
+
+
+class OneFeFETOneRCell:
+    """A single 1FeFET1R cell with static variability.
+
+    The cell current is dominated by the series resistor, so the static
+    per-cell deviation combines the (suppressed) FeFET V_TH sensitivity
+    and the resistor spread, both captured by
+    :class:`~repro.hardware.noise.VariabilityModel`.
+    """
+
+    def __init__(
+        self,
+        parameters: Optional[CellParameters] = None,
+        fefet_parameters: Optional[FeFETParameters] = None,
+        variability: Optional[VariabilityModel] = None,
+        corner: ProcessCorner = TT,
+        seed: SeedLike = None,
+    ) -> None:
+        self.parameters = parameters or CellParameters()
+        self.variability = variability if variability is not None else PAPER_VARIABILITY
+        self.corner = corner
+        rng = as_generator(seed)
+        self.fefet = FeFET(
+            parameters=fefet_parameters,
+            variability=self.variability,
+            corner=corner,
+            seed=rng,
+        )
+        # Static multiplicative deviation of this cell's ON current.
+        self._current_factor = float(self.variability.sample_cell_factors((), seed=rng))
+
+    @property
+    def stored_bit(self) -> int:
+        """The payoff bit stored in the cell's FeFET."""
+        return self.fefet.stored_bit
+
+    def program(self, bit: int) -> None:
+        """Store ``bit`` in the cell."""
+        self.fefet.program(bit)
+
+    @property
+    def on_current_a(self) -> float:
+        """This cell's ON current including static variability and corner."""
+        return (
+            self.parameters.unit_on_current_a * self._current_factor * self.corner.nmos_drive
+        )
+
+    def current_a(self, wordline_active: bool, drainline_active: bool) -> float:
+        """Cell current for the given line activations.
+
+        Implements ``i = p * m * q``: the cell conducts its ON current only
+        when the stored bit is 1 and both lines are driven; otherwise it
+        contributes only the FeFET's OFF leakage.
+        """
+        if self.stored_bit == 1 and wordline_active and drainline_active:
+            return self.on_current_a
+        if wordline_active and drainline_active:
+            # Selected but storing 0: OFF leakage through the high-V_TH FeFET.
+            return self.fefet.parameters.off_current_floor_a
+        return 0.0

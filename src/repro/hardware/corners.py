@@ -1,0 +1,81 @@
+"""Process corners for the peripheral CMOS circuitry.
+
+The paper validates the WTA tree across the standard five process corners
+(Fig. 7(b)): tt (typical), ss (slow NMOS / slow PMOS), ff (fast/fast),
+snfp (slow NMOS / fast PMOS) and fnsp (fast NMOS / slow PMOS).  The
+behavioural models in this package use a corner's drive-strength and
+threshold scaling factors to shift current levels and latencies the same
+way a SPICE corner library would.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+
+@dataclass(frozen=True)
+class ProcessCorner:
+    """Scaling factors describing one process corner.
+
+    Attributes
+    ----------
+    name:
+        Canonical corner name (``"tt"``, ``"ss"``, ``"ff"``, ``"snfp"``, ``"fnsp"``).
+    nmos_drive:
+        NMOS drive-current multiplier relative to typical.
+    pmos_drive:
+        PMOS drive-current multiplier relative to typical.
+    vth_shift_mv:
+        Threshold-voltage shift in millivolts applied to FeFET read
+        transistors (positive = slower devices).
+    """
+
+    name: str
+    nmos_drive: float
+    pmos_drive: float
+    vth_shift_mv: float
+
+    def __post_init__(self) -> None:
+        if self.nmos_drive <= 0 or self.pmos_drive <= 0:
+            raise ValueError(
+                f"drive multipliers must be positive, got nmos={self.nmos_drive}, pmos={self.pmos_drive}"
+            )
+
+    @property
+    def mirror_gain(self) -> float:
+        """Current-mirror gain of the WTA cell at this corner.
+
+        The WTA cell's cascode mirror is built from both device types, so
+        its copy accuracy tracks the geometric mean of the two drives.
+        """
+        return float((self.nmos_drive * self.pmos_drive) ** 0.5)
+
+    @property
+    def latency_scale(self) -> float:
+        """Latency multiplier relative to the typical corner (slower drive = slower)."""
+        return float(1.0 / self.mirror_gain)
+
+
+TT = ProcessCorner(name="tt", nmos_drive=1.00, pmos_drive=1.00, vth_shift_mv=0.0)
+SS = ProcessCorner(name="ss", nmos_drive=0.85, pmos_drive=0.85, vth_shift_mv=+30.0)
+FF = ProcessCorner(name="ff", nmos_drive=1.15, pmos_drive=1.15, vth_shift_mv=-30.0)
+SNFP = ProcessCorner(name="snfp", nmos_drive=0.85, pmos_drive=1.15, vth_shift_mv=+15.0)
+FNSP = ProcessCorner(name="fnsp", nmos_drive=1.15, pmos_drive=0.85, vth_shift_mv=-15.0)
+
+_CORNERS: Dict[str, ProcessCorner] = {
+    corner.name: corner for corner in (TT, SS, FF, SNFP, FNSP)
+}
+
+
+def all_corners() -> List[ProcessCorner]:
+    """The five corners evaluated in Fig. 7(b), typical corner first."""
+    return [TT, SS, SNFP, FNSP, FF]
+
+
+def get_corner(name: str) -> ProcessCorner:
+    """Look up a corner by name (case-insensitive)."""
+    key = name.strip().lower()
+    if key not in _CORNERS:
+        raise KeyError(f"unknown process corner {name!r}; available: {', '.join(sorted(_CORNERS))}")
+    return _CORNERS[key]

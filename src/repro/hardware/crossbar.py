@@ -1,0 +1,205 @@
+"""FeFET crossbar array model.
+
+An array of 1FeFET1R cells arranged in rows (word lines, driven by the
+``p`` inputs) and columns (drain lines, driven by the ``q`` inputs) with
+per-column source lines that sum the cell currents.  The array model is
+vectorised: instead of instantiating one Python object per cell it keeps
+a matrix of stored bits and a matrix of static per-cell current factors,
+which is what the Monte-Carlo robustness study (Fig. 7(a)) and the
+higher-level payoff mapping operate on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.hardware.cell import CellParameters
+from repro.hardware.corners import ProcessCorner, TT
+from repro.hardware.noise import PAPER_VARIABILITY, VariabilityModel
+from repro.utils.rng import SeedLike, as_generator
+
+
+@dataclass(frozen=True)
+class CrossbarDimensions:
+    """Physical dimensions of a crossbar array."""
+
+    rows: int
+    columns: int
+
+    def __post_init__(self) -> None:
+        if self.rows < 1 or self.columns < 1:
+            raise ValueError(f"crossbar dimensions must be >= 1, got {self.rows}x{self.columns}")
+
+    @property
+    def num_cells(self) -> int:
+        """Total number of cells in the array."""
+        return self.rows * self.columns
+
+
+class FeFETCrossbar:
+    """A crossbar of 1FeFET1R cells with device-to-device variability.
+
+    Parameters
+    ----------
+    rows, columns:
+        Physical array size.
+    cell_parameters:
+        Electrical parameters shared by all cells.
+    variability:
+        Device-to-device and read-to-read variability model; the static
+        per-cell current factors are drawn once at construction.
+    corner:
+        Process corner scaling the ON current.
+    seed:
+        Seed for the static variability sample.
+    """
+
+    def __init__(
+        self,
+        rows: int,
+        columns: int,
+        cell_parameters: Optional[CellParameters] = None,
+        variability: Optional[VariabilityModel] = None,
+        corner: ProcessCorner = TT,
+        seed: SeedLike = None,
+    ) -> None:
+        self.dimensions = CrossbarDimensions(rows, columns)
+        self.cell_parameters = cell_parameters or CellParameters()
+        self.variability = variability if variability is not None else PAPER_VARIABILITY
+        self.corner = corner
+        self._rng = as_generator(seed)
+        self._bits = np.zeros((rows, columns), dtype=np.int8)
+        self._current_factors = self.variability.sample_cell_factors(
+            (rows, columns), seed=self._rng
+        )
+
+    # ------------------------------------------------------------------
+    # Programming
+    # ------------------------------------------------------------------
+    @property
+    def stored_bits(self) -> np.ndarray:
+        """Copy of the stored bit matrix."""
+        return self._bits.copy()
+
+    def program(self, bits: np.ndarray) -> None:
+        """Program the whole array with a 0/1 matrix of the array's shape."""
+        matrix = np.asarray(bits)
+        expected = (self.dimensions.rows, self.dimensions.columns)
+        if matrix.shape != expected:
+            raise ValueError(f"bits must have shape {expected}, got {matrix.shape}")
+        if not np.all(np.isin(matrix, (0, 1))):
+            raise ValueError("bits must contain only 0 and 1")
+        self._bits = matrix.astype(np.int8)
+
+    def program_cell(self, row: int, column: int, bit: int) -> None:
+        """Program a single cell."""
+        if bit not in (0, 1):
+            raise ValueError(f"bit must be 0 or 1, got {bit}")
+        self._bits[row, column] = bit
+
+    # ------------------------------------------------------------------
+    # Read operations
+    # ------------------------------------------------------------------
+    @property
+    def unit_current_a(self) -> float:
+        """Nominal ON current of one cell at this corner."""
+        return self.cell_parameters.unit_on_current_a * self.corner.nmos_drive
+
+    def effective_cell_currents(self) -> np.ndarray:
+        """Per-cell ON currents including static variability (amperes)."""
+        return self.unit_current_a * self._current_factors * self._bits
+
+    def column_currents(
+        self,
+        row_activation: np.ndarray,
+        column_activation: Optional[np.ndarray] = None,
+        include_read_noise: bool = True,
+        seed: SeedLike = None,
+    ) -> np.ndarray:
+        """Summed source-line current of every column (amperes).
+
+        Parameters
+        ----------
+        row_activation:
+            0/1 vector over rows (word-line drive pattern, the ``p`` input).
+        column_activation:
+            Optional 0/1 vector over columns (drain-line pattern, the
+            ``q`` input); all columns active when omitted.
+        include_read_noise:
+            Add multiplicative cycle-to-cycle read noise.
+        """
+        rows = np.asarray(row_activation, dtype=float)
+        if rows.shape != (self.dimensions.rows,):
+            raise ValueError(
+                f"row_activation must have shape ({self.dimensions.rows},), got {rows.shape}"
+            )
+        if column_activation is None:
+            cols = np.ones(self.dimensions.columns)
+        else:
+            cols = np.asarray(column_activation, dtype=float)
+            if cols.shape != (self.dimensions.columns,):
+                raise ValueError(
+                    f"column_activation must have shape ({self.dimensions.columns},), got {cols.shape}"
+                )
+        currents = self.effective_cell_currents()
+        column_sums = (rows @ currents) * cols
+        if include_read_noise:
+            rng = as_generator(seed) if seed is not None else self._rng
+            column_sums = column_sums * self.variability.sample_read_noise(
+                column_sums.shape, seed=rng
+            )
+        return column_sums
+
+    def total_current(
+        self,
+        row_activation: np.ndarray,
+        column_activation: Optional[np.ndarray] = None,
+        include_read_noise: bool = True,
+        seed: SeedLike = None,
+    ) -> float:
+        """Total array current for the given activation pattern (amperes)."""
+        return float(
+            self.column_currents(
+                row_activation,
+                column_activation,
+                include_read_noise=include_read_noise,
+                seed=seed,
+            ).sum()
+        )
+
+    # ------------------------------------------------------------------
+    # Characterisation (Fig. 7(a))
+    # ------------------------------------------------------------------
+    def column_linearity_sweep(
+        self,
+        column: int = 0,
+        activated_counts: Optional[np.ndarray] = None,
+        include_read_noise: bool = True,
+        seed: SeedLike = None,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Column output current versus number of activated cells.
+
+        Programs nothing — uses the currently stored bits (callers
+        typically program an all-ones column first).  Returns the
+        activated-cell counts and the corresponding column currents, the
+        data behind the Fig. 7(a) linearity plot.
+        """
+        if not (0 <= column < self.dimensions.columns):
+            raise IndexError(f"column {column} out of range")
+        if activated_counts is None:
+            activated_counts = np.arange(self.dimensions.rows + 1)
+        currents = np.empty(len(activated_counts))
+        rng = as_generator(seed) if seed is not None else self._rng
+        for index, count in enumerate(activated_counts):
+            count = int(count)
+            if not (0 <= count <= self.dimensions.rows):
+                raise ValueError(f"activated count {count} out of range")
+            activation = np.zeros(self.dimensions.rows)
+            activation[:count] = 1.0
+            currents[index] = self.column_currents(
+                activation, include_read_noise=include_read_noise, seed=rng
+            )[column]
+        return np.asarray(activated_counts), currents

@@ -1,0 +1,89 @@
+"""Energy model of the C-Nash datapath.
+
+The paper's evaluation focuses on success rate and time-to-solution, but
+the architecture's pitch rests on FeFET CiM being energy efficient; this
+model provides per-iteration and per-run energy estimates (crossbar read,
+WTA, ADC, SA logic) so the ablation benchmarks can also report energy.
+All default figures are order-of-magnitude estimates for a 28 nm
+implementation and are exposed as parameters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware.bicrossbar import BiCrossbar
+
+
+@dataclass(frozen=True)
+class EnergyParameters:
+    """Per-operation energy figures (joules)."""
+
+    cell_read_energy_j: float = 2.0e-15
+    wta_cell_energy_j: float = 5.0e-15
+    adc_conversion_energy_j: float = 1.0e-12
+    sa_logic_update_energy_j: float = 5.0e-13
+    line_drive_energy_j: float = 1.0e-13
+
+    def __post_init__(self) -> None:
+        for label, value in (
+            ("cell_read_energy_j", self.cell_read_energy_j),
+            ("wta_cell_energy_j", self.wta_cell_energy_j),
+            ("adc_conversion_energy_j", self.adc_conversion_energy_j),
+            ("sa_logic_update_energy_j", self.sa_logic_update_energy_j),
+            ("line_drive_energy_j", self.line_drive_energy_j),
+        ):
+            if value < 0:
+                raise ValueError(f"{label} must be non-negative, got {value}")
+
+
+@dataclass(frozen=True)
+class CNashEnergyModel:
+    """Per-iteration energy of the two-phase SA loop for one bi-crossbar."""
+
+    num_crossbar_cells: int
+    num_wta_cells: int
+    num_adc_conversions_per_iteration: int = 4
+    parameters: EnergyParameters = EnergyParameters()
+
+    def __post_init__(self) -> None:
+        if self.num_crossbar_cells < 1:
+            raise ValueError("num_crossbar_cells must be >= 1")
+        if self.num_wta_cells < 0:
+            raise ValueError("num_wta_cells must be >= 0")
+        if self.num_adc_conversions_per_iteration < 1:
+            raise ValueError("num_adc_conversions_per_iteration must be >= 1")
+
+    @classmethod
+    def for_bicrossbar(cls, bicrossbar: BiCrossbar, parameters: EnergyParameters = EnergyParameters()) -> "CNashEnergyModel":
+        """Build the energy model matching a concrete bi-crossbar instance."""
+        return cls(
+            num_crossbar_cells=bicrossbar.total_cells,
+            num_wta_cells=bicrossbar.total_wta_cells,
+            parameters=parameters,
+        )
+
+    @property
+    def iteration_energy_j(self) -> float:
+        """Energy of one SA iteration (both phases)."""
+        p = self.parameters
+        crossbar = 2 * self.num_crossbar_cells * p.cell_read_energy_j  # phase 1 + phase 2 reads
+        wta = self.num_wta_cells * p.wta_cell_energy_j
+        adc = self.num_adc_conversions_per_iteration * p.adc_conversion_energy_j
+        logic = p.sa_logic_update_energy_j
+        drive = 2 * p.line_drive_energy_j
+        return crossbar + wta + adc + logic + drive
+
+    def run_energy_j(self, num_iterations: int) -> float:
+        """Energy of a full SA run."""
+        if num_iterations < 0:
+            raise ValueError(f"num_iterations must be non-negative, got {num_iterations}")
+        return num_iterations * self.iteration_energy_j
+
+    def energy_to_solution_j(self, iterations_to_solution: float) -> float:
+        """Energy spent until the solution iteration."""
+        if iterations_to_solution < 0:
+            raise ValueError(
+                f"iterations_to_solution must be non-negative, got {iterations_to_solution}"
+            )
+        return iterations_to_solution * self.iteration_energy_j

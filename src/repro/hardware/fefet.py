@@ -1,0 +1,158 @@
+"""Behavioural ferroelectric FET (FeFET) device model.
+
+The paper uses the Preisach-based compact model of its reference [27]
+inside SPECTRE; the architecture, however, only relies on a few device
+facts (Fig. 2):
+
+* a FeFET stores a low-V_TH or high-V_TH state depending on the polarity
+  of the last program pulse;
+* reading at a gate voltage between the two thresholds yields a large
+  ON/OFF current ratio;
+* the bare FeFET ON current varies strongly from device to device, which
+  the 1FeFET1R cell (series resistor) suppresses.
+
+This module provides that behavioural model: program/erase with
+polarity-dependent threshold switching, an I_D–V_G characteristic built
+from a subthreshold-slope limited exponential that saturates at the ON
+current, and device-to-device V_TH variability.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.hardware.corners import ProcessCorner, TT
+from repro.hardware.noise import VariabilityModel, PAPER_VARIABILITY
+from repro.utils.rng import SeedLike, as_generator
+
+
+@dataclass(frozen=True)
+class FeFETParameters:
+    """Nominal electrical parameters of the FeFET read path.
+
+    Default values follow the measured characteristics reproduced in
+    Fig. 2(b) of the paper: low-V_TH around 0.4 V, high-V_TH around
+    1.4 V, ~60-80 mV/dec subthreshold swing and an ON current in the
+    microampere range at the 1.0 V read voltage.
+    """
+
+    low_vth_v: float = 0.4
+    high_vth_v: float = 1.4
+    subthreshold_swing_mv_per_dec: float = 80.0
+    on_current_a: float = 1.0e-6
+    off_current_floor_a: float = 1.0e-12
+    read_voltage_v: float = 1.0
+    write_voltage_v: float = 4.0
+    write_pulse_width_s: float = 1.0e-6
+
+    def __post_init__(self) -> None:
+        if self.high_vth_v <= self.low_vth_v:
+            raise ValueError(
+                f"high_vth_v must exceed low_vth_v, got {self.high_vth_v} <= {self.low_vth_v}"
+            )
+        if self.on_current_a <= 0 or self.off_current_floor_a <= 0:
+            raise ValueError("currents must be positive")
+        if self.subthreshold_swing_mv_per_dec <= 0:
+            raise ValueError("subthreshold swing must be positive")
+
+
+class FeFET:
+    """A single FeFET storing one bit in its polarization state.
+
+    The stored bit maps to the threshold voltage: logical ``1`` is the
+    low-V_TH (erased, conducting at the read voltage) state, logical
+    ``0`` is the high-V_TH (programmed, non-conducting) state — matching
+    Fig. 2(b) where the '1' curve turns on well below the '0' curve.
+    """
+
+    def __init__(
+        self,
+        parameters: Optional[FeFETParameters] = None,
+        variability: Optional[VariabilityModel] = None,
+        corner: ProcessCorner = TT,
+        seed: SeedLike = None,
+    ) -> None:
+        self.parameters = parameters or FeFETParameters()
+        self.variability = variability if variability is not None else PAPER_VARIABILITY
+        self.corner = corner
+        rng = as_generator(seed)
+        # Device-to-device threshold shift is fixed at fabrication time.
+        self._vth_offset_v = float(
+            rng.normal(0.0, self.variability.fefet_vth_sigma_mv * 1e-3)
+        ) + corner.vth_shift_mv * 1e-3
+        self._stored_bit = 0
+
+    # ------------------------------------------------------------------
+    # State
+    # ------------------------------------------------------------------
+    @property
+    def stored_bit(self) -> int:
+        """The logical bit currently stored (0 or 1)."""
+        return self._stored_bit
+
+    @property
+    def threshold_voltage_v(self) -> float:
+        """Current threshold voltage including device-to-device offset."""
+        nominal = (
+            self.parameters.low_vth_v if self._stored_bit == 1 else self.parameters.high_vth_v
+        )
+        return nominal + self._vth_offset_v
+
+    def program(self, bit: int) -> None:
+        """Program the device to store ``bit`` (0 or 1).
+
+        Writing logical 1 corresponds to a negative gate pulse (low V_TH);
+        writing logical 0 to a positive pulse (high V_TH), per Fig. 2(a).
+        """
+        if bit not in (0, 1):
+            raise ValueError(f"bit must be 0 or 1, got {bit}")
+        self._stored_bit = int(bit)
+
+    def erase(self) -> None:
+        """Erase to the conducting (logical 1) state."""
+        self.program(1)
+
+    # ------------------------------------------------------------------
+    # Electrical behaviour
+    # ------------------------------------------------------------------
+    def drain_current_a(self, gate_voltage_v: float) -> float:
+        """Drain current at the given gate voltage (drain at nominal read bias).
+
+        Below threshold the current rises exponentially with the
+        subthreshold swing; above threshold it saturates at the ON
+        current scaled by the process corner drive strength.
+        """
+        if gate_voltage_v < 0:
+            raise ValueError(f"gate voltage must be non-negative, got {gate_voltage_v}")
+        params = self.parameters
+        overdrive = gate_voltage_v - self.threshold_voltage_v
+        swing_v = params.subthreshold_swing_mv_per_dec * 1e-3
+        on_current = params.on_current_a * self.corner.nmos_drive
+        if overdrive >= 0:
+            return float(on_current)
+        current = on_current * 10.0 ** (overdrive / swing_v)
+        return float(max(current, params.off_current_floor_a))
+
+    def read_current_a(self) -> float:
+        """Drain current at the nominal read voltage."""
+        return self.drain_current_a(self.parameters.read_voltage_v)
+
+    def id_vg_curve(self, gate_voltages_v: np.ndarray) -> np.ndarray:
+        """I_D–V_G sweep (used to regenerate the Fig. 2(b)-style curves)."""
+        voltages = np.asarray(gate_voltages_v, dtype=float)
+        return np.array([self.drain_current_a(float(v)) for v in voltages])
+
+    def on_off_ratio(self) -> float:
+        """Ratio of the read currents in the two stored states."""
+        saved = self._stored_bit
+        try:
+            self.program(1)
+            on = self.read_current_a()
+            self.program(0)
+            off = self.read_current_a()
+        finally:
+            self._stored_bit = saved
+        return float(on / off)

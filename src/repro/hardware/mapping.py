@@ -1,0 +1,267 @@
+"""Mapping of payoff matrices and strategies onto the crossbar.
+
+Sec. 3.2 / Fig. 4 of the paper define the mapping:
+
+* each payoff matrix element is represented by ``t`` 1FeFET1R cells in a
+  thermometer (unary) code, with ``t`` set by the largest element;
+* each probability is quantised to ``I`` intervals, so a probability
+  ``k / I`` activates ``k`` of the ``I`` word lines (rows) of its action
+  block, and ``k`` of the ``I`` column replicas of the opposing action;
+* the physical crossbar implementing ``p^T M q`` therefore has
+  ``I x n`` rows and ``I x t x m`` columns, and the number of conducting
+  cells equals ``(p_i I) * (q_j I) * level(M_ij)`` summed over blocks.
+
+:class:`StrategyQuantizer` handles the probability quantisation,
+:class:`PayoffMapping` handles the payoff-level encoding and produces the
+physical bit pattern plus activation masks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.utils.validation import ensure_int_at_least, ensure_matrix, ensure_probability_vector
+
+
+@dataclass(frozen=True)
+class StrategyQuantizer:
+    """Quantise probabilities into ``1/I`` intervals.
+
+    Probabilities live on the grid ``{0, 1/I, 2/I, ..., 1}``; a full mixed
+    strategy is a vector of grid values summing to 1, i.e. an integer
+    composition of ``I``.
+    """
+
+    num_intervals: int = 8
+
+    def __post_init__(self) -> None:
+        ensure_int_at_least(self.num_intervals, 1, "num_intervals")
+
+    @property
+    def step(self) -> float:
+        """The probability resolution ``1/I``."""
+        return 1.0 / self.num_intervals
+
+    def to_counts(self, strategy: np.ndarray) -> np.ndarray:
+        """Convert a probability vector to integer interval counts summing to I.
+
+        Rounds to the nearest grid point while preserving the total count
+        (largest-remainder correction), so the result is always a valid
+        quantised strategy.
+        """
+        probabilities = ensure_probability_vector(strategy, "strategy")
+        scaled = probabilities * self.num_intervals
+        counts = np.floor(scaled).astype(int)
+        remainder = self.num_intervals - int(counts.sum())
+        if remainder > 0:
+            fractional = scaled - counts
+            order = np.argsort(-fractional)
+            for index in order[:remainder]:
+                counts[index] += 1
+        elif remainder < 0:
+            order = np.argsort(scaled - counts)
+            for index in order[: -remainder]:
+                counts[index] -= 1
+        return counts
+
+    def to_probabilities(self, counts: np.ndarray) -> np.ndarray:
+        """Convert integer interval counts back to a probability vector."""
+        values = np.asarray(counts, dtype=int)
+        if np.any(values < 0):
+            raise ValueError(f"counts must be non-negative, got {values}")
+        if values.sum() != self.num_intervals:
+            raise ValueError(
+                f"counts must sum to {self.num_intervals}, got {int(values.sum())}"
+            )
+        return values.astype(float) / self.num_intervals
+
+    def quantize(self, strategy: np.ndarray) -> np.ndarray:
+        """Snap a probability vector to the nearest representable grid point."""
+        return self.to_probabilities(self.to_counts(strategy))
+
+    def quantization_error(self, strategy: np.ndarray) -> float:
+        """Largest per-entry deviation introduced by quantisation."""
+        probabilities = ensure_probability_vector(strategy, "strategy")
+        return float(np.abs(self.quantize(probabilities) - probabilities).max())
+
+
+@dataclass(frozen=True)
+class PayoffMapping:
+    """Thermometer encoding of a payoff matrix into per-element cell counts.
+
+    Parameters
+    ----------
+    payoff:
+        The payoff matrix to map (must be non-negative; shift the game
+        first if it has negative entries).
+    cells_per_element:
+        ``t``: number of cells allotted to each element.  When ``None``,
+        the smallest integer covering the maximum element at unit
+        resolution is used (``t = ceil(max element)``), matching the
+        paper's "t is determined by the max value of matrix element".
+    """
+
+    payoff: np.ndarray
+    cells_per_element: int = 0
+
+    def __post_init__(self) -> None:
+        matrix = ensure_matrix(self.payoff, "payoff")
+        if np.any(matrix < 0):
+            raise ValueError("payoff must be non-negative; shift the game before mapping")
+        object.__setattr__(self, "payoff", matrix)
+        if self.cells_per_element == 0:
+            maximum = float(matrix.max())
+            object.__setattr__(self, "cells_per_element", max(1, int(np.ceil(maximum))))
+        ensure_int_at_least(self.cells_per_element, 1, "cells_per_element")
+
+    @property
+    def value_per_cell(self) -> float:
+        """Payoff value represented by one programmed cell."""
+        maximum = float(self.payoff.max())
+        if maximum == 0:
+            return 1.0
+        return maximum / self.cells_per_element
+
+    def levels(self) -> np.ndarray:
+        """Integer cell counts (0..t) encoding each payoff element."""
+        return np.rint(self.payoff / self.value_per_cell).astype(int)
+
+    def quantized_payoff(self) -> np.ndarray:
+        """The payoff matrix as actually represented on the crossbar."""
+        return self.levels() * self.value_per_cell
+
+    def encoding_error(self) -> float:
+        """Largest absolute payoff error introduced by the cell encoding."""
+        return float(np.abs(self.quantized_payoff() - self.payoff).max())
+
+    def element_bit_pattern(self, row: int, column: int) -> np.ndarray:
+        """Thermometer bit pattern (length ``t``) of a single element."""
+        level = int(self.levels()[row, column])
+        pattern = np.zeros(self.cells_per_element, dtype=np.int8)
+        pattern[:level] = 1
+        return pattern
+
+
+@dataclass(frozen=True)
+class CrossbarLayout:
+    """Physical layout of one payoff crossbar (Fig. 4(a)).
+
+    Combines a :class:`StrategyQuantizer` (``I``) and a
+    :class:`PayoffMapping` (``t``) for an ``n x m`` payoff matrix.
+    """
+
+    num_row_actions: int
+    num_col_actions: int
+    num_intervals: int
+    cells_per_element: int
+
+    def __post_init__(self) -> None:
+        ensure_int_at_least(self.num_row_actions, 1, "num_row_actions")
+        ensure_int_at_least(self.num_col_actions, 1, "num_col_actions")
+        ensure_int_at_least(self.num_intervals, 1, "num_intervals")
+        ensure_int_at_least(self.cells_per_element, 1, "cells_per_element")
+
+    @property
+    def physical_rows(self) -> int:
+        """Number of word lines: ``I x n``."""
+        return self.num_intervals * self.num_row_actions
+
+    @property
+    def physical_columns(self) -> int:
+        """Number of drain lines: ``I x t x m``."""
+        return self.num_intervals * self.cells_per_element * self.num_col_actions
+
+    @property
+    def num_cells(self) -> int:
+        """Total number of 1FeFET1R cells in the array."""
+        return self.physical_rows * self.physical_columns
+
+    def row_slice(self, action: int) -> slice:
+        """Physical row range of a row-player action block."""
+        if not (0 <= action < self.num_row_actions):
+            raise IndexError(f"row action {action} out of range")
+        start = action * self.num_intervals
+        return slice(start, start + self.num_intervals)
+
+    def column_slice(self, action: int, replica: int) -> slice:
+        """Physical column range of one replica of a column-player action block."""
+        if not (0 <= action < self.num_col_actions):
+            raise IndexError(f"column action {action} out of range")
+        if not (0 <= replica < self.num_intervals):
+            raise IndexError(f"replica {replica} out of range")
+        start = (action * self.num_intervals + replica) * self.cells_per_element
+        return slice(start, start + self.cells_per_element)
+
+    def bit_pattern(self, mapping: PayoffMapping) -> np.ndarray:
+        """Full physical bit matrix for programming the crossbar.
+
+        Each element's thermometer pattern is replicated across the ``I``
+        row lines of its row block and the ``I`` column replicas of its
+        column block.
+        """
+        levels = mapping.levels()
+        if levels.shape != (self.num_row_actions, self.num_col_actions):
+            raise ValueError(
+                f"mapping shape {levels.shape} does not match layout "
+                f"({self.num_row_actions}, {self.num_col_actions})"
+            )
+        if mapping.cells_per_element != self.cells_per_element:
+            raise ValueError(
+                "mapping cells_per_element does not match layout cells_per_element"
+            )
+        bits = np.zeros((self.physical_rows, self.physical_columns), dtype=np.int8)
+        for i in range(self.num_row_actions):
+            rows = self.row_slice(i)
+            for j in range(self.num_col_actions):
+                pattern = mapping.element_bit_pattern(i, j)
+                for replica in range(self.num_intervals):
+                    bits[rows, self.column_slice(j, replica)] = pattern
+        return bits
+
+    def row_activation(self, counts: np.ndarray) -> np.ndarray:
+        """Word-line activation mask for quantised row-strategy ``counts``."""
+        values = np.asarray(counts, dtype=int)
+        if values.shape != (self.num_row_actions,):
+            raise ValueError(
+                f"counts must have shape ({self.num_row_actions},), got {values.shape}"
+            )
+        mask = np.zeros(self.physical_rows)
+        for action, count in enumerate(values):
+            if not (0 <= count <= self.num_intervals):
+                raise ValueError(f"count {count} out of range for I={self.num_intervals}")
+            start = action * self.num_intervals
+            mask[start : start + count] = 1.0
+        return mask
+
+    def column_activation(self, counts: np.ndarray) -> np.ndarray:
+        """Drain-line activation mask for quantised column-strategy ``counts``."""
+        values = np.asarray(counts, dtype=int)
+        if values.shape != (self.num_col_actions,):
+            raise ValueError(
+                f"counts must have shape ({self.num_col_actions},), got {values.shape}"
+            )
+        mask = np.zeros(self.physical_columns)
+        for action, count in enumerate(values):
+            if not (0 <= count <= self.num_intervals):
+                raise ValueError(f"count {count} out of range for I={self.num_intervals}")
+            for replica in range(count):
+                mask[self.column_slice(action, replica)] = 1.0
+        return mask
+
+
+def layout_for_payoff(
+    payoff: np.ndarray, num_intervals: int, cells_per_element: int = 0
+) -> Tuple[CrossbarLayout, PayoffMapping]:
+    """Convenience constructor: layout + mapping for one payoff matrix."""
+    mapping = PayoffMapping(payoff, cells_per_element)
+    n, m = mapping.payoff.shape
+    layout = CrossbarLayout(
+        num_row_actions=n,
+        num_col_actions=m,
+        num_intervals=num_intervals,
+        cells_per_element=mapping.cells_per_element,
+    )
+    return layout, mapping

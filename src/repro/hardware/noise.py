@@ -1,0 +1,104 @@
+"""Variability and noise models for the FeFET CiM arrays.
+
+The paper's robustness study (Sec. 4.1 / Fig. 7(a)) assumes a
+device-to-device FeFET threshold-voltage variability of sigma = 40 mV
+(from its reference [29]) and an 8 % series-resistor variability (from
+reference [30]).  :class:`VariabilityModel` bundles these parameters,
+samples per-cell multiplicative current deviations and read-to-read
+noise, and is shared by the device, cell and crossbar models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.rng import SeedLike, as_generator
+
+
+@dataclass(frozen=True)
+class VariabilityModel:
+    """Static (device-to-device) and dynamic (read-to-read) variability.
+
+    Parameters
+    ----------
+    fefet_vth_sigma_mv:
+        Standard deviation of the FeFET threshold voltage in millivolts
+        (paper default: 40 mV).
+    resistor_sigma_fraction:
+        Relative standard deviation of the integrated series resistor
+        (paper default: 8 %).
+    vth_to_current_sensitivity:
+        Fractional ON-current change per millivolt of threshold shift.
+        The 1FeFET1R structure suppresses the ON-current sensitivity to
+        V_TH (Fig. 2(d)); the default models the residual sensitivity.
+    read_noise_fraction:
+        Relative standard deviation of the cycle-to-cycle read noise
+        added on every evaluation (thermal/shot noise at the sense node).
+    """
+
+    fefet_vth_sigma_mv: float = 40.0
+    resistor_sigma_fraction: float = 0.08
+    vth_to_current_sensitivity: float = 0.0005
+    read_noise_fraction: float = 0.002
+
+    def __post_init__(self) -> None:
+        for label, value in (
+            ("fefet_vth_sigma_mv", self.fefet_vth_sigma_mv),
+            ("resistor_sigma_fraction", self.resistor_sigma_fraction),
+            ("vth_to_current_sensitivity", self.vth_to_current_sensitivity),
+            ("read_noise_fraction", self.read_noise_fraction),
+        ):
+            if value < 0:
+                raise ValueError(f"{label} must be non-negative, got {value}")
+
+    @property
+    def cell_current_sigma_fraction(self) -> float:
+        """Combined per-cell relative ON-current spread.
+
+        The V_TH-induced spread and the resistor spread are independent,
+        so their variances add.  Because the 1FeFET1R cell's ON current is
+        dominated by the series resistor, the resistor term dominates.
+        """
+        vth_term = self.fefet_vth_sigma_mv * self.vth_to_current_sensitivity
+        return float(np.sqrt(vth_term**2 + self.resistor_sigma_fraction**2))
+
+    def sample_cell_factors(self, shape, seed: SeedLike = None) -> np.ndarray:
+        """Sample per-cell static ON-current multipliers of the given shape.
+
+        Multipliers are lognormal-distributed around 1 so currents stay
+        positive even in the tails.
+        """
+        rng = as_generator(seed)
+        sigma = self.cell_current_sigma_fraction
+        if sigma == 0:
+            return np.ones(shape)
+        # Lognormal with mean 1: mu = -sigma_ln^2 / 2.
+        sigma_ln = np.sqrt(np.log(1.0 + sigma**2))
+        mu_ln = -0.5 * sigma_ln**2
+        return rng.lognormal(mean=mu_ln, sigma=sigma_ln, size=shape)
+
+    def sample_vth_shifts_mv(self, shape, seed: SeedLike = None) -> np.ndarray:
+        """Sample per-device threshold-voltage shifts in millivolts."""
+        rng = as_generator(seed)
+        return rng.normal(0.0, self.fefet_vth_sigma_mv, size=shape)
+
+    def sample_read_noise(self, shape, seed: SeedLike = None) -> np.ndarray:
+        """Sample multiplicative read-to-read noise factors."""
+        rng = as_generator(seed)
+        if self.read_noise_fraction == 0:
+            return np.ones(shape)
+        return 1.0 + rng.normal(0.0, self.read_noise_fraction, size=shape)
+
+
+#: Variability parameters used throughout the paper's evaluation.
+PAPER_VARIABILITY = VariabilityModel()
+
+#: An idealised (noise-free) variability model for functional tests.
+IDEAL_VARIABILITY = VariabilityModel(
+    fefet_vth_sigma_mv=0.0,
+    resistor_sigma_fraction=0.0,
+    vth_to_current_sensitivity=0.0,
+    read_noise_fraction=0.0,
+)

@@ -1,0 +1,133 @@
+"""Crossbar programming (write) model.
+
+Mapping a game onto the bi-crossbar is not free: every 1FeFET1R cell
+whose payoff bit is 1 must be programmed with a gate write pulse, and
+FeFETs wear out after a finite number of program/erase cycles.  This
+model estimates the one-time programming latency and energy of a mapped
+game and tracks cumulative write counts against an endurance budget — the
+numbers the architecture amortises over the (much cheaper) read-only SA
+iterations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.hardware.bicrossbar import BiCrossbar
+from repro.hardware.mapping import CrossbarLayout, PayoffMapping
+
+
+@dataclass(frozen=True)
+class ProgrammingParameters:
+    """Write-path parameters of the FeFET crossbar."""
+
+    write_pulse_ns: float = 1000.0
+    write_pulse_energy_j: float = 1.0e-12
+    rows_programmed_in_parallel: int = 1
+    verify_read_ns: float = 10.0
+    endurance_cycles: float = 1.0e10
+
+    def __post_init__(self) -> None:
+        if self.write_pulse_ns <= 0:
+            raise ValueError(f"write_pulse_ns must be positive, got {self.write_pulse_ns}")
+        if self.write_pulse_energy_j < 0:
+            raise ValueError(
+                f"write_pulse_energy_j must be non-negative, got {self.write_pulse_energy_j}"
+            )
+        if self.rows_programmed_in_parallel < 1:
+            raise ValueError(
+                "rows_programmed_in_parallel must be >= 1, got "
+                f"{self.rows_programmed_in_parallel}"
+            )
+        if self.verify_read_ns < 0:
+            raise ValueError(f"verify_read_ns must be non-negative, got {self.verify_read_ns}")
+        if self.endurance_cycles <= 0:
+            raise ValueError(f"endurance_cycles must be positive, got {self.endurance_cycles}")
+
+
+@dataclass(frozen=True)
+class ProgrammingCost:
+    """Latency/energy of programming one payoff matrix onto a crossbar."""
+
+    cells_written: int
+    rows_programmed: int
+    latency_s: float
+    energy_j: float
+
+
+class CrossbarProgrammer:
+    """Estimates programming costs and tracks write wear for one crossbar."""
+
+    def __init__(self, parameters: ProgrammingParameters = ProgrammingParameters()):
+        self.parameters = parameters
+        self._writes_performed = 0
+
+    @property
+    def writes_performed(self) -> int:
+        """Total write pulses issued through this programmer."""
+        return self._writes_performed
+
+    def remaining_endurance_fraction(self) -> float:
+        """Fraction of the endurance budget still available (worst-case cell)."""
+        used = self._writes_performed / self.parameters.endurance_cycles
+        return float(max(0.0, 1.0 - used))
+
+    def cost_for_bits(self, bits: np.ndarray) -> ProgrammingCost:
+        """Programming cost of writing a physical bit pattern.
+
+        Programming proceeds row by row (``rows_programmed_in_parallel``
+        rows at a time); every cell storing a 1 needs one write pulse, and
+        each row group is followed by a verify read.
+        """
+        pattern = np.asarray(bits)
+        if pattern.ndim != 2:
+            raise ValueError(f"bits must be 2-D, got shape {pattern.shape}")
+        if not np.all(np.isin(pattern, (0, 1))):
+            raise ValueError("bits must contain only 0 and 1")
+        cells_written = int(pattern.sum())
+        rows = pattern.shape[0]
+        parameters = self.parameters
+        row_groups = int(np.ceil(rows / parameters.rows_programmed_in_parallel))
+        latency_ns = row_groups * (parameters.write_pulse_ns + parameters.verify_read_ns)
+        energy = cells_written * parameters.write_pulse_energy_j
+        return ProgrammingCost(
+            cells_written=cells_written,
+            rows_programmed=rows,
+            latency_s=latency_ns * 1e-9,
+            energy_j=energy,
+        )
+
+    def cost_for_mapping(self, layout: CrossbarLayout, mapping: PayoffMapping) -> ProgrammingCost:
+        """Programming cost of one payoff matrix in its crossbar layout."""
+        return self.cost_for_bits(layout.bit_pattern(mapping))
+
+    def cost_for_bicrossbar(self, bicrossbar: BiCrossbar) -> ProgrammingCost:
+        """Programming cost of mapping a whole game (both crossbars)."""
+        row_cost = self.cost_for_mapping(
+            bicrossbar.row_crossbar.layout, bicrossbar.row_crossbar.mapping
+        )
+        col_cost = self.cost_for_mapping(
+            bicrossbar.col_crossbar.layout, bicrossbar.col_crossbar.mapping
+        )
+        return ProgrammingCost(
+            cells_written=row_cost.cells_written + col_cost.cells_written,
+            rows_programmed=row_cost.rows_programmed + col_cost.rows_programmed,
+            latency_s=row_cost.latency_s + col_cost.latency_s,
+            energy_j=row_cost.energy_j + col_cost.energy_j,
+        )
+
+    def record_programming(self, cost: ProgrammingCost) -> None:
+        """Account a performed programming operation against the endurance budget."""
+        self._writes_performed += cost.cells_written
+
+    def amortization_ratio(self, cost: ProgrammingCost, run_time_s: float) -> float:
+        """Programming latency as a fraction of one SA run's latency.
+
+        Small values mean the one-time write cost is negligible next to the
+        annealing itself, which is the architecture's amortisation claim.
+        """
+        if run_time_s <= 0:
+            raise ValueError(f"run_time_s must be positive, got {run_time_s}")
+        return cost.latency_s / run_time_s

@@ -1,0 +1,110 @@
+"""Latency and time-to-solution model.
+
+The paper derives C-Nash time-to-solution from the operational frequency
+of FeFET crossbar arrays reported in its reference [29] (scaled to
+1-bit/1-bit precision), the WTA settling time (0.08 ns per cell level)
+and the SA-logic update.  This module provides a parametric iteration
+latency model and the time-to-solution accounting used by the Fig. 10
+experiment.
+
+The D-Wave side of Fig. 10 uses per-sample timing profiles
+(:mod:`repro.baselines.machines`), not this module.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware.wta import WTAParameters, wta_cells_required
+import numpy as np
+
+
+@dataclass(frozen=True)
+class TimingParameters:
+    """Per-operation latencies of the C-Nash datapath (nanoseconds)."""
+
+    crossbar_read_ns: float = 5.0
+    adc_conversion_ns: float = 2.0
+    sa_logic_update_ns: float = 2.0
+    dac_drive_ns: float = 1.0
+    wta_cell_latency_ns: float = 0.08
+
+    def __post_init__(self) -> None:
+        for label, value in (
+            ("crossbar_read_ns", self.crossbar_read_ns),
+            ("adc_conversion_ns", self.adc_conversion_ns),
+            ("sa_logic_update_ns", self.sa_logic_update_ns),
+            ("dac_drive_ns", self.dac_drive_ns),
+            ("wta_cell_latency_ns", self.wta_cell_latency_ns),
+        ):
+            if value < 0:
+                raise ValueError(f"{label} must be non-negative, got {value}")
+
+
+@dataclass(frozen=True)
+class CNashTimingModel:
+    """Iteration-level timing of the two-phase SA loop.
+
+    Parameters
+    ----------
+    num_row_actions, num_col_actions:
+        Game size, which sets the WTA tree depths.
+    parameters:
+        Per-operation latencies.
+    """
+
+    num_row_actions: int
+    num_col_actions: int
+    parameters: TimingParameters = TimingParameters()
+
+    def __post_init__(self) -> None:
+        if self.num_row_actions < 1 or self.num_col_actions < 1:
+            raise ValueError("action counts must be >= 1")
+
+    @property
+    def wta_tree_latency_ns(self) -> float:
+        """Settling latency of the deeper of the two WTA trees."""
+        depth_row = int(np.ceil(np.log2(self.num_row_actions))) if self.num_row_actions > 1 else 0
+        depth_col = int(np.ceil(np.log2(self.num_col_actions))) if self.num_col_actions > 1 else 0
+        return max(depth_row, depth_col) * self.parameters.wta_cell_latency_ns
+
+    @property
+    def phase1_latency_ns(self) -> float:
+        """Phase 1: drive lines, crossbar MV read, WTA settle, ADC."""
+        p = self.parameters
+        return p.dac_drive_ns + p.crossbar_read_ns + self.wta_tree_latency_ns + p.adc_conversion_ns
+
+    @property
+    def phase2_latency_ns(self) -> float:
+        """Phase 2: drive lines, crossbar VMV read, ADC."""
+        p = self.parameters
+        return p.dac_drive_ns + p.crossbar_read_ns + p.adc_conversion_ns
+
+    @property
+    def iteration_latency_ns(self) -> float:
+        """One SA iteration: both phases plus the SA-logic update."""
+        return self.phase1_latency_ns + self.phase2_latency_ns + self.parameters.sa_logic_update_ns
+
+    @property
+    def iteration_frequency_hz(self) -> float:
+        """Iteration rate implied by the iteration latency."""
+        return 1.0e9 / self.iteration_latency_ns
+
+    def run_time_s(self, num_iterations: int) -> float:
+        """Wall-clock time of one SA run of ``num_iterations`` iterations."""
+        if num_iterations < 0:
+            raise ValueError(f"num_iterations must be non-negative, got {num_iterations}")
+        return num_iterations * self.iteration_latency_ns * 1e-9
+
+    def time_to_solution_s(self, iterations_to_solution: float) -> float:
+        """Time to reach a solution given the (average) iterations needed."""
+        if iterations_to_solution < 0:
+            raise ValueError(
+                f"iterations_to_solution must be non-negative, got {iterations_to_solution}"
+            )
+        return iterations_to_solution * self.iteration_latency_ns * 1e-9
+
+
+def timing_for_game_shape(num_row_actions: int, num_col_actions: int) -> CNashTimingModel:
+    """Timing model with default parameters for a given game shape."""
+    return CNashTimingModel(num_row_actions=num_row_actions, num_col_actions=num_col_actions)

@@ -1,0 +1,116 @@
+"""Classical single-spin-flip simulated annealer for QUBO models.
+
+This is the binary annealer used by the D-Wave-like baseline solvers
+(:mod:`repro.baselines`): it minimises a :class:`~repro.qubo.model.QuboModel`
+with Metropolis single-bit flips under a configurable temperature
+schedule.  The C-Nash solver itself does *not* use this module — it runs
+the two-phase SA over quantized mixed strategies instead
+(:mod:`repro.core.two_phase_sa`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.annealing.temperature import GeometricSchedule, TemperatureSchedule
+from repro.qubo.model import QuboModel
+from repro.utils.rng import SeedLike, as_generator
+
+
+@dataclass
+class BinaryAnnealerConfig:
+    """Configuration of the binary QUBO annealer."""
+
+    num_sweeps: int = 1000
+    schedule: TemperatureSchedule = field(
+        default_factory=lambda: GeometricSchedule(initial=5.0, final=0.01)
+    )
+    record_history: bool = False
+
+    def __post_init__(self) -> None:
+        if self.num_sweeps <= 0:
+            raise ValueError(f"num_sweeps must be positive, got {self.num_sweeps}")
+
+
+@dataclass
+class BinaryAnnealResult:
+    """Outcome of one annealing run."""
+
+    best_assignment: np.ndarray
+    best_energy: float
+    final_assignment: np.ndarray
+    final_energy: float
+    num_sweeps: int
+    num_flips_accepted: int
+    energy_history: List[float] = field(default_factory=list)
+
+
+def anneal_qubo(
+    model: QuboModel,
+    config: Optional[BinaryAnnealerConfig] = None,
+    seed: SeedLike = None,
+    initial_assignment: Optional[np.ndarray] = None,
+) -> BinaryAnnealResult:
+    """Minimise ``model`` with single-bit-flip simulated annealing.
+
+    Each sweep proposes one flip per variable (in random order) and
+    accepts with the Metropolis criterion at the sweep's temperature.
+    """
+    config = config or BinaryAnnealerConfig()
+    rng = as_generator(seed)
+    n = model.num_variables
+    if initial_assignment is None:
+        state = rng.integers(0, 2, size=n).astype(float)
+    else:
+        state = np.asarray(initial_assignment, dtype=float).copy()
+        if state.shape != (n,):
+            raise ValueError(f"initial_assignment must have shape ({n},), got {state.shape}")
+
+    energy = model.energy(state)
+    best_state = state.copy()
+    best_energy = energy
+    accepted = 0
+    history: List[float] = []
+
+    for sweep in range(config.num_sweeps):
+        temperature = config.schedule.temperature(sweep, config.num_sweeps)
+        order = rng.permutation(n)
+        for index in order:
+            delta = model.energy_delta(state, int(index))
+            if delta <= 0 or (
+                temperature > 0 and rng.random() < np.exp(-delta / temperature)
+            ):
+                state[index] = 1.0 - state[index]
+                energy += delta
+                accepted += 1
+                if energy < best_energy:
+                    best_energy = energy
+                    best_state = state.copy()
+        if config.record_history:
+            history.append(energy)
+
+    return BinaryAnnealResult(
+        best_assignment=best_state,
+        best_energy=float(best_energy),
+        final_assignment=state,
+        final_energy=float(energy),
+        num_sweeps=config.num_sweeps,
+        num_flips_accepted=accepted,
+        energy_history=history,
+    )
+
+
+def anneal_qubo_batch(
+    model: QuboModel,
+    num_reads: int,
+    config: Optional[BinaryAnnealerConfig] = None,
+    seed: SeedLike = None,
+) -> List[BinaryAnnealResult]:
+    """Run ``num_reads`` independent annealing runs (a D-Wave-style sample set)."""
+    if num_reads <= 0:
+        raise ValueError(f"num_reads must be positive, got {num_reads}")
+    rng = as_generator(seed)
+    return [anneal_qubo(model, config=config, seed=rng) for _ in range(num_reads)]

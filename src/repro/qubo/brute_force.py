@@ -1,0 +1,81 @@
+"""Exhaustive QUBO solver for small instances.
+
+Used by tests to verify that the annealers find true optima and by the
+S-QUBO analysis to demonstrate that the slack transformation's global
+optimum can differ from a Nash equilibrium (the "lossy transformation"
+argument of the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Tuple
+
+import numpy as np
+
+from repro.qubo.model import QuboModel
+
+_MAX_BRUTE_FORCE_VARIABLES = 24
+
+
+@dataclass(frozen=True)
+class BruteForceResult:
+    """Result of an exhaustive QUBO search."""
+
+    best_assignment: np.ndarray
+    best_energy: float
+    num_evaluated: int
+    optima: Tuple[np.ndarray, ...]
+
+    @property
+    def num_optima(self) -> int:
+        """Number of assignments achieving the optimal energy."""
+        return len(self.optima)
+
+
+def enumerate_assignments(num_variables: int) -> Iterator[np.ndarray]:
+    """Yield every binary assignment of ``num_variables`` bits."""
+    if num_variables < 1:
+        raise ValueError(f"num_variables must be >= 1, got {num_variables}")
+    for code in range(2**num_variables):
+        bits = (code >> np.arange(num_variables)) & 1
+        yield bits.astype(float)
+
+
+def brute_force_solve(
+    model: QuboModel,
+    atol: float = 1e-9,
+    batch_size: int = 4096,
+) -> BruteForceResult:
+    """Exhaustively minimise ``model`` and return all optimal assignments.
+
+    Refuses instances with more than 24 variables (16 million states) to
+    avoid accidental multi-minute runs; use an annealer beyond that.
+    """
+    n = model.num_variables
+    if n > _MAX_BRUTE_FORCE_VARIABLES:
+        raise ValueError(
+            f"brute force limited to {_MAX_BRUTE_FORCE_VARIABLES} variables, got {n}"
+        )
+    best_energy = np.inf
+    optima: List[np.ndarray] = []
+    num_evaluated = 0
+    total = 2**n
+    for start in range(0, total, batch_size):
+        stop = min(start + batch_size, total)
+        codes = np.arange(start, stop)
+        batch = ((codes[:, None] >> np.arange(n)[None, :]) & 1).astype(float)
+        energies = model.energies(batch)
+        num_evaluated += batch.shape[0]
+        batch_best = float(energies.min())
+        if batch_best < best_energy - atol:
+            best_energy = batch_best
+            optima = [row.copy() for row in batch[np.abs(energies - batch_best) <= atol]]
+        elif abs(batch_best - best_energy) <= atol:
+            optima.extend(row.copy() for row in batch[np.abs(energies - best_energy) <= atol])
+    return BruteForceResult(
+        best_assignment=optima[0],
+        best_energy=best_energy,
+        num_evaluated=num_evaluated,
+        optima=tuple(optima),
+    )

@@ -1,0 +1,142 @@
+"""Incremental QUBO builder.
+
+The S-QUBO formulation of a Nash-equilibrium problem adds several penalty
+terms (simplex constraints, slack-equalised inequalities) on top of the
+bilinear payoff term.  Building the final ``Q`` matrix by hand is error
+prone, so :class:`QuboBuilder` offers named variables, linear/quadratic
+terms and squared-linear-expression penalties, then emits a
+:class:`~repro.qubo.model.QuboModel`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.qubo.model import QuboModel
+
+
+class QuboBuilder:
+    """Accumulate linear, quadratic and penalty terms into a QUBO model."""
+
+    def __init__(self) -> None:
+        self._names: List[str] = []
+        self._index: Dict[str, int] = {}
+        self._linear: Dict[int, float] = {}
+        self._quadratic: Dict[Tuple[int, int], float] = {}
+        self._offset: float = 0.0
+
+    # ------------------------------------------------------------------
+    # Variables
+    # ------------------------------------------------------------------
+    def add_variable(self, name: str) -> int:
+        """Register a binary variable and return its index.
+
+        Re-registering an existing name returns the existing index.
+        """
+        if name in self._index:
+            return self._index[name]
+        index = len(self._names)
+        self._names.append(name)
+        self._index[name] = index
+        return index
+
+    def add_variables(self, names: Sequence[str]) -> List[int]:
+        """Register several variables and return their indices."""
+        return [self.add_variable(name) for name in names]
+
+    def variable_index(self, name: str) -> int:
+        """Index of an already-registered variable."""
+        if name not in self._index:
+            raise KeyError(f"unknown variable {name!r}")
+        return self._index[name]
+
+    @property
+    def num_variables(self) -> int:
+        """Number of registered variables."""
+        return len(self._names)
+
+    @property
+    def variable_names(self) -> Tuple[str, ...]:
+        """Registered variable names in index order."""
+        return tuple(self._names)
+
+    # ------------------------------------------------------------------
+    # Terms
+    # ------------------------------------------------------------------
+    def add_linear(self, name: str, coefficient: float) -> None:
+        """Add ``coefficient * x_name`` to the objective."""
+        index = self.add_variable(name)
+        self._linear[index] = self._linear.get(index, 0.0) + float(coefficient)
+
+    def add_quadratic(self, name_a: str, name_b: str, coefficient: float) -> None:
+        """Add ``coefficient * x_a * x_b`` to the objective.
+
+        Adding a quadratic term between a variable and itself is folded
+        into the linear term (binary variables satisfy ``x^2 = x``).
+        """
+        index_a = self.add_variable(name_a)
+        index_b = self.add_variable(name_b)
+        if index_a == index_b:
+            self._linear[index_a] = self._linear.get(index_a, 0.0) + float(coefficient)
+            return
+        key = (min(index_a, index_b), max(index_a, index_b))
+        self._quadratic[key] = self._quadratic.get(key, 0.0) + float(coefficient)
+
+    def add_offset(self, value: float) -> None:
+        """Add a constant to the objective."""
+        self._offset += float(value)
+
+    def add_squared_linear_penalty(
+        self,
+        terms: Dict[str, float],
+        constant: float,
+        weight: float,
+    ) -> None:
+        """Add ``weight * (sum_i c_i x_i + constant)^2`` to the objective.
+
+        This is the standard way of encoding an equality constraint
+        ``sum_i c_i x_i + constant = 0`` as a QUBO penalty (used by the
+        S-QUBO simplex and slack constraints).
+        """
+        if weight < 0:
+            raise ValueError(f"penalty weight must be non-negative, got {weight}")
+        names = list(terms)
+        coefficients = [terms[name] for name in names]
+        for position, name in enumerate(names):
+            coefficient = coefficients[position]
+            # Square term: c_i^2 x_i^2 = c_i^2 x_i  plus cross term with the constant.
+            self.add_linear(name, weight * (coefficient**2 + 2.0 * coefficient * constant))
+            for other_position in range(position + 1, len(names)):
+                self.add_quadratic(
+                    name,
+                    names[other_position],
+                    weight * 2.0 * coefficient * coefficients[other_position],
+                )
+        self.add_offset(weight * constant**2)
+
+    # ------------------------------------------------------------------
+    # Output
+    # ------------------------------------------------------------------
+    def build(self) -> QuboModel:
+        """Emit the accumulated terms as a :class:`QuboModel`."""
+        n = self.num_variables
+        if n == 0:
+            raise ValueError("cannot build a QUBO with no variables")
+        matrix = np.zeros((n, n))
+        for index, coefficient in self._linear.items():
+            matrix[index, index] += coefficient
+        for (i, j), coefficient in self._quadratic.items():
+            matrix[i, j] += coefficient / 2.0
+            matrix[j, i] += coefficient / 2.0
+        return QuboModel(matrix, offset=self._offset, variable_names=self.variable_names)
+
+    def decode(self, assignment: np.ndarray) -> Dict[str, int]:
+        """Map a binary assignment back to ``{variable name: value}``."""
+        x = np.asarray(assignment)
+        if x.shape != (self.num_variables,):
+            raise ValueError(
+                f"assignment must have shape ({self.num_variables},), got {x.shape}"
+            )
+        return {name: int(x[self._index[name]]) for name in self._names}

@@ -1,0 +1,98 @@
+"""Binary encodings used by the S-QUBO baseline formulation.
+
+The slack-QUBO formulation (Eq. (6) of the paper) needs binary encodings
+for two kinds of quantities:
+
+* the players' *pure* strategies, encoded one-hot (one binary variable per
+  action, with a simplex penalty enforcing exactly one active action);
+* the non-negative scalars ``alpha``, ``beta`` and the slack variables
+  ``zeta_i`` / ``eta_j``, encoded as fixed-point binary expansions.
+
+:class:`FixedPointEncoding` captures the latter: a value ``v`` in
+``[0, max_value]`` is represented as ``sum_k weight_k * b_k`` with
+power-of-two weights.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class FixedPointEncoding:
+    """Fixed-point binary encoding of a bounded non-negative scalar.
+
+    Parameters
+    ----------
+    name:
+        Base name; bit ``k`` becomes the variable ``"{name}[k]"``.
+    max_value:
+        The largest value that must be representable.
+    resolution:
+        The value of the least-significant bit (default 1: integer
+        encoding, which suffices for the integer payoff matrices of the
+        benchmark games).
+    """
+
+    name: str
+    max_value: float
+    resolution: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.max_value < 0:
+            raise ValueError(f"max_value must be non-negative, got {self.max_value}")
+        if self.resolution <= 0:
+            raise ValueError(f"resolution must be positive, got {self.resolution}")
+
+    @property
+    def num_bits(self) -> int:
+        """Number of bits needed to reach ``max_value`` with this resolution."""
+        if self.max_value == 0:
+            return 1
+        levels = int(np.ceil(self.max_value / self.resolution))
+        return max(1, int(np.ceil(np.log2(levels + 1))))
+
+    @property
+    def bit_names(self) -> List[str]:
+        """Variable names for the individual bits."""
+        return [f"{self.name}[{k}]" for k in range(self.num_bits)]
+
+    @property
+    def bit_weights(self) -> List[float]:
+        """Contribution of each bit to the decoded value."""
+        return [self.resolution * (2.0**k) for k in range(self.num_bits)]
+
+    def coefficients(self) -> Dict[str, float]:
+        """Mapping ``{bit name: weight}`` for use in linear expressions."""
+        return dict(zip(self.bit_names, self.bit_weights))
+
+    def decode(self, bits: Dict[str, int]) -> float:
+        """Decode ``bits`` (a name -> 0/1 mapping) into the scalar value."""
+        value = 0.0
+        for bit_name, weight in zip(self.bit_names, self.bit_weights):
+            value += weight * float(bits.get(bit_name, 0))
+        return value
+
+    def max_representable(self) -> float:
+        """Largest value representable with this encoding (>= max_value)."""
+        return float(sum(self.bit_weights))
+
+
+def one_hot_names(prefix: str, count: int) -> List[str]:
+    """Variable names for a one-hot encoded choice among ``count`` actions."""
+    if count < 1:
+        raise ValueError(f"count must be >= 1, got {count}")
+    return [f"{prefix}[{index}]" for index in range(count)]
+
+
+def decode_one_hot(bits: Dict[str, int], prefix: str, count: int) -> np.ndarray:
+    """Decode a one-hot assignment into a 0/1 vector (not normalised).
+
+    The vector may violate the one-hot constraint (all zeros or several
+    ones) when the annealer returned an infeasible sample; callers decide
+    how to classify such outputs.
+    """
+    return np.array([float(bits.get(f"{prefix}[{index}]", 0)) for index in range(count)])

@@ -1,0 +1,140 @@
+"""QUBO <-> Ising conversions.
+
+Quantum annealers are Ising machines: they minimise
+``H(s) = sum_i h_i s_i + sum_{i<j} J_ij s_i s_j`` over spins
+``s_i in {-1, +1}``.  The S-QUBO formulation is stated over binary
+variables, so the D-Wave-like baseline needs the standard change of
+variables ``x_i = (1 + s_i) / 2`` in both directions.  The conversion is
+exact (up to the constant offset, which is tracked).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+import numpy as np
+
+from repro.qubo.model import QuboModel
+from repro.utils.validation import ensure_matrix, ensure_vector
+
+
+@dataclass
+class IsingModel:
+    """An Ising Hamiltonian ``sum h_i s_i + sum_{i<j} J_ij s_i s_j + offset``.
+
+    ``coupling`` is stored as a symmetric matrix with zero diagonal; the
+    off-diagonal entry ``J[i, j]`` (for ``i < j``) is the coupling of the
+    pair, split evenly between the two symmetric positions.
+    """
+
+    fields: np.ndarray
+    coupling: np.ndarray
+    offset: float = 0.0
+    variable_names: Tuple[str, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        fields = ensure_vector(self.fields, "fields")
+        coupling = ensure_matrix(self.coupling, "coupling")
+        if coupling.shape != (fields.size, fields.size):
+            raise ValueError(
+                f"coupling must be {fields.size}x{fields.size}, got {coupling.shape}"
+            )
+        coupling = (coupling + coupling.T) / 2.0
+        np.fill_diagonal(coupling, 0.0)
+        self.fields = fields
+        self.coupling = coupling
+        if not self.variable_names:
+            self.variable_names = tuple(f"s{i}" for i in range(fields.size))
+        if len(self.variable_names) != fields.size:
+            raise ValueError(
+                f"expected {fields.size} variable names, got {len(self.variable_names)}"
+            )
+
+    @property
+    def num_spins(self) -> int:
+        """Number of spin variables."""
+        return int(self.fields.size)
+
+    def energy(self, spins: np.ndarray) -> float:
+        """Hamiltonian value of a spin assignment (entries must be +-1)."""
+        s = np.asarray(spins, dtype=float)
+        if s.shape != (self.num_spins,):
+            raise ValueError(f"spins must have shape ({self.num_spins},), got {s.shape}")
+        if not np.all(np.isin(s, (-1.0, 1.0))):
+            raise ValueError("spin entries must be -1 or +1")
+        pair_energy = 0.5 * float(s @ self.coupling @ s)  # each pair counted once
+        return float(self.fields @ s) + pair_energy + self.offset
+
+    def max_abs_coefficient(self) -> float:
+        """Largest |h| or |J| (used for hardware auto-scaling)."""
+        return float(max(np.abs(self.fields).max(), np.abs(self.coupling).max(), 0.0))
+
+    def rescaled(self, max_field: float = 2.0, max_coupling: float = 1.0) -> "IsingModel":
+        """Scale the Hamiltonian into a hardware coefficient range.
+
+        D-Wave machines accept ``h`` in roughly [-2, 2] and ``J`` in
+        [-1, 1]; the whole Hamiltonian is multiplied by one global factor
+        so the ground state is unchanged.
+        """
+        if max_field <= 0 or max_coupling <= 0:
+            raise ValueError("coefficient bounds must be positive")
+        field_scale = np.abs(self.fields).max() / max_field if self.fields.size else 0.0
+        coupling_scale = np.abs(self.coupling).max() / max_coupling
+        scale = max(field_scale, coupling_scale, 1.0)
+        return IsingModel(
+            fields=self.fields / scale,
+            coupling=self.coupling / scale,
+            offset=self.offset / scale,
+            variable_names=self.variable_names,
+        )
+
+
+def qubo_to_ising(model: QuboModel) -> IsingModel:
+    """Convert a QUBO to the equivalent Ising Hamiltonian (x = (1+s)/2)."""
+    q = model.q_matrix
+    n = model.num_variables
+    off_diagonal = q - np.diag(np.diag(q))
+    linear = np.diag(q)
+    # x^T Q x with x = (1+s)/2 expands into fields, couplings and a constant.
+    fields = linear / 2.0 + off_diagonal.sum(axis=1) / 2.0
+    coupling = off_diagonal / 2.0
+    offset = model.offset + linear.sum() / 2.0 + off_diagonal.sum() / 4.0
+    return IsingModel(
+        fields=fields,
+        coupling=coupling,
+        offset=float(offset),
+        variable_names=model.variable_names,
+    )
+
+
+def ising_to_qubo(model: IsingModel) -> QuboModel:
+    """Convert an Ising Hamiltonian to the equivalent QUBO (s = 2x - 1)."""
+    n = model.num_spins
+    coupling = model.coupling
+    fields = model.fields
+    matrix = np.zeros((n, n))
+    # Pair term: J_ij s_i s_j = 4 J_ij x_i x_j - 2 J_ij x_i - 2 J_ij x_j + J_ij
+    matrix += 2.0 * coupling  # symmetric halves hold J/2 each -> 4*J/2/2 per side
+    row_coupling_sums = coupling.sum(axis=1)
+    # Field term: h_i s_i = 2 h_i x_i - h_i
+    diagonal = 2.0 * fields - 2.0 * row_coupling_sums
+    matrix[np.arange(n), np.arange(n)] += diagonal
+    offset = model.offset - float(fields.sum()) + float(coupling.sum()) / 2.0
+    return QuboModel(matrix, offset=float(offset), variable_names=model.variable_names)
+
+
+def spins_to_bits(spins: np.ndarray) -> np.ndarray:
+    """Map a +-1 spin vector to the corresponding 0/1 vector."""
+    s = np.asarray(spins, dtype=float)
+    if not np.all(np.isin(s, (-1.0, 1.0))):
+        raise ValueError("spin entries must be -1 or +1")
+    return (1.0 + s) / 2.0
+
+
+def bits_to_spins(bits: np.ndarray) -> np.ndarray:
+    """Map a 0/1 vector to the corresponding +-1 spin vector."""
+    x = np.asarray(bits, dtype=float)
+    if not np.all(np.isin(x, (0.0, 1.0))):
+        raise ValueError("bit entries must be 0 or 1")
+    return 2.0 * x - 1.0

@@ -1,0 +1,145 @@
+"""QUBO model container.
+
+A quadratic unconstrained binary optimization (QUBO) problem is
+``min_x x^T Q x + offset`` over binary vectors ``x`` (Eq. (5) of the
+paper).  The S-QUBO baseline formulation and the generic binary annealer
+both operate on instances of :class:`QuboModel`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.utils.validation import ensure_matrix
+
+
+@dataclass
+class QuboModel:
+    """A QUBO instance ``min_x x^T Q x + offset`` with named variables.
+
+    Parameters
+    ----------
+    q_matrix:
+        Square matrix ``Q``.  It is symmetrised on construction (the
+        objective only depends on ``Q + Q^T``), with the diagonal holding
+        linear terms (since ``x_i^2 = x_i`` for binary variables).
+    offset:
+        Constant added to every objective value.
+    variable_names:
+        Optional names, index-aligned with the matrix; defaults to
+        ``x0, x1, ...``.
+    """
+
+    q_matrix: np.ndarray
+    offset: float = 0.0
+    variable_names: Tuple[str, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        matrix = ensure_matrix(self.q_matrix, "q_matrix")
+        if matrix.shape[0] != matrix.shape[1]:
+            raise ValueError(f"q_matrix must be square, got shape {matrix.shape}")
+        # Symmetrise: x^T Q x == x^T ((Q + Q^T)/2) x for all x.
+        self.q_matrix = (matrix + matrix.T) / 2.0
+        if not self.variable_names:
+            self.variable_names = tuple(f"x{i}" for i in range(matrix.shape[0]))
+        if len(self.variable_names) != matrix.shape[0]:
+            raise ValueError(
+                f"expected {matrix.shape[0]} variable names, got {len(self.variable_names)}"
+            )
+
+    @property
+    def num_variables(self) -> int:
+        """Number of binary variables."""
+        return int(self.q_matrix.shape[0])
+
+    def energy(self, assignment: np.ndarray) -> float:
+        """Objective value ``x^T Q x + offset`` for a binary assignment."""
+        x = self._validate_assignment(assignment)
+        return float(x @ self.q_matrix @ x + self.offset)
+
+    def energies(self, assignments: np.ndarray) -> np.ndarray:
+        """Vectorised energies for a batch of assignments (rows)."""
+        batch = np.asarray(assignments, dtype=float)
+        if batch.ndim != 2 or batch.shape[1] != self.num_variables:
+            raise ValueError(
+                f"assignments must have shape (batch, {self.num_variables}), got {batch.shape}"
+            )
+        return np.einsum("bi,ij,bj->b", batch, self.q_matrix, batch) + self.offset
+
+    def energy_delta(self, assignment: np.ndarray, flip_index: int) -> float:
+        """Change in energy if bit ``flip_index`` of ``assignment`` is flipped.
+
+        Computed in O(n) rather than re-evaluating the full quadratic
+        form; this is what makes single-spin-flip annealing fast.
+        """
+        x = self._validate_assignment(assignment)
+        if not (0 <= flip_index < self.num_variables):
+            raise IndexError(f"flip_index {flip_index} out of range")
+        xi = x[flip_index]
+        new_value = 1.0 - xi
+        delta_x = new_value - xi
+        row = self.q_matrix[flip_index]
+        diagonal = self.q_matrix[flip_index, flip_index]
+        # For symmetric Q, flipping x_k by delta changes the energy by
+        #   2 * delta * sum_{j != k} Q[k, j] x_j + Q[k, k] * ((x_k+delta)^2 - x_k^2)
+        off_diagonal_sum = float(row @ x) - diagonal * xi
+        return float(
+            2.0 * delta_x * off_diagonal_sum + diagonal * (new_value**2 - xi**2)
+        )
+
+    def to_dict(self) -> Dict[Tuple[int, int], float]:
+        """Upper-triangular dictionary representation ``{(i, j): coefficient}``.
+
+        Linear terms appear as ``(i, i)`` entries.  This is the exchange
+        format used by D-Wave-style samplers.
+        """
+        result: Dict[Tuple[int, int], float] = {}
+        n = self.num_variables
+        for i in range(n):
+            diagonal = float(self.q_matrix[i, i])
+            if diagonal != 0.0:
+                result[(i, i)] = diagonal
+            for j in range(i + 1, n):
+                coupling = float(2.0 * self.q_matrix[i, j])
+                if coupling != 0.0:
+                    result[(i, j)] = coupling
+        return result
+
+    @classmethod
+    def from_dict(
+        cls,
+        coefficients: Dict[Tuple[int, int], float],
+        num_variables: Optional[int] = None,
+        offset: float = 0.0,
+    ) -> "QuboModel":
+        """Build a model from an upper-triangular coefficient dictionary."""
+        if not coefficients and num_variables is None:
+            raise ValueError("num_variables must be given for an empty coefficient dict")
+        max_index = max((max(i, j) for i, j in coefficients), default=-1)
+        n = num_variables if num_variables is not None else max_index + 1
+        if max_index >= n:
+            raise ValueError(f"coefficient index {max_index} exceeds num_variables {n}")
+        matrix = np.zeros((n, n))
+        for (i, j), value in coefficients.items():
+            if i == j:
+                matrix[i, i] += value
+            else:
+                matrix[i, j] += value / 2.0
+                matrix[j, i] += value / 2.0
+        return cls(matrix, offset=offset)
+
+    def _validate_assignment(self, assignment: np.ndarray) -> np.ndarray:
+        x = np.asarray(assignment, dtype=float)
+        if x.shape != (self.num_variables,):
+            raise ValueError(
+                f"assignment must have shape ({self.num_variables},), got {x.shape}"
+            )
+        if not np.all(np.isin(x, (0.0, 1.0))):
+            raise ValueError("assignment entries must be 0 or 1")
+        return x
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"QuboModel(num_variables={self.num_variables}, offset={self.offset})"

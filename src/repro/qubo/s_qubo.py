@@ -1,0 +1,220 @@
+"""Slack-QUBO (S-QUBO) formulation of the Nash-equilibrium problem.
+
+This is the *baseline* transformation the paper compares against
+(Sec. 2.2, Eq. (6)): starting from the Mangasarian–Stone quadratic
+program, the two inequality constraint blocks ``Mq - alpha e <= 0`` and
+``N^T p - beta l <= 0`` are turned into equalities with non-negative
+slack variables and added, together with the simplex constraints, as
+squared penalties:
+
+``min f = -p^T (M+N) q + alpha + beta
+         + A (sum_i p_i - 1)^2 + B (sum_j q_j - 1)^2
+         + C sum_i (sum_j m_ij q_j - alpha + zeta_i)^2
+         + D sum_j (sum_i n_ij p_i - beta + eta_j)^2``
+
+with ``p_i, q_j`` binary (pure strategies only) and ``alpha``, ``beta``,
+``zeta_i``, ``eta_j`` fixed-point binary encoded.  The transformation is
+*lossy*: the slack terms change the objective landscape, the strategies
+are restricted to pure ones, and heavy penalty weights create spurious
+local minima — exactly the failure modes the paper attributes to the
+D-Wave baselines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.games.bimatrix import BimatrixGame
+from repro.games.equilibrium import StrategyProfile
+from repro.qubo.builder import QuboBuilder
+from repro.qubo.encoding import FixedPointEncoding, decode_one_hot, one_hot_names
+from repro.qubo.model import QuboModel
+
+
+@dataclass(frozen=True)
+class SQuboWeights:
+    """Penalty weights ``A, B, C, D`` of the S-QUBO objective (Eq. (6))."""
+
+    simplex_row: float = 10.0
+    simplex_col: float = 10.0
+    row_inequality: float = 2.0
+    col_inequality: float = 2.0
+
+    def __post_init__(self) -> None:
+        for label, value in (
+            ("simplex_row", self.simplex_row),
+            ("simplex_col", self.simplex_col),
+            ("row_inequality", self.row_inequality),
+            ("col_inequality", self.col_inequality),
+        ):
+            if value < 0:
+                raise ValueError(f"{label} must be non-negative, got {value}")
+
+
+@dataclass
+class SQuboFormulation:
+    """The S-QUBO model of one game, with decoding helpers.
+
+    Attributes
+    ----------
+    game:
+        The (payoff-shifted) game that was encoded.
+    model:
+        The resulting :class:`~repro.qubo.model.QuboModel`.
+    builder:
+        The builder used to create the model (kept for decoding).
+    """
+
+    game: BimatrixGame
+    model: QuboModel
+    builder: QuboBuilder
+    alpha_encoding: FixedPointEncoding
+    beta_encoding: FixedPointEncoding
+    weights: SQuboWeights
+    resolution: float = 1.0
+    _slack_encodings: Dict[str, FixedPointEncoding] = field(default_factory=dict)
+
+    @property
+    def num_variables(self) -> int:
+        """Total number of binary variables in the formulation."""
+        return self.model.num_variables
+
+    def decode(self, assignment: np.ndarray) -> "SQuboSample":
+        """Decode a binary assignment into strategies and auxiliary values."""
+        bits = self.builder.decode(assignment)
+        n, m = self.game.shape
+        p_raw = decode_one_hot(bits, "p", n)
+        q_raw = decode_one_hot(bits, "q", m)
+        alpha = self.alpha_encoding.decode(bits)
+        beta = self.beta_encoding.decode(bits)
+        feasible = bool(p_raw.sum() == 1.0 and q_raw.sum() == 1.0)
+        profile: Optional[StrategyProfile] = None
+        if feasible:
+            profile = StrategyProfile(p_raw, q_raw)
+        return SQuboSample(
+            raw_p=p_raw,
+            raw_q=q_raw,
+            alpha=alpha,
+            beta=beta,
+            feasible=feasible,
+            profile=profile,
+            energy=self.model.energy(assignment),
+        )
+
+
+@dataclass(frozen=True)
+class SQuboSample:
+    """A decoded S-QUBO sample."""
+
+    raw_p: np.ndarray
+    raw_q: np.ndarray
+    alpha: float
+    beta: float
+    feasible: bool
+    profile: Optional[StrategyProfile]
+    energy: float
+
+
+def build_s_qubo(
+    game: BimatrixGame,
+    weights: Optional[SQuboWeights] = None,
+    resolution: float = 1.0,
+) -> SQuboFormulation:
+    """Build the S-QUBO formulation of ``game``.
+
+    The game is first shifted so that all payoffs are non-negative (a
+    strategically neutral change that keeps the fixed-point encodings of
+    ``alpha``/``beta``/slacks non-negative).
+
+    Parameters
+    ----------
+    weights:
+        Penalty weights; defaults are sized for payoffs of order 1-10.
+    resolution:
+        Fixed-point resolution of the scalar encodings.  ``1.0`` is exact
+        for integer payoff matrices.
+    """
+    weights = weights or SQuboWeights()
+    shifted = game.shifted()
+    n, m = shifted.shape
+    max_row_payoff = float(shifted.payoff_row.max())
+    max_col_payoff = float(shifted.payoff_col.max())
+
+    builder = QuboBuilder()
+    p_names = one_hot_names("p", n)
+    q_names = one_hot_names("q", m)
+    builder.add_variables(p_names)
+    builder.add_variables(q_names)
+
+    alpha_encoding = FixedPointEncoding("alpha", max_row_payoff, resolution)
+    beta_encoding = FixedPointEncoding("beta", max_col_payoff, resolution)
+    builder.add_variables(alpha_encoding.bit_names)
+    builder.add_variables(beta_encoding.bit_names)
+
+    # Objective: -p^T (M + N) q + alpha + beta
+    combined = shifted.payoff_row + shifted.payoff_col
+    for i in range(n):
+        for j in range(m):
+            coefficient = -float(combined[i, j])
+            if coefficient != 0.0:
+                builder.add_quadratic(p_names[i], q_names[j], coefficient)
+    for bit_name, weight in alpha_encoding.coefficients().items():
+        builder.add_linear(bit_name, weight)
+    for bit_name, weight in beta_encoding.coefficients().items():
+        builder.add_linear(bit_name, weight)
+
+    # Simplex penalties: A (sum p - 1)^2 + B (sum q - 1)^2.
+    builder.add_squared_linear_penalty(
+        {name: 1.0 for name in p_names}, constant=-1.0, weight=weights.simplex_row
+    )
+    builder.add_squared_linear_penalty(
+        {name: 1.0 for name in q_names}, constant=-1.0, weight=weights.simplex_col
+    )
+
+    slack_encodings: Dict[str, FixedPointEncoding] = {}
+    # Row inequalities: for each row i,  sum_j M[i, j] q_j - alpha + zeta_i = 0.
+    for i in range(n):
+        slack = FixedPointEncoding(f"zeta[{i}]", max_row_payoff, resolution)
+        slack_encodings[slack.name] = slack
+        builder.add_variables(slack.bit_names)
+        terms: Dict[str, float] = {}
+        for j in range(m):
+            value = float(shifted.payoff_row[i, j])
+            if value != 0.0:
+                terms[q_names[j]] = terms.get(q_names[j], 0.0) + value
+        for bit_name, weight in alpha_encoding.coefficients().items():
+            terms[bit_name] = terms.get(bit_name, 0.0) - weight
+        for bit_name, weight in slack.coefficients().items():
+            terms[bit_name] = terms.get(bit_name, 0.0) + weight
+        builder.add_squared_linear_penalty(terms, constant=0.0, weight=weights.row_inequality)
+
+    # Column inequalities: for each column j, sum_i N[i, j] p_i - beta + eta_j = 0.
+    for j in range(m):
+        slack = FixedPointEncoding(f"eta[{j}]", max_col_payoff, resolution)
+        slack_encodings[slack.name] = slack
+        builder.add_variables(slack.bit_names)
+        terms = {}
+        for i in range(n):
+            value = float(shifted.payoff_col[i, j])
+            if value != 0.0:
+                terms[p_names[i]] = terms.get(p_names[i], 0.0) + value
+        for bit_name, weight in beta_encoding.coefficients().items():
+            terms[bit_name] = terms.get(bit_name, 0.0) - weight
+        for bit_name, weight in slack.coefficients().items():
+            terms[bit_name] = terms.get(bit_name, 0.0) + weight
+        builder.add_squared_linear_penalty(terms, constant=0.0, weight=weights.col_inequality)
+
+    model = builder.build()
+    return SQuboFormulation(
+        game=shifted,
+        model=model,
+        builder=builder,
+        alpha_encoding=alpha_encoding,
+        beta_encoding=beta_encoding,
+        weights=weights,
+        resolution=resolution,
+        _slack_encodings=slack_encodings,
+    )

@@ -1,0 +1,23 @@
+"""Shared utilities for the C-Nash reproduction.
+
+This package hosts small, dependency-free helpers used throughout the
+library: random-number-generator plumbing (:mod:`repro.utils.rng`) and
+input-validation helpers (:mod:`repro.utils.validation`).
+"""
+
+from repro.utils.rng import as_generator, spawn_generators
+from repro.utils.validation import (
+    ensure_matrix,
+    ensure_positive,
+    ensure_probability_vector,
+    ensure_same_shape,
+)
+
+__all__ = [
+    "as_generator",
+    "spawn_generators",
+    "ensure_matrix",
+    "ensure_positive",
+    "ensure_probability_vector",
+    "ensure_same_shape",
+]

@@ -1,0 +1,62 @@
+"""Random number generator helpers.
+
+Every stochastic component in the library (annealers, noise models,
+workload generators) accepts a ``seed`` argument that may be ``None``, an
+integer, or an already-constructed :class:`numpy.random.Generator`.  The
+helpers here normalise those inputs so that components do not have to
+repeat the same boilerplate, and so that seeding behaviour is consistent
+across the whole code base.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Union
+
+import numpy as np
+
+SeedLike = Union[None, int, np.random.Generator, np.random.SeedSequence]
+
+
+def as_generator(seed: SeedLike = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for ``seed``.
+
+    Parameters
+    ----------
+    seed:
+        ``None`` for OS entropy, an ``int`` for a reproducible stream, a
+        :class:`numpy.random.SeedSequence`, or an existing ``Generator``
+        (returned unchanged).
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    if isinstance(seed, np.random.SeedSequence):
+        return np.random.default_rng(seed)
+    return np.random.default_rng(seed)
+
+
+def spawn_generators(seed: SeedLike, count: int) -> List[np.random.Generator]:
+    """Create ``count`` statistically independent generators from ``seed``.
+
+    Used by multi-run orchestration (e.g. 5000 SA runs of an experiment)
+    so that each run has its own stream while the whole batch remains
+    reproducible from a single seed.
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    if isinstance(seed, np.random.Generator):
+        # Derive children by drawing seeds from the parent generator.
+        seeds = seed.integers(0, 2**63 - 1, size=count)
+        return [np.random.default_rng(int(s)) for s in seeds]
+    sequence = seed if isinstance(seed, np.random.SeedSequence) else np.random.SeedSequence(seed)
+    return [np.random.default_rng(child) for child in sequence.spawn(count)]
+
+
+def derive_seed(seed: Optional[int], index: int) -> Optional[int]:
+    """Derive a per-run integer seed from a base seed and a run index.
+
+    Returns ``None`` when ``seed`` is ``None`` so that unseeded batches
+    stay unseeded.
+    """
+    if seed is None:
+        return None
+    return int(np.random.SeedSequence([seed, index]).generate_state(1)[0])

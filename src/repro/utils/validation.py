@@ -1,0 +1,92 @@
+"""Input validation helpers shared across the library.
+
+The public API validates its inputs eagerly and raises ``ValueError`` /
+``TypeError`` with actionable messages; these helpers centralise the
+checks so error wording stays consistent.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple, Union
+
+import numpy as np
+
+ArrayLike = Union[np.ndarray, Sequence[float], Sequence[Sequence[float]]]
+
+
+def ensure_matrix(value: ArrayLike, name: str = "matrix") -> np.ndarray:
+    """Coerce ``value`` to a 2-D float array, raising on bad shapes."""
+    array = np.asarray(value, dtype=float)
+    if array.ndim != 2:
+        raise ValueError(f"{name} must be 2-dimensional, got shape {array.shape}")
+    if array.size == 0:
+        raise ValueError(f"{name} must be non-empty")
+    if not np.all(np.isfinite(array)):
+        raise ValueError(f"{name} must contain only finite values")
+    return array
+
+
+def ensure_vector(value: ArrayLike, name: str = "vector") -> np.ndarray:
+    """Coerce ``value`` to a 1-D float array, raising on bad shapes."""
+    array = np.asarray(value, dtype=float)
+    if array.ndim != 1:
+        raise ValueError(f"{name} must be 1-dimensional, got shape {array.shape}")
+    if array.size == 0:
+        raise ValueError(f"{name} must be non-empty")
+    if not np.all(np.isfinite(array)):
+        raise ValueError(f"{name} must contain only finite values")
+    return array
+
+
+def ensure_probability_vector(
+    value: ArrayLike, name: str = "strategy", atol: float = 1e-8
+) -> np.ndarray:
+    """Validate that ``value`` is a probability distribution.
+
+    Entries must be non-negative and sum to one within ``atol``.
+    """
+    vector = ensure_vector(value, name)
+    if np.any(vector < -atol):
+        raise ValueError(f"{name} must be non-negative, got {vector}")
+    total = float(vector.sum())
+    if abs(total - 1.0) > atol:
+        raise ValueError(f"{name} must sum to 1 (got {total})")
+    return np.clip(vector, 0.0, None)
+
+
+def ensure_same_shape(a: np.ndarray, b: np.ndarray, names: Tuple[str, str] = ("a", "b")) -> None:
+    """Raise if two arrays do not share the same shape."""
+    if a.shape != b.shape:
+        raise ValueError(
+            f"{names[0]} and {names[1]} must have the same shape, got {a.shape} vs {b.shape}"
+        )
+
+
+def ensure_positive(value: float, name: str) -> float:
+    """Raise unless ``value`` is strictly positive."""
+    if not value > 0:
+        raise ValueError(f"{name} must be positive, got {value}")
+    return float(value)
+
+
+def ensure_non_negative(value: float, name: str) -> float:
+    """Raise unless ``value`` is zero or positive."""
+    if value < 0:
+        raise ValueError(f"{name} must be non-negative, got {value}")
+    return float(value)
+
+
+def ensure_in_range(value: float, low: float, high: float, name: str) -> float:
+    """Raise unless ``low <= value <= high``."""
+    if not (low <= value <= high):
+        raise ValueError(f"{name} must be in [{low}, {high}], got {value}")
+    return float(value)
+
+
+def ensure_int_at_least(value: int, minimum: int, name: str) -> int:
+    """Raise unless ``value`` is an integer >= ``minimum``."""
+    if int(value) != value:
+        raise ValueError(f"{name} must be an integer, got {value}")
+    if value < minimum:
+        raise ValueError(f"{name} must be >= {minimum}, got {value}")
+    return int(value)

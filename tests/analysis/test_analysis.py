@@ -1,0 +1,173 @@
+"""Tests for the analysis layer: metrics, distributions and reporting."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    SolutionDistributionSummary,
+    SuccessRateMetric,
+    classification_fractions,
+    compare_distributions,
+    distinct_solutions_found,
+    distribution_from_equilibrium_set,
+    format_cell,
+    ground_truth_equilibria,
+    render_bar_chart,
+    render_comparison,
+    render_distribution_chart,
+    render_table,
+    success_rate,
+)
+from repro.analysis.metrics import DistinctSolutionMetric, TimeToSolutionMetric
+from repro.baselines.literature import SolutionDistribution
+from repro.games import EquilibriumSet, StrategyProfile, battle_of_the_sexes
+
+
+class TestSuccessRate:
+    def test_counts(self):
+        metric = success_rate(["pure", "mixed", "error", "pure"])
+        assert metric.successes == 3
+        assert metric.total == 4
+        assert metric.rate == pytest.approx(0.75)
+        assert metric.percent == pytest.approx(75.0)
+
+    def test_empty(self):
+        assert success_rate([]).rate == 0.0
+
+    def test_invalid_counts(self):
+        with pytest.raises(ValueError):
+            SuccessRateMetric(successes=5, total=3)
+
+
+class TestClassificationFractions:
+    def test_fractions(self):
+        fractions = classification_fractions(["pure", "pure", "mixed", "error"])
+        assert fractions["pure"] == pytest.approx(0.5)
+        assert fractions["mixed"] == pytest.approx(0.25)
+        assert sum(fractions.values()) == pytest.approx(1.0)
+
+    def test_unknown_label_rejected(self):
+        with pytest.raises(ValueError):
+            classification_fractions(["pure", "bogus"])
+
+
+class TestDistinctSolutions:
+    def _ground_truth(self, game):
+        truth = EquilibriumSet(game=game, atol=1e-3)
+        truth.add(StrategyProfile(np.array([1.0, 0.0]), np.array([1.0, 0.0])))
+        truth.add(StrategyProfile(np.array([0.0, 1.0]), np.array([0.0, 1.0])))
+        return truth
+
+    def test_counting(self, bos):
+        truth = self._ground_truth(bos)
+        candidates = [StrategyProfile(np.array([1.0, 0.0]), np.array([1.0, 0.0]))] * 3
+        metric = distinct_solutions_found(truth, candidates)
+        assert metric.found == 1
+        assert metric.target == 2
+        assert metric.fraction == pytest.approx(0.5)
+        assert metric.percent == pytest.approx(50.0)
+
+    def test_zero_target(self):
+        metric = DistinctSolutionMetric(found=0, target=0)
+        assert metric.fraction == 0.0
+
+    def test_ground_truth_helper(self, bos):
+        truth = ground_truth_equilibria(bos)
+        assert len(truth) == 3
+
+
+class TestTimeToSolutionMetric:
+    def test_speedup(self):
+        cnash = TimeToSolutionMetric("C-Nash", "BoS", 1e-3)
+        dwave = TimeToSolutionMetric("D-Wave", "BoS", 1e-1)
+        assert cnash.speedup_over(dwave) == pytest.approx(100.0)
+
+    def test_speedup_none_when_missing(self):
+        cnash = TimeToSolutionMetric("C-Nash", "BoS", None)
+        dwave = TimeToSolutionMetric("D-Wave", "BoS", 1.0)
+        assert cnash.speedup_over(dwave) is None
+
+
+class TestDistributions:
+    def test_from_classifications(self):
+        summary = SolutionDistributionSummary.from_classifications(
+            "C-Nash", "BoS", ["pure", "mixed", "mixed", "error"]
+        )
+        assert summary.pure_fraction == pytest.approx(0.25)
+        assert summary.mixed_fraction == pytest.approx(0.5)
+        assert summary.success_fraction == pytest.approx(0.75)
+        assert summary.finds_mixed_solutions()
+
+    def test_fraction_validation(self):
+        with pytest.raises(ValueError):
+            SolutionDistributionSummary(
+                solver_name="x", game_name="y", num_runs=4, fractions={"pure": 0.5, "mixed": 0.5}
+            )
+        with pytest.raises(ValueError):
+            SolutionDistributionSummary(
+                solver_name="x",
+                game_name="y",
+                num_runs=4,
+                fractions={"pure": 0.5, "mixed": 0.5, "error": 0.5},
+            )
+
+    def test_to_literature_format(self):
+        summary = SolutionDistributionSummary.from_classifications("s", "g", ["pure", "error"])
+        record = summary.to_literature_format()
+        assert record.pure == pytest.approx(0.5)
+
+    def test_compare_distributions(self):
+        summary = SolutionDistributionSummary.from_classifications("s", "g", ["pure", "error"])
+        reported = SolutionDistribution(error=0.25, pure=0.75, mixed=0.0)
+        differences = compare_distributions(summary, reported)
+        assert differences["pure"] == pytest.approx(-0.25)
+        assert compare_distributions(summary, None)["pure"] is None
+
+    def test_distribution_from_equilibrium_set(self, bos):
+        found = EquilibriumSet(game=bos)
+        found.add(StrategyProfile(np.array([1.0, 0.0]), np.array([1.0, 0.0])))
+        found.add(StrategyProfile(np.array([2 / 3, 1 / 3]), np.array([1 / 3, 2 / 3])))
+        summary = distribution_from_equilibrium_set("C-Nash", "BoS", found, num_runs=4)
+        assert summary.pure_fraction == pytest.approx(0.25)
+        assert summary.mixed_fraction == pytest.approx(0.25)
+        with pytest.raises(ValueError):
+            distribution_from_equilibrium_set("C-Nash", "BoS", found, num_runs=1)
+
+
+class TestReporting:
+    def test_format_cell(self):
+        assert format_cell(None) == "-"
+        assert format_cell(1.23456, precision=2) == "1.23"
+        assert format_cell("text") == "text"
+
+    def test_render_table_alignment(self):
+        text = render_table(["a", "bb"], [[1, 2.5], [30, None]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "30" in text
+        assert "-" in text
+
+    def test_render_table_row_length_mismatch(self):
+        with pytest.raises(ValueError):
+            render_table(["a"], [[1, 2]])
+
+    def test_render_bar_chart(self):
+        chart = render_bar_chart(["x", "y"], [1.0, None], title="C", unit="s")
+        assert "not available" in chart
+        assert "#" in chart
+
+    def test_render_bar_chart_length_mismatch(self):
+        with pytest.raises(ValueError):
+            render_bar_chart(["x"], [1.0, 2.0])
+
+    def test_render_distribution_chart(self):
+        chart = render_distribution_chart(
+            {"solver": {"error": 0.2, "pure": 0.5, "mixed": 0.3}}, title="D"
+        )
+        assert "solver" in chart
+        assert "20.0%" in chart
+
+    def test_render_comparison(self):
+        line = render_comparison("metric", 1.0, None)
+        assert "paper=1.00" in line
+        assert "measured=-" in line

@@ -1,0 +1,87 @@
+"""Tests for the convergence diagnostics."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    BatchConvergence,
+    summarize_batch,
+    summarize_history,
+)
+from repro.core import CNashConfig, CNashSolver
+from repro.games import battle_of_the_sexes
+
+
+class TestSummarizeHistory:
+    def test_basic_summary(self):
+        history = [5.0, 3.0, 1.0, 0.0, 0.5]
+        summary = summarize_history(history, threshold=0.0)
+        assert summary.num_iterations == 5
+        assert summary.initial_objective == 5.0
+        assert summary.final_objective == 0.5
+        assert summary.best_objective == 0.0
+        assert summary.iterations_to_best == 3
+        assert summary.iterations_to_threshold == 3
+        assert summary.improved
+
+    def test_threshold_never_reached(self):
+        summary = summarize_history([3.0, 2.0, 1.0], threshold=0.0)
+        assert summary.iterations_to_threshold is None
+
+    def test_custom_threshold(self):
+        summary = summarize_history([3.0, 2.0, 1.0], threshold=2.0)
+        assert summary.iterations_to_threshold == 1
+
+    def test_empty_history_rejected(self):
+        with pytest.raises(ValueError):
+            summarize_history([])
+
+    def test_area_under_curve_positive(self):
+        summary = summarize_history([2.0, 1.0, 0.5])
+        assert summary.area_under_curve > 0
+
+    def test_no_improvement(self):
+        summary = summarize_history([1.0, 2.0, 3.0])
+        assert not summary.improved
+        assert summary.iterations_to_best == 0
+
+
+class TestBatchConvergence:
+    def test_batch_statistics(self):
+        batch = summarize_batch(
+            [[3.0, 1.0, 0.0], [3.0, 2.0, 1.0], [0.0, 0.0, 0.0]], threshold=0.0
+        )
+        assert batch.num_runs == 3
+        assert batch.fraction_reaching_threshold() == pytest.approx(2 / 3)
+        assert batch.median_iterations_to_threshold() == pytest.approx(1.0)
+        assert batch.mean_best_objective() == pytest.approx((0.0 + 1.0 + 0.0) / 3)
+
+    def test_empty_batch_rejected(self):
+        with pytest.raises(ValueError):
+            BatchConvergence(summaries=[])
+
+    def test_success_probability_curve_monotone(self):
+        batch = summarize_batch([[2.0, 0.0], [2.0, 2.0]], threshold=0.0)
+        curve = batch.success_probability_curve()
+        assert curve.shape == (2,)
+        assert np.all(np.diff(curve) >= 0)
+        assert curve[-1] == pytest.approx(0.5)
+
+    def test_median_none_when_no_success(self):
+        batch = summarize_batch([[2.0, 1.0]], threshold=0.0)
+        assert batch.median_iterations_to_threshold() is None
+
+
+class TestConvergenceOnSolverHistories:
+    def test_solver_histories_feed_the_diagnostics(self, bos):
+        config = CNashConfig(num_intervals=4, num_iterations=500, record_history=True)
+        solver = CNashSolver(bos, config)
+        batch = solver.solve_batch(num_runs=5, seed=0)
+        histories = [run.objective_history for run in batch.runs]
+        assert all(len(history) == 500 for history in histories)
+        convergence = summarize_batch(histories, threshold=solver.epsilon)
+        assert convergence.num_runs == 5
+        # Battle of the Sexes is easy: most runs should reach the threshold.
+        assert convergence.fraction_reaching_threshold() >= 0.6
+        curve = convergence.success_probability_curve()
+        assert curve[-1] == pytest.approx(convergence.fraction_reaching_threshold())

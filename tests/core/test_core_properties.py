@@ -1,0 +1,81 @@
+"""Property-based tests for the C-Nash core."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core import QuantizedStrategyPair, StrategyMoveGenerator, max_qubo_objective
+from repro.games import BimatrixGame
+
+payoffs = st.floats(min_value=-5.0, max_value=5.0, allow_nan=False, allow_infinity=False)
+
+
+def small_games(max_actions: int = 4):
+    return st.integers(2, max_actions).flatmap(
+        lambda n: st.tuples(
+            arrays(np.float64, (n, n), elements=payoffs),
+            arrays(np.float64, (n, n), elements=payoffs),
+        )
+    ).map(lambda ms: BimatrixGame(ms[0], ms[1]))
+
+
+def probability(size: int):
+    return arrays(
+        np.float64, (size,), elements=st.floats(min_value=0.01, max_value=1.0, allow_nan=False)
+    ).map(lambda values: values / values.sum())
+
+
+@given(data=st.data(), game=small_games())
+@settings(max_examples=40, deadline=None)
+def test_max_qubo_objective_is_non_negative(data, game):
+    """The MAX-QUBO objective is non-negative for every strategy pair."""
+    p = data.draw(probability(game.num_row_actions))
+    q = data.draw(probability(game.num_col_actions))
+    assert max_qubo_objective(game, p, q) >= -1e-9
+
+
+@given(data=st.data(), game=small_games())
+@settings(max_examples=40, deadline=None)
+def test_max_qubo_objective_equals_total_regret(data, game):
+    """f(p, q) = max(Mq) + max(N^T p) - p^T(M+N)q equals the total regret."""
+    p = data.draw(probability(game.num_row_actions))
+    q = data.draw(probability(game.num_col_actions))
+    assert np.isclose(max_qubo_objective(game, p, q), game.total_regret(p, q), atol=1e-9)
+
+
+@given(
+    num_actions=st.integers(2, 6),
+    num_intervals=st.integers(2, 12),
+    seed=st.integers(0, 2**31 - 1),
+    num_moves=st.integers(1, 50),
+)
+@settings(max_examples=40, deadline=None)
+def test_random_walk_of_moves_stays_valid(num_actions, num_intervals, seed, num_moves):
+    """Any sequence of SA moves keeps both strategies on the simplex grid."""
+    rng = np.random.default_rng(seed)
+    generator = StrategyMoveGenerator()
+    state = generator.random_state(num_actions, num_actions, num_intervals, rng)
+    for _ in range(num_moves):
+        state = generator.propose(state, rng)
+    assert state.p_counts.sum() == num_intervals
+    assert state.q_counts.sum() == num_intervals
+    assert np.all(state.p_counts >= 0)
+    assert np.all(state.q_counts >= 0)
+
+
+@given(
+    counts=st.lists(st.integers(0, 8), min_size=2, max_size=6),
+)
+@settings(max_examples=50, deadline=None)
+def test_quantized_pair_probabilities_sum_to_one(counts):
+    """A valid counts vector always decodes to a probability distribution."""
+    total = sum(counts)
+    if total == 0:
+        counts = [1] + counts[1:]
+        total = sum(counts)
+    state = QuantizedStrategyPair(
+        np.array(counts), np.array([total] + [0] * (len(counts) - 1)), total
+    )
+    assert np.isclose(state.p.sum(), 1.0)
+    assert np.isclose(state.q.sum(), 1.0)

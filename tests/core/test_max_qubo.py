@@ -1,0 +1,105 @@
+"""Tests for the MAX-QUBO transformation and its evaluators."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    IdealEvaluator,
+    HardwareEvaluator,
+    QuantizedStrategyPair,
+    enumerate_grid_optimum,
+    max_qubo_breakdown,
+    max_qubo_objective,
+)
+from repro.games import battle_of_the_sexes, support_enumeration
+from repro.hardware import BiCrossbar, IDEAL_VARIABILITY
+
+
+class TestMaxQuboObjective:
+    def test_zero_at_pure_equilibrium(self, bos):
+        assert max_qubo_objective(bos, np.array([1.0, 0.0]), np.array([1.0, 0.0])) == pytest.approx(0.0)
+
+    def test_zero_at_mixed_equilibrium(self, bos):
+        p = np.array([2 / 3, 1 / 3])
+        q = np.array([1 / 3, 2 / 3])
+        assert max_qubo_objective(bos, p, q) == pytest.approx(0.0, abs=1e-12)
+
+    def test_positive_off_equilibrium(self, bos):
+        assert max_qubo_objective(bos, np.array([1.0, 0.0]), np.array([0.0, 1.0])) > 0
+
+    def test_equals_total_regret(self, bos):
+        """The MAX-QUBO objective is exactly the sum of the players' regrets."""
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            p = rng.dirichlet(np.ones(2))
+            q = rng.dirichlet(np.ones(2))
+            assert max_qubo_objective(bos, p, q) == pytest.approx(bos.total_regret(p, q))
+
+    def test_zero_exactly_on_all_ground_truth_equilibria(self, bird):
+        for profile in support_enumeration(bird):
+            assert max_qubo_objective(bird, profile.p, profile.q) == pytest.approx(0.0, abs=1e-8)
+
+    def test_breakdown_components(self, bos):
+        p = np.array([0.5, 0.5])
+        q = np.array([0.25, 0.75])
+        breakdown = max_qubo_breakdown(bos, p, q)
+        assert breakdown.max_row_value == pytest.approx((bos.payoff_row @ q).max())
+        assert breakdown.max_col_value == pytest.approx((bos.payoff_col.T @ p).max())
+        assert breakdown.objective == pytest.approx(max_qubo_objective(bos, p, q))
+
+
+class TestIdealEvaluator:
+    def test_matches_direct_objective(self, bos):
+        evaluator = IdealEvaluator(bos)
+        state = QuantizedStrategyPair(np.array([2, 2]), np.array([1, 3]), 4)
+        assert evaluator.evaluate(state) == pytest.approx(
+            max_qubo_objective(bos, state.p, state.q)
+        )
+
+    def test_game_property(self, bos):
+        assert IdealEvaluator(bos).game is bos
+
+    def test_breakdown_matches(self, bos):
+        evaluator = IdealEvaluator(bos)
+        state = QuantizedStrategyPair(np.array([4, 0]), np.array([0, 4]), 4)
+        breakdown = evaluator.evaluate_breakdown(state)
+        assert breakdown.objective == pytest.approx(evaluator.evaluate(state))
+
+
+class TestHardwareEvaluator:
+    def test_matches_ideal_with_noise_free_hardware(self, bos):
+        bicrossbar = BiCrossbar(bos, num_intervals=4, variability=IDEAL_VARIABILITY, adc_bits=14, seed=0)
+        hardware = HardwareEvaluator(bos, bicrossbar)
+        ideal = IdealEvaluator(bos)
+        state = QuantizedStrategyPair(np.array([1, 3]), np.array([2, 2]), 4)
+        assert hardware.evaluate(state) == pytest.approx(ideal.evaluate(state), abs=0.02)
+
+    def test_interval_mismatch_rejected(self, bos):
+        bicrossbar = BiCrossbar(bos, num_intervals=4, variability=IDEAL_VARIABILITY, seed=0)
+        hardware = HardwareEvaluator(bos, bicrossbar)
+        state = QuantizedStrategyPair(np.array([4, 4]), np.array([4, 4]), 8)
+        with pytest.raises(ValueError):
+            hardware.evaluate(state)
+
+    def test_shape_mismatch_rejected(self, bos, bird):
+        bicrossbar = BiCrossbar(bos, num_intervals=4, variability=IDEAL_VARIABILITY, seed=0)
+        with pytest.raises(ValueError):
+            HardwareEvaluator(bird, bicrossbar)
+
+    def test_num_intervals_property(self, bos):
+        bicrossbar = BiCrossbar(bos, num_intervals=4, variability=IDEAL_VARIABILITY, seed=0)
+        assert HardwareEvaluator(bos, bicrossbar).num_intervals == 4
+
+
+class TestGridOptimum:
+    def test_grid_optimum_is_equilibrium_for_bos(self, bos):
+        result = enumerate_grid_optimum(bos, num_intervals=3)
+        # The 1/3 grid contains the exact mixed equilibrium and both pure ones,
+        # so the grid optimum must reach (near) zero.
+        assert result.best_objective == pytest.approx(0.0, abs=1e-9)
+        assert result.num_states == 16  # C(3+1,1)^2 grid points
+
+    def test_grid_optimum_counts_states(self, bos):
+        result = enumerate_grid_optimum(bos, num_intervals=2)
+        assert result.num_states == 9
+        assert result.best_state.p_counts.sum() == 2

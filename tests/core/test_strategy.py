@@ -1,0 +1,121 @@
+"""Tests for the quantised strategy representation and the SA move generator."""
+
+import numpy as np
+import pytest
+
+from repro.core import QuantizedStrategyPair, StrategyMoveGenerator
+
+
+class TestQuantizedStrategyPair:
+    def test_probabilities(self):
+        state = QuantizedStrategyPair(np.array([2, 2]), np.array([1, 3]), 4)
+        np.testing.assert_allclose(state.p, [0.5, 0.5])
+        np.testing.assert_allclose(state.q, [0.25, 0.75])
+
+    def test_counts_must_sum_to_intervals(self):
+        with pytest.raises(ValueError):
+            QuantizedStrategyPair(np.array([2, 1]), np.array([2, 2]), 4)
+
+    def test_counts_must_be_non_negative(self):
+        with pytest.raises(ValueError):
+            QuantizedStrategyPair(np.array([5, -1]), np.array([2, 2]), 4)
+
+    def test_invalid_intervals(self):
+        with pytest.raises(ValueError):
+            QuantizedStrategyPair(np.array([0]), np.array([0]), 0)
+
+    def test_is_pure(self):
+        pure = QuantizedStrategyPair(np.array([4, 0]), np.array([0, 4]), 4)
+        mixed = QuantizedStrategyPair(np.array([2, 2]), np.array([0, 4]), 4)
+        assert pure.is_pure()
+        assert not mixed.is_pure()
+
+    def test_to_profile(self):
+        state = QuantizedStrategyPair(np.array([1, 3]), np.array([2, 2]), 4)
+        profile = state.to_profile()
+        np.testing.assert_allclose(profile.p, [0.25, 0.75])
+
+    def test_key_is_hashable_and_stable(self):
+        a = QuantizedStrategyPair(np.array([1, 3]), np.array([2, 2]), 4)
+        b = QuantizedStrategyPair(np.array([1, 3]), np.array([2, 2]), 4)
+        assert a.key() == b.key()
+        assert hash(a.key()) == hash(b.key())
+
+    def test_from_probabilities(self):
+        state = QuantizedStrategyPair.from_probabilities(
+            np.array([1 / 3, 2 / 3]), np.array([0.5, 0.5]), 6
+        )
+        assert state.p_counts.sum() == 6
+        np.testing.assert_array_equal(state.p_counts, [2, 4])
+
+    def test_uniform(self):
+        state = QuantizedStrategyPair.uniform(2, 4, 8)
+        assert state.p_counts.sum() == 8
+        assert state.q_counts.sum() == 8
+        np.testing.assert_array_equal(state.p_counts, [4, 4])
+        np.testing.assert_array_equal(state.q_counts, [2, 2, 2, 2])
+
+
+class TestStrategyMoveGenerator:
+    def test_moves_stay_on_simplex_grid(self, rng):
+        generator = StrategyMoveGenerator()
+        state = QuantizedStrategyPair(np.array([2, 2]), np.array([4, 0]), 4)
+        for _ in range(200):
+            state = generator.propose(state, rng)
+            assert state.p_counts.sum() == 4
+            assert state.q_counts.sum() == 4
+            assert np.all(state.p_counts >= 0)
+            assert np.all(state.q_counts >= 0)
+
+    def test_single_move_changes_one_player(self, rng):
+        generator = StrategyMoveGenerator(move_both_players=False)
+        state = QuantizedStrategyPair(np.array([2, 2]), np.array([2, 2]), 4)
+        proposal = generator.propose(state, rng)
+        p_changed = not np.array_equal(proposal.p_counts, state.p_counts)
+        q_changed = not np.array_equal(proposal.q_counts, state.q_counts)
+        assert p_changed != q_changed  # exactly one player moves
+
+    def test_both_players_move_when_configured(self, rng):
+        generator = StrategyMoveGenerator(move_both_players=True)
+        state = QuantizedStrategyPair(np.array([2, 2]), np.array([2, 2]), 4)
+        changed_both = 0
+        for _ in range(50):
+            proposal = generator.propose(state, rng)
+            if not np.array_equal(proposal.p_counts, state.p_counts) and not np.array_equal(
+                proposal.q_counts, state.q_counts
+            ):
+                changed_both += 1
+        assert changed_both > 0
+
+    def test_move_transfers_exactly_one_interval(self, rng):
+        generator = StrategyMoveGenerator()
+        state = QuantizedStrategyPair(np.array([2, 2]), np.array([2, 2]), 4)
+        proposal = generator.propose(state, rng)
+        total_change = np.abs(proposal.p_counts - state.p_counts).sum() + np.abs(
+            proposal.q_counts - state.q_counts
+        ).sum()
+        assert total_change == 2  # one interval removed, one added
+
+    def test_single_action_player_is_a_fixed_point(self, rng):
+        generator = StrategyMoveGenerator(move_both_players=True)
+        state = QuantizedStrategyPair(np.array([4]), np.array([2, 2]), 4)
+        proposal = generator.propose(state, rng)
+        np.testing.assert_array_equal(proposal.p_counts, [4])
+
+    def test_random_state_valid(self, rng):
+        generator = StrategyMoveGenerator()
+        for _ in range(50):
+            state = generator.random_state(3, 5, 8, rng, pure_bias=0.5)
+            assert state.p_counts.sum() == 8
+            assert state.q_counts.sum() == 8
+
+    def test_random_state_pure_bias_one_gives_pure_states(self, rng):
+        generator = StrategyMoveGenerator()
+        for _ in range(20):
+            state = generator.random_state(3, 3, 8, rng, pure_bias=1.0)
+            assert state.is_pure()
+
+    def test_random_state_invalid_bias(self, rng):
+        generator = StrategyMoveGenerator()
+        with pytest.raises(ValueError):
+            generator.random_state(2, 2, 4, rng, pure_bias=1.5)

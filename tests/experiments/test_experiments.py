@@ -1,0 +1,174 @@
+"""Tests for the experiment harness (smoke scale).
+
+The full experiments run on the shared evaluation cache, so this module
+computes the smoke-scale evaluations once (session fixture) and checks
+each table/figure module's structural claims against them.
+"""
+
+import pytest
+
+from repro.baselines.literature import PAPER_GAME_NAMES
+from repro.experiments import (
+    SMOKE_SCALE,
+    SOLVER_NAMES,
+    benchmark_games,
+    evaluate_all_games,
+    get_scale,
+    run_fig7,
+    run_fig8,
+    run_fig9,
+    run_fig10,
+    run_table1,
+)
+from repro.experiments.fig7_robustness import run_crossbar_linearity, run_wta_corners
+from repro.experiments.runner import build_parser
+
+
+@pytest.fixture(scope="module")
+def smoke_evaluations():
+    """Shared smoke-scale runs for all experiment tests (cached in-process)."""
+    return evaluate_all_games(SMOKE_SCALE, seed=0)
+
+
+class TestCommon:
+    def test_get_scale(self):
+        assert get_scale("smoke").name == "smoke"
+        assert get_scale("default").name == "default"
+        with pytest.raises(KeyError):
+            get_scale("huge")
+
+    def test_benchmark_games_match_paper(self):
+        names = [game.name for game in benchmark_games()]
+        assert names[0] == "Battle of the Sexes"
+        assert names[1] == "Bird Game"
+        assert names[2].startswith("Modified Prisoner's Dilemma")
+
+    def test_evaluations_cover_all_games(self, smoke_evaluations):
+        assert set(smoke_evaluations) == set(PAPER_GAME_NAMES)
+
+    def test_evaluation_cache_reuses_results(self, smoke_evaluations):
+        again = evaluate_all_games(SMOKE_SCALE, seed=0)
+        assert again is smoke_evaluations
+
+    def test_evaluation_contains_all_solvers(self, smoke_evaluations):
+        for evaluation in smoke_evaluations.values():
+            assert set(evaluation.baseline_batches) == {
+                name for name in SOLVER_NAMES if name != "C-Nash"
+            }
+            assert evaluation.cnash_batch.num_runs == evaluation.budget.num_runs
+
+
+class TestTable1:
+    def test_structure_and_trends(self, smoke_evaluations):
+        result = run_table1(SMOKE_SCALE, seed=0)
+        for solver in SOLVER_NAMES:
+            for game in PAPER_GAME_NAMES:
+                assert 0.0 <= result.measured_rate(solver, game) <= 100.0
+        # The paper's headline claim: C-Nash succeeds at least as often as the baselines.
+        for game in PAPER_GAME_NAMES:
+            assert result.cnash_beats_baselines(game)
+
+    def test_cnash_success_high_on_battle_of_the_sexes(self, smoke_evaluations):
+        result = run_table1(SMOKE_SCALE, seed=0)
+        assert result.measured_rate("C-Nash", "Battle of the Sexes") >= 90.0
+
+    def test_render_mentions_all_solvers(self, smoke_evaluations):
+        text = run_table1(SMOKE_SCALE, seed=0).render()
+        for solver in SOLVER_NAMES:
+            assert solver in text
+
+
+class TestFig7:
+    def test_linearity_is_high(self):
+        result = run_crossbar_linearity(rows=32, columns=8, num_monte_carlo=20, seed=0)
+        assert result.linearity_r2 > 0.999
+        assert result.num_samples == 20
+
+    def test_wta_corners_all_correct(self):
+        corners = run_wta_corners(seed=0)
+        assert len(corners) == 5
+        assert all(corner.selected_correct_max for corner in corners)
+
+    def test_full_fig7(self):
+        result = run_fig7(num_monte_carlo=10, crossbar_size=16, seed=0)
+        assert result.all_corners_correct()
+        assert "Fig. 7" in result.render()
+
+    def test_invalid_monte_carlo_count(self):
+        with pytest.raises(ValueError):
+            run_crossbar_linearity(num_monte_carlo=0)
+
+
+class TestFig8:
+    def test_cnash_finds_mixed_baselines_do_not(self, smoke_evaluations):
+        result = run_fig8(SMOKE_SCALE, seed=0)
+        for game in PAPER_GAME_NAMES:
+            assert result.baselines_find_no_mixed(game)
+        # C-Nash must produce mixed equilibria on at least one benchmark game
+        # (the paper's central qualitative claim).
+        assert any(result.cnash_finds_mixed(game) for game in PAPER_GAME_NAMES)
+
+    def test_fractions_sum_to_one(self, smoke_evaluations):
+        result = run_fig8(SMOKE_SCALE, seed=0)
+        for game in PAPER_GAME_NAMES:
+            for solver in SOLVER_NAMES:
+                assert sum(result.distribution(game, solver).fractions.values()) == pytest.approx(1.0)
+
+    def test_render(self, smoke_evaluations):
+        assert "solution distribution" in run_fig8(SMOKE_SCALE, seed=0).render()
+
+
+class TestFig9:
+    def test_cnash_finds_at_least_as_many_as_baselines(self, smoke_evaluations):
+        result = run_fig9(SMOKE_SCALE, seed=0)
+        for game in PAPER_GAME_NAMES:
+            cnash_found = result.metric(game, "C-Nash").found
+            for solver in SOLVER_NAMES:
+                if solver != "C-Nash":
+                    assert cnash_found >= result.metric(game, solver).found
+
+    def test_targets_come_from_our_ground_truth(self, smoke_evaluations):
+        result = run_fig9(SMOKE_SCALE, seed=0)
+        assert result.measured_targets["Battle of the Sexes"] == 3
+        assert result.measured_targets["Modified Prisoner's Dilemma"] >= 10
+
+    def test_render(self, smoke_evaluations):
+        assert "distinct NE solutions" in run_fig9(SMOKE_SCALE, seed=0).render()
+
+
+class TestFig10:
+    def test_cnash_is_fastest_where_comparable(self, smoke_evaluations):
+        result = run_fig10(SMOKE_SCALE, seed=0)
+        for game in PAPER_GAME_NAMES:
+            assert result.cnash_fastest(game)
+
+    def test_speedups_positive_when_defined(self, smoke_evaluations):
+        result = run_fig10(SMOKE_SCALE, seed=0)
+        for game in PAPER_GAME_NAMES:
+            for baseline in ("D-Wave 2000 Q6", "D-Wave Advantage 4.1"):
+                speedup = result.speedup(game, baseline)
+                assert speedup is None or speedup > 1.0
+
+    def test_render(self, smoke_evaluations):
+        assert "time to solution" in run_fig10(SMOKE_SCALE, seed=0).render()
+
+
+class TestRunnerCLI:
+    def test_parser_accepts_experiments(self):
+        parser = build_parser()
+        args = parser.parse_args(["table1", "fig7", "--scale", "smoke", "--seed", "3"])
+        assert args.experiments == ["table1", "fig7"]
+        assert args.scale == "smoke"
+        assert args.seed == 3
+
+    def test_parser_rejects_unknown_experiment(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["tableX"])
+
+    def test_main_runs_fig7(self, capsys):
+        from repro.experiments.runner import main
+
+        assert main(["fig7", "--scale", "smoke"]) == 0
+        captured = capsys.readouterr()
+        assert "Fig. 7" in captured.out

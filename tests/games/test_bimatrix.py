@@ -1,0 +1,127 @@
+"""Tests for repro.games.bimatrix."""
+
+import numpy as np
+import pytest
+
+from repro.games import BimatrixGame, battle_of_the_sexes, matching_pennies
+
+
+class TestConstruction:
+    def test_shape_properties(self, bos):
+        assert bos.shape == (2, 2)
+        assert bos.num_row_actions == 2
+        assert bos.num_col_actions == 2
+        assert bos.num_actions == 2
+
+    def test_rectangular_game(self):
+        game = BimatrixGame(np.ones((2, 3)), np.zeros((2, 3)))
+        assert game.shape == (2, 3)
+        assert game.num_actions == 3
+
+    def test_mismatched_shapes_rejected(self):
+        with pytest.raises(ValueError, match="same shape"):
+            BimatrixGame(np.ones((2, 2)), np.ones((3, 3)))
+
+    def test_non_matrix_rejected(self):
+        with pytest.raises(ValueError):
+            BimatrixGame(np.ones(3), np.ones(3))
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError):
+            BimatrixGame(np.array([[np.nan, 0.0], [0.0, 1.0]]), np.ones((2, 2)))
+
+
+class TestPayoffs:
+    def test_pure_payoffs(self, bos):
+        assert bos.pure_payoffs(0, 0) == (2.0, 1.0)
+        assert bos.pure_payoffs(1, 1) == (1.0, 2.0)
+
+    def test_pure_payoffs_out_of_range(self, bos):
+        with pytest.raises(IndexError):
+            bos.pure_payoffs(2, 0)
+        with pytest.raises(IndexError):
+            bos.pure_payoffs(0, 5)
+
+    def test_mixed_payoffs_match_formula(self, bos):
+        p = np.array([0.5, 0.5])
+        q = np.array([0.25, 0.75])
+        f1, f2 = bos.payoffs(p, q)
+        assert f1 == pytest.approx(p @ bos.payoff_row @ q)
+        assert f2 == pytest.approx(p @ bos.payoff_col @ q)
+
+    def test_payoffs_reject_wrong_length(self, bos):
+        with pytest.raises(ValueError):
+            bos.payoffs(np.array([1.0]), np.array([0.5, 0.5]))
+
+    def test_payoffs_reject_non_probability(self, bos):
+        with pytest.raises(ValueError):
+            bos.payoffs(np.array([0.7, 0.7]), np.array([0.5, 0.5]))
+
+    def test_row_and_col_payoff_shortcuts(self, bos):
+        p = np.array([1.0, 0.0])
+        q = np.array([1.0, 0.0])
+        assert bos.row_payoff(p, q) == 2.0
+        assert bos.col_payoff(p, q) == 1.0
+
+
+class TestActionValuesAndRegret:
+    def test_row_action_values(self, bos):
+        q = np.array([0.5, 0.5])
+        np.testing.assert_allclose(bos.row_action_values(q), [1.0, 0.5])
+
+    def test_col_action_values(self, bos):
+        p = np.array([0.5, 0.5])
+        np.testing.assert_allclose(bos.col_action_values(p), [0.5, 1.0])
+
+    def test_regret_zero_at_equilibrium(self, bos):
+        p = np.array([1.0, 0.0])
+        q = np.array([1.0, 0.0])
+        assert bos.row_regret(p, q) == pytest.approx(0.0)
+        assert bos.col_regret(p, q) == pytest.approx(0.0)
+        assert bos.total_regret(p, q) == pytest.approx(0.0)
+
+    def test_regret_positive_off_equilibrium(self, bos):
+        p = np.array([0.0, 1.0])
+        q = np.array([1.0, 0.0])
+        assert bos.total_regret(p, q) > 0
+
+    def test_mixed_equilibrium_regret_zero(self, bos):
+        p = np.array([2.0 / 3.0, 1.0 / 3.0])
+        q = np.array([1.0 / 3.0, 2.0 / 3.0])
+        assert bos.total_regret(p, q) == pytest.approx(0.0, abs=1e-12)
+
+
+class TestTransformations:
+    def test_shifted_makes_payoffs_non_negative(self, pennies):
+        shifted = pennies.shifted()
+        assert shifted.payoff_row.min() >= 0
+        assert shifted.payoff_col.min() >= 0
+
+    def test_shifted_preserves_regret_structure(self, bos):
+        shifted = bos.shifted(offset=5.0)
+        p = np.array([0.3, 0.7])
+        q = np.array([0.6, 0.4])
+        assert shifted.row_regret(p, q) == pytest.approx(bos.row_regret(p, q))
+        assert shifted.col_regret(p, q) == pytest.approx(bos.col_regret(p, q))
+
+    def test_scaled_requires_positive_factor(self, bos):
+        with pytest.raises(ValueError):
+            bos.scaled(0.0)
+
+    def test_scaled_scales_payoffs(self, bos):
+        scaled = bos.scaled(2.0)
+        np.testing.assert_allclose(scaled.payoff_row, 2 * bos.payoff_row)
+
+    def test_transpose_swaps_players(self, bos):
+        swapped = bos.transpose()
+        np.testing.assert_allclose(swapped.payoff_row, bos.payoff_col.T)
+        np.testing.assert_allclose(swapped.payoff_col, bos.payoff_row.T)
+
+
+class TestPredicates:
+    def test_zero_sum_detection(self, pennies, bos):
+        assert pennies.is_zero_sum()
+        assert not bos.is_zero_sum()
+
+    def test_pure_profiles_enumeration(self, bos):
+        assert list(bos.pure_profiles()) == [(0, 0), (0, 1), (1, 0), (1, 1)]

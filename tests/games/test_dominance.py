@@ -1,0 +1,105 @@
+"""Tests for dominated-strategy analysis and iterated elimination."""
+
+import numpy as np
+import pytest
+
+from repro.games import (
+    BimatrixGame,
+    battle_of_the_sexes,
+    is_nash_equilibrium,
+    is_solvable_by_elimination,
+    iterated_elimination,
+    matching_pennies,
+    prisoners_dilemma,
+    strictly_dominated_cols,
+    strictly_dominated_rows,
+    support_enumeration,
+)
+
+
+class TestDominationDetection:
+    def test_prisoners_dilemma_cooperation_dominated(self, pd):
+        assert strictly_dominated_rows(pd) == [0]
+        assert strictly_dominated_cols(pd) == [0]
+
+    def test_no_domination_in_battle_of_the_sexes(self, bos):
+        assert strictly_dominated_rows(bos) == []
+        assert strictly_dominated_cols(bos) == []
+
+    def test_no_domination_in_matching_pennies(self, pennies):
+        assert strictly_dominated_rows(pennies) == []
+        assert strictly_dominated_cols(pennies) == []
+
+
+class TestIteratedElimination:
+    def test_prisoners_dilemma_reduces_to_single_cell(self, pd):
+        reduced = iterated_elimination(pd)
+        assert reduced.game.shape == (1, 1)
+        assert reduced.was_reduced
+        assert reduced.row_actions == [1]
+        assert reduced.col_actions == [1]
+        assert reduced.eliminated_rows == [0]
+
+    def test_unreducible_game_returned_unchanged(self, bos):
+        reduced = iterated_elimination(bos)
+        assert not reduced.was_reduced
+        assert reduced.game.shape == bos.shape
+        np.testing.assert_allclose(reduced.game.payoff_row, bos.payoff_row)
+
+    def test_multi_round_elimination(self):
+        # A 3x3 game built so elimination cascades: removing one column makes
+        # a row dominated, which then makes another column dominated.
+        payoff_row = np.array(
+            [
+                [3.0, 2.0, 0.0],
+                [2.0, 1.0, 5.0],
+                [1.0, 0.0, 4.0],
+            ]
+        )
+        payoff_col = np.array(
+            [
+                [3.0, 2.0, 0.0],
+                [2.0, 1.0, 0.5],
+                [1.0, 0.0, 0.0],
+            ]
+        )
+        game = BimatrixGame(payoff_row, payoff_col, name="cascade")
+        reduced = iterated_elimination(game)
+        assert reduced.rounds >= 2
+        assert reduced.game.shape == (1, 1)
+
+    def test_elimination_preserves_equilibria(self):
+        # Every equilibrium of the reduced game, lifted back, is an
+        # equilibrium of the original game.
+        payoff_row = np.array([[4.0, 1.0, 0.0], [3.0, 2.0, 1.0], [0.0, 0.0, 0.5]])
+        payoff_col = np.array([[4.0, 1.0, 0.2], [2.0, 3.0, 0.1], [0.1, 0.2, 0.0]])
+        game = BimatrixGame(payoff_row, payoff_col)
+        reduced = iterated_elimination(game)
+        for profile in support_enumeration(reduced.game):
+            lifted = reduced.lift_profile(profile)
+            assert is_nash_equilibrium(game, lifted.p, lifted.q, tolerance=1e-6)
+
+    def test_lift_profile_shape_check(self, pd):
+        reduced = iterated_elimination(pd)
+        from repro.games import StrategyProfile
+
+        with pytest.raises(ValueError):
+            reduced.lift_profile(StrategyProfile(np.array([0.5, 0.5]), np.array([1.0])))
+
+    def test_max_rounds_respected(self, pd):
+        reduced = iterated_elimination(pd, max_rounds=0)
+        assert not reduced.was_reduced
+
+
+class TestSolvableByElimination:
+    def test_prisoners_dilemma_is_solvable(self, pd):
+        solvable, profile = is_solvable_by_elimination(pd)
+        assert solvable
+        np.testing.assert_allclose(profile.p, [0.0, 1.0])
+        np.testing.assert_allclose(profile.q, [0.0, 1.0])
+        assert is_nash_equilibrium(pd, profile.p, profile.q)
+
+    def test_battle_of_the_sexes_is_not(self, bos):
+        solvable, profile = is_solvable_by_elimination(bos)
+        assert not solvable
+        assert profile is None

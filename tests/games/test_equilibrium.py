@@ -1,0 +1,145 @@
+"""Tests for repro.games.equilibrium."""
+
+import numpy as np
+import pytest
+
+from repro.games import (
+    EquilibriumSet,
+    StrategyProfile,
+    battle_of_the_sexes,
+    classify_profile,
+    is_epsilon_equilibrium,
+    is_nash_equilibrium,
+)
+
+
+class TestStrategyProfile:
+    def test_valid_profile(self):
+        profile = StrategyProfile(np.array([0.5, 0.5]), np.array([1.0, 0.0]))
+        assert profile.p.sum() == pytest.approx(1.0)
+
+    def test_invalid_probabilities_rejected(self):
+        with pytest.raises(ValueError):
+            StrategyProfile(np.array([0.5, 0.6]), np.array([1.0, 0.0]))
+
+    def test_is_pure(self):
+        pure = StrategyProfile(np.array([1.0, 0.0]), np.array([0.0, 1.0]))
+        mixed = StrategyProfile(np.array([0.5, 0.5]), np.array([0.0, 1.0]))
+        assert pure.is_pure()
+        assert not mixed.is_pure()
+
+    def test_support(self):
+        profile = StrategyProfile(np.array([0.5, 0.0, 0.5]), np.array([1.0, 0.0]))
+        assert profile.support() == ((0, 2), (0,))
+
+    def test_close_to(self):
+        a = StrategyProfile(np.array([0.5, 0.5]), np.array([1.0, 0.0]))
+        b = StrategyProfile(np.array([0.5001, 0.4999]), np.array([1.0, 0.0]))
+        assert a.close_to(b, atol=1e-3)
+        assert not a.close_to(b, atol=1e-6)
+
+    def test_close_to_different_shapes(self):
+        a = StrategyProfile(np.array([0.5, 0.5]), np.array([1.0, 0.0]))
+        b = StrategyProfile(np.array([0.5, 0.25, 0.25]), np.array([1.0, 0.0]))
+        assert not a.close_to(b)
+
+    def test_rounded_renormalises(self):
+        profile = StrategyProfile(np.array([1 / 3, 2 / 3]), np.array([1.0, 0.0]))
+        rounded = profile.rounded(decimals=2)
+        assert rounded.p.sum() == pytest.approx(1.0)
+
+    def test_as_tuple(self):
+        profile = StrategyProfile(np.array([1.0, 0.0]), np.array([0.0, 1.0]))
+        p_tuple, q_tuple = profile.as_tuple()
+        assert p_tuple == (1.0, 0.0)
+        assert q_tuple == (0.0, 1.0)
+
+
+class TestEquilibriumChecks:
+    def test_pure_equilibria_of_bos(self, bos):
+        assert is_nash_equilibrium(bos, np.array([1.0, 0.0]), np.array([1.0, 0.0]))
+        assert is_nash_equilibrium(bos, np.array([0.0, 1.0]), np.array([0.0, 1.0]))
+
+    def test_miscoordination_is_not_equilibrium(self, bos):
+        assert not is_nash_equilibrium(bos, np.array([1.0, 0.0]), np.array([0.0, 1.0]))
+
+    def test_mixed_equilibrium_of_bos(self, bos):
+        p = np.array([2 / 3, 1 / 3])
+        q = np.array([1 / 3, 2 / 3])
+        assert is_nash_equilibrium(bos, p, q, tolerance=1e-9)
+
+    def test_epsilon_equilibrium_accepts_near_miss(self, bos):
+        p = np.array([0.65, 0.35])
+        q = np.array([0.35, 0.65])
+        assert not is_epsilon_equilibrium(bos, p, q, epsilon=1e-6)
+        assert is_epsilon_equilibrium(bos, p, q, epsilon=0.2)
+
+    def test_negative_epsilon_rejected(self, bos):
+        with pytest.raises(ValueError):
+            is_epsilon_equilibrium(bos, np.array([1.0, 0.0]), np.array([1.0, 0.0]), epsilon=-1.0)
+
+
+class TestClassification:
+    def test_pure_classification(self, bos):
+        profile = StrategyProfile(np.array([1.0, 0.0]), np.array([1.0, 0.0]))
+        assert classify_profile(bos, profile) == "pure"
+
+    def test_mixed_classification(self, bos):
+        profile = StrategyProfile(np.array([2 / 3, 1 / 3]), np.array([1 / 3, 2 / 3]))
+        assert classify_profile(bos, profile) == "mixed"
+
+    def test_error_classification(self, bos):
+        profile = StrategyProfile(np.array([1.0, 0.0]), np.array([0.0, 1.0]))
+        assert classify_profile(bos, profile) == "error"
+
+
+class TestEquilibriumSet:
+    def test_add_deduplicates(self, bos):
+        collection = EquilibriumSet(game=bos, atol=1e-3)
+        profile = StrategyProfile(np.array([1.0, 0.0]), np.array([1.0, 0.0]))
+        assert collection.add(profile)
+        assert not collection.add(profile)
+        assert len(collection) == 1
+
+    def test_extend_counts_inserted(self, bos):
+        collection = EquilibriumSet(game=bos)
+        profiles = [
+            StrategyProfile(np.array([1.0, 0.0]), np.array([1.0, 0.0])),
+            StrategyProfile(np.array([1.0, 0.0]), np.array([1.0, 0.0])),
+            StrategyProfile(np.array([0.0, 1.0]), np.array([0.0, 1.0])),
+        ]
+        assert collection.extend(profiles) == 2
+
+    def test_match_and_contains(self, bos):
+        collection = EquilibriumSet(game=bos)
+        profile = StrategyProfile(np.array([1.0, 0.0]), np.array([1.0, 0.0]))
+        collection.add(profile)
+        near = StrategyProfile(np.array([0.9999, 0.0001]), np.array([1.0, 0.0]))
+        assert collection.match(near) == 0
+        assert near in collection
+
+    def test_count_found(self, bos):
+        collection = EquilibriumSet(game=bos)
+        a = StrategyProfile(np.array([1.0, 0.0]), np.array([1.0, 0.0]))
+        b = StrategyProfile(np.array([0.0, 1.0]), np.array([0.0, 1.0]))
+        collection.add(a)
+        collection.add(b)
+        assert collection.count_found([a, a, a]) == 1
+        assert collection.count_found([a, b]) == 2
+        assert collection.count_found([]) == 0
+
+    def test_pure_and_mixed_partitions(self, bos):
+        collection = EquilibriumSet(game=bos)
+        collection.add(StrategyProfile(np.array([1.0, 0.0]), np.array([1.0, 0.0])))
+        collection.add(StrategyProfile(np.array([2 / 3, 1 / 3]), np.array([1 / 3, 2 / 3])))
+        assert len(collection.pure_profiles()) == 1
+        assert len(collection.mixed_profiles()) == 1
+
+    def test_verify_all(self, bos):
+        collection = EquilibriumSet(game=bos)
+        collection.add(StrategyProfile(np.array([1.0, 0.0]), np.array([1.0, 0.0])))
+        assert collection.verify_all()
+        collection.profiles.append(
+            StrategyProfile(np.array([1.0, 0.0]), np.array([0.0, 1.0]))
+        )
+        assert not collection.verify_all()

@@ -1,0 +1,104 @@
+"""Property-based tests (hypothesis) for the game-theory substrate."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.games import BimatrixGame, StrategyProfile, support_enumeration
+from repro.games.equilibrium import is_epsilon_equilibrium
+
+payoff_values = st.floats(min_value=-10.0, max_value=10.0, allow_nan=False, allow_infinity=False)
+
+
+def game_strategy(max_actions: int = 4):
+    """A hypothesis strategy producing small random bimatrix games."""
+    return st.integers(2, max_actions).flatmap(
+        lambda n: st.integers(2, max_actions).flatmap(
+            lambda m: st.tuples(
+                arrays(np.float64, (n, m), elements=payoff_values),
+                arrays(np.float64, (n, m), elements=payoff_values),
+            )
+        )
+    ).map(lambda matrices: BimatrixGame(matrices[0], matrices[1]))
+
+
+def probability_vector(size: int):
+    """A hypothesis strategy for probability vectors of a given size."""
+    return arrays(
+        np.float64,
+        (size,),
+        elements=st.floats(min_value=0.01, max_value=1.0, allow_nan=False),
+    ).map(lambda values: values / values.sum())
+
+
+@given(game=game_strategy())
+@settings(max_examples=30, deadline=None)
+def test_regret_is_non_negative(game):
+    """Total regret is non-negative for any uniform strategy pair."""
+    p = np.full(game.num_row_actions, 1.0 / game.num_row_actions)
+    q = np.full(game.num_col_actions, 1.0 / game.num_col_actions)
+    assert game.row_regret(p, q) >= -1e-9
+    assert game.col_regret(p, q) >= -1e-9
+
+
+@given(game=game_strategy(), offset=st.floats(min_value=-5, max_value=5, allow_nan=False))
+@settings(max_examples=30, deadline=None)
+def test_shifting_preserves_regret(game, offset):
+    """Adding a constant to all payoffs leaves regrets unchanged."""
+    p = np.full(game.num_row_actions, 1.0 / game.num_row_actions)
+    q = np.full(game.num_col_actions, 1.0 / game.num_col_actions)
+    shifted = game.shifted(offset=offset)
+    assert np.isclose(shifted.row_regret(p, q), game.row_regret(p, q), atol=1e-8)
+    assert np.isclose(shifted.col_regret(p, q), game.col_regret(p, q), atol=1e-8)
+
+
+@given(game=game_strategy(max_actions=3))
+@settings(max_examples=15, deadline=None)
+def test_support_enumeration_results_are_equilibria(game):
+    """Every profile returned by support enumeration verifies as an equilibrium."""
+    equilibria = support_enumeration(game)
+    for profile in equilibria:
+        assert is_epsilon_equilibrium(game, profile.p, profile.q, epsilon=1e-6)
+
+
+@given(game=game_strategy(max_actions=3))
+@settings(max_examples=15, deadline=None)
+def test_support_enumeration_finds_at_least_one_equilibrium_generically(game):
+    """Generic (non-degenerate) games have at least one equilibrium found.
+
+    Nash's theorem guarantees existence; support enumeration can only miss
+    equilibria on degenerate games, which random float payoffs almost never
+    produce.  We therefore assert non-emptiness.
+    """
+    equilibria = support_enumeration(game)
+    assert len(equilibria) >= 1
+
+
+@given(
+    data=st.data(),
+    game=game_strategy(max_actions=4),
+)
+@settings(max_examples=30, deadline=None)
+def test_payoffs_bounded_by_extremes(data, game):
+    """Expected payoffs always lie between the min and max matrix entries."""
+    p = data.draw(probability_vector(game.num_row_actions))
+    q = data.draw(probability_vector(game.num_col_actions))
+    f1, f2 = game.payoffs(p, q)
+    assert game.payoff_row.min() - 1e-9 <= f1 <= game.payoff_row.max() + 1e-9
+    assert game.payoff_col.min() - 1e-9 <= f2 <= game.payoff_col.max() + 1e-9
+
+
+@given(
+    data=st.data(),
+    game=game_strategy(max_actions=4),
+)
+@settings(max_examples=30, deadline=None)
+def test_best_response_achieves_max_action_value(data, game):
+    """A pure best response achieves the maximum of the action-value vector."""
+    from repro.games.best_response import best_response_row
+
+    q = data.draw(probability_vector(game.num_col_actions))
+    response = best_response_row(game, q)
+    values = game.row_action_values(q)
+    assert np.isclose(float(response @ values), values.max())

@@ -1,0 +1,139 @@
+"""Tests for the benchmark game library and the random game generators."""
+
+import numpy as np
+import pytest
+
+from repro.games import (
+    available_games,
+    battle_of_the_sexes,
+    bird_game,
+    chicken,
+    coordination_game,
+    get_game,
+    matching_pennies,
+    modified_prisoners_dilemma,
+    paper_benchmark_games,
+    prisoners_dilemma,
+    random_coordination_game,
+    random_game,
+    random_game_with_pure_equilibrium,
+    random_symmetric_game,
+    random_zero_sum_game,
+    rock_paper_scissors,
+    stag_hunt,
+    is_nash_equilibrium,
+)
+
+
+class TestLibrary:
+    def test_paper_games_shapes(self):
+        games = paper_benchmark_games()
+        assert [game.num_actions for game in games] == [2, 3, 8]
+
+    def test_battle_of_the_sexes_payoffs(self):
+        game = battle_of_the_sexes()
+        assert game.pure_payoffs(0, 0) == (2.0, 1.0)
+        assert game.pure_payoffs(1, 1) == (1.0, 2.0)
+        assert game.pure_payoffs(0, 1) == (0.0, 0.0)
+
+    def test_bird_game_is_symmetric(self):
+        game = bird_game()
+        np.testing.assert_allclose(game.payoff_col, game.payoff_row.T)
+
+    def test_modified_pd_default_levels(self):
+        game = modified_prisoners_dilemma()
+        assert game.shape == (8, 8)
+
+    def test_modified_pd_custom_levels(self):
+        game = modified_prisoners_dilemma(levels=4)
+        assert game.shape == (4, 4)
+
+    def test_modified_pd_rejects_tiny(self):
+        with pytest.raises(ValueError):
+            modified_prisoners_dilemma(levels=1)
+
+    def test_modified_pd_diagonal_profiles_are_equilibria(self):
+        game = modified_prisoners_dilemma()
+        # The coordination bonus makes the lower matched levels equilibria
+        # (full mutual cooperation is not one: the temptation to defect wins).
+        for level in (0, 3):
+            p = np.zeros(game.num_row_actions)
+            q = np.zeros(game.num_col_actions)
+            p[level] = 1.0
+            q[level] = 1.0
+            assert is_nash_equilibrium(game, p, q)
+
+    def test_classic_games_shapes(self):
+        assert prisoners_dilemma().shape == (2, 2)
+        assert matching_pennies().is_zero_sum()
+        assert stag_hunt().shape == (2, 2)
+        assert chicken().shape == (2, 2)
+        assert rock_paper_scissors().shape == (3, 3)
+        assert coordination_game(5).shape == (5, 5)
+
+    def test_coordination_game_rejects_single_action(self):
+        with pytest.raises(ValueError):
+            coordination_game(1)
+
+    def test_get_game_lookup(self):
+        game = get_game("Battle of the Sexes")
+        assert game.name == "Battle of the Sexes"
+        game = get_game("bird-game")
+        assert game.name == "Bird Game"
+
+    def test_get_game_unknown(self):
+        with pytest.raises(KeyError, match="unknown game"):
+            get_game("no such game")
+
+    def test_available_games_lists_paper_games(self):
+        names = available_games()
+        assert "battle_of_the_sexes" in names
+        assert "bird_game" in names
+        assert "modified_prisoners_dilemma" in names
+
+
+class TestGenerators:
+    def test_random_game_shape_and_range(self):
+        game = random_game(3, 5, payoff_range=(0.0, 2.0), seed=0)
+        assert game.shape == (3, 5)
+        assert game.payoff_row.min() >= 0.0
+        assert game.payoff_row.max() <= 2.0
+
+    def test_random_game_default_square(self):
+        assert random_game(4, seed=1).shape == (4, 4)
+
+    def test_random_game_integer_payoffs(self):
+        game = random_game(3, integer_payoffs=True, seed=2)
+        assert np.allclose(game.payoff_row, np.round(game.payoff_row))
+
+    def test_random_game_reproducible(self):
+        a = random_game(3, seed=7)
+        b = random_game(3, seed=7)
+        np.testing.assert_allclose(a.payoff_row, b.payoff_row)
+
+    def test_random_game_invalid_range(self):
+        with pytest.raises(ValueError):
+            random_game(3, payoff_range=(1.0, 1.0))
+
+    def test_random_zero_sum(self):
+        game = random_zero_sum_game(4, seed=3)
+        assert game.is_zero_sum()
+
+    def test_random_coordination_has_diagonal_equilibria(self):
+        game = random_coordination_game(4, seed=4)
+        for action in range(4):
+            p = np.zeros(4)
+            p[action] = 1.0
+            assert is_nash_equilibrium(game, p, p.copy())
+
+    def test_random_symmetric(self):
+        game = random_symmetric_game(3, seed=5)
+        np.testing.assert_allclose(game.payoff_col, game.payoff_row.T)
+
+    def test_planted_equilibrium_is_equilibrium(self):
+        game, (i, j) = random_game_with_pure_equilibrium(5, seed=6)
+        p = np.zeros(5)
+        q = np.zeros(5)
+        p[i] = 1.0
+        q[j] = 1.0
+        assert is_nash_equilibrium(game, p, q)

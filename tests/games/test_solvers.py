@@ -1,0 +1,169 @@
+"""Tests for the ground-truth Nash solvers.
+
+Covers support enumeration, vertex enumeration, Lemke-Howson and the
+iterative-play baselines on games with known equilibrium sets.
+"""
+
+import numpy as np
+import pytest
+
+from repro.games import (
+    StrategyProfile,
+    battle_of_the_sexes,
+    best_response_dynamics,
+    bird_game,
+    chicken,
+    cross_check_equilibria,
+    fictitious_play,
+    lemke_howson,
+    lemke_howson_all_labels,
+    matching_pennies,
+    prisoners_dilemma,
+    pure_equilibria,
+    rock_paper_scissors,
+    stag_hunt,
+    support_enumeration,
+    vertex_enumeration,
+)
+from repro.games.lemke_howson import LemkeHowsonError
+
+
+class TestSupportEnumeration:
+    def test_battle_of_the_sexes_has_three_equilibria(self, bos):
+        equilibria = support_enumeration(bos)
+        assert len(equilibria) == 3
+        assert len(equilibria.pure_profiles()) == 2
+        assert len(equilibria.mixed_profiles()) == 1
+
+    def test_bos_mixed_equilibrium_value(self, bos):
+        equilibria = support_enumeration(bos)
+        mixed = equilibria.mixed_profiles()[0]
+        np.testing.assert_allclose(mixed.p, [2 / 3, 1 / 3], atol=1e-9)
+        np.testing.assert_allclose(mixed.q, [1 / 3, 2 / 3], atol=1e-9)
+
+    def test_prisoners_dilemma_unique_equilibrium(self, pd):
+        equilibria = support_enumeration(pd)
+        assert len(equilibria) == 1
+        profile = equilibria.profiles[0]
+        np.testing.assert_allclose(profile.p, [0.0, 1.0])
+        np.testing.assert_allclose(profile.q, [0.0, 1.0])
+
+    def test_matching_pennies_unique_mixed(self, pennies):
+        equilibria = support_enumeration(pennies)
+        assert len(equilibria) == 1
+        profile = equilibria.profiles[0]
+        np.testing.assert_allclose(profile.p, [0.5, 0.5], atol=1e-9)
+
+    def test_rock_paper_scissors_uniform(self):
+        equilibria = support_enumeration(rock_paper_scissors())
+        assert len(equilibria) == 1
+        np.testing.assert_allclose(equilibria.profiles[0].p, np.full(3, 1 / 3), atol=1e-9)
+
+    def test_stag_hunt_three_equilibria(self):
+        assert len(support_enumeration(stag_hunt())) == 3
+
+    def test_chicken_three_equilibria(self):
+        assert len(support_enumeration(chicken())) == 3
+
+    def test_all_results_verify(self, bird):
+        equilibria = support_enumeration(bird)
+        assert equilibria.verify_all(epsilon=1e-6)
+        assert len(equilibria) >= 3
+
+    def test_equal_supports_only_subset(self, bos):
+        restricted = support_enumeration(bos, include_unequal_supports=False)
+        assert len(restricted) == 3
+
+
+class TestPureEquilibria:
+    def test_bos_pure(self, bos):
+        assert len(pure_equilibria(bos)) == 2
+
+    def test_matching_pennies_has_none(self, pennies):
+        assert len(pure_equilibria(pennies)) == 0
+
+    def test_pure_subset_of_full_enumeration(self, bird):
+        pure = pure_equilibria(bird)
+        full = support_enumeration(bird)
+        for profile in pure:
+            assert full.match(profile) is not None
+
+
+class TestVertexEnumeration:
+    def test_bos_matches_support_enumeration(self, bos):
+        by_support, by_vertex, agree = cross_check_equilibria(bos)
+        assert agree
+        assert len(by_vertex) == 3
+
+    def test_matching_pennies(self, pennies):
+        equilibria = vertex_enumeration(pennies)
+        assert len(equilibria) == 1
+        np.testing.assert_allclose(equilibria.profiles[0].p, [0.5, 0.5], atol=1e-6)
+
+    def test_bird_game_consistency(self, bird):
+        by_support, by_vertex, agree = cross_check_equilibria(bird)
+        assert agree
+        assert len(by_vertex) == len(by_support)
+
+
+class TestLemkeHowson:
+    def test_returns_equilibrium_for_every_label(self, bos):
+        n, m = bos.shape
+        for label in range(n + m):
+            profile = lemke_howson(bos, initial_dropped_label=label)
+            assert bos.total_regret(profile.p, profile.q) < 1e-8
+
+    def test_invalid_label_rejected(self, bos):
+        with pytest.raises(ValueError):
+            lemke_howson(bos, initial_dropped_label=10)
+
+    def test_all_labels_finds_multiple_bos_equilibria(self, bos):
+        found = lemke_howson_all_labels(bos)
+        assert 1 <= len(found) <= 3
+        assert found.verify_all()
+
+    def test_prisoners_dilemma(self, pd):
+        found = lemke_howson_all_labels(pd)
+        assert len(found) == 1
+
+    def test_zero_sum_games(self, pennies):
+        found = lemke_howson_all_labels(pennies)
+        assert len(found) == 1
+        np.testing.assert_allclose(found.profiles[0].p, [0.5, 0.5], atol=1e-8)
+
+    def test_bird_game_results_verify(self, bird):
+        found = lemke_howson_all_labels(bird)
+        assert len(found) >= 1
+        assert found.verify_all()
+
+
+class TestIterativePlay:
+    def test_fictitious_play_converges_on_zero_sum(self, pennies):
+        result = fictitious_play(pennies, iterations=4000, tolerance=0.05, seed=0)
+        assert result.converged
+        np.testing.assert_allclose(result.profile.p, [0.5, 0.5], atol=0.1)
+
+    def test_fictitious_play_rejects_bad_iterations(self, pennies):
+        with pytest.raises(ValueError):
+            fictitious_play(pennies, iterations=0)
+
+    def test_best_response_dynamics_finds_pure_equilibrium(self, pd):
+        result = best_response_dynamics(pd, seed=1)
+        assert result.converged
+        assert pd.total_regret(result.profile.p, result.profile.q) == pytest.approx(0.0)
+
+    def test_best_response_dynamics_regret_history_recorded(self, bos):
+        result = best_response_dynamics(bos, iterations=50, seed=2)
+        assert len(result.regret_history) >= 1
+        assert result.final_regret == result.regret_history[-1]
+
+
+class TestModifiedPrisonersDilemma:
+    def test_ground_truth_is_rich(self, mpd):
+        equilibria = support_enumeration(mpd)
+        # The 8-action benchmark game must have many equilibria, both pure
+        # and mixed, for the paper's evaluation to be meaningful.
+        assert len(equilibria) >= 10
+        assert len(equilibria.pure_profiles()) >= 5
+        assert len(equilibria.mixed_profiles()) >= 5
+        assert equilibria.verify_all(epsilon=1e-6)

@@ -1,0 +1,59 @@
+"""Tests for the area model."""
+
+import pytest
+
+from repro.games import battle_of_the_sexes, modified_prisoners_dilemma
+from repro.hardware import (
+    AreaParameters,
+    BiCrossbar,
+    CNashAreaModel,
+    IDEAL_VARIABILITY,
+)
+
+
+class TestAreaModel:
+    def test_breakdown_sums_to_total(self, bos):
+        bicrossbar = BiCrossbar(bos, num_intervals=4, variability=IDEAL_VARIABILITY, seed=0)
+        model = CNashAreaModel.for_bicrossbar(bicrossbar)
+        breakdown = model.breakdown()
+        assert breakdown.total_um2 == pytest.approx(
+            breakdown.crossbar_um2
+            + breakdown.wta_um2
+            + breakdown.adc_um2
+            + breakdown.drivers_um2
+            + breakdown.sa_logic_um2
+        )
+        assert breakdown.total_mm2 == pytest.approx(breakdown.total_um2 * 1e-6)
+
+    def test_fractions_sum_to_one(self, bos):
+        bicrossbar = BiCrossbar(bos, num_intervals=4, variability=IDEAL_VARIABILITY, seed=0)
+        model = CNashAreaModel.for_bicrossbar(bicrossbar)
+        assert sum(model.breakdown().fractions().values()) == pytest.approx(1.0)
+
+    def test_larger_game_needs_more_area(self, bos):
+        small = CNashAreaModel.for_bicrossbar(
+            BiCrossbar(bos, num_intervals=4, variability=IDEAL_VARIABILITY, seed=0)
+        )
+        large = CNashAreaModel.for_bicrossbar(
+            BiCrossbar(
+                modified_prisoners_dilemma(4),
+                num_intervals=4,
+                variability=IDEAL_VARIABILITY,
+                seed=0,
+            )
+        )
+        assert large.total_um2 > small.total_um2
+
+    def test_crossbar_area_scales_with_cells(self, bos):
+        bicrossbar = BiCrossbar(bos, num_intervals=4, variability=IDEAL_VARIABILITY, seed=0)
+        parameters = AreaParameters(cell_area_um2=0.1)
+        model = CNashAreaModel.for_bicrossbar(bicrossbar, parameters=parameters)
+        assert model.breakdown().crossbar_um2 == pytest.approx(0.1 * bicrossbar.total_cells)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AreaParameters(cell_area_um2=-1.0)
+        with pytest.raises(ValueError):
+            CNashAreaModel(
+                num_crossbar_cells=0, num_wta_cells=1, num_wordlines=1, num_bitlines=1
+            )

@@ -1,0 +1,168 @@
+"""Tests for the payoff crossbar, bi-crossbar datapath, timing and energy models."""
+
+import numpy as np
+import pytest
+
+from repro.core import max_qubo_breakdown
+from repro.games import battle_of_the_sexes, bird_game
+from repro.hardware import (
+    IDEAL_VARIABILITY,
+    PAPER_VARIABILITY,
+    BiCrossbar,
+    CNashEnergyModel,
+    CNashTimingModel,
+    EnergyParameters,
+    PayoffCrossbar,
+    StrategyQuantizer,
+    TimingParameters,
+    timing_for_game_shape,
+)
+
+
+class TestPayoffCrossbar:
+    def test_vmv_matches_exact_product_ideal(self):
+        payoff = np.array([[3.0, 1.0], [0.0, 2.0]])
+        crossbar = PayoffCrossbar(payoff, num_intervals=4, variability=IDEAL_VARIABILITY, seed=0)
+        quantizer = StrategyQuantizer(4)
+        p = np.array([0.25, 0.75])
+        q = np.array([0.5, 0.5])
+        current = crossbar.vmv_current_a(
+            quantizer.to_counts(p), quantizer.to_counts(q), include_read_noise=False
+        )
+        assert crossbar.decode_vmv(current) == pytest.approx(float(p @ payoff @ q))
+
+    def test_mv_matches_exact_product_ideal(self):
+        payoff = np.array([[3.0, 1.0], [0.0, 2.0]])
+        crossbar = PayoffCrossbar(payoff, num_intervals=4, variability=IDEAL_VARIABILITY, seed=0)
+        quantizer = StrategyQuantizer(4)
+        q = np.array([0.75, 0.25])
+        currents = crossbar.mv_currents_a(quantizer.to_counts(q), include_read_noise=False)
+        np.testing.assert_allclose(crossbar.decode_mv(currents), payoff @ q, atol=1e-12)
+
+    def test_counts_validation(self):
+        crossbar = PayoffCrossbar(np.ones((2, 2)), num_intervals=4, seed=0)
+        with pytest.raises(ValueError):
+            crossbar.vmv_current_a(np.array([5, 0]), np.array([2, 2]))
+        with pytest.raises(ValueError):
+            crossbar.mv_currents_a(np.array([2, 2, 2]))
+
+    def test_noisy_vmv_close_to_exact(self):
+        payoff = np.array([[3.0, 1.0], [0.0, 2.0]])
+        crossbar = PayoffCrossbar(payoff, num_intervals=8, variability=PAPER_VARIABILITY, seed=1)
+        quantizer = StrategyQuantizer(8)
+        p = np.array([0.5, 0.5])
+        q = np.array([0.25, 0.75])
+        exact = float(p @ payoff @ q)
+        value = crossbar.decode_vmv(
+            crossbar.vmv_current_a(quantizer.to_counts(p), quantizer.to_counts(q))
+        )
+        assert value == pytest.approx(exact, rel=0.1)
+
+    def test_max_mv_current_bounds_phase1_output(self):
+        payoff = np.array([[3.0, 1.0], [0.0, 2.0]])
+        crossbar = PayoffCrossbar(payoff, num_intervals=4, variability=IDEAL_VARIABILITY, seed=0)
+        quantizer = StrategyQuantizer(4)
+        currents = crossbar.mv_currents_a(
+            quantizer.to_counts(np.array([0.5, 0.5])), include_read_noise=False
+        )
+        assert currents.max() <= crossbar.max_mv_current_a() + 1e-12
+
+
+class TestBiCrossbar:
+    def test_objective_matches_exact_for_ideal_hardware(self, bos):
+        bicrossbar = BiCrossbar(bos, num_intervals=4, variability=IDEAL_VARIABILITY, adc_bits=14, seed=0)
+        quantizer = StrategyQuantizer(4)
+        p = np.array([0.5, 0.5])
+        q = np.array([0.25, 0.75])
+        breakdown = bicrossbar.evaluate(quantizer.to_counts(p), quantizer.to_counts(q))
+        exact = max_qubo_breakdown(bos, p, q)
+        assert breakdown.objective == pytest.approx(exact.objective, abs=0.02)
+        assert breakdown.max_row_value == pytest.approx(exact.max_row_value, abs=0.02)
+        assert breakdown.vmv_value == pytest.approx(exact.vmv_value, abs=0.02)
+
+    def test_objective_zero_at_pure_equilibrium(self, bos):
+        bicrossbar = BiCrossbar(bos, num_intervals=4, variability=IDEAL_VARIABILITY, adc_bits=14, seed=0)
+        breakdown = bicrossbar.evaluate(np.array([4, 0]), np.array([4, 0]))
+        assert breakdown.objective == pytest.approx(0.0, abs=0.02)
+
+    def test_noisy_objective_reasonably_accurate(self, bird):
+        bicrossbar = BiCrossbar(bird, num_intervals=8, variability=PAPER_VARIABILITY, seed=2)
+        quantizer = StrategyQuantizer(8)
+        p = np.array([0.25, 0.5, 0.25])
+        q = np.array([0.5, 0.25, 0.25])
+        shifted = bicrossbar.game
+        exact = max_qubo_breakdown(shifted, quantizer.quantize(p), quantizer.quantize(q))
+        breakdown = bicrossbar.evaluate(quantizer.to_counts(p), quantizer.to_counts(q))
+        assert breakdown.objective == pytest.approx(exact.objective, abs=0.5)
+
+    def test_negative_payoffs_are_shifted(self, pennies):
+        bicrossbar = BiCrossbar(pennies, num_intervals=4, variability=IDEAL_VARIABILITY, seed=0)
+        assert bicrossbar.game.payoff_row.min() >= 0
+
+    def test_cell_and_wta_counts(self, bos):
+        bicrossbar = BiCrossbar(bos, num_intervals=4, variability=IDEAL_VARIABILITY, seed=0)
+        layout = bicrossbar.row_crossbar.layout
+        assert bicrossbar.total_cells == 2 * layout.num_cells
+        assert bicrossbar.total_wta_cells == 2  # one 2-input cell per tree for 2 actions
+
+
+class TestTimingModel:
+    def test_iteration_latency_composition(self):
+        model = CNashTimingModel(2, 2)
+        assert model.iteration_latency_ns == pytest.approx(
+            model.phase1_latency_ns + model.phase2_latency_ns + model.parameters.sa_logic_update_ns
+        )
+
+    def test_wta_latency_grows_with_actions(self):
+        small = CNashTimingModel(2, 2)
+        large = CNashTimingModel(8, 8)
+        assert large.wta_tree_latency_ns > small.wta_tree_latency_ns
+
+    def test_run_time_scales_linearly(self):
+        model = timing_for_game_shape(3, 3)
+        assert model.run_time_s(2000) == pytest.approx(2 * model.run_time_s(1000))
+
+    def test_time_to_solution_non_negative_input(self):
+        model = timing_for_game_shape(2, 2)
+        with pytest.raises(ValueError):
+            model.time_to_solution_s(-1)
+
+    def test_frequency_consistent_with_latency(self):
+        model = timing_for_game_shape(2, 2)
+        assert model.iteration_frequency_hz == pytest.approx(1e9 / model.iteration_latency_ns)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            TimingParameters(crossbar_read_ns=-1.0)
+        with pytest.raises(ValueError):
+            CNashTimingModel(0, 2)
+
+    def test_iteration_latency_is_nanoseconds_scale(self):
+        # The architecture's pitch: an SA iteration takes tens of nanoseconds.
+        model = timing_for_game_shape(8, 8)
+        assert 1.0 < model.iteration_latency_ns < 100.0
+
+
+class TestEnergyModel:
+    def test_iteration_energy_positive_and_composed(self):
+        model = CNashEnergyModel(num_crossbar_cells=1000, num_wta_cells=10)
+        assert model.iteration_energy_j > 0
+        assert model.run_energy_j(100) == pytest.approx(100 * model.iteration_energy_j)
+
+    def test_for_bicrossbar_uses_instance_counts(self, bos):
+        bicrossbar = BiCrossbar(bos, num_intervals=4, variability=IDEAL_VARIABILITY, seed=0)
+        model = CNashEnergyModel.for_bicrossbar(bicrossbar)
+        assert model.num_crossbar_cells == bicrossbar.total_cells
+        assert model.num_wta_cells == bicrossbar.total_wta_cells
+
+    def test_energy_to_solution(self):
+        model = CNashEnergyModel(num_crossbar_cells=100, num_wta_cells=3)
+        assert model.energy_to_solution_j(10) == pytest.approx(10 * model.iteration_energy_j)
+        with pytest.raises(ValueError):
+            model.energy_to_solution_j(-1)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            EnergyParameters(cell_read_energy_j=-1.0)
+        with pytest.raises(ValueError):
+            CNashEnergyModel(num_crossbar_cells=0, num_wta_cells=1)

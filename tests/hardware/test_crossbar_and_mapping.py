@@ -1,0 +1,247 @@
+"""Tests for the crossbar array, the payoff/strategy mapping and the ADC."""
+
+import numpy as np
+import pytest
+
+from repro.hardware import (
+    ADC,
+    IDEAL_VARIABILITY,
+    PAPER_VARIABILITY,
+    CrossbarDimensions,
+    CrossbarLayout,
+    FeFETCrossbar,
+    PayoffMapping,
+    StrategyQuantizer,
+    layout_for_payoff,
+)
+
+
+class TestCrossbarDimensions:
+    def test_num_cells(self):
+        assert CrossbarDimensions(4, 8).num_cells == 32
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            CrossbarDimensions(0, 4)
+
+
+class TestFeFETCrossbar:
+    def test_program_and_read_bits(self):
+        crossbar = FeFETCrossbar(4, 4, variability=IDEAL_VARIABILITY, seed=0)
+        bits = np.eye(4, dtype=int)
+        crossbar.program(bits)
+        np.testing.assert_array_equal(crossbar.stored_bits, bits)
+
+    def test_program_wrong_shape(self):
+        crossbar = FeFETCrossbar(4, 4, seed=0)
+        with pytest.raises(ValueError):
+            crossbar.program(np.ones((3, 4), dtype=int))
+
+    def test_program_non_binary(self):
+        crossbar = FeFETCrossbar(2, 2, seed=0)
+        with pytest.raises(ValueError):
+            crossbar.program(np.full((2, 2), 2))
+
+    def test_program_single_cell(self):
+        crossbar = FeFETCrossbar(2, 2, seed=0)
+        crossbar.program_cell(1, 1, 1)
+        assert crossbar.stored_bits[1, 1] == 1
+        with pytest.raises(ValueError):
+            crossbar.program_cell(0, 0, 3)
+
+    def test_column_currents_ideal(self):
+        crossbar = FeFETCrossbar(4, 3, variability=IDEAL_VARIABILITY, seed=0)
+        crossbar.program(np.ones((4, 3), dtype=int))
+        currents = crossbar.column_currents(np.array([1, 1, 0, 0]), include_read_noise=False)
+        expected = 2 * crossbar.unit_current_a
+        np.testing.assert_allclose(currents, expected)
+
+    def test_column_activation_masks_output(self):
+        crossbar = FeFETCrossbar(2, 2, variability=IDEAL_VARIABILITY, seed=0)
+        crossbar.program(np.ones((2, 2), dtype=int))
+        currents = crossbar.column_currents(
+            np.array([1, 1]), np.array([1, 0]), include_read_noise=False
+        )
+        assert currents[0] > 0
+        assert currents[1] == 0.0
+
+    def test_row_activation_wrong_shape(self):
+        crossbar = FeFETCrossbar(2, 2, seed=0)
+        with pytest.raises(ValueError):
+            crossbar.column_currents(np.array([1, 1, 1]))
+
+    def test_total_current_scales_with_activation(self):
+        crossbar = FeFETCrossbar(8, 8, variability=IDEAL_VARIABILITY, seed=0)
+        crossbar.program(np.ones((8, 8), dtype=int))
+        one_row = crossbar.total_current(
+            np.eye(8)[0], include_read_noise=False
+        )
+        all_rows = crossbar.total_current(np.ones(8), include_read_noise=False)
+        assert all_rows == pytest.approx(8 * one_row)
+
+    def test_linearity_sweep_monotone(self):
+        crossbar = FeFETCrossbar(16, 4, variability=PAPER_VARIABILITY, seed=1)
+        crossbar.program(np.ones((16, 4), dtype=int))
+        counts, currents = crossbar.column_linearity_sweep(column=0)
+        assert len(counts) == len(currents)
+        assert currents[0] == pytest.approx(0.0, abs=1e-12)
+        assert np.all(np.diff(currents) > -1e-9)
+
+    def test_linearity_sweep_bad_column(self):
+        crossbar = FeFETCrossbar(4, 2, seed=0)
+        with pytest.raises(IndexError):
+            crossbar.column_linearity_sweep(column=5)
+
+    def test_linearity_r_squared_high_with_paper_noise(self):
+        crossbar = FeFETCrossbar(64, 8, variability=PAPER_VARIABILITY, seed=2)
+        crossbar.program(np.ones((64, 8), dtype=int))
+        counts, currents = crossbar.column_linearity_sweep(column=0)
+        correlation = np.corrcoef(counts, currents)[0, 1]
+        assert correlation > 0.999
+
+
+class TestStrategyQuantizer:
+    def test_counts_sum_to_intervals(self):
+        quantizer = StrategyQuantizer(8)
+        counts = quantizer.to_counts(np.array([0.3, 0.3, 0.4]))
+        assert counts.sum() == 8
+
+    def test_round_trip_exact_grid_point(self):
+        quantizer = StrategyQuantizer(4)
+        probabilities = np.array([0.25, 0.75])
+        np.testing.assert_allclose(quantizer.quantize(probabilities), probabilities)
+
+    def test_quantization_error_bounded_by_step(self):
+        quantizer = StrategyQuantizer(8)
+        assert quantizer.quantization_error(np.array([1 / 3, 2 / 3])) <= quantizer.step
+
+    def test_counts_validation(self):
+        quantizer = StrategyQuantizer(4)
+        with pytest.raises(ValueError):
+            quantizer.to_probabilities(np.array([1, 1]))
+        with pytest.raises(ValueError):
+            quantizer.to_probabilities(np.array([-1, 5]))
+
+    def test_pure_strategy_preserved(self):
+        quantizer = StrategyQuantizer(6)
+        counts = quantizer.to_counts(np.array([0.0, 1.0, 0.0]))
+        np.testing.assert_array_equal(counts, [0, 6, 0])
+
+
+class TestPayoffMapping:
+    def test_auto_cells_per_element(self):
+        mapping = PayoffMapping(np.array([[3.0, 1.0], [0.0, 2.0]]))
+        assert mapping.cells_per_element == 3
+        assert mapping.value_per_cell == pytest.approx(1.0)
+
+    def test_levels_thermometer(self):
+        mapping = PayoffMapping(np.array([[3.0, 1.0], [0.0, 2.0]]))
+        np.testing.assert_array_equal(mapping.levels(), [[3, 1], [0, 2]])
+        np.testing.assert_array_equal(mapping.element_bit_pattern(0, 0), [1, 1, 1])
+        np.testing.assert_array_equal(mapping.element_bit_pattern(1, 0), [0, 0, 0])
+
+    def test_negative_payoff_rejected(self):
+        with pytest.raises(ValueError):
+            PayoffMapping(np.array([[-1.0, 0.0], [0.0, 1.0]]))
+
+    def test_encoding_error_zero_for_integers(self):
+        mapping = PayoffMapping(np.array([[3.0, 1.0], [0.0, 2.0]]))
+        assert mapping.encoding_error() == pytest.approx(0.0)
+
+    def test_encoding_error_bounded_for_fractional(self):
+        mapping = PayoffMapping(np.array([[2.5, 1.1], [0.4, 1.9]]), cells_per_element=5)
+        assert mapping.encoding_error() <= mapping.value_per_cell / 2 + 1e-12
+
+
+class TestCrossbarLayout:
+    def test_paper_example_dimensions(self):
+        # Fig. 4(c): one element, I = 4, t = 4 -> 4 x 16 subarray.
+        layout = CrossbarLayout(1, 1, num_intervals=4, cells_per_element=4)
+        assert layout.physical_rows == 4
+        assert layout.physical_columns == 16
+        assert layout.num_cells == 64
+
+    def test_activation_counts(self):
+        # 0.25 -> 1 of 4 rows; 0.75 -> 3 of 4 replicas (12 of 16 columns).
+        layout = CrossbarLayout(1, 1, num_intervals=4, cells_per_element=4)
+        rows = layout.row_activation(np.array([1]))
+        cols = layout.column_activation(np.array([3]))
+        assert rows.sum() == 1
+        assert cols.sum() == 12
+
+    def test_bit_pattern_conducting_cells_match_product(self):
+        # 0.25 * 3 * 0.75 with I = 4 and automatic t = 3 (one cell per payoff
+        # unit): 1 activated row x 3 activated replicas x 3 programmed cells.
+        layout, mapping = layout_for_payoff(np.array([[3.0]]), num_intervals=4)
+        assert mapping.cells_per_element == 3
+        bits = layout.bit_pattern(mapping)
+        rows = layout.row_activation(np.array([1]))
+        cols = layout.column_activation(np.array([3]))
+        conducting = (rows[:, None] * cols[None, :] * bits).sum()
+        assert conducting == 9
+
+    def test_bit_pattern_with_explicit_cell_budget(self):
+        # With an explicit t = 4 for a max element of 3, each cell represents
+        # 0.75 payoff units, so element 3 programs all four cells; the decoded
+        # product is unchanged because value_per_cell shrinks accordingly.
+        layout, mapping = layout_for_payoff(np.array([[3.0]]), num_intervals=4, cells_per_element=4)
+        assert mapping.value_per_cell == pytest.approx(0.75)
+        bits = layout.bit_pattern(mapping)
+        rows = layout.row_activation(np.array([1]))
+        cols = layout.column_activation(np.array([3]))
+        conducting = (rows[:, None] * cols[None, :] * bits).sum()
+        assert conducting * mapping.value_per_cell / 16 == pytest.approx(0.25 * 3.0 * 0.75)
+
+    def test_row_activation_validation(self):
+        layout = CrossbarLayout(2, 2, num_intervals=4, cells_per_element=2)
+        with pytest.raises(ValueError):
+            layout.row_activation(np.array([5, 0]))
+        with pytest.raises(ValueError):
+            layout.row_activation(np.array([1, 1, 1]))
+
+    def test_slices(self):
+        layout = CrossbarLayout(2, 3, num_intervals=2, cells_per_element=2)
+        assert layout.row_slice(1) == slice(2, 4)
+        assert layout.column_slice(1, 1) == slice(6, 8)
+        with pytest.raises(IndexError):
+            layout.row_slice(2)
+        with pytest.raises(IndexError):
+            layout.column_slice(0, 2)
+
+
+class TestADC:
+    def test_levels_and_lsb(self):
+        adc = ADC(num_bits=8, full_scale_current_a=255e-6)
+        assert adc.num_levels == 256
+        assert adc.lsb_current_a == pytest.approx(1e-6)
+
+    def test_quantize_and_reconstruct(self):
+        adc = ADC(num_bits=8, full_scale_current_a=255e-6)
+        assert adc.quantize(100e-6) == 100
+        assert adc.to_current(100) == pytest.approx(100e-6)
+        assert adc.convert(100.4e-6) == pytest.approx(100e-6)
+
+    def test_clipping_at_full_scale(self):
+        adc = ADC(num_bits=4, full_scale_current_a=15e-6)
+        assert adc.quantize(100e-6) == adc.num_levels - 1
+
+    def test_negative_input_rejected(self):
+        adc = ADC()
+        with pytest.raises(ValueError):
+            adc.quantize(-1e-6)
+
+    def test_array_input(self):
+        adc = ADC(num_bits=8, full_scale_current_a=255e-6)
+        codes = adc.quantize(np.array([0.0, 1e-6, 2e-6]))
+        np.testing.assert_array_equal(codes, [0, 1, 2])
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            ADC(num_bits=0)
+        with pytest.raises(ValueError):
+            ADC(full_scale_current_a=0.0)
+
+    def test_quantisation_error_bounded_by_half_lsb(self):
+        adc = ADC(num_bits=6, full_scale_current_a=63e-6)
+        value = 10.3e-6
+        assert abs(adc.convert(value) - value) <= adc.lsb_current_a / 2 + 1e-15

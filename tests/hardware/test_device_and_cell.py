@@ -1,0 +1,175 @@
+"""Tests for the FeFET device model, the 1FeFET1R cell, corners and noise."""
+
+import numpy as np
+import pytest
+
+from repro.hardware import (
+    FF,
+    IDEAL_VARIABILITY,
+    PAPER_VARIABILITY,
+    SS,
+    TT,
+    CellParameters,
+    FeFET,
+    FeFETParameters,
+    OneFeFETOneRCell,
+    VariabilityModel,
+    all_corners,
+    get_corner,
+)
+
+
+class TestProcessCorners:
+    def test_all_corners_present(self):
+        names = {corner.name for corner in all_corners()}
+        assert names == {"tt", "ss", "ff", "snfp", "fnsp"}
+
+    def test_lookup(self):
+        assert get_corner("SS") is SS
+        with pytest.raises(KeyError):
+            get_corner("xx")
+
+    def test_tt_is_unity(self):
+        assert TT.mirror_gain == pytest.approx(1.0)
+        assert TT.latency_scale == pytest.approx(1.0)
+
+    def test_ss_slower_ff_faster(self):
+        assert SS.latency_scale > 1.0
+        assert FF.latency_scale < 1.0
+
+    def test_invalid_drive_rejected(self):
+        from repro.hardware.corners import ProcessCorner
+
+        with pytest.raises(ValueError):
+            ProcessCorner(name="bad", nmos_drive=0.0, pmos_drive=1.0, vth_shift_mv=0.0)
+
+
+class TestVariabilityModel:
+    def test_paper_defaults(self):
+        assert PAPER_VARIABILITY.fefet_vth_sigma_mv == 40.0
+        assert PAPER_VARIABILITY.resistor_sigma_fraction == 0.08
+
+    def test_negative_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            VariabilityModel(fefet_vth_sigma_mv=-1.0)
+
+    def test_cell_sigma_combines_terms(self):
+        model = VariabilityModel(
+            fefet_vth_sigma_mv=40.0,
+            resistor_sigma_fraction=0.08,
+            vth_to_current_sensitivity=0.0005,
+        )
+        assert model.cell_current_sigma_fraction == pytest.approx(
+            np.sqrt((40 * 0.0005) ** 2 + 0.08**2)
+        )
+
+    def test_ideal_model_produces_unit_factors(self):
+        factors = IDEAL_VARIABILITY.sample_cell_factors((10, 10), seed=0)
+        np.testing.assert_allclose(factors, 1.0)
+
+    def test_sampled_factors_have_mean_one(self):
+        factors = PAPER_VARIABILITY.sample_cell_factors((200, 200), seed=1)
+        assert factors.mean() == pytest.approx(1.0, abs=0.01)
+        assert np.all(factors > 0)
+
+    def test_sampled_factor_spread_matches_sigma(self):
+        factors = PAPER_VARIABILITY.sample_cell_factors(100_000, seed=2)
+        assert factors.std() == pytest.approx(
+            PAPER_VARIABILITY.cell_current_sigma_fraction, rel=0.1
+        )
+
+    def test_vth_shift_sampling(self):
+        shifts = PAPER_VARIABILITY.sample_vth_shifts_mv(50_000, seed=3)
+        assert shifts.std() == pytest.approx(40.0, rel=0.05)
+
+    def test_read_noise_mean_one(self):
+        noise = PAPER_VARIABILITY.sample_read_noise(10_000, seed=4)
+        assert noise.mean() == pytest.approx(1.0, abs=0.01)
+
+
+class TestFeFET:
+    def test_programming_switches_threshold(self):
+        device = FeFET(variability=IDEAL_VARIABILITY, seed=0)
+        device.program(1)
+        low = device.threshold_voltage_v
+        device.program(0)
+        high = device.threshold_voltage_v
+        assert high > low
+
+    def test_invalid_bit_rejected(self):
+        device = FeFET(seed=0)
+        with pytest.raises(ValueError):
+            device.program(2)
+
+    def test_on_off_ratio_large(self):
+        device = FeFET(variability=IDEAL_VARIABILITY, seed=0)
+        assert device.on_off_ratio() > 1e3
+
+    def test_read_current_on_state(self):
+        device = FeFET(variability=IDEAL_VARIABILITY, seed=0)
+        device.program(1)
+        assert device.read_current_a() == pytest.approx(device.parameters.on_current_a)
+
+    def test_id_vg_monotone(self):
+        device = FeFET(variability=IDEAL_VARIABILITY, seed=0)
+        device.program(0)
+        voltages = np.linspace(0.0, 2.0, 30)
+        currents = device.id_vg_curve(voltages)
+        assert np.all(np.diff(currents) >= -1e-18)
+
+    def test_negative_gate_voltage_rejected(self):
+        device = FeFET(seed=0)
+        with pytest.raises(ValueError):
+            device.drain_current_a(-0.5)
+
+    def test_corner_scales_on_current(self):
+        slow = FeFET(variability=IDEAL_VARIABILITY, corner=SS, seed=0)
+        fast = FeFET(variability=IDEAL_VARIABILITY, corner=FF, seed=0)
+        slow.program(1)
+        fast.program(1)
+        assert fast.read_current_a() > slow.read_current_a()
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            FeFETParameters(low_vth_v=1.5, high_vth_v=1.0)
+
+    def test_erase_sets_conducting_state(self):
+        device = FeFET(seed=0)
+        device.program(0)
+        device.erase()
+        assert device.stored_bit == 1
+
+
+class TestOneFeFETOneRCell:
+    def test_current_requires_bit_and_both_lines(self):
+        cell = OneFeFETOneRCell(variability=IDEAL_VARIABILITY, seed=0)
+        cell.program(1)
+        assert cell.current_a(True, True) > 0
+        assert cell.current_a(False, True) == 0.0
+        assert cell.current_a(True, False) == 0.0
+
+    def test_stored_zero_only_leaks(self):
+        cell = OneFeFETOneRCell(variability=IDEAL_VARIABILITY, seed=0)
+        cell.program(0)
+        leakage = cell.current_a(True, True)
+        cell.program(1)
+        assert leakage < 1e-3 * cell.current_a(True, True)
+
+    def test_ideal_cell_matches_unit_current(self):
+        cell = OneFeFETOneRCell(variability=IDEAL_VARIABILITY, seed=0)
+        cell.program(1)
+        assert cell.on_current_a == pytest.approx(cell.parameters.unit_on_current_a)
+
+    def test_variability_perturbs_current(self):
+        currents = []
+        for seed in range(20):
+            cell = OneFeFETOneRCell(variability=PAPER_VARIABILITY, seed=seed)
+            cell.program(1)
+            currents.append(cell.on_current_a)
+        assert np.std(currents) > 0
+
+    def test_invalid_cell_parameters(self):
+        with pytest.raises(ValueError):
+            CellParameters(unit_on_current_a=0.0)
+        with pytest.raises(ValueError):
+            CellParameters(nominal_resistance_ohm=-1.0)

@@ -1,0 +1,99 @@
+"""Property-based tests for the hardware substrate."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.hardware import (
+    ADC,
+    IDEAL_VARIABILITY,
+    PayoffCrossbar,
+    StrategyQuantizer,
+    WTAParameters,
+    WTATree,
+)
+
+
+@given(
+    num_intervals=st.integers(1, 16),
+    values=arrays(
+        np.float64,
+        st.integers(2, 6),
+        elements=st.floats(min_value=0.01, max_value=1.0, allow_nan=False),
+    ),
+)
+@settings(max_examples=60, deadline=None)
+def test_quantizer_counts_always_sum_to_intervals(num_intervals, values):
+    """Quantised interval counts always sum to exactly I."""
+    probabilities = values / values.sum()
+    quantizer = StrategyQuantizer(num_intervals)
+    counts = quantizer.to_counts(probabilities)
+    assert counts.sum() == num_intervals
+    assert np.all(counts >= 0)
+
+
+@given(
+    num_intervals=st.integers(2, 16),
+    values=arrays(
+        np.float64,
+        st.integers(2, 6),
+        elements=st.floats(min_value=0.01, max_value=1.0, allow_nan=False),
+    ),
+)
+@settings(max_examples=60, deadline=None)
+def test_quantization_error_bounded_by_one_step(num_intervals, values):
+    """Per-entry quantisation error never exceeds the interval width."""
+    probabilities = values / values.sum()
+    quantizer = StrategyQuantizer(num_intervals)
+    assert quantizer.quantization_error(probabilities) <= quantizer.step + 1e-12
+
+
+@given(
+    inputs=arrays(
+        np.float64,
+        st.integers(2, 8),
+        elements=st.floats(min_value=0.0, max_value=50e-6, allow_nan=False),
+    )
+)
+@settings(max_examples=60, deadline=None)
+def test_ideal_wta_tree_computes_exact_maximum(inputs):
+    """With zero offset the WTA tree output equals the exact maximum."""
+    tree = WTATree(len(inputs), WTAParameters(output_offset_fraction=0.0), seed=0)
+    assert tree.output_current_a(inputs) == pytest.approx(float(inputs.max()), abs=1e-18)
+
+
+@given(
+    num_bits=st.integers(2, 12),
+    value=st.floats(min_value=0.0, max_value=100e-6, allow_nan=False),
+)
+@settings(max_examples=60, deadline=None)
+def test_adc_error_bounded_by_half_lsb_in_range(num_bits, value):
+    """ADC reconstruction error is at most half an LSB within the full scale."""
+    adc = ADC(num_bits=num_bits, full_scale_current_a=100e-6)
+    assert abs(adc.convert(value) - value) <= adc.lsb_current_a / 2 + 1e-15
+
+
+@given(
+    payoff=arrays(
+        np.float64,
+        (2, 2),
+        elements=st.floats(min_value=0.0, max_value=8.0, allow_nan=False),
+    ),
+    p_index=st.integers(0, 1),
+    q_index=st.integers(0, 1),
+)
+@settings(max_examples=30, deadline=None)
+def test_ideal_crossbar_vmv_matches_pure_strategy_payoff(payoff, p_index, q_index):
+    """For pure strategies the ideal crossbar VMV equals the (quantised) payoff entry."""
+    if payoff.max() == 0.0:
+        payoff = payoff + 1.0
+    crossbar = PayoffCrossbar(payoff, num_intervals=2, variability=IDEAL_VARIABILITY, seed=0)
+    p_counts = np.zeros(2, dtype=int)
+    q_counts = np.zeros(2, dtype=int)
+    p_counts[p_index] = 2
+    q_counts[q_index] = 2
+    value = crossbar.decode_vmv(crossbar.vmv_current_a(p_counts, q_counts, include_read_noise=False))
+    quantised = crossbar.mapping.quantized_payoff()[p_index, q_index]
+    assert value == pytest.approx(quantised, abs=1e-9)

@@ -1,0 +1,87 @@
+"""Tests for the crossbar programming (write) model."""
+
+import numpy as np
+import pytest
+
+from repro.games import battle_of_the_sexes
+from repro.hardware import (
+    BiCrossbar,
+    CrossbarProgrammer,
+    IDEAL_VARIABILITY,
+    ProgrammingParameters,
+    timing_for_game_shape,
+)
+from repro.hardware.mapping import layout_for_payoff
+
+
+class TestProgrammingParameters:
+    def test_defaults_valid(self):
+        parameters = ProgrammingParameters()
+        assert parameters.write_pulse_ns > 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ProgrammingParameters(write_pulse_ns=0.0)
+        with pytest.raises(ValueError):
+            ProgrammingParameters(rows_programmed_in_parallel=0)
+        with pytest.raises(ValueError):
+            ProgrammingParameters(endurance_cycles=0.0)
+
+
+class TestCrossbarProgrammer:
+    def test_cost_counts_programmed_cells(self):
+        programmer = CrossbarProgrammer()
+        bits = np.array([[1, 0, 1], [0, 0, 0]])
+        cost = programmer.cost_for_bits(bits)
+        assert cost.cells_written == 2
+        assert cost.rows_programmed == 2
+        assert cost.latency_s > 0
+        assert cost.energy_j == pytest.approx(2 * programmer.parameters.write_pulse_energy_j)
+
+    def test_cost_rejects_bad_bits(self):
+        programmer = CrossbarProgrammer()
+        with pytest.raises(ValueError):
+            programmer.cost_for_bits(np.array([1, 0, 1]))
+        with pytest.raises(ValueError):
+            programmer.cost_for_bits(np.array([[2, 0]]))
+
+    def test_parallel_rows_reduce_latency(self):
+        bits = np.ones((8, 4), dtype=int)
+        serial = CrossbarProgrammer(ProgrammingParameters(rows_programmed_in_parallel=1))
+        parallel = CrossbarProgrammer(ProgrammingParameters(rows_programmed_in_parallel=4))
+        assert parallel.cost_for_bits(bits).latency_s < serial.cost_for_bits(bits).latency_s
+
+    def test_cost_for_mapping_matches_bit_pattern(self):
+        layout, mapping = layout_for_payoff(np.array([[2.0, 1.0], [0.0, 3.0]]), num_intervals=2)
+        programmer = CrossbarProgrammer()
+        cost = programmer.cost_for_mapping(layout, mapping)
+        assert cost.cells_written == int(layout.bit_pattern(mapping).sum())
+
+    def test_cost_for_bicrossbar_sums_both_arrays(self, bos):
+        bicrossbar = BiCrossbar(bos, num_intervals=4, variability=IDEAL_VARIABILITY, seed=0)
+        programmer = CrossbarProgrammer()
+        total = programmer.cost_for_bicrossbar(bicrossbar)
+        row_cost = programmer.cost_for_mapping(
+            bicrossbar.row_crossbar.layout, bicrossbar.row_crossbar.mapping
+        )
+        assert total.cells_written > row_cost.cells_written
+        assert total.latency_s > row_cost.latency_s
+
+    def test_endurance_accounting(self):
+        programmer = CrossbarProgrammer(ProgrammingParameters(endurance_cycles=100.0))
+        cost = programmer.cost_for_bits(np.ones((5, 5), dtype=int))
+        assert programmer.remaining_endurance_fraction() == 1.0
+        programmer.record_programming(cost)
+        assert programmer.writes_performed == 25
+        assert programmer.remaining_endurance_fraction() == pytest.approx(0.75)
+
+    def test_programming_amortised_over_sa_run(self, bos):
+        """Programming is a one-time cost, small next to a paper-scale SA run."""
+        bicrossbar = BiCrossbar(bos, num_intervals=4, variability=IDEAL_VARIABILITY, seed=0)
+        programmer = CrossbarProgrammer()
+        cost = programmer.cost_for_bicrossbar(bicrossbar)
+        timing = timing_for_game_shape(*bos.shape)
+        ratio = programmer.amortization_ratio(cost, timing.run_time_s(10_000))
+        assert ratio < 1.0
+        with pytest.raises(ValueError):
+            programmer.amortization_ratio(cost, 0.0)

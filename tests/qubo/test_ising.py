@@ -1,0 +1,100 @@
+"""Tests for the QUBO <-> Ising conversions."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.qubo import (
+    IsingModel,
+    QuboModel,
+    bits_to_spins,
+    enumerate_assignments,
+    ising_to_qubo,
+    qubo_to_ising,
+    spins_to_bits,
+)
+
+
+class TestIsingModel:
+    def test_construction_symmetrises_and_zeros_diagonal(self):
+        model = IsingModel(np.array([0.5, -0.5]), np.array([[3.0, 1.0], [0.0, 2.0]]))
+        np.testing.assert_allclose(model.coupling, model.coupling.T)
+        np.testing.assert_allclose(np.diag(model.coupling), 0.0)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            IsingModel(np.zeros(3), np.zeros((2, 2)))
+
+    def test_energy_rejects_non_spins(self):
+        model = IsingModel(np.zeros(2), np.zeros((2, 2)))
+        with pytest.raises(ValueError):
+            model.energy(np.array([0.0, 1.0]))
+
+    def test_energy_simple_case(self):
+        # H = s0*s1 with coupling J01 = 1.
+        model = IsingModel(np.zeros(2), np.array([[0.0, 1.0], [1.0, 0.0]]))
+        assert model.energy(np.array([1.0, 1.0])) == pytest.approx(1.0)
+        assert model.energy(np.array([1.0, -1.0])) == pytest.approx(-1.0)
+
+    def test_rescaled_respects_bounds(self):
+        model = IsingModel(np.array([10.0, -4.0]), np.array([[0.0, 6.0], [6.0, 0.0]]))
+        scaled = model.rescaled(max_field=2.0, max_coupling=1.0)
+        assert np.abs(scaled.fields).max() <= 2.0 + 1e-12
+        assert np.abs(scaled.coupling).max() <= 1.0 + 1e-12
+
+    def test_rescaled_invalid_bounds(self):
+        model = IsingModel(np.zeros(2), np.zeros((2, 2)))
+        with pytest.raises(ValueError):
+            model.rescaled(max_field=0.0)
+
+
+class TestConversions:
+    def test_spin_bit_round_trip(self):
+        bits = np.array([0.0, 1.0, 1.0])
+        np.testing.assert_allclose(spins_to_bits(bits_to_spins(bits)), bits)
+        with pytest.raises(ValueError):
+            spins_to_bits(np.array([0.0, 1.0]))
+        with pytest.raises(ValueError):
+            bits_to_spins(np.array([2.0]))
+
+    def test_qubo_to_ising_preserves_energies(self):
+        rng = np.random.default_rng(0)
+        model = QuboModel(rng.normal(size=(5, 5)), offset=0.7)
+        ising = qubo_to_ising(model)
+        for bits in enumerate_assignments(5):
+            spins = bits_to_spins(bits)
+            assert ising.energy(spins) == pytest.approx(model.energy(bits), abs=1e-9)
+
+    def test_ising_to_qubo_preserves_energies(self):
+        rng = np.random.default_rng(1)
+        coupling = rng.normal(size=(4, 4))
+        ising = IsingModel(rng.normal(size=4), coupling, offset=-0.3)
+        qubo = ising_to_qubo(ising)
+        for bits in enumerate_assignments(4):
+            spins = bits_to_spins(bits)
+            assert qubo.energy(bits) == pytest.approx(ising.energy(spins), abs=1e-9)
+
+    def test_round_trip_qubo_ising_qubo(self):
+        rng = np.random.default_rng(2)
+        model = QuboModel(rng.normal(size=(4, 4)), offset=1.5)
+        rebuilt = ising_to_qubo(qubo_to_ising(model))
+        for bits in enumerate_assignments(4):
+            assert rebuilt.energy(bits) == pytest.approx(model.energy(bits), abs=1e-9)
+
+
+coefficients = st.floats(min_value=-3.0, max_value=3.0, allow_nan=False, allow_infinity=False)
+
+
+@given(
+    matrix=arrays(np.float64, (4, 4), elements=coefficients),
+    offset=st.floats(min_value=-2.0, max_value=2.0, allow_nan=False),
+)
+@settings(max_examples=25, deadline=None)
+def test_property_qubo_ising_equivalence(matrix, offset):
+    """QUBO and converted Ising energies agree on every assignment."""
+    model = QuboModel(matrix, offset=offset)
+    ising = qubo_to_ising(model)
+    for bits in enumerate_assignments(4):
+        assert np.isclose(ising.energy(bits_to_spins(bits)), model.energy(bits), atol=1e-8)

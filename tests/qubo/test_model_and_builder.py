@@ -1,0 +1,155 @@
+"""Tests for repro.qubo.model and repro.qubo.builder."""
+
+import numpy as np
+import pytest
+
+from repro.qubo import QuboBuilder, QuboModel
+
+
+class TestQuboModel:
+    def test_symmetrisation(self):
+        model = QuboModel(np.array([[1.0, 2.0], [0.0, 3.0]]))
+        np.testing.assert_allclose(model.q_matrix, [[1.0, 1.0], [1.0, 3.0]])
+
+    def test_rejects_non_square(self):
+        with pytest.raises(ValueError, match="square"):
+            QuboModel(np.ones((2, 3)))
+
+    def test_variable_names_default(self):
+        model = QuboModel(np.eye(3))
+        assert model.variable_names == ("x0", "x1", "x2")
+
+    def test_variable_names_length_mismatch(self):
+        with pytest.raises(ValueError):
+            QuboModel(np.eye(2), variable_names=("a",))
+
+    def test_energy_matches_quadratic_form(self):
+        q = np.array([[1.0, -2.0], [-2.0, 3.0]])
+        model = QuboModel(q, offset=0.5)
+        x = np.array([1.0, 1.0])
+        assert model.energy(x) == pytest.approx(float(x @ q @ x) + 0.5)
+
+    def test_energy_rejects_non_binary(self):
+        model = QuboModel(np.eye(2))
+        with pytest.raises(ValueError):
+            model.energy(np.array([0.5, 0.5]))
+
+    def test_energy_rejects_wrong_shape(self):
+        model = QuboModel(np.eye(2))
+        with pytest.raises(ValueError):
+            model.energy(np.array([1.0, 0.0, 1.0]))
+
+    def test_energies_batch(self):
+        model = QuboModel(np.eye(3))
+        batch = np.array([[0, 0, 0], [1, 1, 1], [1, 0, 1]], dtype=float)
+        np.testing.assert_allclose(model.energies(batch), [0.0, 3.0, 2.0])
+
+    def test_energy_delta_matches_full_evaluation(self):
+        rng = np.random.default_rng(0)
+        q = rng.normal(size=(6, 6))
+        model = QuboModel(q)
+        x = rng.integers(0, 2, size=6).astype(float)
+        for index in range(6):
+            flipped = x.copy()
+            flipped[index] = 1.0 - flipped[index]
+            expected = model.energy(flipped) - model.energy(x)
+            assert model.energy_delta(x, index) == pytest.approx(expected)
+
+    def test_energy_delta_index_out_of_range(self):
+        model = QuboModel(np.eye(2))
+        with pytest.raises(IndexError):
+            model.energy_delta(np.array([0.0, 1.0]), 5)
+
+    def test_dict_round_trip(self):
+        q = np.array([[1.0, -2.0, 0.0], [-2.0, 0.0, 0.5], [0.0, 0.5, 3.0]])
+        model = QuboModel(q, offset=1.0)
+        rebuilt = QuboModel.from_dict(model.to_dict(), num_variables=3, offset=1.0)
+        x = np.array([1.0, 0.0, 1.0])
+        assert rebuilt.energy(x) == pytest.approx(model.energy(x))
+
+    def test_from_dict_empty_requires_size(self):
+        with pytest.raises(ValueError):
+            QuboModel.from_dict({})
+
+    def test_from_dict_index_out_of_range(self):
+        with pytest.raises(ValueError):
+            QuboModel.from_dict({(0, 5): 1.0}, num_variables=2)
+
+
+class TestQuboBuilder:
+    def test_add_variable_idempotent(self):
+        builder = QuboBuilder()
+        assert builder.add_variable("a") == 0
+        assert builder.add_variable("a") == 0
+        assert builder.num_variables == 1
+
+    def test_variable_index_unknown(self):
+        builder = QuboBuilder()
+        with pytest.raises(KeyError):
+            builder.variable_index("missing")
+
+    def test_linear_terms(self):
+        builder = QuboBuilder()
+        builder.add_linear("a", 2.0)
+        builder.add_linear("a", 3.0)
+        model = builder.build()
+        assert model.energy(np.array([1.0])) == pytest.approx(5.0)
+        assert model.energy(np.array([0.0])) == pytest.approx(0.0)
+
+    def test_quadratic_terms(self):
+        builder = QuboBuilder()
+        builder.add_quadratic("a", "b", 4.0)
+        model = builder.build()
+        assert model.energy(np.array([1.0, 1.0])) == pytest.approx(4.0)
+        assert model.energy(np.array([1.0, 0.0])) == pytest.approx(0.0)
+
+    def test_self_quadratic_folds_to_linear(self):
+        builder = QuboBuilder()
+        builder.add_quadratic("a", "a", 2.0)
+        model = builder.build()
+        assert model.energy(np.array([1.0])) == pytest.approx(2.0)
+
+    def test_offset(self):
+        builder = QuboBuilder()
+        builder.add_variable("a")
+        builder.add_offset(1.5)
+        assert builder.build().energy(np.array([0.0])) == pytest.approx(1.5)
+
+    def test_squared_penalty_encodes_equality(self):
+        # Penalty (a + b - 1)^2 should vanish exactly when a + b == 1.
+        builder = QuboBuilder()
+        builder.add_squared_linear_penalty({"a": 1.0, "b": 1.0}, constant=-1.0, weight=1.0)
+        model = builder.build()
+        assert model.energy(np.array([1.0, 0.0])) == pytest.approx(0.0)
+        assert model.energy(np.array([0.0, 1.0])) == pytest.approx(0.0)
+        assert model.energy(np.array([0.0, 0.0])) == pytest.approx(1.0)
+        assert model.energy(np.array([1.0, 1.0])) == pytest.approx(1.0)
+
+    def test_squared_penalty_with_coefficients(self):
+        # (2a - b)^2 at a=1, b=1 equals 1.
+        builder = QuboBuilder()
+        builder.add_squared_linear_penalty({"a": 2.0, "b": -1.0}, constant=0.0, weight=1.0)
+        model = builder.build()
+        assert model.energy(np.array([1.0, 1.0])) == pytest.approx(1.0)
+        assert model.energy(np.array([1.0, 0.0])) == pytest.approx(4.0)
+
+    def test_negative_penalty_weight_rejected(self):
+        builder = QuboBuilder()
+        with pytest.raises(ValueError):
+            builder.add_squared_linear_penalty({"a": 1.0}, constant=0.0, weight=-1.0)
+
+    def test_build_empty_rejected(self):
+        with pytest.raises(ValueError):
+            QuboBuilder().build()
+
+    def test_decode(self):
+        builder = QuboBuilder()
+        builder.add_variables(["a", "b", "c"])
+        decoded = builder.decode(np.array([1, 0, 1]))
+        assert decoded == {"a": 1, "b": 0, "c": 1}
+
+    def test_decode_wrong_shape(self):
+        builder = QuboBuilder()
+        builder.add_variable("a")
+        with pytest.raises(ValueError):
+            builder.decode(np.array([1, 0]))

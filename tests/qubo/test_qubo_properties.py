@@ -1,0 +1,71 @@
+"""Property-based tests for the QUBO substrate."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.qubo import QuboModel
+
+coefficients = st.floats(min_value=-5.0, max_value=5.0, allow_nan=False, allow_infinity=False)
+
+
+def qubo_models(max_size: int = 6):
+    """Random small QUBO models."""
+    return st.integers(1, max_size).flatmap(
+        lambda n: arrays(np.float64, (n, n), elements=coefficients)
+    ).map(QuboModel)
+
+
+def binary_vector(size: int):
+    return arrays(np.int8, (size,), elements=st.integers(0, 1)).map(
+        lambda bits: bits.astype(float)
+    )
+
+
+@given(data=st.data(), model=qubo_models())
+@settings(max_examples=50, deadline=None)
+def test_energy_delta_consistent_with_energy(data, model):
+    """Incremental flip deltas always match full re-evaluation."""
+    x = data.draw(binary_vector(model.num_variables))
+    index = data.draw(st.integers(0, model.num_variables - 1))
+    flipped = x.copy()
+    flipped[index] = 1.0 - flipped[index]
+    assert np.isclose(
+        model.energy_delta(x, index), model.energy(flipped) - model.energy(x), atol=1e-9
+    )
+
+
+@given(data=st.data(), model=qubo_models())
+@settings(max_examples=30, deadline=None)
+def test_energies_batch_matches_scalar(data, model):
+    """The vectorised batch energy equals the scalar energy for each row."""
+    rows = data.draw(st.integers(1, 4))
+    batch = np.stack([data.draw(binary_vector(model.num_variables)) for _ in range(rows)])
+    energies = model.energies(batch)
+    for row_index in range(rows):
+        assert np.isclose(energies[row_index], model.energy(batch[row_index]), atol=1e-9)
+
+
+@given(model=qubo_models())
+@settings(max_examples=30, deadline=None)
+def test_dict_round_trip_preserves_energy(model):
+    """to_dict / from_dict preserve the energy landscape."""
+    rebuilt = QuboModel.from_dict(
+        model.to_dict(), num_variables=model.num_variables, offset=model.offset
+    )
+    # Check on all-zeros, all-ones and an alternating assignment.
+    candidates = [
+        np.zeros(model.num_variables),
+        np.ones(model.num_variables),
+        np.arange(model.num_variables, dtype=float) % 2,
+    ]
+    for x in candidates:
+        assert np.isclose(rebuilt.energy(x), model.energy(x), atol=1e-9)
+
+
+@given(model=qubo_models())
+@settings(max_examples=30, deadline=None)
+def test_symmetrised_matrix_is_symmetric(model):
+    """The stored Q matrix is always symmetric."""
+    np.testing.assert_allclose(model.q_matrix, model.q_matrix.T)

@@ -1,0 +1,113 @@
+"""End-to-end integration tests across the library's layers."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    CNashConfig,
+    CNashSolver,
+    battle_of_the_sexes,
+    bird_game,
+    support_enumeration,
+)
+from repro.baselines import DWaveLikeSolver, exhaustive_grid_search
+from repro.core import enumerate_grid_optimum
+from repro.games import random_coordination_game, random_game_with_pure_equilibrium
+from repro.hardware import IDEAL_VARIABILITY, PAPER_VARIABILITY
+
+
+class TestTopLevelAPI:
+    def test_package_exports_quickstart_workflow(self):
+        """The README quickstart must work exactly as documented."""
+        solver = CNashSolver(battle_of_the_sexes(), CNashConfig(num_intervals=6, num_iterations=1500))
+        batch = solver.solve_batch(num_runs=20, seed=0)
+        assert batch.success_rate >= 0.9
+        found = solver.distinct_solutions(batch)
+        assert 1 <= len(found) <= 3
+
+    def test_version_defined(self):
+        import repro
+
+        assert repro.__version__
+
+
+class TestCNashVersusGroundTruth:
+    def test_every_solution_is_a_true_epsilon_equilibrium(self, bird):
+        solver = CNashSolver(bird, CNashConfig(num_intervals=8, num_iterations=2500))
+        batch = solver.solve_batch(num_runs=15, seed=1)
+        for run in batch.runs:
+            if run.success:
+                assert bird.total_regret(run.profile.p, run.profile.q) <= solver.epsilon + 1e-9
+
+    def test_grid_optimum_matches_sa_best_on_small_game(self, bos):
+        grid = enumerate_grid_optimum(bos, num_intervals=4)
+        solver = CNashSolver(bos, CNashConfig(num_intervals=4, num_iterations=2000))
+        batch = solver.solve_batch(num_runs=10, seed=2)
+        best_sa = min(run.best_objective for run in batch.runs)
+        assert best_sa == pytest.approx(grid.best_objective, abs=1e-9)
+
+    def test_solver_finds_planted_equilibrium_in_random_game(self):
+        game, (i, j) = random_game_with_pure_equilibrium(4, seed=11)
+        solver = CNashSolver(game, CNashConfig(num_intervals=4, num_iterations=2500))
+        batch = solver.solve_batch(num_runs=15, seed=3)
+        found = solver.distinct_solutions(batch)
+        planted_p = np.zeros(4)
+        planted_q = np.zeros(4)
+        planted_p[i] = 1.0
+        planted_q[j] = 1.0
+        from repro.games import StrategyProfile
+
+        assert found.match(StrategyProfile(planted_p, planted_q), atol=0.05) is not None
+
+    def test_coordination_game_all_pure_equilibria_found(self):
+        game = random_coordination_game(3, seed=4)
+        ground_truth = support_enumeration(game)
+        solver = CNashSolver(game, CNashConfig(num_intervals=6, num_iterations=3000))
+        batch = solver.solve_batch(num_runs=30, seed=5)
+        found = solver.distinct_solutions(batch)
+        pure_targets = ground_truth.pure_profiles()
+        matched = sum(1 for profile in pure_targets if found.match(profile, atol=0.1) is not None)
+        assert matched == len(pure_targets)
+
+
+class TestHardwareInTheLoop:
+    def test_noisy_hardware_still_solves_bos(self, bos):
+        config = CNashConfig(num_intervals=4, num_iterations=1200, use_hardware=True)
+        solver = CNashSolver(bos, config, variability=PAPER_VARIABILITY, seed=6)
+        batch = solver.solve_batch(num_runs=8, seed=7)
+        assert batch.success_rate >= 0.7
+
+    def test_ideal_hardware_matches_software_success(self, bos):
+        software = CNashSolver(bos, CNashConfig(num_intervals=4, num_iterations=1000))
+        hardware = CNashSolver(
+            bos,
+            CNashConfig(num_intervals=4, num_iterations=1000, use_hardware=True),
+            variability=IDEAL_VARIABILITY,
+            seed=8,
+        )
+        software_rate = software.solve_batch(num_runs=8, seed=9).success_rate
+        hardware_rate = hardware.solve_batch(num_runs=8, seed=9).success_rate
+        assert abs(software_rate - hardware_rate) <= 0.25
+
+
+class TestCNashVersusBaseline:
+    def test_cnash_strictly_more_capable_than_s_qubo_on_mixed_games(self, pennies):
+        """Matching Pennies has only a mixed equilibrium: the S-QUBO baseline
+        can never solve it, while C-Nash can."""
+        baseline = DWaveLikeSolver(pennies, num_sweeps=200, seed=0)
+        baseline_batch = baseline.sample_batch(15, seed=1)
+        assert baseline_batch.success_rate == 0.0
+
+        solver = CNashSolver(pennies, CNashConfig(num_intervals=4, num_iterations=1500))
+        cnash_batch = solver.solve_batch(num_runs=10, seed=2)
+        assert cnash_batch.success_rate >= 0.9
+        assert cnash_batch.classification_fractions()["mixed"] >= 0.9
+
+    def test_exhaustive_grid_agrees_with_solver_equilibria(self, bos):
+        epsilon = CNashConfig(num_intervals=4).effective_epsilon(2.0)
+        exhaustive = exhaustive_grid_search(bos, num_intervals=4, epsilon=epsilon)
+        solver = CNashSolver(bos, CNashConfig(num_intervals=4, num_iterations=2000))
+        batch = solver.solve_batch(num_runs=20, seed=3)
+        for run in batch.runs:
+            if run.success:
+                assert exhaustive.equilibria.match(run.profile, atol=1e-6) is not None

@@ -1,0 +1,68 @@
+"""Tests for repro.utils.rng."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import as_generator, derive_seed, spawn_generators
+
+
+class TestAsGenerator:
+    def test_none_returns_generator(self):
+        assert isinstance(as_generator(None), np.random.Generator)
+
+    def test_int_seed_is_reproducible(self):
+        a = as_generator(7).integers(0, 1000, size=10)
+        b = as_generator(7).integers(0, 1000, size=10)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = as_generator(1).integers(0, 10**9)
+        b = as_generator(2).integers(0, 10**9)
+        assert a != b
+
+    def test_existing_generator_passes_through(self):
+        gen = np.random.default_rng(3)
+        assert as_generator(gen) is gen
+
+    def test_seed_sequence_accepted(self):
+        seq = np.random.SeedSequence(11)
+        gen = as_generator(seq)
+        assert isinstance(gen, np.random.Generator)
+
+
+class TestSpawnGenerators:
+    def test_count(self):
+        assert len(spawn_generators(0, 5)) == 5
+
+    def test_zero_count(self):
+        assert spawn_generators(0, 0) == []
+
+    def test_negative_count_raises(self):
+        with pytest.raises(ValueError):
+            spawn_generators(0, -1)
+
+    def test_children_are_independent(self):
+        children = spawn_generators(42, 3)
+        draws = [child.integers(0, 10**9) for child in children]
+        assert len(set(draws)) == 3
+
+    def test_reproducible_from_seed(self):
+        a = [g.integers(0, 10**9) for g in spawn_generators(9, 4)]
+        b = [g.integers(0, 10**9) for g in spawn_generators(9, 4)]
+        assert a == b
+
+    def test_spawn_from_generator(self):
+        parent = np.random.default_rng(5)
+        children = spawn_generators(parent, 2)
+        assert len(children) == 2
+
+
+class TestDeriveSeed:
+    def test_none_base_stays_none(self):
+        assert derive_seed(None, 3) is None
+
+    def test_deterministic(self):
+        assert derive_seed(10, 2) == derive_seed(10, 2)
+
+    def test_varies_with_index(self):
+        assert derive_seed(10, 1) != derive_seed(10, 2)

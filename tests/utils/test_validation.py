@@ -1,0 +1,98 @@
+"""Tests for repro.utils.validation."""
+
+import numpy as np
+import pytest
+
+from repro.utils.validation import (
+    ensure_in_range,
+    ensure_int_at_least,
+    ensure_matrix,
+    ensure_non_negative,
+    ensure_positive,
+    ensure_probability_vector,
+    ensure_same_shape,
+    ensure_vector,
+)
+
+
+class TestEnsureMatrix:
+    def test_accepts_list_of_lists(self):
+        result = ensure_matrix([[1, 2], [3, 4]])
+        assert result.shape == (2, 2)
+        assert result.dtype == float
+
+    def test_rejects_vector(self):
+        with pytest.raises(ValueError, match="2-dimensional"):
+            ensure_matrix([1, 2, 3])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            ensure_matrix(np.zeros((0, 2)))
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError, match="finite"):
+            ensure_matrix([[1.0, np.nan]])
+
+    def test_rejects_inf(self):
+        with pytest.raises(ValueError, match="finite"):
+            ensure_matrix([[1.0, np.inf]])
+
+
+class TestEnsureVector:
+    def test_accepts_list(self):
+        assert ensure_vector([1, 2, 3]).shape == (3,)
+
+    def test_rejects_matrix(self):
+        with pytest.raises(ValueError):
+            ensure_vector([[1, 2]])
+
+
+class TestEnsureProbabilityVector:
+    def test_valid(self):
+        result = ensure_probability_vector([0.25, 0.75])
+        np.testing.assert_allclose(result, [0.25, 0.75])
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            ensure_probability_vector([-0.1, 1.1])
+
+    def test_rejects_bad_sum(self):
+        with pytest.raises(ValueError, match="sum to 1"):
+            ensure_probability_vector([0.3, 0.3])
+
+    def test_tolerates_tiny_negative_within_atol(self):
+        result = ensure_probability_vector([1.0 + 1e-12, -1e-12], atol=1e-9)
+        assert np.all(result >= 0)
+
+
+class TestScalarChecks:
+    def test_ensure_positive(self):
+        assert ensure_positive(2.0, "x") == 2.0
+        with pytest.raises(ValueError):
+            ensure_positive(0.0, "x")
+
+    def test_ensure_non_negative(self):
+        assert ensure_non_negative(0.0, "x") == 0.0
+        with pytest.raises(ValueError):
+            ensure_non_negative(-1.0, "x")
+
+    def test_ensure_in_range(self):
+        assert ensure_in_range(0.5, 0.0, 1.0, "x") == 0.5
+        with pytest.raises(ValueError):
+            ensure_in_range(1.5, 0.0, 1.0, "x")
+
+    def test_ensure_int_at_least(self):
+        assert ensure_int_at_least(3, 1, "x") == 3
+        with pytest.raises(ValueError):
+            ensure_int_at_least(0, 1, "x")
+        with pytest.raises(ValueError):
+            ensure_int_at_least(2.5, 1, "x")
+
+
+class TestEnsureSameShape:
+    def test_same_shape_passes(self):
+        ensure_same_shape(np.zeros((2, 2)), np.ones((2, 2)))
+
+    def test_mismatch_raises(self):
+        with pytest.raises(ValueError, match="same shape"):
+            ensure_same_shape(np.zeros((2, 2)), np.zeros((2, 3)), ("M", "N"))
