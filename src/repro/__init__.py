@@ -19,6 +19,7 @@ Quickstart::
 """
 
 from repro.core import (
+    BatchedStrategyState,
     CNashConfig,
     CNashSolver,
     HardwareEvaluator,
@@ -46,6 +47,7 @@ __all__ = [
     "CNashSolver",
     "CNashConfig",
     "QuantizedStrategyPair",
+    "BatchedStrategyState",
     "SolverRunResult",
     "SolverBatchResult",
     "IdealEvaluator",

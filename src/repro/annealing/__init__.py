@@ -27,6 +27,11 @@ from repro.annealing.temperature import (
     LogarithmicSchedule,
     TemperatureSchedule,
 )
+from repro.annealing.vectorized import (
+    BatchAnnealingProblem,
+    BatchAnnealingResult,
+    VectorizedAnnealer,
+)
 
 __all__ = [
     "TemperatureSchedule",
@@ -44,6 +49,9 @@ __all__ = [
     "AnnealingConfig",
     "AnnealingResult",
     "SimulatedAnnealer",
+    "BatchAnnealingProblem",
+    "BatchAnnealingResult",
+    "VectorizedAnnealer",
     "BatchResult",
     "BatchStatistics",
     "run_batch",

@@ -23,6 +23,21 @@ class AcceptanceRule(ABC):
     def accept(self, delta_energy: float, temperature: float, rng: np.random.Generator) -> bool:
         """Return ``True`` to accept a move with energy change ``delta_energy``."""
 
+    def accept_batch(
+        self, delta_energies: np.ndarray, temperature: float, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Vectorized acceptance over a batch of energy changes.
+
+        Returns a boolean mask of the same shape as ``delta_energies``.
+        The default falls back to the scalar rule chain by chain; the
+        built-in rules override it with closed-form array expressions so
+        the vectorized annealing engine stays loop-free.
+        """
+        deltas = np.asarray(delta_energies, dtype=float)
+        return np.array(
+            [self.accept(float(delta), temperature, rng) for delta in deltas.ravel()]
+        ).reshape(deltas.shape)
+
     def acceptance_probability(self, delta_energy: float, temperature: float) -> float:
         """Probability of accepting the move (used in tests and analysis)."""
         raise NotImplementedError
@@ -46,6 +61,18 @@ class MetropolisAcceptance(AcceptanceRule):
             return False
         return bool(rng.random() < np.exp(-delta_energy / temperature))
 
+    def accept_batch(
+        self, delta_energies: np.ndarray, temperature: float, rng: np.random.Generator
+    ) -> np.ndarray:
+        deltas = np.asarray(delta_energies, dtype=float)
+        downhill = deltas <= 0
+        if temperature <= 0:
+            return downhill
+        # Clamp downhill (negative) deltas to zero so exp(-delta/T) cannot
+        # overflow; those chains accept via the mask regardless.
+        probabilities = np.exp(-np.maximum(deltas, 0.0) / temperature)
+        return downhill | (rng.random(deltas.shape) < probabilities)
+
 
 @dataclass(frozen=True)
 class GreedyAcceptance(AcceptanceRule):
@@ -56,6 +83,11 @@ class GreedyAcceptance(AcceptanceRule):
 
     def accept(self, delta_energy: float, temperature: float, rng: np.random.Generator) -> bool:
         return delta_energy <= 0
+
+    def accept_batch(
+        self, delta_energies: np.ndarray, temperature: float, rng: np.random.Generator
+    ) -> np.ndarray:
+        return np.asarray(delta_energies, dtype=float) <= 0
 
 
 @dataclass(frozen=True)
@@ -69,6 +101,18 @@ class GlauberAcceptance(AcceptanceRule):
 
     def accept(self, delta_energy: float, temperature: float, rng: np.random.Generator) -> bool:
         return bool(rng.random() < self.acceptance_probability(delta_energy, temperature))
+
+    def accept_batch(
+        self, delta_energies: np.ndarray, temperature: float, rng: np.random.Generator
+    ) -> np.ndarray:
+        deltas = np.asarray(delta_energies, dtype=float)
+        if temperature <= 0:
+            probabilities = np.where(deltas < 0, 1.0, np.where(deltas == 0, 0.5, 0.0))
+        else:
+            # Clamp the exponent so extreme uphill deltas give probability
+            # 0 without overflow warnings.
+            probabilities = 1.0 / (1.0 + np.exp(np.minimum(deltas / temperature, 700.0)))
+        return rng.random(deltas.shape) < probabilities
 
 
 def make_acceptance_rule(name: str) -> AcceptanceRule:

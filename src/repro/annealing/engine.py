@@ -44,7 +44,13 @@ class AnnealingProblem(ABC, Generic[StateT]):
 
 @dataclass
 class AnnealingConfig:
-    """Shared annealing configuration."""
+    """Shared annealing configuration.
+
+    ``history_stride`` subsamples the recorded energy trajectory: only
+    every ``history_stride``-th iteration is kept (1 = every iteration).
+    Coarser strides bound history memory on long runs — e.g. recording
+    per sweep rather than per flip in the binary QUBO annealer.
+    """
 
     num_iterations: int = 1000
     schedule: TemperatureSchedule = field(
@@ -52,10 +58,13 @@ class AnnealingConfig:
     )
     acceptance: AcceptanceRule = field(default_factory=MetropolisAcceptance)
     record_history: bool = False
+    history_stride: int = 1
 
     def __post_init__(self) -> None:
         if self.num_iterations <= 0:
             raise ValueError(f"num_iterations must be positive, got {self.num_iterations}")
+        if self.history_stride <= 0:
+            raise ValueError(f"history_stride must be positive, got {self.history_stride}")
 
 
 @dataclass
@@ -125,7 +134,7 @@ class SimulatedAnnealer(Generic[StateT]):
                     best_energy = energy
                     best_state = self.problem.copy_state(state)
                     iterations_to_best = iteration + 1
-            if config.record_history:
+            if config.record_history and (iteration + 1) % config.history_stride == 0:
                 history.append(energy)
             if callback is not None:
                 callback(iteration, state, energy)

@@ -1,0 +1,247 @@
+"""Vectorized chain-parallel simulated-annealing engine.
+
+The paper's evaluation protocol runs thousands of *independent* SA chains
+per game (5000 runs in Table 1).  :class:`SimulatedAnnealer` executes one
+chain at a time, which makes every iteration a handful of tiny NumPy
+operations dominated by Python overhead.  :class:`VectorizedAnnealer`
+instead runs all ``B`` chains in lockstep: per iteration it proposes one
+move per chain, evaluates all candidate energies as a single stacked
+array operation, and applies the Metropolis rule to the whole batch at
+once.  This is the same array-level parallelism a crossbar accelerator
+exploits physically — one analog evaluation per chain per cycle, many
+chains per array.
+
+Problems plug in through the :class:`BatchAnnealingProblem` interface,
+whose states are *stacked* batch objects (e.g. ``(B, n)`` count arrays)
+rather than lists of per-chain states.  The per-chain results can be
+unstacked into ordinary :class:`~repro.annealing.engine.AnnealingResult`
+objects for drop-in compatibility with the sequential engine.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Callable, Generic, List, Optional, TypeVar
+
+import numpy as np
+
+from repro.annealing.engine import AnnealingConfig, AnnealingResult
+from repro.utils.rng import SeedLike, as_generator
+
+BatchStateT = TypeVar("BatchStateT")
+
+
+class BatchAnnealingProblem(ABC, Generic[BatchStateT]):
+    """A problem whose whole chain batch is one stacked state object.
+
+    Implementations must treat batch states as immutable: ``propose_batch``
+    and ``select`` return new objects (or fresh arrays) so that the engine
+    can keep current/candidate/best batches alive simultaneously.
+    """
+
+    @abstractmethod
+    def initial_states(self, batch_size: int, rng: np.random.Generator) -> BatchStateT:
+        """Produce the stacked initial states of ``batch_size`` chains."""
+
+    @abstractmethod
+    def propose_batch(self, states: BatchStateT, rng: np.random.Generator) -> BatchStateT:
+        """Propose one neighbouring candidate per chain, stacked."""
+
+    @abstractmethod
+    def energies(self, states: BatchStateT) -> np.ndarray:
+        """Per-chain objective values as a ``(B,)`` float array."""
+
+    @abstractmethod
+    def select(
+        self, mask: np.ndarray, accepted: BatchStateT, rejected: BatchStateT
+    ) -> BatchStateT:
+        """Merge two batches: chain ``b`` takes ``accepted`` where ``mask[b]``."""
+
+    @abstractmethod
+    def unstack(self, states: BatchStateT, index: int):
+        """Extract chain ``index``'s state as a per-chain object."""
+
+
+@dataclass
+class BatchAnnealingResult(Generic[BatchStateT]):
+    """Outcome of one lockstep run of ``B`` chains.
+
+    Per-chain quantities are stored as stacked arrays; :meth:`per_chain`
+    unstacks them into the sequential engine's result type.
+    """
+
+    best_states: BatchStateT
+    best_energies: np.ndarray
+    final_states: BatchStateT
+    final_energies: np.ndarray
+    num_iterations: int
+    num_accepted: np.ndarray
+    iterations_to_best: np.ndarray
+    energy_history: Optional[np.ndarray] = None
+    """``(num_records, B)`` energy trajectories when history was recorded
+    (one row per ``history_stride`` iterations)."""
+
+    @property
+    def batch_size(self) -> int:
+        """Number of chains in the batch."""
+        return int(self.best_energies.shape[0])
+
+    @property
+    def acceptance_rates(self) -> np.ndarray:
+        """Per-chain fraction of accepted proposals."""
+        if self.num_iterations == 0:
+            return np.zeros_like(self.best_energies)
+        return self.num_accepted / self.num_iterations
+
+    def chain_history(self, index: int) -> List[float]:
+        """Chain ``index``'s energy trajectory (empty when not recorded)."""
+        if self.energy_history is None:
+            return []
+        return self.energy_history[:, index].tolist()
+
+    def per_chain(
+        self, problem: BatchAnnealingProblem[BatchStateT]
+    ) -> List[AnnealingResult]:
+        """Unstack into one :class:`AnnealingResult` per chain."""
+        results: List[AnnealingResult] = []
+        for index in range(self.batch_size):
+            history = self.chain_history(index)
+            results.append(
+                AnnealingResult(
+                    best_state=problem.unstack(self.best_states, index),
+                    best_energy=float(self.best_energies[index]),
+                    final_state=problem.unstack(self.final_states, index),
+                    final_energy=float(self.final_energies[index]),
+                    num_iterations=self.num_iterations,
+                    num_accepted=int(self.num_accepted[index]),
+                    iterations_to_best=int(self.iterations_to_best[index]),
+                    energy_history=history,
+                )
+            )
+        return results
+
+
+def run_scaled_progress_callback(
+    progress: Callable[[int, int], None],
+    total_iterations: int,
+    total_runs: int,
+    updates: int = 100,
+) -> Callable[[int, object, np.ndarray], None]:
+    """Adapt a ``progress(completed, total)`` hook to an engine callback.
+
+    In lockstep execution every chain finishes at the same time, so run
+    counts are reported as the completed fraction of the iteration
+    budget scaled to ``total_runs``, throttled to roughly ``updates``
+    invocations and guaranteed to end at ``(total_runs, total_runs)``.
+    """
+    stride = max(1, total_iterations // updates)
+
+    def callback(iteration: int, states, energies) -> None:
+        done = iteration + 1
+        if done % stride == 0 or done == total_iterations:
+            progress(total_runs * done // total_iterations, total_runs)
+
+    return callback
+
+
+class VectorizedAnnealer(Generic[BatchStateT]):
+    """Runs ``B`` independent SA chains in lockstep over stacked arrays.
+
+    Shares :class:`~repro.annealing.engine.AnnealingConfig` with the
+    sequential engine: the same schedule, acceptance rule and iteration
+    budget apply to every chain; only the execution strategy differs.
+    """
+
+    def __init__(
+        self,
+        problem: BatchAnnealingProblem[BatchStateT],
+        config: Optional[AnnealingConfig] = None,
+    ) -> None:
+        self.problem = problem
+        self.config = config or AnnealingConfig()
+
+    def run(
+        self,
+        batch_size: int,
+        seed: SeedLike = None,
+        initial_states: Optional[BatchStateT] = None,
+        callback: Optional[Callable[[int, BatchStateT, np.ndarray], None]] = None,
+    ) -> BatchAnnealingResult[BatchStateT]:
+        """Anneal all chains and return the stacked batch result.
+
+        Parameters
+        ----------
+        batch_size:
+            Number of chains ``B`` (must match ``initial_states`` when
+            that is provided).
+        seed:
+            One seed drives the whole batch; chains draw from a shared
+            generator, so a batch is reproducible from a single seed.
+        callback:
+            Optional ``callback(iteration, states, energies)`` invoked
+            after every iteration with the stacked batch state (the
+            batched counterpart of the sequential engine's callback;
+            used e.g. for progress reporting on long batches).
+        """
+        if batch_size <= 0:
+            raise ValueError(f"batch_size must be positive, got {batch_size}")
+        config = self.config
+        problem = self.problem
+        rng = as_generator(seed)
+
+        states = (
+            initial_states
+            if initial_states is not None
+            else problem.initial_states(batch_size, rng)
+        )
+        energies = np.asarray(problem.energies(states), dtype=float)
+        if energies.shape != (batch_size,):
+            raise ValueError(
+                f"problem.energies returned shape {energies.shape}, "
+                f"expected ({batch_size},)"
+            )
+        best_states = states
+        best_energies = energies.copy()
+        iterations_to_best = np.zeros(batch_size, dtype=int)
+        accepted_counts = np.zeros(batch_size, dtype=int)
+        stride = config.history_stride
+        history = (
+            np.empty((config.num_iterations // stride, batch_size))
+            if config.record_history
+            else None
+        )
+
+        for iteration in range(config.num_iterations):
+            temperature = config.schedule.temperature(iteration, config.num_iterations)
+            candidates = problem.propose_batch(states, rng)
+            candidate_energies = np.asarray(problem.energies(candidates), dtype=float)
+            delta = candidate_energies - energies
+            accept = config.acceptance.accept_batch(delta, temperature, rng)
+            if accept.any():
+                states = problem.select(accept, candidates, states)
+                energies = np.where(accept, candidate_energies, energies)
+                accepted_counts += accept
+                improved = accept & (energies < best_energies)
+                if improved.any():
+                    best_states = problem.select(improved, states, best_states)
+                    best_energies = np.where(improved, energies, best_energies)
+                    iterations_to_best = np.where(
+                        improved, iteration + 1, iterations_to_best
+                    )
+            done = iteration + 1
+            if history is not None and done % stride == 0:
+                history[done // stride - 1] = energies
+            if callback is not None:
+                callback(iteration, states, energies)
+
+        return BatchAnnealingResult(
+            best_states=best_states,
+            best_energies=best_energies,
+            final_states=states,
+            final_energies=energies,
+            num_iterations=config.num_iterations,
+            num_accepted=accepted_counts,
+            iterations_to_best=iterations_to_best,
+            energy_history=history,
+        )

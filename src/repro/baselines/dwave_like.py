@@ -29,7 +29,12 @@ import numpy as np
 from repro.baselines.machines import AnnealerProfile, DWAVE_ADVANTAGE_4_1
 from repro.games.bimatrix import BimatrixGame
 from repro.games.equilibrium import EquilibriumSet, StrategyProfile, classify_profile
-from repro.qubo.annealer import BinaryAnnealerConfig, anneal_qubo
+from repro.qubo.annealer import (
+    BinaryAnnealerConfig,
+    BinaryAnnealResult,
+    anneal_qubo,
+    anneal_qubo_batch,
+)
 from repro.qubo.model import QuboModel
 from repro.qubo.s_qubo import SQuboFormulation, SQuboWeights, build_s_qubo
 from repro.utils.rng import SeedLike, as_generator, spawn_generators
@@ -163,6 +168,10 @@ class DWaveLikeSolver:
             config=BinaryAnnealerConfig(num_sweeps=self.num_sweeps),
             seed=seed,
         )
+        return self._classify_sample(result)
+
+    def _classify_sample(self, result: BinaryAnnealResult) -> BaselineRunResult:
+        """Decode one anneal result and classify it against the game."""
         decoded = self.formulation.decode(result.best_assignment)
         if not decoded.feasible or decoded.profile is None:
             return BaselineRunResult(
@@ -184,18 +193,50 @@ class DWaveLikeSolver:
         )
 
     def sample_batch(
-        self, num_samples: int, seed: SeedLike = None, progress=None
+        self,
+        num_samples: int,
+        seed: SeedLike = None,
+        progress=None,
+        execution: str = "vectorized",
     ) -> BaselineBatchResult:
-        """Draw ``num_samples`` independent samples (a D-Wave submission)."""
+        """Draw ``num_samples`` independent samples (a D-Wave submission).
+
+        All reads anneal in lockstep on the chain-parallel engine
+        (:func:`~repro.qubo.annealer.anneal_qubo_batch`) by default, so
+        baseline sweeps scale the same way as the C-Nash solver; pass
+        ``execution="sequential"`` for the one-read-at-a-time reference.
+        ``progress(completed, total)`` follows the same convention as
+        :meth:`CNashSolver.solve_batch`: completed samples on the
+        sequential path, the annealed fraction of the sweep budget
+        scaled to sample counts on the vectorized one.
+        """
         if num_samples <= 0:
             raise ValueError(f"num_samples must be positive, got {num_samples}")
-        generators = spawn_generators(seed, num_samples)
-        runs: List[BaselineRunResult] = []
         start = time.perf_counter()
-        for index, rng in enumerate(generators):
-            runs.append(self.sample(seed=rng))
-            if progress is not None:
-                progress(index + 1, num_samples)
+        if execution == "sequential":
+            # Reference path: per-sample spawned generators, bit-compatible
+            # with the pre-vectorization seeding of this method.
+            results: List[BinaryAnnealResult] = []
+            for index, rng in enumerate(spawn_generators(seed, num_samples)):
+                results.append(
+                    anneal_qubo(
+                        self.effective_model,
+                        config=BinaryAnnealerConfig(num_sweeps=self.num_sweeps),
+                        seed=rng,
+                    )
+                )
+                if progress is not None:
+                    progress(index + 1, num_samples)
+        else:
+            results = anneal_qubo_batch(
+                self.effective_model,
+                num_samples,
+                config=BinaryAnnealerConfig(num_sweeps=self.num_sweeps),
+                seed=seed,
+                execution=execution,
+                progress=progress,
+            )
+        runs = [self._classify_sample(result) for result in results]
         elapsed = time.perf_counter() - start
         return BaselineBatchResult(
             game_name=self.game.name,

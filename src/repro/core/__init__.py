@@ -20,8 +20,18 @@ from repro.core.max_qubo import (
 )
 from repro.core.result import SolverBatchResult, SolverRunResult
 from repro.core.solver import CNashSolver
-from repro.core.strategy import QuantizedStrategyPair, StrategyMoveGenerator
-from repro.core.two_phase_sa import TwoPhaseAnnealingProblem, TwoPhaseSARun, run_two_phase_sa
+from repro.core.strategy import (
+    BatchedStrategyState,
+    QuantizedStrategyPair,
+    StrategyMoveGenerator,
+)
+from repro.core.two_phase_sa import (
+    BatchTwoPhaseAnnealingProblem,
+    TwoPhaseAnnealingProblem,
+    TwoPhaseSARun,
+    run_two_phase_sa,
+    run_two_phase_sa_batch,
+)
 
 __all__ = [
     "CNashSolver",
@@ -29,6 +39,7 @@ __all__ = [
     "PAPER_ITERATIONS",
     "PAPER_NUM_RUNS",
     "QuantizedStrategyPair",
+    "BatchedStrategyState",
     "StrategyMoveGenerator",
     "max_qubo_objective",
     "max_qubo_breakdown",
@@ -38,8 +49,10 @@ __all__ = [
     "GridOptimum",
     "enumerate_grid_optimum",
     "TwoPhaseAnnealingProblem",
+    "BatchTwoPhaseAnnealingProblem",
     "TwoPhaseSARun",
     "run_two_phase_sa",
+    "run_two_phase_sa_batch",
     "SolverRunResult",
     "SolverBatchResult",
 ]

@@ -44,6 +44,13 @@ class CNashConfig:
     record_history:
         Record the objective trajectory of each run (memory heavy for
         long runs).
+    execution:
+        Batch execution strategy for :meth:`CNashSolver.solve_batch`:
+        ``"vectorized"`` (default) runs all SA chains in lockstep as
+        stacked array operations, ``"sequential"`` runs them one at a
+        time (the reference implementation).  Both sample the same move
+        and acceptance distributions; single ``solve`` calls always use
+        the sequential engine.
     """
 
     num_intervals: int = 8
@@ -57,7 +64,11 @@ class CNashConfig:
     move_both_players: bool = False
     pure_start_bias: float = 0.5
     record_history: bool = False
+    execution: str = "vectorized"
     acceptance: AcceptanceRule = field(default_factory=MetropolisAcceptance)
+
+    #: Supported batch execution strategies.
+    EXECUTION_MODES = ("vectorized", "sequential")
 
     def __post_init__(self) -> None:
         if self.num_intervals < 1:
@@ -74,6 +85,10 @@ class CNashConfig:
             raise ValueError(f"epsilon must be non-negative, got {self.epsilon}")
         if self.adc_bits < 1:
             raise ValueError(f"adc_bits must be >= 1, got {self.adc_bits}")
+        if self.execution not in self.EXECUTION_MODES:
+            raise ValueError(
+                f"execution must be one of {self.EXECUTION_MODES}, got {self.execution!r}"
+            )
 
     def schedule(self) -> TemperatureSchedule:
         """The temperature schedule implied by the configured bounds."""

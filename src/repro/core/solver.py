@@ -17,13 +17,13 @@ from __future__ import annotations
 import time
 from typing import List, Optional
 
-import numpy as np
-
+from repro.annealing.batch import run_batch
+from repro.annealing.vectorized import run_scaled_progress_callback
 from repro.core.config import CNashConfig
 from repro.core.max_qubo import HardwareEvaluator, IdealEvaluator, ObjectiveEvaluator
 from repro.core.result import SolverBatchResult, SolverRunResult
 from repro.core.strategy import QuantizedStrategyPair
-from repro.core.two_phase_sa import run_two_phase_sa
+from repro.core.two_phase_sa import run_two_phase_sa, run_two_phase_sa_batch
 from repro.games.bimatrix import BimatrixGame
 from repro.games.equilibrium import (
     EquilibriumSet,
@@ -35,7 +35,7 @@ from repro.hardware.bicrossbar import BiCrossbar
 from repro.hardware.corners import ProcessCorner, TT
 from repro.hardware.noise import VariabilityModel
 from repro.hardware.timing import CNashTimingModel, timing_for_game_shape
-from repro.utils.rng import SeedLike, as_generator, spawn_generators
+from repro.utils.rng import SeedLike
 
 
 class CNashSolver:
@@ -108,20 +108,9 @@ class CNashSolver:
     ) -> SolverRunResult:
         """Run one SA run and classify its best strategy pair."""
         run = run_two_phase_sa(self.evaluator, self.config, seed=seed, initial_state=initial_state)
-        best_state = run.best_state
-        profile = best_state.to_profile()
-        # Classification is always done against the *exact* game payoffs:
-        # the hardware may report a noisy objective, but whether the
-        # returned strategy pair is an equilibrium is a property of the game.
-        classification = classify_profile(
-            self.game, profile, epsilon=self.epsilon, purity_atol=self._purity_atol
-        )
-        is_equilibrium = classification != "error"
-        return SolverRunResult(
-            best_state=best_state,
+        return self._classify_run(
+            best_state=run.best_state,
             best_objective=run.best_objective,
-            is_equilibrium=is_equilibrium,
-            classification=classification,
             iterations=run.result.num_iterations,
             iterations_to_best=run.result.iterations_to_best,
             acceptance_rate=run.result.acceptance_rate,
@@ -136,26 +125,106 @@ class CNashSolver:
     ) -> SolverBatchResult:
         """Run ``num_runs`` independent SA runs (the paper's 5000-run protocol).
 
+        With ``config.execution == "vectorized"`` (the default) all runs
+        advance in lockstep as stacked array operations — one batched
+        objective evaluation per iteration instead of one tiny evaluation
+        per run per iteration.  ``"sequential"`` executes the runs one at
+        a time with per-run generators (the reference implementation);
+        both sample the same move/acceptance distributions, so the batch
+        statistics match.
+
         Parameters
         ----------
         progress:
-            Optional ``progress(completed, total)`` callback.
+            Optional ``progress(completed, total)`` callback.  The
+            sequential engine reports completed runs; the vectorized
+            engine (where all runs finish together) reports the
+            completed fraction of the iteration budget scaled to run
+            counts, ending at ``(num_runs, num_runs)`` either way.
         """
         if num_runs <= 0:
             raise ValueError(f"num_runs must be positive, got {num_runs}")
-        generators = spawn_generators(seed, num_runs)
-        runs: List[SolverRunResult] = []
         start = time.perf_counter()
-        for index, rng in enumerate(generators):
-            runs.append(self.solve(seed=rng))
-            if progress is not None:
-                progress(index + 1, num_runs)
+        if self.config.execution == "vectorized":
+            runs = self._solve_batch_vectorized(num_runs, seed, progress)
+        else:
+            batch = run_batch(
+                lambda rng, index: self.solve(seed=rng),
+                num_runs,
+                seed=seed,
+                progress=progress,
+            )
+            runs = list(batch.results)
         elapsed = time.perf_counter() - start
         return SolverBatchResult(
             game_name=self.game.name,
             runs=runs,
             num_intervals=self.config.num_intervals,
             wall_clock_seconds=elapsed,
+        )
+
+    def _solve_batch_vectorized(
+        self, num_runs: int, seed: SeedLike, progress
+    ) -> List[SolverRunResult]:
+        """Run all chains through the vectorized engine and classify each.
+
+        All runs finish together, so ``progress(completed, total)`` is
+        reported as the fraction of the iteration budget done (scaled to
+        run counts), throttled to ~100 updates over the whole batch.
+        """
+        callback = None
+        if progress is not None:
+            callback = run_scaled_progress_callback(
+                progress, self.config.num_iterations, num_runs
+            )
+        batch = run_two_phase_sa_batch(
+            self.evaluator, self.config, num_runs, seed=seed, callback=callback
+        )
+        acceptance_rates = batch.acceptance_rates
+        runs: List[SolverRunResult] = []
+        for index in range(num_runs):
+            runs.append(
+                self._classify_run(
+                    best_state=batch.best_states.state(index),
+                    best_objective=float(batch.best_energies[index]),
+                    iterations=batch.num_iterations,
+                    iterations_to_best=int(batch.iterations_to_best[index]),
+                    acceptance_rate=float(acceptance_rates[index]),
+                    objective_history=batch.chain_history(index),
+                )
+            )
+        return runs
+
+    def _classify_run(
+        self,
+        best_state: QuantizedStrategyPair,
+        best_objective: float,
+        iterations: int,
+        iterations_to_best: int,
+        acceptance_rate: float,
+        objective_history: List[float],
+    ) -> SolverRunResult:
+        """Classify one run's best state against the exact game payoffs.
+
+        The hardware may report a noisy objective, but whether the
+        returned strategy pair is an equilibrium is a property of the
+        game, so classification always uses the exact payoffs.
+        """
+        classification = classify_profile(
+            self.game,
+            best_state.to_profile(),
+            epsilon=self.epsilon,
+            purity_atol=self._purity_atol,
+        )
+        return SolverRunResult(
+            best_state=best_state,
+            best_objective=best_objective,
+            is_equilibrium=classification != "error",
+            classification=classification,
+            iterations=iterations,
+            iterations_to_best=iterations_to_best,
+            acceptance_rate=acceptance_rate,
+            objective_history=objective_history,
         )
 
     # ------------------------------------------------------------------

@@ -12,7 +12,7 @@ words).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -96,6 +96,190 @@ class QuantizedStrategyPair:
         p = np.full(num_row_actions, 1.0 / num_row_actions)
         q = np.full(num_col_actions, 1.0 / num_col_actions)
         return cls(quantizer.to_counts(p), quantizer.to_counts(q), num_intervals)
+
+
+def _batched_transfer(
+    counts: np.ndarray, move_mask: np.ndarray, rng: np.random.Generator
+) -> None:
+    """Apply one interval-transfer move in place to the masked rows of ``counts``.
+
+    For every chain a donor action is drawn uniformly from the actions
+    with at least one interval and a receiver uniformly from the other
+    actions — the same distribution as the scalar
+    :meth:`StrategyMoveGenerator._transfer`, but drawn for the whole
+    ``(B, k)`` batch at once.  Draws are made for all chains whenever at
+    least one is masked in (and skipped entirely otherwise), so the
+    number of values consumed from ``rng`` depends on the mask — callers
+    must not rely on a fixed per-call draw count.
+    """
+    batch_size, num_actions = counts.shape
+    if num_actions < 2 or not move_mask.any():
+        return
+    positive = counts > 0
+    num_positive = positive.sum(axis=1)
+    # Pick the j-th positive action, j uniform in [0, num_positive).
+    pick = np.minimum(
+        (rng.random(batch_size) * num_positive).astype(int), num_positive - 1
+    )
+    donor = np.argmax(np.cumsum(positive, axis=1) > pick[:, None], axis=1)
+    receiver = rng.integers(0, num_actions - 1, size=batch_size)
+    receiver += receiver >= donor
+    rows = np.flatnonzero(move_mask)
+    counts[rows, donor[rows]] -= 1
+    counts[rows, receiver[rows]] += 1
+
+
+@dataclass(frozen=True)
+class BatchedStrategyState:
+    """A stacked batch of quantised strategy pairs.
+
+    The chain-parallel execution engine keeps all ``B`` SA chains in one
+    object: ``p_counts`` is a ``(B, n)`` integer array (each row summing
+    to ``num_intervals``) and ``q_counts`` a ``(B, m)`` array.  Unlike
+    :class:`QuantizedStrategyPair` there is no per-construction
+    revalidation — the transfer moves preserve the simplex constraint by
+    construction, and hot-loop allocations stay O(B) array ops.
+    """
+
+    p_counts: np.ndarray
+    q_counts: np.ndarray
+    num_intervals: int
+
+    @property
+    def batch_size(self) -> int:
+        """Number of stacked chains ``B``."""
+        return int(self.p_counts.shape[0])
+
+    @property
+    def p(self) -> np.ndarray:
+        """Row-player probabilities, shape ``(B, n)``."""
+        return self.p_counts.astype(float) / self.num_intervals
+
+    @property
+    def q(self) -> np.ndarray:
+        """Column-player probabilities, shape ``(B, m)``."""
+        return self.q_counts.astype(float) / self.num_intervals
+
+    def state(self, index: int) -> QuantizedStrategyPair:
+        """Chain ``index``'s strategy pair as a validated scalar state."""
+        return QuantizedStrategyPair(
+            self.p_counts[index].copy(), self.q_counts[index].copy(), self.num_intervals
+        )
+
+    def validate(self) -> "BatchedStrategyState":
+        """Check the stacked simplex constraints (not used in the hot loop)."""
+        for name, counts in (("p_counts", self.p_counts), ("q_counts", self.q_counts)):
+            if counts.ndim != 2 or counts.shape[1] == 0:
+                raise ValueError(f"{name} must be a non-empty 2-D array, got {counts.shape}")
+            if np.any(counts < 0):
+                raise ValueError(f"{name} must be non-negative")
+            if np.any(counts.sum(axis=1) != self.num_intervals):
+                raise ValueError(f"every {name} row must sum to {self.num_intervals}")
+        if self.p_counts.shape[0] != self.q_counts.shape[0]:
+            raise ValueError(
+                f"p_counts and q_counts disagree on batch size: "
+                f"{self.p_counts.shape[0]} vs {self.q_counts.shape[0]}"
+            )
+        return self
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def random(
+        cls,
+        batch_size: int,
+        num_row_actions: int,
+        num_col_actions: int,
+        num_intervals: int,
+        rng: np.random.Generator,
+        pure_bias: float = 0.5,
+    ) -> "BatchedStrategyState":
+        """Sample ``batch_size`` independent initial strategy pairs.
+
+        Per chain and player: with probability ``pure_bias`` a random
+        pure strategy, otherwise a multinomial draw over the simplex grid
+        — the batched counterpart of
+        :meth:`StrategyMoveGenerator.random_state`.
+        """
+        if batch_size <= 0:
+            raise ValueError(f"batch_size must be positive, got {batch_size}")
+        if not (0.0 <= pure_bias <= 1.0):
+            raise ValueError(f"pure_bias must be in [0, 1], got {pure_bias}")
+
+        def sample(num_actions: int) -> np.ndarray:
+            pure = rng.random(batch_size) < pure_bias
+            mixed = rng.multinomial(
+                num_intervals, np.full(num_actions, 1.0 / num_actions), size=batch_size
+            )
+            pure_counts = np.zeros((batch_size, num_actions), dtype=int)
+            pure_counts[
+                np.arange(batch_size), rng.integers(num_actions, size=batch_size)
+            ] = num_intervals
+            return np.where(pure[:, None], pure_counts, mixed)
+
+        return cls(sample(num_row_actions), sample(num_col_actions), num_intervals)
+
+    @classmethod
+    def from_pairs(cls, pairs: Sequence[QuantizedStrategyPair]) -> "BatchedStrategyState":
+        """Stack scalar strategy pairs (all with the same quantisation)."""
+        if len(pairs) == 0:
+            raise ValueError("cannot stack an empty sequence of strategy pairs")
+        intervals = pairs[0].num_intervals
+        if any(pair.num_intervals != intervals for pair in pairs):
+            raise ValueError("all pairs must share the same num_intervals")
+        return cls(
+            np.stack([pair.p_counts for pair in pairs]),
+            np.stack([pair.q_counts for pair in pairs]),
+            intervals,
+        )
+
+    @classmethod
+    def broadcast(cls, pair: QuantizedStrategyPair, batch_size: int) -> "BatchedStrategyState":
+        """Replicate one strategy pair across ``batch_size`` chains."""
+        if batch_size <= 0:
+            raise ValueError(f"batch_size must be positive, got {batch_size}")
+        return cls(
+            np.tile(pair.p_counts, (batch_size, 1)),
+            np.tile(pair.q_counts, (batch_size, 1)),
+            pair.num_intervals,
+        )
+
+    # ------------------------------------------------------------------
+    # Moves and merging
+    # ------------------------------------------------------------------
+    def transfer_moves(
+        self, rng: np.random.Generator, move_both_players: bool = False
+    ) -> "BatchedStrategyState":
+        """One SA move per chain: the batched :meth:`StrategyMoveGenerator.propose`.
+
+        Each chain either perturbs one randomly chosen player (default)
+        or both players, transferring a single interval of probability
+        mass between actions; the result is a new stacked state.
+        """
+        p_counts = self.p_counts.copy()
+        q_counts = self.q_counts.copy()
+        if move_both_players:
+            move_p = move_q = np.ones(self.batch_size, dtype=bool)
+        else:
+            move_p = rng.random(self.batch_size) < 0.5
+            move_q = ~move_p
+        _batched_transfer(p_counts, move_p, rng)
+        _batched_transfer(q_counts, move_q, rng)
+        return BatchedStrategyState(p_counts, q_counts, self.num_intervals)
+
+    @staticmethod
+    def where(
+        mask: np.ndarray, accepted: "BatchedStrategyState", rejected: "BatchedStrategyState"
+    ) -> "BatchedStrategyState":
+        """Per-chain merge: take ``accepted`` where ``mask``, else ``rejected``."""
+        if accepted.num_intervals != rejected.num_intervals:
+            raise ValueError("cannot merge batches with different num_intervals")
+        return BatchedStrategyState(
+            np.where(mask[:, None], accepted.p_counts, rejected.p_counts),
+            np.where(mask[:, None], accepted.q_counts, rejected.q_counts),
+            accepted.num_intervals,
+        )
 
 
 class StrategyMoveGenerator:

@@ -25,9 +25,14 @@ from typing import Optional
 import numpy as np
 
 from repro.annealing.engine import AnnealingConfig, AnnealingResult, AnnealingProblem, SimulatedAnnealer
+from repro.annealing.vectorized import (
+    BatchAnnealingProblem,
+    BatchAnnealingResult,
+    VectorizedAnnealer,
+)
 from repro.core.config import CNashConfig
 from repro.core.max_qubo import ObjectiveEvaluator
-from repro.core.strategy import QuantizedStrategyPair, StrategyMoveGenerator
+from repro.core.strategy import BatchedStrategyState, QuantizedStrategyPair, StrategyMoveGenerator
 from repro.utils.rng import SeedLike
 
 
@@ -60,6 +65,56 @@ class TwoPhaseAnnealingProblem(AnnealingProblem[QuantizedStrategyPair]):
 
     def energy(self, state: QuantizedStrategyPair) -> float:
         return self.evaluator.evaluate(state)
+
+
+class BatchTwoPhaseAnnealingProblem(BatchAnnealingProblem[BatchedStrategyState]):
+    """Chain-parallel MAX-QUBO minimisation over stacked strategy batches.
+
+    The batched counterpart of :class:`TwoPhaseAnnealingProblem`: all
+    chains propose interval-transfer moves and evaluate the objective
+    (exactly, or through the batched bi-crossbar datapath) as whole-batch
+    array operations.
+    """
+
+    def __init__(
+        self,
+        evaluator: ObjectiveEvaluator,
+        num_intervals: int,
+        move_both_players: bool = False,
+        pure_start_bias: float = 0.5,
+    ) -> None:
+        self.evaluator = evaluator
+        self.num_intervals = num_intervals
+        self.move_both_players = move_both_players
+        self.pure_start_bias = pure_start_bias
+        self._shape = evaluator.game.shape
+
+    def initial_states(
+        self, batch_size: int, rng: np.random.Generator
+    ) -> BatchedStrategyState:
+        n, m = self._shape
+        return BatchedStrategyState.random(
+            batch_size, n, m, self.num_intervals, rng, pure_bias=self.pure_start_bias
+        )
+
+    def propose_batch(
+        self, states: BatchedStrategyState, rng: np.random.Generator
+    ) -> BatchedStrategyState:
+        return states.transfer_moves(rng, move_both_players=self.move_both_players)
+
+    def energies(self, states: BatchedStrategyState) -> np.ndarray:
+        return self.evaluator.evaluate_batch(states)
+
+    def select(
+        self,
+        mask: np.ndarray,
+        accepted: BatchedStrategyState,
+        rejected: BatchedStrategyState,
+    ) -> BatchedStrategyState:
+        return BatchedStrategyState.where(mask, accepted, rejected)
+
+    def unstack(self, states: BatchedStrategyState, index: int) -> QuantizedStrategyPair:
+        return states.state(index)
 
 
 @dataclass
@@ -110,3 +165,39 @@ def run_two_phase_sa(
     )
     result = annealer.run(seed=seed, initial_state=initial_state)
     return TwoPhaseSARun(result=result)
+
+
+def run_two_phase_sa_batch(
+    evaluator: ObjectiveEvaluator,
+    config: CNashConfig,
+    num_runs: int,
+    seed: SeedLike = None,
+    initial_states: Optional[BatchedStrategyState] = None,
+    callback=None,
+) -> BatchAnnealingResult[BatchedStrategyState]:
+    """Run ``num_runs`` independent Alg.-1 chains in lockstep.
+
+    The vectorized counterpart of calling :func:`run_two_phase_sa`
+    ``num_runs`` times: every iteration proposes one move per chain and
+    evaluates all objectives as a single stacked computation (ideal
+    einsum path or batched bi-crossbar reads).  The whole batch is
+    reproducible from a single ``seed``.
+    """
+    problem = BatchTwoPhaseAnnealingProblem(
+        evaluator=evaluator,
+        num_intervals=config.num_intervals,
+        move_both_players=config.move_both_players,
+        pure_start_bias=config.pure_start_bias,
+    )
+    annealer = VectorizedAnnealer(
+        problem,
+        AnnealingConfig(
+            num_iterations=config.num_iterations,
+            schedule=config.schedule(),
+            acceptance=config.acceptance,
+            record_history=config.record_history,
+        ),
+    )
+    return annealer.run(
+        num_runs, seed=seed, initial_states=initial_states, callback=callback
+    )

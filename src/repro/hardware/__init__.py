@@ -9,7 +9,12 @@ the timing / energy models used for time-to-solution accounting.
 
 from repro.hardware.adc import ADC
 from repro.hardware.area import AreaBreakdown, AreaParameters, CNashAreaModel
-from repro.hardware.bicrossbar import BiCrossbar, ObjectiveBreakdown, PayoffCrossbar
+from repro.hardware.bicrossbar import (
+    BatchObjectiveBreakdown,
+    BiCrossbar,
+    ObjectiveBreakdown,
+    PayoffCrossbar,
+)
 from repro.hardware.cell import CellParameters, OneFeFETOneRCell
 from repro.hardware.corners import FF, FNSP, SNFP, SS, TT, ProcessCorner, all_corners, get_corner
 from repro.hardware.crossbar import CrossbarDimensions, FeFETCrossbar
@@ -40,6 +45,7 @@ __all__ = [
     "PayoffCrossbar",
     "BiCrossbar",
     "ObjectiveBreakdown",
+    "BatchObjectiveBreakdown",
     "StrategyQuantizer",
     "PayoffMapping",
     "CrossbarLayout",

@@ -144,13 +144,75 @@ class PayoffCrossbar:
         return currents
 
     # ------------------------------------------------------------------
+    # Batched analog operations (one read per chain, whole batch at once)
+    # ------------------------------------------------------------------
+    def mv_currents_batch_a(
+        self, col_counts: np.ndarray, include_read_noise: bool = True
+    ) -> np.ndarray:
+        """Phase-1 currents for a ``(B, m)`` batch of column strategies.
+
+        Returns a ``(B, n)`` array; read noise is sampled for the whole
+        batch in one draw.
+        """
+        col_counts = self._validate_batch_counts(col_counts, self.layout.num_col_actions, "col_counts")
+        n, m = self.layout.num_row_actions, self.layout.num_col_actions
+        intervals = self.layout.num_intervals
+        block = self._block_cumulative[
+            np.arange(n)[None, :, None],
+            np.arange(m)[None, None, :],
+            intervals,
+            col_counts[:, None, :],
+        ]
+        currents = block.sum(axis=2)
+        if include_read_noise:
+            currents = self._apply_read_noise(currents)
+        return currents
+
+    def vmv_currents_batch_a(
+        self,
+        row_counts: np.ndarray,
+        col_counts: np.ndarray,
+        include_read_noise: bool = True,
+    ) -> np.ndarray:
+        """Phase-2 total array currents for stacked strategy batches.
+
+        ``row_counts`` is ``(B, n)`` and ``col_counts`` ``(B, m)``; the
+        result is the ``(B,)`` vector of ``p^T M q`` currents.
+        """
+        row_counts = self._validate_batch_counts(row_counts, self.layout.num_row_actions, "row_counts")
+        col_counts = self._validate_batch_counts(col_counts, self.layout.num_col_actions, "col_counts")
+        if row_counts.shape[0] != col_counts.shape[0]:
+            raise ValueError(
+                f"row_counts and col_counts disagree on batch size: "
+                f"{row_counts.shape[0]} vs {col_counts.shape[0]}"
+            )
+        n, m = self.layout.num_row_actions, self.layout.num_col_actions
+        block = self._block_cumulative[
+            np.arange(n)[None, :, None],
+            np.arange(m)[None, None, :],
+            row_counts[:, :, None],
+            col_counts[:, None, :],
+        ]
+        totals = block.sum(axis=(1, 2))
+        if include_read_noise:
+            totals = self._apply_read_noise(totals)
+        return totals
+
+    # ------------------------------------------------------------------
     # Decoding currents back into payoff values
     # ------------------------------------------------------------------
-    def decode_vmv(self, current_a: float) -> float:
-        """Convert a Phase-2 current back into the ``p^T M q`` value."""
+    def decode_vmv(self, current_a):
+        """Convert Phase-2 current(s) back into ``p^T M q`` value(s).
+
+        Accepts a scalar (returns ``float``) or a batch array (returns an
+        array of the same shape).
+        """
         intervals = self.layout.num_intervals
         scale = self.unit_current_a * intervals * intervals / self.value_per_cell
-        return float(current_a / scale)
+        values = np.asarray(current_a, dtype=float) / scale
+        if values.ndim == 0:
+            return float(values)
+        return values
 
     def decode_mv(self, currents_a: np.ndarray) -> np.ndarray:
         """Convert Phase-1 currents back into the ``M q`` vector."""
@@ -191,6 +253,19 @@ class PayoffCrossbar:
             raise ValueError(f"col_counts must be within [0, {intervals}]")
         return row_counts, col_counts
 
+    def _validate_batch_counts(
+        self, counts: np.ndarray, num_actions: int, label: str
+    ) -> np.ndarray:
+        intervals = self.layout.num_intervals
+        counts = np.asarray(counts, dtype=int)
+        if counts.ndim != 2 or counts.shape[1] != num_actions:
+            raise ValueError(
+                f"{label} must have shape (batch, {num_actions}), got {counts.shape}"
+            )
+        if np.any(counts < 0) or np.any(counts > intervals):
+            raise ValueError(f"{label} must be within [0, {intervals}]")
+        return counts
+
 
 @dataclass(frozen=True)
 class ObjectiveBreakdown:
@@ -204,6 +279,33 @@ class ObjectiveBreakdown:
     def objective(self) -> float:
         """``max(Mq) + max(N^T p) - p^T (M+N) q`` (Eq. (9))."""
         return self.max_row_value + self.max_col_value - self.vmv_value
+
+
+@dataclass(frozen=True)
+class BatchObjectiveBreakdown:
+    """Stacked MAX-QUBO components for a whole chain batch (``(B,)`` arrays)."""
+
+    max_row_values: np.ndarray
+    max_col_values: np.ndarray
+    vmv_values: np.ndarray
+
+    @property
+    def batch_size(self) -> int:
+        """Number of evaluated strategy pairs."""
+        return int(self.max_row_values.shape[0])
+
+    @property
+    def objective(self) -> np.ndarray:
+        """Per-chain ``max(Mq) + max(N^T p) - p^T (M+N) q`` values."""
+        return self.max_row_values + self.max_col_values - self.vmv_values
+
+    def breakdown(self, index: int) -> ObjectiveBreakdown:
+        """The scalar breakdown of chain ``index``."""
+        return ObjectiveBreakdown(
+            max_row_value=float(self.max_row_values[index]),
+            max_col_value=float(self.max_col_values[index]),
+            vmv_value=float(self.vmv_values[index]),
+        )
 
 
 class BiCrossbar:
@@ -290,6 +392,39 @@ class BiCrossbar:
         )
 
     # ------------------------------------------------------------------
+    # Batched phases (whole chain batch per analog read)
+    # ------------------------------------------------------------------
+    def phase1_batch(
+        self, p_counts: np.ndarray, q_counts: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Phase 1 for stacked ``(B, n)`` / ``(B, m)`` strategy batches.
+
+        Returns the ``(B,)`` arrays of ``max(Mq)`` and ``max(N^T p)``
+        values; crossbar reads, WTA trees, read-noise sampling and ADC
+        conversion all operate on the whole batch at once.
+        """
+        row_currents = self.row_crossbar.mv_currents_batch_a(q_counts)
+        col_currents = self.col_crossbar.mv_currents_batch_a(p_counts)
+        max_row_currents = self.adc.convert(self.row_wta.output_currents_batch_a(row_currents))
+        max_col_currents = self.adc.convert(self.col_wta.output_currents_batch_a(col_currents))
+        return (
+            self.row_crossbar.decode_mv(max_row_currents),
+            self.col_crossbar.decode_mv(max_col_currents),
+        )
+
+    def phase2_batch(self, p_counts: np.ndarray, q_counts: np.ndarray) -> np.ndarray:
+        """Phase 2 for stacked strategy batches: ``(B,)`` VMV values."""
+        row_currents = self.adc.convert(
+            self.row_crossbar.vmv_currents_batch_a(p_counts, q_counts)
+        )
+        col_currents = self.adc.convert(
+            self.col_crossbar.vmv_currents_batch_a(q_counts, p_counts)
+        )
+        return self.row_crossbar.decode_vmv(row_currents) + self.col_crossbar.decode_vmv(
+            col_currents
+        )
+
+    # ------------------------------------------------------------------
     # Full objective
     # ------------------------------------------------------------------
     def evaluate(self, p_counts: np.ndarray, q_counts: np.ndarray) -> ObjectiveBreakdown:
@@ -297,6 +432,16 @@ class BiCrossbar:
         max_row, max_col = self.phase1(p_counts, q_counts)
         vmv = self.phase2(p_counts, q_counts)
         return ObjectiveBreakdown(max_row_value=max_row, max_col_value=max_col, vmv_value=vmv)
+
+    def evaluate_batch(
+        self, p_counts: np.ndarray, q_counts: np.ndarray
+    ) -> BatchObjectiveBreakdown:
+        """Evaluate the MAX-QUBO objective for a whole batch of strategy pairs."""
+        max_rows, max_cols = self.phase1_batch(p_counts, q_counts)
+        vmvs = self.phase2_batch(p_counts, q_counts)
+        return BatchObjectiveBreakdown(
+            max_row_values=max_rows, max_col_values=max_cols, vmv_values=vmvs
+        )
 
     @property
     def total_cells(self) -> int:

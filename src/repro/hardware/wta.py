@@ -128,6 +128,12 @@ class WTATree:
             self._cells.append(
                 [WTACell(self.parameters, corner=corner, seed=rng) for _ in range(width)]
             )
+        # Per-level static offset factors, pre-stacked for the batched
+        # evaluation path.
+        self._level_offsets: List[np.ndarray] = [
+            np.array([1.0 + cell._offset_fraction for cell in level])
+            for level in self._cells
+        ]
 
     @property
     def num_cells(self) -> int:
@@ -161,6 +167,34 @@ class WTATree:
                 )
             values = next_values
         return float(values[0])
+
+    def output_currents_batch_a(self, input_currents_a: np.ndarray) -> np.ndarray:
+        """Tree outputs for a ``(B, num_inputs)`` batch of input vectors.
+
+        Every chain passes through the *same* physical tree (the per-cell
+        offsets are fixed at fabrication), so the batched result is
+        bit-identical to calling :meth:`output_current_a` per chain.
+        """
+        inputs = np.asarray(input_currents_a, dtype=float)
+        if inputs.ndim != 2 or inputs.shape[1] != self.num_inputs:
+            raise ValueError(
+                f"expected shape (batch, {self.num_inputs}), got {inputs.shape}"
+            )
+        if np.any(inputs < 0):
+            raise ValueError("WTA input currents must be non-negative")
+        batch_size = inputs.shape[0]
+        padded_width = 2**self.num_levels if self.num_levels > 0 else 1
+        values = np.zeros((batch_size, padded_width))
+        values[:, : self.num_inputs] = inputs
+        for level, offsets in zip(self._cells, self._level_offsets):
+            pairs = values.reshape(batch_size, len(level), 2)
+            # Same arithmetic and operation order as WTACell.output_current_a
+            # (min + |diff|, then offset, then mirror gain), so the batched
+            # path rounds identically to the scalar one.
+            smaller = pairs.min(axis=2)
+            extra = np.abs(pairs[:, :, 0] - pairs[:, :, 1])
+            values = (smaller + extra) * offsets[None, :] * self.corner.mirror_gain
+        return values[:, 0]
 
     def relative_error(self, input_currents_a: np.ndarray) -> float:
         """Relative deviation of the tree output from the exact maximum."""

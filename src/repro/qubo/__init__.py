@@ -10,6 +10,7 @@ and a classical binary simulated annealer.
 from repro.qubo.annealer import (
     BinaryAnnealerConfig,
     BinaryAnnealResult,
+    BinaryQuboBatchProblem,
     anneal_qubo,
     anneal_qubo_batch,
 )
@@ -51,6 +52,7 @@ __all__ = [
     "enumerate_assignments",
     "anneal_qubo",
     "anneal_qubo_batch",
+    "BinaryQuboBatchProblem",
     "BinaryAnnealerConfig",
     "BinaryAnnealResult",
 ]

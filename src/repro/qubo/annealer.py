@@ -6,6 +6,12 @@ with Metropolis single-bit flips under a configurable temperature
 schedule.  The C-Nash solver itself does *not* use this module — it runs
 the two-phase SA over quantized mixed strategies instead
 (:mod:`repro.core.two_phase_sa`).
+
+Multi-read sampling (:func:`anneal_qubo_batch`) runs on the same
+chain-parallel engine as the C-Nash solver
+(:class:`~repro.annealing.vectorized.VectorizedAnnealer`): all reads
+advance in lockstep with O(batch x n) delta updates per proposal, so
+baseline comparisons scale the same way as the main solver.
 """
 
 from __future__ import annotations
@@ -15,7 +21,14 @@ from typing import List, Optional
 
 import numpy as np
 
+from repro.annealing.acceptance import MetropolisAcceptance
+from repro.annealing.engine import AnnealingConfig
 from repro.annealing.temperature import GeometricSchedule, TemperatureSchedule
+from repro.annealing.vectorized import (
+    BatchAnnealingProblem,
+    VectorizedAnnealer,
+    run_scaled_progress_callback,
+)
 from repro.qubo.model import QuboModel
 from repro.utils.rng import SeedLike, as_generator
 
@@ -103,14 +116,192 @@ def anneal_qubo(
     )
 
 
+@dataclass(frozen=True)
+class _PerSweepSchedule(TemperatureSchedule):
+    """Adapter holding the temperature constant within each sweep.
+
+    The sequential annealer evaluates its schedule once per sweep and
+    performs ``num_variables`` flips at that temperature; the vectorized
+    engine evaluates per flip iteration.  Mapping the flip index back to
+    its sweep index keeps the two temperature trajectories identical for
+    *any* schedule, including iteration-index-dependent ones such as
+    :class:`~repro.annealing.temperature.LogarithmicSchedule`.
+    """
+
+    inner: TemperatureSchedule
+    num_variables: int
+
+    def temperature(self, iteration: int, num_iterations: int) -> float:
+        num_sweeps = max(1, num_iterations // self.num_variables)
+        return self.inner.temperature(iteration // self.num_variables, num_sweeps)
+
+
+class _BinaryBatchState:
+    """Stacked assignments of all reads, with their energies piggybacked.
+
+    Caching the energies on the state lets ``propose_batch`` produce the
+    candidate energies via O(batch x n) flip deltas instead of full
+    O(batch x n^2) quadratic-form re-evaluations.
+    """
+
+    __slots__ = ("assignments", "energies")
+
+    def __init__(self, assignments: np.ndarray, energies: Optional[np.ndarray] = None):
+        self.assignments = assignments
+        self.energies = energies
+
+
+class BinaryQuboBatchProblem(BatchAnnealingProblem[_BinaryBatchState]):
+    """Chain-parallel single-bit-flip minimisation of one QUBO model.
+
+    Proposals follow the sequential annealer's *permutation-sweep*
+    kernel: each read flips every bit exactly once per sweep in an
+    independent random order (iid-uniform flips would leave ~1/e of the
+    bits unproposed per sweep and measurably shift the baseline success
+    statistics).  ``num_variables`` proposals correspond to one sweep.
+
+    The per-sweep flip queue makes a problem instance stateful: use one
+    instance per :meth:`VectorizedAnnealer.run` call.
+    """
+
+    def __init__(self, model: QuboModel):
+        self.model = model
+        self._flip_queue: Optional[np.ndarray] = None
+        self._queue_cursor = 0
+
+    def initial_states(self, batch_size: int, rng: np.random.Generator) -> _BinaryBatchState:
+        assignments = rng.integers(0, 2, size=(batch_size, self.model.num_variables))
+        return _BinaryBatchState(assignments.astype(float))
+
+    def _next_flips(self, batch_size: int, rng: np.random.Generator) -> np.ndarray:
+        """The next sweep position: one permutation column per read."""
+        num_variables = self.model.num_variables
+        if (
+            self._flip_queue is None
+            or self._queue_cursor >= num_variables
+            or self._flip_queue.shape[0] != batch_size
+        ):
+            self._flip_queue = rng.permuted(
+                np.tile(np.arange(num_variables), (batch_size, 1)), axis=1
+            )
+            self._queue_cursor = 0
+        flips = self._flip_queue[:, self._queue_cursor]
+        self._queue_cursor += 1
+        return flips
+
+    def propose_batch(
+        self, states: _BinaryBatchState, rng: np.random.Generator
+    ) -> _BinaryBatchState:
+        assignments = states.assignments
+        batch_size, num_variables = assignments.shape
+        flips = self._next_flips(batch_size, rng)
+        rows = np.arange(batch_size)
+        current_bits = assignments[rows, flips]
+        # Same O(n) delta as QuboModel.energy_delta, for the whole batch:
+        # flipping x_k by dx = 1 - 2 x_k changes the energy by
+        # 2 dx sum_{j != k} Q[k, j] x_j + Q[k, k] dx (since x_k is binary).
+        delta_x = 1.0 - 2.0 * current_bits
+        q_rows = self.model.q_matrix[flips]
+        diagonal = self.model.q_matrix[flips, flips]
+        off_diagonal = np.einsum("bj,bj->b", q_rows, assignments) - diagonal * current_bits
+        deltas = 2.0 * delta_x * off_diagonal + diagonal * delta_x
+        candidate = assignments.copy()
+        candidate[rows, flips] = 1.0 - current_bits
+        return _BinaryBatchState(candidate, self.energies(states) + deltas)
+
+    def energies(self, states: _BinaryBatchState) -> np.ndarray:
+        if states.energies is None:
+            states.energies = self.model.energies(states.assignments)
+        return states.energies
+
+    def select(
+        self, mask: np.ndarray, accepted: _BinaryBatchState, rejected: _BinaryBatchState
+    ) -> _BinaryBatchState:
+        return _BinaryBatchState(
+            np.where(mask[:, None], accepted.assignments, rejected.assignments),
+            np.where(mask, self.energies(accepted), self.energies(rejected)),
+        )
+
+    def unstack(self, states: _BinaryBatchState, index: int) -> np.ndarray:
+        return states.assignments[index].copy()
+
+
 def anneal_qubo_batch(
     model: QuboModel,
     num_reads: int,
     config: Optional[BinaryAnnealerConfig] = None,
     seed: SeedLike = None,
+    execution: str = "vectorized",
+    progress=None,
 ) -> List[BinaryAnnealResult]:
-    """Run ``num_reads`` independent annealing runs (a D-Wave-style sample set)."""
+    """Run ``num_reads`` independent annealing runs (a D-Wave-style sample set).
+
+    With ``execution="vectorized"`` (the default) all reads run in
+    lockstep on the chain-parallel engine: each of the
+    ``num_sweeps * num_variables`` iterations proposes one bit flip per
+    read and applies the Metropolis rule to the whole batch at once.
+    ``execution="sequential"`` keeps the reference behaviour of
+    independent :func:`anneal_qubo` calls.  Both use the same Markov
+    kernel — every bit flipped exactly once per sweep in an independent
+    random permutation per read, at per-sweep temperatures — so read
+    statistics match in distribution (only the RNG streams differ).
+    When history is recorded, the vectorized path reports one energy per
+    sweep (the sequential convention).
+
+    ``progress(completed, total)`` reports completed reads on the
+    sequential path; on the vectorized path (where all reads finish
+    together) it reports the completed fraction of the sweep budget
+    scaled to read counts, ending at ``(num_reads, num_reads)`` either
+    way.
+    """
     if num_reads <= 0:
         raise ValueError(f"num_reads must be positive, got {num_reads}")
-    rng = as_generator(seed)
-    return [anneal_qubo(model, config=config, seed=rng) for _ in range(num_reads)]
+    if execution == "sequential":
+        rng = as_generator(seed)
+        results = []
+        for index in range(num_reads):
+            results.append(anneal_qubo(model, config=config, seed=rng))
+            if progress is not None:
+                progress(index + 1, num_reads)
+        return results
+    if execution != "vectorized":
+        raise ValueError(
+            f"execution must be 'vectorized' or 'sequential', got {execution!r}"
+        )
+    config = config or BinaryAnnealerConfig()
+    num_variables = model.num_variables
+    callback = None
+    if progress is not None:
+        callback = run_scaled_progress_callback(
+            progress, config.num_sweeps * num_variables, num_reads
+        )
+    problem = BinaryQuboBatchProblem(model)
+    annealer = VectorizedAnnealer(
+        problem,
+        AnnealingConfig(
+            num_iterations=config.num_sweeps * num_variables,
+            schedule=_PerSweepSchedule(config.schedule, num_variables),
+            acceptance=MetropolisAcceptance(),
+            record_history=config.record_history,
+            # Record at sweep boundaries only (the sequential convention);
+            # per-flip history would be a num_variables-fold memory blowup.
+            history_stride=num_variables,
+        ),
+    )
+    batch = annealer.run(num_reads, seed=seed, callback=callback)
+    results: List[BinaryAnnealResult] = []
+    for index in range(num_reads):
+        # One entry per sweep boundary, matching the sequential runs.
+        history = batch.chain_history(index)
+        results.append(
+            BinaryAnnealResult(
+                best_assignment=problem.unstack(batch.best_states, index),
+                best_energy=float(batch.best_energies[index]),
+                final_assignment=problem.unstack(batch.final_states, index),
+                final_energy=float(batch.final_energies[index]),
+                num_sweeps=config.num_sweeps,
+                num_flips_accepted=int(batch.num_accepted[index]),
+                energy_history=history,
+            )
+        )
+    return results

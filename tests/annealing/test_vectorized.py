@@ -1,0 +1,151 @@
+"""Tests for the chain-parallel vectorized annealing engine."""
+
+import numpy as np
+import pytest
+
+from repro.annealing import (
+    AnnealingConfig,
+    BatchAnnealingProblem,
+    GeometricSchedule,
+    GlauberAcceptance,
+    GreedyAcceptance,
+    MetropolisAcceptance,
+    VectorizedAnnealer,
+)
+
+
+class QuadraticBatchProblem(BatchAnnealingProblem):
+    """Minimise ``x^2`` over integers per chain — a trivial test problem."""
+
+    def initial_states(self, batch_size, rng):
+        return rng.integers(-20, 21, size=batch_size).astype(float)
+
+    def propose_batch(self, states, rng):
+        return states + rng.choice([-1.0, 1.0], size=states.shape)
+
+    def energies(self, states):
+        return states**2
+
+    def select(self, mask, accepted, rejected):
+        return np.where(mask, accepted, rejected)
+
+    def unstack(self, states, index):
+        return float(states[index])
+
+
+class TestVectorizedAnnealer:
+    def test_all_chains_reach_minimum_when_greedy_allows(self):
+        annealer = VectorizedAnnealer(
+            QuadraticBatchProblem(),
+            AnnealingConfig(
+                num_iterations=200,
+                schedule=GeometricSchedule(initial=5.0, final=0.001),
+                acceptance=MetropolisAcceptance(),
+            ),
+        )
+        result = annealer.run(batch_size=32, seed=0)
+        assert result.batch_size == 32
+        assert result.best_energies.shape == (32,)
+        # x^2 over +-1 moves from |x| <= 20 always reaches 0 in 200 steps.
+        np.testing.assert_allclose(result.best_energies, 0.0)
+
+    def test_best_energy_never_worse_than_final(self):
+        annealer = VectorizedAnnealer(
+            QuadraticBatchProblem(), AnnealingConfig(num_iterations=50)
+        )
+        result = annealer.run(batch_size=16, seed=1)
+        assert np.all(result.best_energies <= result.final_energies + 1e-12)
+
+    def test_reproducible_from_seed(self):
+        annealer = VectorizedAnnealer(
+            QuadraticBatchProblem(), AnnealingConfig(num_iterations=60)
+        )
+        a = annealer.run(batch_size=8, seed=7)
+        b = annealer.run(batch_size=8, seed=7)
+        np.testing.assert_array_equal(a.best_energies, b.best_energies)
+        np.testing.assert_array_equal(a.num_accepted, b.num_accepted)
+
+    def test_history_shape_and_consistency(self):
+        annealer = VectorizedAnnealer(
+            QuadraticBatchProblem(),
+            AnnealingConfig(num_iterations=40, record_history=True),
+        )
+        result = annealer.run(batch_size=5, seed=2)
+        assert result.energy_history.shape == (40, 5)
+        np.testing.assert_array_equal(result.energy_history[-1], result.final_energies)
+
+    def test_invalid_batch_size(self):
+        annealer = VectorizedAnnealer(QuadraticBatchProblem())
+        with pytest.raises(ValueError):
+            annealer.run(batch_size=0)
+
+    def test_per_chain_unstacks_results(self):
+        problem = QuadraticBatchProblem()
+        annealer = VectorizedAnnealer(
+            problem, AnnealingConfig(num_iterations=30, record_history=True)
+        )
+        batch = annealer.run(batch_size=4, seed=3)
+        results = batch.per_chain(problem)
+        assert len(results) == 4
+        for index, run in enumerate(results):
+            assert run.best_energy == pytest.approx(float(batch.best_energies[index]))
+            assert run.num_iterations == 30
+            assert len(run.energy_history) == 30
+            assert run.best_state == problem.unstack(batch.best_states, index)
+
+    def test_acceptance_counts_bounded(self):
+        annealer = VectorizedAnnealer(
+            QuadraticBatchProblem(), AnnealingConfig(num_iterations=25)
+        )
+        result = annealer.run(batch_size=10, seed=4)
+        assert np.all(result.num_accepted >= 0)
+        assert np.all(result.num_accepted <= 25)
+        assert np.all((0.0 <= result.acceptance_rates) & (result.acceptance_rates <= 1.0))
+
+
+class TestAcceptBatch:
+    """Vectorized acceptance must match the scalar rules' probabilities."""
+
+    def test_metropolis_downhill_always_accepts(self):
+        rng = np.random.default_rng(0)
+        deltas = np.array([-1.0, -0.5, 0.0])
+        assert MetropolisAcceptance().accept_batch(deltas, 1.0, rng).all()
+
+    def test_metropolis_zero_temperature_rejects_uphill(self):
+        rng = np.random.default_rng(0)
+        mask = MetropolisAcceptance().accept_batch(np.array([-1.0, 1.0]), 0.0, rng)
+        np.testing.assert_array_equal(mask, [True, False])
+
+    def test_metropolis_matches_probability(self):
+        rule = MetropolisAcceptance()
+        rng = np.random.default_rng(42)
+        deltas = np.full(20000, 0.7)
+        temperature = 1.3
+        rate = rule.accept_batch(deltas, temperature, rng).mean()
+        expected = rule.acceptance_probability(0.7, temperature)
+        assert rate == pytest.approx(expected, abs=0.02)
+
+    def test_greedy(self):
+        rng = np.random.default_rng(0)
+        mask = GreedyAcceptance().accept_batch(np.array([-1.0, 0.0, 1e-9]), 5.0, rng)
+        np.testing.assert_array_equal(mask, [True, True, False])
+
+    def test_glauber_matches_probability(self):
+        rule = GlauberAcceptance()
+        rng = np.random.default_rng(42)
+        deltas = np.full(20000, -0.4)
+        temperature = 0.8
+        rate = rule.accept_batch(deltas, temperature, rng).mean()
+        expected = rule.acceptance_probability(-0.4, temperature)
+        assert rate == pytest.approx(expected, abs=0.02)
+
+    def test_default_accept_batch_falls_back_to_scalar_rule(self):
+        from repro.annealing import AcceptanceRule
+
+        class AlwaysAccept(AcceptanceRule):
+            def accept(self, delta_energy, temperature, rng):
+                return True
+
+        rng = np.random.default_rng(0)
+        mask = AlwaysAccept().accept_batch(np.array([1.0, -1.0, 3.0]), 0.1, rng)
+        np.testing.assert_array_equal(mask, [True, True, True])

@@ -104,6 +104,15 @@ class TestDWaveLikeSolver:
         assert len(batch) == 20
         assert batch.hardware_time_seconds > 0
 
+    def test_batch_executions_statistically_match(self, bos):
+        """Both executions use the same permutation-sweep Markov kernel."""
+        solver = DWaveLikeSolver(bos, num_sweeps=150, seed=0)
+        vectorized = solver.sample_batch(60, seed=1)
+        sequential = solver.sample_batch(60, seed=1, execution="sequential")
+        assert vectorized.success_rate == pytest.approx(
+            sequential.success_rate, abs=0.15
+        )
+
     def test_never_produces_mixed_solutions(self, bos):
         """The S-QUBO formulation structurally cannot express mixed strategies."""
         solver = DWaveLikeSolver(bos, num_sweeps=100, seed=0)

@@ -191,3 +191,38 @@ class TestBinaryAnnealer:
 
         with pytest.raises(ValueError):
             anneal_qubo_batch(QuboModel(np.eye(2)), num_reads=0)
+        with pytest.raises(ValueError):
+            anneal_qubo_batch(QuboModel(np.eye(2)), num_reads=1, execution="quantum")
+
+    def test_vectorized_batch_finds_optimum_and_keeps_books(self):
+        from repro.qubo import BinaryAnnealerConfig, QuboModel
+
+        model = QuboModel(np.random.default_rng(7).normal(size=(8, 8)))
+        exact = brute_force_solve(model)
+        reads = anneal_qubo_batch(
+            model,
+            num_reads=8,
+            config=BinaryAnnealerConfig(num_sweeps=300, record_history=True),
+            seed=0,
+        )
+        assert min(r.best_energy for r in reads) == pytest.approx(
+            exact.best_energy, abs=1e-9
+        )
+        for read in reads:
+            assert read.final_energy == pytest.approx(model.energy(read.final_assignment))
+            assert read.best_energy == pytest.approx(model.energy(read.best_assignment))
+            assert len(read.energy_history) == 300
+
+    def test_vectorized_and_sequential_temperatures_match_per_sweep(self):
+        """Iteration-indexed schedules must anneal per sweep, not per flip."""
+        from repro.annealing.temperature import LogarithmicSchedule
+        from repro.qubo.annealer import _PerSweepSchedule
+
+        schedule = LogarithmicSchedule(scale=1.0)
+        adapted = _PerSweepSchedule(schedule, num_variables=30)
+        num_sweeps = 200
+        for sweep in (0, 57, 199):
+            expected = schedule.temperature(sweep, num_sweeps)
+            for flip in (0, 15, 29):
+                iteration = sweep * 30 + flip
+                assert adapted.temperature(iteration, num_sweeps * 30) == expected
