@@ -1,9 +1,15 @@
-"""Result types returned by the C-Nash solver."""
+"""Result types returned by the C-Nash solver.
+
+Both result types are JSON round-trippable (``to_dict`` / ``from_dict``)
+so that batches can cross process and network boundaries — the service
+layer (:mod:`repro.service`) ships shard results back from worker
+processes and caches outcomes on disk in exactly this representation.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import List, Optional, Sequence
 
 import numpy as np
 
@@ -55,6 +61,40 @@ class SolverRunResult:
         """Alias for :attr:`is_equilibrium` (the paper's success criterion)."""
         return self.is_equilibrium
 
+    def to_dict(self) -> dict:
+        """Plain-JSON representation (inverse of :meth:`from_dict`)."""
+        return {
+            "p_counts": [int(c) for c in self.best_state.p_counts],
+            "q_counts": [int(c) for c in self.best_state.q_counts],
+            "num_intervals": int(self.best_state.num_intervals),
+            "best_objective": float(self.best_objective),
+            "is_equilibrium": bool(self.is_equilibrium),
+            "classification": self.classification,
+            "iterations": int(self.iterations),
+            "iterations_to_best": int(self.iterations_to_best),
+            "acceptance_rate": float(self.acceptance_rate),
+            "objective_history": [float(value) for value in self.objective_history],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SolverRunResult":
+        """Reconstruct a run result from :meth:`to_dict` output."""
+        state = QuantizedStrategyPair(
+            p_counts=np.asarray(data["p_counts"], dtype=int),
+            q_counts=np.asarray(data["q_counts"], dtype=int),
+            num_intervals=int(data["num_intervals"]),
+        )
+        return cls(
+            best_state=state,
+            best_objective=float(data["best_objective"]),
+            is_equilibrium=bool(data["is_equilibrium"]),
+            classification=str(data["classification"]),
+            iterations=int(data["iterations"]),
+            iterations_to_best=int(data["iterations_to_best"]),
+            acceptance_rate=float(data["acceptance_rate"]),
+            objective_history=[float(value) for value in data.get("objective_history", [])],
+        )
+
 
 @dataclass
 class SolverBatchResult:
@@ -97,6 +137,60 @@ class SolverBatchResult:
         for run in self.runs:
             fractions[run.classification] += 1.0
         return {key: value / total for key, value in fractions.items()}
+
+    def to_dict(self) -> dict:
+        """Plain-JSON representation (inverse of :meth:`from_dict`)."""
+        return {
+            "game_name": self.game_name,
+            "num_intervals": int(self.num_intervals),
+            "wall_clock_seconds": float(self.wall_clock_seconds),
+            "runs": [run.to_dict() for run in self.runs],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SolverBatchResult":
+        """Reconstruct a batch from :meth:`to_dict` output."""
+        return cls(
+            game_name=str(data["game_name"]),
+            runs=[SolverRunResult.from_dict(run) for run in data["runs"]],
+            num_intervals=int(data["num_intervals"]),
+            wall_clock_seconds=float(data.get("wall_clock_seconds", 0.0)),
+        )
+
+    @classmethod
+    def merge(cls, batches: Sequence["SolverBatchResult"]) -> "SolverBatchResult":
+        """Concatenate shard batches of one game into a single batch.
+
+        The service layer shards a ``num_runs=N`` request across worker
+        processes and merges the per-shard batches back together; run
+        order follows shard order, so a fixed shard plan gives a merged
+        batch independent of how many workers executed it.  Wall-clock
+        times are summed (total compute, not the parallel span).
+        """
+        batches = list(batches)
+        if not batches:
+            raise ValueError("cannot merge an empty sequence of batches")
+        first = batches[0]
+        for batch in batches[1:]:
+            if batch.game_name != first.game_name:
+                raise ValueError(
+                    f"cannot merge batches of different games: "
+                    f"{first.game_name!r} vs {batch.game_name!r}"
+                )
+            if batch.num_intervals != first.num_intervals:
+                raise ValueError(
+                    f"cannot merge batches with different num_intervals: "
+                    f"{first.num_intervals} vs {batch.num_intervals}"
+                )
+        runs: List[SolverRunResult] = []
+        for batch in batches:
+            runs.extend(batch.runs)
+        return cls(
+            game_name=first.game_name,
+            runs=runs,
+            num_intervals=first.num_intervals,
+            wall_clock_seconds=float(sum(batch.wall_clock_seconds for batch in batches)),
+        )
 
     def mean_iterations_to_solution(self) -> Optional[float]:
         """Average iterations-to-best over the *successful* runs.

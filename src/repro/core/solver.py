@@ -17,6 +17,8 @@ from __future__ import annotations
 import time
 from typing import List, Optional
 
+import numpy as np
+
 from repro.annealing.batch import run_batch
 from repro.annealing.vectorized import run_scaled_progress_callback
 from repro.core.config import CNashConfig
@@ -142,8 +144,10 @@ class CNashSolver:
             completed fraction of the iteration budget scaled to run
             counts, ending at ``(num_runs, num_runs)`` either way.
         """
-        if num_runs <= 0:
-            raise ValueError(f"num_runs must be positive, got {num_runs}")
+        if not isinstance(num_runs, (int, np.integer)) or isinstance(num_runs, bool):
+            raise ValueError(f"num_runs must be an integer >= 1, got {num_runs!r}")
+        if num_runs < 1:
+            raise ValueError(f"num_runs must be >= 1, got {num_runs}")
         start = time.perf_counter()
         if self.config.execution == "vectorized":
             runs = self._solve_batch_vectorized(num_runs, seed, progress)
@@ -235,11 +239,9 @@ class CNashSolver:
     ) -> EquilibriumSet:
         """De-duplicated equilibria found across a batch of runs."""
         atol = atol if atol is not None else 0.5 / self.config.num_intervals
-        found = EquilibriumSet(game=self.game, atol=atol)
-        for run in batch.runs:
-            if run.success:
-                found.add(run.profile)
-        return found
+        return EquilibriumSet.from_profiles(
+            self.game, (run.profile for run in batch.runs if run.success), atol=atol
+        )
 
     def verify(self, profile: StrategyProfile, epsilon: Optional[float] = None) -> bool:
         """Check a profile against the game with the solver's tolerance."""

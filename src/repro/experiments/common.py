@@ -18,7 +18,7 @@ games), so this module provides:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.analysis.metrics import ground_truth_equilibria
 from repro.baselines.dwave_like import BaselineBatchResult, DWaveLikeSolver
@@ -134,6 +134,30 @@ class GameEvaluation:
         return solver.distinct_solutions(self.baseline_batches[solver_name])
 
 
+#: Signature of a pluggable C-Nash batch backend:
+#: ``(game, config, num_runs, seed) -> SolverBatchResult``.
+SolveBackend = Callable[[BimatrixGame, CNashConfig, int, int], SolverBatchResult]
+
+_SOLVE_BACKEND: Optional[SolveBackend] = None
+
+
+def set_solve_backend(backend: Optional[SolveBackend]) -> Optional[SolveBackend]:
+    """Install (or, with ``None``, remove) the C-Nash batch backend.
+
+    By default :func:`evaluate_game` calls ``CNashSolver.solve_batch``
+    in-process.  The experiment runner's ``--service`` mode installs a
+    backend that routes every batch through the
+    :mod:`repro.service` scheduler instead (sharded worker-pool
+    execution + result cache), which makes the whole benchmark suite a
+    service workload.  Returns the previously installed backend so
+    callers can restore it.
+    """
+    global _SOLVE_BACKEND
+    previous = _SOLVE_BACKEND
+    _SOLVE_BACKEND = backend
+    return previous
+
+
 _EVALUATION_CACHE: Dict[Tuple[str, int, bool], Dict[str, GameEvaluation]] = {}
 
 
@@ -150,7 +174,10 @@ def evaluate_game(
         use_hardware=scale.use_hardware,
     )
     cnash = CNashSolver(game, config, seed=seed)
-    cnash_batch = cnash.solve_batch(num_runs=budget.num_runs, seed=seed)
+    if _SOLVE_BACKEND is not None:
+        cnash_batch = _SOLVE_BACKEND(game, config, budget.num_runs, seed)
+    else:
+        cnash_batch = cnash.solve_batch(num_runs=budget.num_runs, seed=seed)
 
     baseline_solvers: Dict[str, DWaveLikeSolver] = {}
     baseline_batches: Dict[str, BaselineBatchResult] = {}

@@ -52,7 +52,46 @@ def build_parser() -> argparse.ArgumentParser:
         help="run budget (paper scale takes hours)",
     )
     parser.add_argument("--seed", type=int, default=0, help="base random seed")
+    parser.add_argument(
+        "--service",
+        action="store_true",
+        help="route every C-Nash batch through the repro.service scheduler "
+        "(sharded worker-pool execution + result cache) instead of solving in-process",
+    )
+    parser.add_argument(
+        "--service-workers",
+        type=int,
+        default=None,
+        help="worker pool size for --service (default: executor default)",
+    )
+    parser.add_argument(
+        "--service-shard-size",
+        type=int,
+        default=None,
+        help="runs per shard for --service (default: scheduler default)",
+    )
+    parser.add_argument(
+        "--service-executor",
+        default="process",
+        choices=["process", "thread", "inline"],
+        help="worker pool kind for --service",
+    )
     return parser
+
+
+def _service_backend(client):
+    """A :func:`repro.experiments.common.set_solve_backend` adapter."""
+    from repro.service.jobs import SolveRequest
+
+    def solve(game, config, num_runs, seed):
+        request = SolveRequest(
+            game=game, policy="cnash", num_runs=num_runs, seed=seed, config=config
+        )
+        batch = client.solve(request).batch_result()
+        assert batch is not None  # the cnash policy always carries a batch
+        return batch
+
+    return solve
 
 
 def main(argv: Sequence[str] = None) -> int:
@@ -62,11 +101,34 @@ def main(argv: Sequence[str] = None) -> int:
     selected: List[str] = list(args.experiments)
     if "all" in selected:
         selected = list(_ORDER)
-    for name in selected:
-        print()
-        print(f"### Running {name} (scale={args.scale}, seed={args.seed})")
-        print()
-        _EXPERIMENTS[name](args.scale, args.seed)
+
+    client = None
+    if args.service:
+        from repro.experiments.common import set_solve_backend
+        from repro.service.client import InProcessClient
+        from repro.service.scheduler import DEFAULT_SHARD_SIZE
+
+        client = InProcessClient(
+            max_workers=args.service_workers,
+            shard_size=(
+                DEFAULT_SHARD_SIZE
+                if args.service_shard_size is None
+                else args.service_shard_size
+            ),
+            executor=args.service_executor,
+        )
+        previous = set_solve_backend(_service_backend(client))
+    try:
+        for name in selected:
+            print()
+            mode = " via repro.service" if args.service else ""
+            print(f"### Running {name} (scale={args.scale}, seed={args.seed}){mode}")
+            print()
+            _EXPERIMENTS[name](args.scale, args.seed)
+    finally:
+        if client is not None:
+            set_solve_backend(previous)
+            client.close()
     return 0
 
 

@@ -10,6 +10,7 @@ computations every higher layer builds on.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Iterator, Optional, Tuple
 
@@ -80,6 +81,29 @@ class BimatrixGame:
     def num_actions(self) -> int:
         """The larger of the two action counts (used as the game "size")."""
         return max(self.shape)
+
+    # ------------------------------------------------------------------
+    # Identity
+    # ------------------------------------------------------------------
+    def fingerprint(self) -> str:
+        """Stable SHA-256 content hash of the game.
+
+        Covers the name label, the shape, and the payoff matrices
+        normalised to little-endian float64 bytes in C order, so the
+        digest is identical across platforms, dtypes and sessions.  The
+        service layer uses it as the game component of content-addressed
+        solve-request fingerprints; two games with the same payoffs but
+        different names hash differently (they name different cache
+        entries and report lines).
+        """
+        digest = hashlib.sha256()
+        digest.update(self.name.encode("utf-8"))
+        digest.update(b"\x00")
+        digest.update(repr(self.shape).encode("ascii"))
+        for matrix in (self.payoff_row, self.payoff_col):
+            normalised = np.ascontiguousarray(matrix, dtype="<f8")
+            digest.update(normalised.tobytes())
+        return digest.hexdigest()
 
     # ------------------------------------------------------------------
     # Payoffs

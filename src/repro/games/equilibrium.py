@@ -144,6 +144,21 @@ class EquilibriumSet:
     profiles: List[StrategyProfile] = field(default_factory=list)
     atol: float = 1e-3
 
+    @classmethod
+    def from_profiles(
+        cls, game: BimatrixGame, profiles: Iterable[StrategyProfile], atol: float = 1e-3
+    ) -> "EquilibriumSet":
+        """Build a de-duplicated set from an iterable of profiles.
+
+        The canonical way to collapse solver output (successful runs,
+        decoded samples) into distinct equilibria — both the solver's
+        ``distinct_solutions`` and the service layer's outcome builders
+        go through here, so the dedup rule lives in one place.
+        """
+        found = cls(game=game, atol=atol)
+        found.extend(profiles)
+        return found
+
     def add(self, profile: StrategyProfile) -> bool:
         """Add ``profile`` unless an equivalent profile is already present.
 

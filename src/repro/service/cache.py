@@ -1,0 +1,187 @@
+"""Content-addressed result cache: in-memory LRU plus optional disk tier.
+
+Keys are :meth:`repro.service.jobs.SolveRequest.fingerprint` digests and
+values are :class:`~repro.service.jobs.SolveOutcome` JSON dicts, so a
+cache entry is exactly what the wire protocol and the worker pool
+already exchange.  The memory tier is a strict LRU bounded by
+``capacity``; the optional disk tier (one ``<fingerprint>.json`` file
+per entry) is unbounded and survives restarts — a disk hit is promoted
+back into memory.
+
+All operations are thread-safe: a lock guards the memory tier's
+bookkeeping, while disk I/O runs lock-free (atomic rename writes of
+content-addressed entries, so concurrent writers cannot corrupt an
+entry and readers see a complete file or none).  The scheduler offloads
+disk-tier lookups and stores to worker threads so large JSON I/O never
+blocks its event loop.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import uuid
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+_FINGERPRINT_CHARS = set("0123456789abcdef")
+
+
+def _check_fingerprint(fingerprint: str) -> str:
+    """Validate a cache key (hex digest) before using it as a file name."""
+    if not fingerprint or not set(fingerprint) <= _FINGERPRINT_CHARS:
+        raise ValueError(f"invalid fingerprint {fingerprint!r}")
+    return fingerprint
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/eviction counters of one cache instance."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    stores: int = 0
+    disk_hits: int = 0
+
+    @property
+    def lookups(self) -> int:
+        """Total number of ``get`` calls."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache (0 when unused)."""
+        if self.lookups == 0:
+            return 0.0
+        return self.hits / self.lookups
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-JSON representation for stats endpoints."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "stores": self.stores,
+            "disk_hits": self.disk_hits,
+            "hit_rate": self.hit_rate,
+        }
+
+
+@dataclass
+class ResultCache:
+    """LRU cache of solve outcomes keyed by request fingerprints.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of entries held in memory (least recently used
+        entries are evicted first).  ``0`` disables the memory tier.
+    directory:
+        Optional directory for the persistent tier; created on first
+        store.  Disk entries are never evicted by the cache.
+    """
+
+    capacity: int = 256
+    directory: Optional[Path] = None
+    stats: CacheStats = field(default_factory=CacheStats)
+
+    def __post_init__(self) -> None:
+        if self.capacity < 0:
+            raise ValueError(f"capacity must be non-negative, got {self.capacity}")
+        if self.directory is not None:
+            self.directory = Path(self.directory)
+        self._entries: "OrderedDict[str, Dict[str, Any]]" = OrderedDict()
+        self._lock = threading.RLock()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, fingerprint: str) -> bool:
+        """Membership in either tier; does not touch stats or recency."""
+        _check_fingerprint(fingerprint)
+        with self._lock:
+            if fingerprint in self._entries:
+                return True
+        return self._disk_path(fingerprint) is not None
+
+    # ------------------------------------------------------------------
+    # Lookup / store
+    # ------------------------------------------------------------------
+    def get(self, fingerprint: str) -> Optional[Dict[str, Any]]:
+        """Return the cached outcome dict for ``fingerprint``, or ``None``.
+
+        Memory hits refresh recency; disk hits are promoted into memory.
+        """
+        _check_fingerprint(fingerprint)
+        with self._lock:
+            entry = self._entries.get(fingerprint)
+            if entry is not None:
+                self._entries.move_to_end(fingerprint)
+                self.stats.hits += 1
+                return entry
+        entry = self._read_disk(fingerprint)
+        with self._lock:
+            if entry is not None:
+                self.stats.hits += 1
+                self.stats.disk_hits += 1
+                self._insert(fingerprint, entry)
+                return entry
+            self.stats.misses += 1
+            return None
+
+    def put(self, fingerprint: str, outcome: Dict[str, Any]) -> None:
+        """Store an outcome dict under ``fingerprint`` in both tiers."""
+        _check_fingerprint(fingerprint)
+        with self._lock:
+            self._insert(fingerprint, outcome)
+            self.stats.stores += 1
+        if self.directory is not None:
+            # No lock for the disk write: entries are content-addressed
+            # (every writer of a key writes the same value) and the
+            # tmp-then-replace sequence is atomic, so concurrent writers
+            # cannot corrupt an entry; readers see the old or new file.
+            payload = json.dumps(outcome)
+            self.directory.mkdir(parents=True, exist_ok=True)
+            path = self.directory / f"{fingerprint}.json"
+            tmp = path.with_suffix(f".{uuid.uuid4().hex}.tmp")
+            tmp.write_text(payload, encoding="utf-8")
+            tmp.replace(path)
+
+    def clear(self) -> None:
+        """Drop the memory tier (disk entries are left in place)."""
+        with self._lock:
+            self._entries.clear()
+
+    # ------------------------------------------------------------------
+    # Internals (callers hold the lock)
+    # ------------------------------------------------------------------
+    def _insert(self, fingerprint: str, outcome: Dict[str, Any]) -> None:
+        if self.capacity == 0:
+            return
+        if fingerprint in self._entries:
+            self._entries.move_to_end(fingerprint)
+        self._entries[fingerprint] = outcome
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+
+    def _disk_path(self, fingerprint: str) -> Optional[Path]:
+        if self.directory is None:
+            return None
+        path = self.directory / f"{fingerprint}.json"
+        return path if path.is_file() else None
+
+    def _read_disk(self, fingerprint: str) -> Optional[Dict[str, Any]]:
+        # Lock-free: writes are atomic renames, so a read sees a complete
+        # entry or none at all.
+        path = self._disk_path(fingerprint)
+        if path is None:
+            return None
+        try:
+            return json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError):
+            return None

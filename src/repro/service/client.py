@@ -1,0 +1,251 @@
+"""Clients for the solve service: async TCP, sync TCP, and in-process.
+
+* :class:`ServiceClient` — asyncio client speaking the JSON-lines
+  protocol of :mod:`repro.service.server` over one persistent
+  connection.
+* :class:`SyncServiceClient` — blocking wrapper for scripts and the
+  experiment runner; one connection per call, no event-loop management
+  required of the caller.
+* :class:`InProcessClient` — the same blocking API served by a private
+  :class:`~repro.service.scheduler.SolveScheduler` on a background
+  event-loop thread, no sockets involved.  This is what
+  ``cnash-experiments --service`` uses.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+from typing import Any, Dict, Optional
+
+from repro.service.cache import ResultCache
+from repro.service.jobs import SolveOutcome, SolveRequest
+from repro.service.scheduler import DEFAULT_SHARD_SIZE, SolveScheduler
+from repro.service.server import MAX_LINE_BYTES
+
+
+class ServiceError(RuntimeError):
+    """An error response from the service."""
+
+
+class ServiceClient:
+    """Async client over one persistent TCP connection."""
+
+    def __init__(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
+        self._reader = reader
+        self._writer = writer
+
+    @classmethod
+    async def connect(cls, host: str = "127.0.0.1", port: int = 8765) -> "ServiceClient":
+        """Open a connection to a running server."""
+        reader, writer = await asyncio.open_connection(host, port, limit=MAX_LINE_BYTES)
+        return cls(reader, writer)
+
+    async def close(self) -> None:
+        """Close the connection."""
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+
+    async def call(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        """Send one protocol message and return the decoded response.
+
+        Raises :class:`ServiceError` on ``{"ok": false}`` responses.
+        """
+        self._writer.write(json.dumps(message).encode("utf-8") + b"\n")
+        await self._writer.drain()
+        line = await self._reader.readline()
+        if not line:
+            raise ServiceError("server closed the connection")
+        response = json.loads(line)
+        if not response.get("ok"):
+            raise ServiceError(response.get("error", "unknown service error"))
+        return response
+
+    # ------------------------------------------------------------------
+    # Operations
+    # ------------------------------------------------------------------
+    async def ping(self) -> Dict[str, Any]:
+        """Liveness check."""
+        return await self.call({"op": "ping"})
+
+    async def solve(self, request: SolveRequest, priority: Optional[int] = None) -> SolveOutcome:
+        """Submit a request and wait for its outcome."""
+        message: Dict[str, Any] = {"op": "solve", "request": request.to_dict()}
+        if priority is not None:
+            message["priority"] = priority
+        response = await self.call(message)
+        return SolveOutcome.from_dict(response["outcome"])
+
+    async def submit(self, request: SolveRequest, priority: Optional[int] = None) -> str:
+        """Submit a request; returns the job id without waiting."""
+        message: Dict[str, Any] = {"op": "submit", "request": request.to_dict()}
+        if priority is not None:
+            message["priority"] = priority
+        response = await self.call(message)
+        return response["job_id"]
+
+    async def status(self, job_id: str) -> Dict[str, Any]:
+        """The job record of a submitted job."""
+        return (await self.call({"op": "status", "job_id": job_id}))["job"]
+
+    async def result(self, job_id: str) -> SolveOutcome:
+        """Wait for a submitted job's outcome."""
+        response = await self.call({"op": "result", "job_id": job_id})
+        return SolveOutcome.from_dict(response["outcome"])
+
+    async def cancel(self, job_id: str) -> bool:
+        """Cancel a queued job; ``False`` when it already started."""
+        return (await self.call({"op": "cancel", "job_id": job_id}))["cancelled"]
+
+    async def stats(self) -> Dict[str, Any]:
+        """Scheduler and cache statistics."""
+        return (await self.call({"op": "stats"}))["stats"]
+
+    async def shutdown(self) -> None:
+        """Ask the server to shut down."""
+        await self.call({"op": "shutdown"})
+
+
+class SyncServiceClient:
+    """Blocking TCP client: one connection and event loop per call.
+
+    Convenient for scripts; for high request rates use
+    :class:`ServiceClient` on a long-lived loop instead.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8765) -> None:
+        self.host = host
+        self.port = port
+
+    def _run(self, op_coro_factory):
+        async def body():
+            client = await ServiceClient.connect(self.host, self.port)
+            try:
+                return await op_coro_factory(client)
+            finally:
+                await client.close()
+
+        return asyncio.run(body())
+
+    def ping(self) -> Dict[str, Any]:
+        """Liveness check."""
+        return self._run(lambda client: client.ping())
+
+    def solve(self, request: SolveRequest, priority: Optional[int] = None) -> SolveOutcome:
+        """Submit a request and block until its outcome arrives."""
+        return self._run(lambda client: client.solve(request, priority=priority))
+
+    def stats(self) -> Dict[str, Any]:
+        """Scheduler and cache statistics."""
+        return self._run(lambda client: client.stats())
+
+    def shutdown(self) -> None:
+        """Ask the server to shut down."""
+        self._run(lambda client: client.shutdown())
+
+
+class InProcessClient:
+    """Blocking client backed by a private scheduler, no sockets.
+
+    Spins up an event loop on a daemon thread and runs a
+    :class:`SolveScheduler` there, so synchronous code (scripts, the
+    experiment runner) can use the full scheduler/cache/sharding stack
+    with plain method calls.  Close it (or use it as a context manager)
+    to release the worker pool.
+    """
+
+    def __init__(
+        self,
+        max_workers: Optional[int] = None,
+        shard_size: int = DEFAULT_SHARD_SIZE,
+        executor: str = "process",
+        cache: Optional[ResultCache] = None,
+    ) -> None:
+        # Validate the configuration (the scheduler constructor raises on
+        # bad executor kinds / sizes) before starting the loop thread, so
+        # a misconfiguration cannot leak a running daemon loop.
+        self._scheduler = SolveScheduler(
+            max_workers=max_workers, shard_size=shard_size, executor=executor, cache=cache
+        )
+        self._loop = asyncio.new_event_loop()
+        self._thread = threading.Thread(
+            target=self._loop.run_forever, name="repro-service-loop", daemon=True
+        )
+        self._thread.start()
+        try:
+            self._call(self._scheduler.start())
+        except BaseException:
+            self._loop.call_soon_threadsafe(self._loop.stop)
+            self._thread.join(timeout=5)
+            self._loop.close()
+            raise
+
+    def _call(self, coro, timeout: Optional[float] = None):
+        return asyncio.run_coroutine_threadsafe(coro, self._loop).result(timeout)
+
+    # ------------------------------------------------------------------
+    # Operations
+    # ------------------------------------------------------------------
+    def solve(
+        self,
+        request: SolveRequest,
+        priority: Optional[int] = None,
+        timeout: Optional[float] = None,
+    ) -> SolveOutcome:
+        """Submit a request and block until its outcome arrives."""
+        return self._call(self._scheduler.solve(request, priority=priority), timeout)
+
+    def submit(self, request: SolveRequest, priority: Optional[int] = None) -> str:
+        """Submit without waiting; returns the job id."""
+        record = self._call(self._scheduler.submit(request, priority=priority))
+        return record.job_id
+
+    def result(self, job_id: str, timeout: Optional[float] = None) -> SolveOutcome:
+        """Block until a submitted job's outcome arrives."""
+        return self._call(self._scheduler.wait(job_id), timeout)
+
+    def status(self, job_id: str) -> Dict[str, Any]:
+        """The job record of a submitted job."""
+        return self._on_loop(lambda: self._scheduler.job(job_id).to_dict())
+
+    def cancel(self, job_id: str) -> bool:
+        """Cancel a queued job."""
+        return self._on_loop(lambda: self._scheduler.cancel(job_id))
+
+    def stats(self) -> Dict[str, Any]:
+        """Scheduler and cache statistics."""
+        return self._on_loop(self._scheduler.stats)
+
+    def _on_loop(self, fn):
+        """Run a synchronous scheduler call on the scheduler's own loop thread.
+
+        Scheduler state (job table, asyncio events) is only touched from
+        its event loop; ``cancel`` in particular sets an ``asyncio.Event``,
+        which is not thread-safe to do from the caller's thread.
+        """
+
+        async def body():
+            return fn()
+
+        return self._call(body())
+
+    def close(self) -> None:
+        """Shut the scheduler down and stop the background loop."""
+        if self._loop.is_closed():
+            return
+        try:
+            self._call(self._scheduler.close())
+        finally:
+            self._loop.call_soon_threadsafe(self._loop.stop)
+            self._thread.join(timeout=5)
+            self._loop.close()
+
+    def __enter__(self) -> "InProcessClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,342 @@
+"""Solve requests, job records and content-addressed fingerprints.
+
+The service layer treats a solve as data: a :class:`SolveRequest` fully
+describes *what* to compute (game, solver configuration, run budget,
+seed policy, backend policy) and nothing about *how* it is executed
+(worker counts, executors, transports).  Requests therefore have a
+deterministic content-addressed :meth:`~SolveRequest.fingerprint` — the
+SHA-256 of a canonical JSON form — which keys the result cache and
+de-duplicates identical work across clients.
+
+A :class:`JobRecord` is the scheduler's mutable bookkeeping for one
+submitted request: status, timestamps, priority, the outcome (a
+:class:`SolveOutcome`) or the error, and whether the result came from
+the cache.  Everything here is JSON round-trippable so jobs can cross
+process and network boundaries unchanged.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import time
+import uuid
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+from repro.annealing.acceptance import (
+    AcceptanceRule,
+    GlauberAcceptance,
+    GreedyAcceptance,
+    MetropolisAcceptance,
+)
+from repro.core.config import CNashConfig
+from repro.core.result import SolverBatchResult
+from repro.games.bimatrix import BimatrixGame
+
+#: Backend policies a request may ask for (see :mod:`repro.service.portfolio`).
+POLICIES = ("cnash", "squbo", "exact", "portfolio")
+
+#: Built-in acceptance rules reconstructable from their class name.
+_ACCEPTANCE_REGISTRY = {
+    cls.__name__: cls for cls in (MetropolisAcceptance, GreedyAcceptance, GlauberAcceptance)
+}
+
+
+def _acceptance_to_dict(rule: AcceptanceRule) -> Dict[str, Any]:
+    """Canonical JSON form of a (dataclass) acceptance rule."""
+    name = type(rule).__name__
+    if name not in _ACCEPTANCE_REGISTRY:
+        raise ValueError(
+            f"acceptance rule {name!r} is not serialisable for the service; "
+            f"supported: {', '.join(sorted(_ACCEPTANCE_REGISTRY))}"
+        )
+    params = {
+        f.name: getattr(rule, f.name) for f in dataclasses.fields(rule)  # type: ignore[arg-type]
+    }
+    return {"name": name, "params": params}
+
+
+def _acceptance_from_dict(data: Dict[str, Any]) -> AcceptanceRule:
+    name = data["name"]
+    if name not in _ACCEPTANCE_REGISTRY:
+        raise ValueError(f"unknown acceptance rule {name!r}")
+    return _ACCEPTANCE_REGISTRY[name](**data.get("params", {}))
+
+
+def config_to_dict(config: CNashConfig) -> Dict[str, Any]:
+    """Canonical JSON form of a :class:`CNashConfig` (inverse of :func:`config_from_dict`)."""
+    return {
+        "num_intervals": config.num_intervals,
+        "num_iterations": config.num_iterations,
+        "initial_temperature": config.initial_temperature,
+        "final_temperature": config.final_temperature,
+        "use_hardware": config.use_hardware,
+        "cells_per_element": config.cells_per_element,
+        "adc_bits": config.adc_bits,
+        "epsilon": config.epsilon,
+        "move_both_players": config.move_both_players,
+        "pure_start_bias": config.pure_start_bias,
+        "record_history": config.record_history,
+        "execution": config.execution,
+        "acceptance": _acceptance_to_dict(config.acceptance),
+    }
+
+
+def config_from_dict(data: Dict[str, Any]) -> CNashConfig:
+    """Reconstruct a :class:`CNashConfig` from :func:`config_to_dict` output."""
+    payload = dict(data)
+    payload["acceptance"] = _acceptance_from_dict(payload["acceptance"])
+    return CNashConfig(**payload)
+
+
+def game_to_dict(game: BimatrixGame) -> Dict[str, Any]:
+    """Canonical JSON form of a game (payoff matrices as nested lists)."""
+    return {
+        "name": game.name,
+        "payoff_row": [[float(x) for x in row] for row in game.payoff_row],
+        "payoff_col": [[float(x) for x in row] for row in game.payoff_col],
+    }
+
+
+def game_from_dict(data: Dict[str, Any]) -> BimatrixGame:
+    """Reconstruct a game from :func:`game_to_dict` output."""
+    return BimatrixGame(
+        np.asarray(data["payoff_row"], dtype=float),
+        np.asarray(data["payoff_col"], dtype=float),
+        name=str(data.get("name", "unnamed game")),
+    )
+
+
+def canonical_json(payload: Any) -> str:
+    """Deterministic JSON encoding (sorted keys, no whitespace drift)."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+@dataclass(frozen=True)
+class SolveRequest:
+    """One content-addressed unit of solve work.
+
+    Parameters
+    ----------
+    game:
+        The bimatrix game to solve.
+    policy:
+        Backend policy: ``"cnash"`` (sharded annealing batch),
+        ``"squbo"`` (the D-Wave-like S-QUBO baseline), ``"exact"``
+        (enumeration / Lemke–Howson ground truth) or ``"portfolio"``
+        (try exact first, fall back through the annealers; see
+        :mod:`repro.service.portfolio`).
+    num_runs:
+        SA runs (or baseline samples) for the annealing policies;
+        ignored by ``"exact"``.
+    seed:
+        Base integer seed.  Seeded requests are deterministic and
+        therefore cacheable; ``seed=None`` requests draw OS entropy and
+        are never cached.
+    config:
+        Solver configuration for the C-Nash backend.
+    priority:
+        Scheduler priority — *lower* values run first (0 is the default
+        lane, negative values jump the queue).
+    deadline_s:
+        Optional relative deadline in seconds from submission; jobs
+        that cannot finish in time are marked ``expired``.
+    use_cache:
+        Whether the scheduler may serve/store this request from the
+        result cache (seeded requests only).
+    """
+
+    game: BimatrixGame
+    policy: str = "cnash"
+    num_runs: int = 100
+    seed: Optional[int] = None
+    config: CNashConfig = field(default_factory=CNashConfig)
+    priority: int = 0
+    deadline_s: Optional[float] = None
+    use_cache: bool = True
+
+    def __post_init__(self) -> None:
+        if self.policy not in POLICIES:
+            raise ValueError(f"policy must be one of {POLICIES}, got {self.policy!r}")
+        if not isinstance(self.num_runs, (int, np.integer)) or isinstance(self.num_runs, bool):
+            raise ValueError(f"num_runs must be an integer >= 1, got {self.num_runs!r}")
+        if self.num_runs < 1:
+            raise ValueError(f"num_runs must be >= 1, got {self.num_runs}")
+        if self.seed is not None and not isinstance(self.seed, (int, np.integer)):
+            raise ValueError(f"seed must be an int or None, got {self.seed!r}")
+        if self.deadline_s is not None and self.deadline_s <= 0:
+            raise ValueError(f"deadline_s must be positive, got {self.deadline_s}")
+
+    @property
+    def cacheable(self) -> bool:
+        """Deterministic requests (seeded) are the only cacheable ones."""
+        return self.use_cache and self.seed is not None
+
+    def fingerprint(self) -> str:
+        """Deterministic content hash of the *work*, not the serving knobs.
+
+        Covers the game (via :meth:`BimatrixGame.fingerprint`), the full
+        solver configuration, the run budget, the seed and the backend
+        policy.  Priority, deadline and cache preferences do not change
+        what is computed, so they are excluded — two requests for the
+        same work share a fingerprint regardless of how they are queued.
+        """
+        payload = {
+            "game": self.game.fingerprint(),
+            "config": config_to_dict(self.config),
+            "num_runs": int(self.num_runs),
+            "seed": None if self.seed is None else int(self.seed),
+            "policy": self.policy,
+        }
+        return hashlib.sha256(canonical_json(payload).encode("utf-8")).hexdigest()
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Wire representation (inverse of :meth:`from_dict`)."""
+        return {
+            "game": game_to_dict(self.game),
+            "policy": self.policy,
+            "num_runs": int(self.num_runs),
+            "seed": None if self.seed is None else int(self.seed),
+            "config": config_to_dict(self.config),
+            "priority": int(self.priority),
+            "deadline_s": self.deadline_s,
+            "use_cache": bool(self.use_cache),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "SolveRequest":
+        """Reconstruct a request from :meth:`to_dict` output."""
+        return cls(
+            game=game_from_dict(data["game"]),
+            policy=str(data.get("policy", "cnash")),
+            num_runs=int(data.get("num_runs", 100)),
+            seed=None if data.get("seed") is None else int(data["seed"]),
+            config=config_from_dict(data["config"]) if "config" in data else CNashConfig(),
+            priority=int(data.get("priority", 0)),
+            deadline_s=data.get("deadline_s"),
+            use_cache=bool(data.get("use_cache", True)),
+        )
+
+
+@dataclass
+class SolveOutcome:
+    """The service-level result of one solve request.
+
+    Uniform across backends: annealing policies carry the merged
+    :class:`SolverBatchResult` (as its JSON dict) plus the distinct
+    equilibria found; the exact policy carries only the equilibria.
+    """
+
+    fingerprint: str
+    policy: str
+    backend: str
+    success_rate: float
+    equilibria: List[Dict[str, List[float]]] = field(default_factory=list)
+    batch: Optional[Dict[str, Any]] = None
+    shards: int = 1
+    wall_clock_seconds: float = 0.0
+
+    @property
+    def num_equilibria(self) -> int:
+        """Number of distinct equilibria the backend reported."""
+        return len(self.equilibria)
+
+    def batch_result(self) -> Optional[SolverBatchResult]:
+        """The merged batch as a rich result object (annealing policies)."""
+        if self.batch is None:
+            return None
+        return SolverBatchResult.from_dict(self.batch)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Wire representation (inverse of :meth:`from_dict`)."""
+        return {
+            "fingerprint": self.fingerprint,
+            "policy": self.policy,
+            "backend": self.backend,
+            "success_rate": float(self.success_rate),
+            "equilibria": self.equilibria,
+            "batch": self.batch,
+            "shards": int(self.shards),
+            "wall_clock_seconds": float(self.wall_clock_seconds),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "SolveOutcome":
+        """Reconstruct an outcome from :meth:`to_dict` output."""
+        return cls(
+            fingerprint=str(data["fingerprint"]),
+            policy=str(data["policy"]),
+            backend=str(data["backend"]),
+            success_rate=float(data["success_rate"]),
+            equilibria=list(data.get("equilibria", [])),
+            batch=data.get("batch"),
+            shards=int(data.get("shards", 1)),
+            wall_clock_seconds=float(data.get("wall_clock_seconds", 0.0)),
+        )
+
+
+class JobStatus:
+    """Lifecycle states of a job (plain strings for JSON friendliness)."""
+
+    PENDING = "pending"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+    CANCELLED = "cancelled"
+    EXPIRED = "expired"
+
+    TERMINAL = (DONE, FAILED, CANCELLED, EXPIRED)
+
+
+@dataclass
+class JobRecord:
+    """Scheduler bookkeeping for one submitted request.
+
+    ``cache_hit`` means "served without recomputation" — either a
+    result-cache hit or a coalesced duplicate that adopted its in-flight
+    leader's outcome (the scheduler's ``cache_hits`` / ``coalesced``
+    counters distinguish the two).
+    """
+
+    request: SolveRequest
+    job_id: str = field(default_factory=lambda: uuid.uuid4().hex)
+    status: str = JobStatus.PENDING
+    submitted_at: float = field(default_factory=time.time)
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    outcome: Optional[SolveOutcome] = None
+    error: Optional[str] = None
+    cache_hit: bool = False
+
+    @property
+    def done(self) -> bool:
+        """Whether the job reached a terminal state."""
+        return self.status in JobStatus.TERMINAL
+
+    def deadline_remaining(self) -> Optional[float]:
+        """Seconds left before the deadline (``None`` when unbounded)."""
+        if self.request.deadline_s is None:
+            return None
+        return self.request.deadline_s - (time.time() - self.submitted_at)
+
+    def to_dict(self, include_outcome: bool = True) -> Dict[str, Any]:
+        """Wire representation of the record (request omitted for brevity)."""
+        payload: Dict[str, Any] = {
+            "job_id": self.job_id,
+            "status": self.status,
+            "fingerprint": self.request.fingerprint(),
+            "policy": self.request.policy,
+            "priority": self.request.priority,
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "error": self.error,
+            "cache_hit": self.cache_hit,
+        }
+        if include_outcome:
+            payload["outcome"] = None if self.outcome is None else self.outcome.to_dict()
+        return payload

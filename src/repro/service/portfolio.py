@@ -1,0 +1,274 @@
+"""Multi-backend dispatch: C-Nash, S-QUBO baseline and exact solvers.
+
+The adaptive collaborative-neurodynamic line of work (PAPERS.md, Chen
+2025) shows that racing a *population* of heterogeneous NE solvers and
+keeping the first verified answer beats committing to any single one.
+This module is the in-process version of that idea: every
+:class:`~repro.service.jobs.SolveRequest` names a policy, and
+
+* ``"cnash"`` runs the paper's solver (the scheduler shards this one
+  across the worker pool);
+* ``"squbo"`` runs the D-Wave-like S-QUBO baseline (pure strategies
+  only — it exists so clients can reproduce the paper's comparison
+  through the same front end);
+* ``"exact"`` runs the ground-truth solvers — support enumeration for
+  small games, Lemke–Howson from all labels for larger ones;
+* ``"portfolio"`` tries ``exact`` first (cheap and complete on the
+  benchmark sizes) and falls back to ``cnash`` then ``squbo``, keeping
+  the first backend that produced a *verified* equilibrium.
+
+Everything in this module is synchronous and picklable-by-payload: the
+scheduler ships request dicts into worker processes and gets outcome
+dicts back (see :func:`execute_request_payload`).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from typing import Dict, List, Optional
+
+from repro.baselines.dwave_like import DWaveLikeSolver
+from repro.core.result import SolverBatchResult
+from repro.core.solver import CNashSolver
+from repro.games.equilibrium import EquilibriumSet, StrategyProfile, is_epsilon_equilibrium
+from repro.games.lemke_howson import lemke_howson_all_labels
+from repro.games.support_enumeration import support_enumeration
+from repro.service.jobs import SolveOutcome, SolveRequest
+from repro.utils.rng import shard_seeds
+
+#: Action-count bound below which the exact backend uses full support
+#: enumeration; larger games fall back to Lemke–Howson from all labels.
+EXACT_ENUMERATION_LIMIT = 9
+
+#: Portfolio fallback order after the exact attempt.
+PORTFOLIO_ORDER = ("exact", "cnash", "squbo")
+
+
+def _profiles_to_wire(profiles: List[StrategyProfile]) -> List[Dict[str, List[float]]]:
+    """Strategy profiles as JSON-ready ``{"p": [...], "q": [...]}`` dicts."""
+    return [
+        {"p": [float(x) for x in profile.p], "q": [float(x) for x in profile.q]}
+        for profile in profiles
+    ]
+
+
+def wire_to_profiles(equilibria: List[Dict[str, List[float]]]) -> List[StrategyProfile]:
+    """Inverse of the wire encoding used in :class:`SolveOutcome`."""
+    return [StrategyProfile(entry["p"], entry["q"]) for entry in equilibria]
+
+
+def outcome_from_batch(
+    request: SolveRequest,
+    batch: SolverBatchResult,
+    backend: str,
+    shards: int = 1,
+) -> SolveOutcome:
+    """Build the uniform service outcome for an annealing-policy batch.
+
+    Used both by the in-worker execution below and by the scheduler when
+    it merges shard batches in the parent process.
+    """
+    atol = 0.5 / request.config.num_intervals
+    distinct = EquilibriumSet.from_profiles(
+        request.game, (run.profile for run in batch.runs if run.success), atol=atol
+    )
+    return SolveOutcome(
+        fingerprint=request.fingerprint(),
+        policy=request.policy,
+        backend=backend,
+        success_rate=batch.success_rate,
+        equilibria=_profiles_to_wire(list(distinct)),
+        batch=batch.to_dict(),
+        shards=shards,
+        wall_clock_seconds=batch.wall_clock_seconds,
+    )
+
+
+# ----------------------------------------------------------------------
+# Backends
+# ----------------------------------------------------------------------
+def solve_cnash(request: SolveRequest, num_runs: Optional[int] = None, seed=None) -> SolverBatchResult:
+    """Run the C-Nash solver for (a shard of) a request.
+
+    ``num_runs`` / ``seed`` default to the request's own values; the
+    scheduler overrides them per shard.
+    """
+    solver = CNashSolver(request.game, request.config, seed=request.seed)
+    return solver.solve_batch(
+        num_runs=request.num_runs if num_runs is None else num_runs,
+        seed=request.seed if seed is None else seed,
+    )
+
+
+def solve_squbo(request: SolveRequest) -> SolveOutcome:
+    """Run the D-Wave-like S-QUBO baseline for a request."""
+    solver = DWaveLikeSolver(request.game, seed=request.seed)
+    start = time.perf_counter()
+    batch = solver.sample_batch(request.num_runs, seed=request.seed)
+    distinct = solver.distinct_solutions(batch)
+    return SolveOutcome(
+        fingerprint=request.fingerprint(),
+        policy=request.policy,
+        backend=f"squbo/{solver.machine.name}",
+        success_rate=batch.success_rate,
+        equilibria=_profiles_to_wire(list(distinct)),
+        batch=None,
+        shards=1,
+        wall_clock_seconds=time.perf_counter() - start,
+    )
+
+
+def solve_exact(request: SolveRequest) -> SolveOutcome:
+    """Run the ground-truth solvers for a request.
+
+    Support enumeration is complete but exponential in the support
+    count, so games beyond :data:`EXACT_ENUMERATION_LIMIT` actions use
+    Lemke–Howson from every initial label instead (at least one
+    equilibrium, usually several, each verified).
+    """
+    start = time.perf_counter()
+    if request.game.num_actions <= EXACT_ENUMERATION_LIMIT:
+        equilibria = support_enumeration(request.game)
+        backend = "exact/support-enumeration"
+    else:
+        equilibria = lemke_howson_all_labels(request.game)
+        backend = "exact/lemke-howson"
+    profiles = list(equilibria)
+    return SolveOutcome(
+        fingerprint=request.fingerprint(),
+        policy=request.policy,
+        backend=backend,
+        success_rate=1.0 if profiles else 0.0,
+        equilibria=_profiles_to_wire(profiles),
+        batch=None,
+        shards=1,
+        wall_clock_seconds=time.perf_counter() - start,
+    )
+
+
+def has_verified_equilibrium(request: SolveRequest, outcome: SolveOutcome) -> bool:
+    """Whether an outcome contains at least one verified equilibrium.
+
+    Exact-backend profiles are checked at tight tolerance; annealing
+    output lives on the quantisation grid, so it is checked at the
+    solver's epsilon (computed arithmetically — no solver or hardware
+    model is constructed for the check).
+    """
+    if not outcome.equilibria:
+        return False
+    if outcome.backend.startswith("exact/"):
+        epsilon = 1e-6
+    else:
+        game = request.game
+        payoff_scale = float(
+            max(abs(game.payoff_row).max(), abs(game.payoff_col).max())
+        )
+        epsilon = request.config.effective_epsilon(payoff_scale)
+    return any(
+        is_epsilon_equilibrium(request.game, profile.p, profile.q, epsilon)
+        for profile in wire_to_profiles(outcome.equilibria)
+    )
+
+
+def member_request(request: SolveRequest, member: str) -> SolveRequest:
+    """The portfolio request re-targeted at one member policy."""
+    return dataclasses.replace(request, policy=member)
+
+
+def adopt_portfolio_attempt(
+    request: SolveRequest, attempt: SolveOutcome
+) -> bool:
+    """Re-label a member attempt as the portfolio's own outcome.
+
+    Mutates ``attempt`` to carry the portfolio request's policy and
+    fingerprint and returns whether it contains a verified equilibrium
+    (i.e. whether the portfolio should stop here).  Shared by the
+    in-worker loop below and the scheduler's sharded portfolio routing
+    so the two selection paths cannot drift apart.
+    """
+    attempt.policy = request.policy
+    attempt.fingerprint = request.fingerprint()
+    return has_verified_equilibrium(request, attempt)
+
+
+def solve_portfolio(request: SolveRequest) -> SolveOutcome:
+    """Try the backends in :data:`PORTFOLIO_ORDER`, keep the first verified answer.
+
+    The returned outcome's ``backend`` records which member won; if no
+    backend verified an equilibrium the last attempt is returned as-is
+    (its ``success_rate`` tells the caller how badly things went).
+    ``wall_clock_seconds`` covers the whole portfolio run, failed
+    members included.
+    """
+    start = time.perf_counter()
+    last: Optional[SolveOutcome] = None
+    for member in PORTFOLIO_ORDER:
+        attempt = execute_request(member_request(request, member))
+        last = attempt
+        if adopt_portfolio_attempt(request, attempt):
+            break
+    assert last is not None  # PORTFOLIO_ORDER is non-empty
+    last.wall_clock_seconds = time.perf_counter() - start
+    return last
+
+
+# ----------------------------------------------------------------------
+# Entry points (scheduler / worker pool)
+# ----------------------------------------------------------------------
+def execute_request(request: SolveRequest) -> SolveOutcome:
+    """Synchronously execute one request, whole, on the calling process."""
+    if request.policy == "cnash":
+        return outcome_from_batch(request, solve_cnash(request), backend="cnash")
+    if request.policy == "squbo":
+        return solve_squbo(request)
+    if request.policy == "exact":
+        return solve_exact(request)
+    if request.policy == "portfolio":
+        return solve_portfolio(request)
+    raise ValueError(f"unknown policy {request.policy!r}")
+
+
+def execute_request_payload(payload: dict) -> dict:
+    """Worker-pool entry point: request dict in, outcome dict out.
+
+    Dicts (not rich objects) cross the process boundary so the pool only
+    ever pickles plain JSON-compatible data, and the same payloads are
+    reusable verbatim over the TCP transport.
+    """
+    return execute_request(SolveRequest.from_dict(payload)).to_dict()
+
+
+def solve_shard_payload(payload: dict) -> dict:
+    """Worker-pool entry point for one C-Nash shard of a sharded batch.
+
+    ``payload`` is ``{"request": <request dict>, "shard_runs": n,
+    "shard_seed": s}``; returns the shard's batch dict.
+    """
+    request = SolveRequest.from_dict(payload["request"])
+    batch = solve_cnash(request, num_runs=payload["shard_runs"], seed=payload["shard_seed"])
+    return batch.to_dict()
+
+
+def shard_payloads(request: SolveRequest, shard_size: int) -> List[dict]:
+    """Split a request's run budget into per-shard worker payloads.
+
+    The shard plan depends only on ``(num_runs, shard_size, seed)`` —
+    never on the worker-pool size — so merged results are identical for
+    any worker count (shard ``i`` always gets seed
+    ``shard_seeds(seed, ...)[i]`` and the merge preserves shard order).
+    """
+    if shard_size < 1:
+        raise ValueError(f"shard_size must be >= 1, got {shard_size}")
+    sizes: List[int] = []
+    remaining = request.num_runs
+    while remaining > 0:
+        size = min(shard_size, remaining)
+        sizes.append(size)
+        remaining -= size
+    seeds = shard_seeds(request.seed, len(sizes))
+    request_dict = request.to_dict()
+    return [
+        {"request": request_dict, "shard_runs": size, "shard_seed": seed}
+        for size, seed in zip(sizes, seeds)
+    ]

@@ -1,0 +1,511 @@
+"""Async job scheduler with sharded worker-pool execution.
+
+:class:`SolveScheduler` is the service's execution core:
+
+* an :class:`asyncio.PriorityQueue` orders submitted jobs by (priority,
+  arrival); cancellation and relative deadlines are honoured both while
+  queued and (for deadlines) while running;
+* a ``concurrent.futures`` worker pool executes the actual solves.  A
+  ``"cnash"`` request with ``num_runs=N`` is *sharded*: the run budget
+  is split into fixed-size sub-batches whose seeds derive from the
+  request seed and the shard index alone (:func:`repro.utils.rng.shard_seeds`),
+  the shards run concurrently across the pool, and the per-shard
+  batches are merged back into one :class:`SolverBatchResult` in shard
+  order — so the merged result is bit-identical for any worker count;
+* a content-addressed :class:`~repro.service.cache.ResultCache` serves
+  repeat requests without recomputation (seeded requests only).
+
+The scheduler is transport-agnostic: the TCP server
+(:mod:`repro.service.server`), the in-process client
+(:mod:`repro.service.client`) and the experiment runner's ``--service``
+path all sit on top of exactly this class.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import hashlib
+import itertools
+import time
+from collections import deque
+from concurrent.futures import Executor, Future, ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Any, Callable, Deque, Dict, List, Optional
+
+from repro.core.result import SolverBatchResult
+from repro.service.cache import ResultCache
+from repro.service.jobs import JobRecord, JobStatus, SolveOutcome, SolveRequest
+from repro.service.portfolio import (
+    PORTFOLIO_ORDER,
+    adopt_portfolio_attempt,
+    execute_request_payload,
+    member_request,
+    outcome_from_batch,
+    shard_payloads,
+    solve_shard_payload,
+)
+
+#: Executor kinds accepted by :class:`SolveScheduler`.
+EXECUTOR_KINDS = ("process", "thread", "inline")
+
+#: Default number of runs per shard of a sharded C-Nash batch.
+DEFAULT_SHARD_SIZE = 64
+
+#: Default number of *finished* job records retained for status lookups.
+DEFAULT_FINISHED_JOB_LIMIT = 1024
+
+
+class _InlineExecutor(Executor):
+    """Runs submissions synchronously on the caller (tests / debugging)."""
+
+    def submit(self, fn: Callable, /, *args, **kwargs):  # type: ignore[override]
+        future: Future = Future()
+        try:
+            future.set_result(fn(*args, **kwargs))
+        except BaseException as exc:  # noqa: BLE001 - mirror Executor semantics
+            future.set_exception(exc)
+        return future
+
+    def shutdown(self, wait: bool = True, *, cancel_futures: bool = False) -> None:
+        return None
+
+
+def _make_executor(kind: str, max_workers: Optional[int]) -> Executor:
+    if kind == "process":
+        return ProcessPoolExecutor(max_workers=max_workers)
+    if kind == "thread":
+        return ThreadPoolExecutor(max_workers=max_workers)
+    if kind == "inline":
+        return _InlineExecutor()
+    raise ValueError(f"executor must be one of {EXECUTOR_KINDS}, got {kind!r}")
+
+
+class SolveScheduler:
+    """Priority job queue + sharded worker-pool execution + result cache.
+
+    Parameters
+    ----------
+    max_workers:
+        Worker-pool size (``None`` = the executor's default).  Also the
+        number of shards allowed in flight at once.
+    shard_size:
+        Runs per shard for ``"cnash"`` batches.  Part of the *result
+        contract*: the shard plan (and therefore every derived shard
+        seed) depends only on the request and this value, never on
+        ``max_workers``.
+    cache:
+        Result cache; ``None`` builds a default in-memory LRU.  Pass a
+        cache with a ``directory`` for the persistent tier.
+    executor:
+        ``"process"`` (default — true parallelism across cores),
+        ``"thread"`` (cheap startup; fine for small jobs and tests) or
+        ``"inline"`` (synchronous, single-threaded debugging).
+    dispatch_concurrency:
+        How many jobs may be in the execution stage simultaneously.
+        Shards of one job already fan out across the pool, so the
+        default matches the worker count.
+    finished_job_limit:
+        How many terminal job records to keep for ``status`` lookups.
+        Oldest finished records (and their events) are evicted beyond
+        this bound so a long-running server does not grow without
+        limit; clients that hold a :class:`JobRecord` reference keep it
+        regardless.
+
+    Use as an async context manager::
+
+        async with SolveScheduler(max_workers=4) as scheduler:
+            record = await scheduler.submit(request)
+            outcome = await scheduler.wait(record.job_id)
+    """
+
+    def __init__(
+        self,
+        max_workers: Optional[int] = None,
+        shard_size: int = DEFAULT_SHARD_SIZE,
+        cache: Optional[ResultCache] = None,
+        executor: str = "process",
+        dispatch_concurrency: Optional[int] = None,
+        finished_job_limit: int = DEFAULT_FINISHED_JOB_LIMIT,
+    ) -> None:
+        if shard_size < 1:
+            raise ValueError(f"shard_size must be >= 1, got {shard_size}")
+        if max_workers is not None and max_workers < 1:
+            raise ValueError(f"max_workers must be >= 1, got {max_workers}")
+        if finished_job_limit < 1:
+            raise ValueError(f"finished_job_limit must be >= 1, got {finished_job_limit}")
+        if executor not in EXECUTOR_KINDS:
+            raise ValueError(f"executor must be one of {EXECUTOR_KINDS}, got {executor!r}")
+        self.max_workers = max_workers
+        self.shard_size = shard_size
+        self.cache = cache if cache is not None else ResultCache()
+        self.executor_kind = executor
+        self._executor: Optional[Executor] = None
+        # Created in start(): asyncio.Queue binds the running loop on
+        # construction on older Pythons, and start() runs on the loop
+        # that will serve the queue (__init__ may run on another thread).
+        self._queue: Optional["asyncio.PriorityQueue"] = None
+        self._sequence = itertools.count()
+        self._jobs: Dict[str, JobRecord] = {}
+        self._events: Dict[str, asyncio.Event] = {}
+        self._inflight: Dict[str, JobRecord] = {}
+        self._followers: set = set()
+        self.finished_job_limit = finished_job_limit
+        self._finished_order: Deque[str] = deque()
+        self._dispatchers: List[asyncio.Task] = []
+        self._started = False
+        self._closed = False
+        concurrency = dispatch_concurrency
+        if concurrency is None:
+            concurrency = max_workers if max_workers is not None else 4
+        self._dispatch_concurrency = max(1, concurrency)
+        self.counters: Dict[str, int] = {
+            "submitted": 0,
+            "completed": 0,
+            "failed": 0,
+            "cancelled": 0,
+            "expired": 0,
+            "cache_hits": 0,
+            "coalesced": 0,
+            "shards_executed": 0,
+        }
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> "SolveScheduler":
+        """Create the worker pool and the dispatch tasks."""
+        if self._started:
+            return self
+        self._executor = _make_executor(self.executor_kind, self.max_workers)
+        self._queue = asyncio.PriorityQueue()
+        self._dispatchers = [
+            asyncio.get_running_loop().create_task(self._dispatch_loop())
+            for _ in range(self._dispatch_concurrency)
+        ]
+        self._started = True
+        return self
+
+    async def close(self) -> None:
+        """Stop dispatching and shut the worker pool down."""
+        if self._closed:
+            return
+        self._closed = True
+        for task in list(self._dispatchers) + list(self._followers):
+            task.cancel()
+        for task in list(self._dispatchers) + list(self._followers):
+            try:
+                await task
+            except asyncio.CancelledError:
+                pass
+        if self._executor is not None:
+            self._executor.shutdown(wait=False, cancel_futures=True)
+        # Anything still queued will never run.  (Snapshot: _finish may
+        # evict old records from the job table as it marks these.)
+        for record in list(self._jobs.values()):
+            if not record.done:
+                self.counters["cancelled"] += 1
+                self._finish(record, JobStatus.CANCELLED, error="scheduler closed")
+
+    async def __aenter__(self) -> "SolveScheduler":
+        return await self.start()
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()
+
+    # ------------------------------------------------------------------
+    # Submission API
+    # ------------------------------------------------------------------
+    async def submit(self, request: SolveRequest, priority: Optional[int] = None) -> JobRecord:
+        """Queue a request; returns its job record immediately.
+
+        ``priority`` overrides ``request.priority`` (lower runs first).
+        Cache hits resolve synchronously — the returned record is
+        already ``done`` with ``cache_hit=True`` and nothing is queued.
+        A cacheable request identical to one already queued or running
+        is *coalesced* onto the in-flight job instead of computing the
+        same work twice; it resolves when the leader does.
+        """
+        if not self._started or self._closed:
+            raise RuntimeError("scheduler is not running (use 'async with' or call start())")
+        record = JobRecord(request=request)
+        self._jobs[record.job_id] = record
+        self._events[record.job_id] = asyncio.Event()
+        self.counters["submitted"] += 1
+        effective_priority = request.priority if priority is None else priority
+
+        if request.cacheable:
+            key = self._cache_key(request)
+            cached = await self._cache_get(key)
+            if cached is not None:
+                record.cache_hit = True
+                record.outcome = SolveOutcome.from_dict(cached)
+                self.counters["cache_hits"] += 1
+                self._finish(record, JobStatus.DONE)
+                return record
+            leader = self._inflight.get(key)
+            if leader is not None and not leader.done:
+                self.counters["coalesced"] += 1
+                follower = asyncio.get_running_loop().create_task(
+                    self._follow(
+                        leader, self._events[leader.job_id], record, effective_priority
+                    )
+                )
+                self._followers.add(follower)
+                follower.add_done_callback(self._followers.discard)
+                return record
+            self._inflight[key] = record
+
+        await self._queue.put((effective_priority, next(self._sequence), record.job_id))
+        return record
+
+    async def _follow(
+        self,
+        leader: JobRecord,
+        leader_event: asyncio.Event,
+        record: JobRecord,
+        priority: int,
+    ) -> None:
+        """Resolve a coalesced duplicate when its in-flight leader finishes.
+
+        The follower's own deadline keeps ticking while it waits.  If
+        the leader fails (or is cancelled/expired) the follower does not
+        inherit the failure: it retries through the cache, follows a new
+        in-flight leader if one appeared, or becomes the leader itself —
+        so a burst of duplicates behind a failed leader still computes
+        the work at most once at a time.
+        """
+        while True:
+            remaining = record.deadline_remaining()
+            try:
+                if remaining is None:
+                    await leader_event.wait()
+                else:
+                    await asyncio.wait_for(leader_event.wait(), remaining)
+            except asyncio.TimeoutError:
+                if not record.done:
+                    self.counters["expired"] += 1
+                    self._finish(
+                        record, JobStatus.EXPIRED, error="deadline expired while coalesced"
+                    )
+                return
+            if record.done:  # cancelled while following
+                return
+            if leader.status == JobStatus.DONE and leader.outcome is not None:
+                record.outcome = leader.outcome
+                record.cache_hit = True
+                self._finish(record, JobStatus.DONE)
+                return
+            # Leader failed/cancelled/expired: re-enter the coalescing path.
+            key = self._cache_key(record.request)
+            cached = await self._cache_get(key)
+            if record.done:  # cancelled during the cache lookup
+                return
+            if cached is not None:
+                record.cache_hit = True
+                record.outcome = SolveOutcome.from_dict(cached)
+                self.counters["cache_hits"] += 1
+                self._finish(record, JobStatus.DONE)
+                return
+            new_leader = self._inflight.get(key)
+            if new_leader is not None and not new_leader.done:
+                leader = new_leader
+                leader_event = self._events[new_leader.job_id]
+                continue
+            self._inflight[key] = record
+            await self._queue.put((priority, next(self._sequence), record.job_id))
+            return
+
+    async def solve(self, request: SolveRequest, priority: Optional[int] = None) -> SolveOutcome:
+        """Submit and wait; raises on failure/cancellation/expiry."""
+        record = await self.submit(request, priority=priority)
+        return await self.wait(record.job_id)
+
+    async def wait(self, job_id: str) -> SolveOutcome:
+        """Wait for a job to reach a terminal state; return its outcome."""
+        record = self.job(job_id)
+        await self._events[job_id].wait()
+        if record.status == JobStatus.DONE and record.outcome is not None:
+            return record.outcome
+        raise RuntimeError(f"job {job_id} {record.status}: {record.error or 'no outcome'}")
+
+    def job(self, job_id: str) -> JobRecord:
+        """Look up a job record (raises ``KeyError`` for unknown ids).
+
+        Finished records are retained up to ``finished_job_limit`` and
+        then evicted, so a very late lookup of an old job can miss.
+        """
+        if job_id not in self._jobs:
+            raise KeyError(
+                f"unknown job id {job_id!r} (finished jobs are retained up to "
+                f"finished_job_limit={self.finished_job_limit}, then evicted)"
+            )
+        return self._jobs[job_id]
+
+    def cancel(self, job_id: str) -> bool:
+        """Cancel a job that has not started yet.
+
+        Returns ``True`` when the job was cancelled; ``False`` when it
+        is already running or finished (running jobs are not killed —
+        worker processes complete their shards, but the result is
+        discarded only in the sense that the job already resolved).
+        """
+        record = self.job(job_id)
+        if record.status != JobStatus.PENDING:
+            return False
+        self.counters["cancelled"] += 1
+        self._finish(record, JobStatus.CANCELLED, error="cancelled by client")
+        return True
+
+    def stats(self) -> Dict[str, Any]:
+        """Scheduler counters, queue depth and cache statistics."""
+        return {
+            "counters": dict(self.counters),
+            "queue_depth": 0 if self._queue is None else self._queue.qsize(),
+            "jobs": len(self._jobs),
+            "shard_size": self.shard_size,
+            "executor": self.executor_kind,
+            "cache": self.cache.stats.to_dict(),
+        }
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+    async def _dispatch_loop(self) -> None:
+        while True:
+            _, _, job_id = await self._queue.get()
+            record = self._jobs.get(job_id)
+            if record is None or record.done:
+                # Cancelled while queued (and possibly already evicted
+                # from the bounded job table) — nothing to run.
+                continue
+            remaining = record.deadline_remaining()
+            if remaining is not None and remaining <= 0:
+                self.counters["expired"] += 1
+                self._finish(record, JobStatus.EXPIRED, error="deadline expired in queue")
+                continue
+            record.status = JobStatus.RUNNING
+            record.started_at = time.time()
+            try:
+                if remaining is None:
+                    outcome = await self._execute(record.request)
+                else:
+                    outcome = await asyncio.wait_for(self._execute(record.request), remaining)
+            except asyncio.TimeoutError:
+                self.counters["expired"] += 1
+                self._finish(record, JobStatus.EXPIRED, error="deadline expired while running")
+                continue
+            except asyncio.CancelledError:
+                raise
+            except Exception as exc:  # noqa: BLE001 - job isolation boundary
+                self.counters["failed"] += 1
+                self._finish(record, JobStatus.FAILED, error=f"{type(exc).__name__}: {exc}")
+                continue
+            record.outcome = outcome
+            if record.request.cacheable:
+                await self._cache_put(self._cache_key(record.request), outcome.to_dict())
+            self.counters["completed"] += 1
+            self._finish(record, JobStatus.DONE)
+
+    async def _cache_get(self, key: str):
+        """Cache lookup; disk-tier reads run off the event loop."""
+        if self.cache.directory is None:
+            return self.cache.get(key)
+        return await asyncio.get_running_loop().run_in_executor(None, self.cache.get, key)
+
+    async def _cache_put(self, key: str, payload: Dict[str, Any]) -> None:
+        """Cache store; disk-tier JSON serialisation/writes run off the loop."""
+        if self.cache.directory is None:
+            self.cache.put(key, payload)
+            return
+        await asyncio.get_running_loop().run_in_executor(None, self.cache.put, key, payload)
+
+    def _cache_key(self, request: SolveRequest) -> str:
+        """Cache key for a request under *this* scheduler's shard plan.
+
+        A sharded ``"cnash"`` batch's runs depend on the shard plan (each
+        shard's seed derives from its index), so the same request solved
+        under a different ``shard_size`` yields a statistically
+        equivalent but not bit-identical batch.  Folding the shard size
+        into the key keeps the cache's promise — a hit is exactly what
+        this configuration would compute — including across schedulers
+        sharing a disk tier.  ``"portfolio"`` outcomes may embed a
+        sharded C-Nash batch (the fallback member), so they are keyed
+        the same way; the exact/S-QUBO policies use the raw fingerprint.
+        """
+        fingerprint = request.fingerprint()
+        if request.policy not in ("cnash", "portfolio"):
+            return fingerprint
+        return hashlib.sha256(
+            f"{fingerprint}:shard_size={self.shard_size}".encode("ascii")
+        ).hexdigest()
+
+    async def _execute(self, request: SolveRequest) -> SolveOutcome:
+        """Run one request on the worker pool (sharded for C-Nash batches).
+
+        When a deadline cancels this coroutine mid-``gather``, the
+        cancellation propagates through the ``run_in_executor`` futures
+        into the underlying pool futures, so shards that have not
+        started yet are dropped rather than executed; only shards
+        already running on a worker complete (and are discarded).
+        """
+        loop = asyncio.get_running_loop()
+        if request.policy == "cnash":
+            payloads = shard_payloads(request, self.shard_size)
+            shard_dicts = await asyncio.gather(
+                *(
+                    loop.run_in_executor(self._executor, solve_shard_payload, payload)
+                    for payload in payloads
+                )
+            )
+            self.counters["shards_executed"] += len(payloads)
+            merged = SolverBatchResult.merge(
+                [SolverBatchResult.from_dict(shard) for shard in shard_dicts]
+            )
+            return outcome_from_batch(request, merged, backend="cnash", shards=len(payloads))
+        if request.policy == "portfolio":
+            return await self._execute_portfolio(request)
+        outcome_dict = await loop.run_in_executor(
+            self._executor, execute_request_payload, request.to_dict()
+        )
+        self.counters["shards_executed"] += 1
+        return SolveOutcome.from_dict(outcome_dict)
+
+    async def _execute_portfolio(self, request: SolveRequest) -> SolveOutcome:
+        """Portfolio policy with scheduler-level member routing.
+
+        Same selection semantics as
+        :func:`repro.service.portfolio.solve_portfolio` (shared via
+        :func:`~repro.service.portfolio.adopt_portfolio_attempt`) — try
+        the members in order, keep the first verified answer — but each
+        member goes through :meth:`_execute`, so the C-Nash fallback is
+        *sharded* across the worker pool instead of running its whole
+        batch inside one worker.
+        """
+        start = time.perf_counter()
+        last: Optional[SolveOutcome] = None
+        for member in PORTFOLIO_ORDER:
+            attempt = await self._execute(member_request(request, member))
+            last = attempt
+            if adopt_portfolio_attempt(request, attempt):
+                break
+        assert last is not None  # PORTFOLIO_ORDER is non-empty
+        last.wall_clock_seconds = time.perf_counter() - start
+        return last
+
+    def _finish(self, record: JobRecord, status: str, error: Optional[str] = None) -> None:
+        record.status = status
+        record.error = error
+        record.finished_at = time.time()
+        if record.request.cacheable:
+            key = self._cache_key(record.request)
+            if self._inflight.get(key) is record:
+                del self._inflight[key]
+        event = self._events.get(record.job_id)
+        if event is not None:
+            event.set()
+        # Bound the job table: evict the oldest finished records beyond
+        # the limit so a long-running server's memory stays flat.
+        self._finished_order.append(record.job_id)
+        while len(self._finished_order) > self.finished_job_limit:
+            evicted = self._finished_order.popleft()
+            self._jobs.pop(evicted, None)
+            self._events.pop(evicted, None)

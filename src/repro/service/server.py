@@ -1,0 +1,275 @@
+"""Dependency-free JSON-over-TCP front end for the solve scheduler.
+
+Wire protocol: newline-delimited JSON objects over a plain TCP stream
+(``asyncio`` streams on both sides, no third-party dependencies).  Each
+request is one line ``{"op": ..., ...}``; each response is one line
+``{"ok": true, ...}`` or ``{"ok": false, "error": ...}``.
+
+Operations
+----------
+``ping``                     liveness check.
+``solve``                    submit a request and wait for the outcome.
+``submit``                   submit and return the job id immediately.
+``status`` / ``result``      poll / wait on a previously submitted job.
+``cancel``                   cancel a queued job.
+``stats``                    scheduler + cache counters.
+``shutdown``                 stop the server (used by tests and smoke runs).
+
+Start a server from the command line with ``python -m repro.service``;
+see :mod:`repro.service.client` for the matching clients.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+from typing import Any, Dict, Optional, Sequence
+
+from repro.service.cache import ResultCache
+from repro.service.jobs import SolveRequest
+from repro.service.scheduler import (
+    DEFAULT_FINISHED_JOB_LIMIT,
+    DEFAULT_SHARD_SIZE,
+    EXECUTOR_KINDS,
+    SolveScheduler,
+)
+
+#: Safety bound on one protocol line (a 1000-run batch with history off
+#: is far below this; it guards the server against garbage input).
+MAX_LINE_BYTES = 64 * 1024 * 1024
+
+
+class NashServer:
+    """A TCP server exposing one :class:`SolveScheduler`."""
+
+    def __init__(self, scheduler: SolveScheduler, host: str = "127.0.0.1", port: int = 0) -> None:
+        self.scheduler = scheduler
+        self.host = host
+        self.port = port
+        self._server: Optional[asyncio.AbstractServer] = None
+        # Created lazily on the serving loop: asyncio primitives bind the
+        # running loop on construction on older Pythons, and __init__ may
+        # run outside any loop.
+        self._shutdown: Optional[asyncio.Event] = None
+
+    def _shutdown_event(self) -> asyncio.Event:
+        if self._shutdown is None:
+            self._shutdown = asyncio.Event()
+        return self._shutdown
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> "NashServer":
+        """Bind the listening socket (``port=0`` picks an ephemeral port)."""
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port, limit=MAX_LINE_BYTES
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self
+
+    async def serve_until_shutdown(self) -> None:
+        """Serve until a client sends ``shutdown`` (or the task is cancelled)."""
+        if self._server is None:
+            await self.start()
+        assert self._server is not None
+        async with self._server:
+            await self._shutdown_event().wait()
+
+    async def close(self) -> None:
+        """Stop accepting connections and release the socket."""
+        self._shutdown_event().set()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    # ------------------------------------------------------------------
+    # Protocol
+    # ------------------------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while not reader.at_eof():
+                try:
+                    line = await reader.readline()
+                except (asyncio.LimitOverrunError, ValueError):
+                    await self._send(writer, {"ok": False, "error": "request line too long"})
+                    break
+                if not line.strip():
+                    break
+                response = await self._handle_line(line)
+                await self._send(writer, response)
+                if response.get("bye"):
+                    break
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def _handle_line(self, line: bytes) -> Dict[str, Any]:
+        try:
+            message = json.loads(line)
+        except json.JSONDecodeError as exc:
+            return {"ok": False, "error": f"invalid JSON: {exc}"}
+        if not isinstance(message, dict) or "op" not in message:
+            return {"ok": False, "error": "message must be an object with an 'op' field"}
+        try:
+            return await self._dispatch(message)
+        except (KeyError, ValueError, TypeError) as exc:
+            return {"ok": False, "error": f"{type(exc).__name__}: {exc}"}
+        except RuntimeError as exc:
+            return {"ok": False, "error": str(exc)}
+
+    async def _dispatch(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        op = message["op"]
+        if op == "ping":
+            return {"ok": True, "pong": True}
+        if op == "stats":
+            return {"ok": True, "stats": self.scheduler.stats()}
+        if op == "solve":
+            request = SolveRequest.from_dict(message["request"])
+            record = await self.scheduler.submit(request, priority=message.get("priority"))
+            outcome = await self.scheduler.wait(record.job_id)
+            return {"ok": True, "job": record.to_dict(include_outcome=False),
+                    "outcome": outcome.to_dict()}
+        if op == "submit":
+            request = SolveRequest.from_dict(message["request"])
+            record = await self.scheduler.submit(request, priority=message.get("priority"))
+            return {"ok": True, "job_id": record.job_id,
+                    "job": record.to_dict(include_outcome=False)}
+        if op == "status":
+            record = self.scheduler.job(message["job_id"])
+            return {"ok": True, "job": record.to_dict()}
+        if op == "result":
+            outcome = await self.scheduler.wait(message["job_id"])
+            return {"ok": True, "outcome": outcome.to_dict()}
+        if op == "cancel":
+            cancelled = self.scheduler.cancel(message["job_id"])
+            return {"ok": True, "cancelled": cancelled}
+        if op == "shutdown":
+            self._shutdown_event().set()
+            return {"ok": True, "bye": True}
+        return {"ok": False, "error": f"unknown op {op!r}"}
+
+    @staticmethod
+    async def _send(writer: asyncio.StreamWriter, payload: Dict[str, Any]) -> None:
+        writer.write(json.dumps(payload).encode("utf-8") + b"\n")
+        await writer.drain()
+
+
+async def serve(
+    host: str = "127.0.0.1",
+    port: int = 8765,
+    max_workers: Optional[int] = None,
+    shard_size: int = DEFAULT_SHARD_SIZE,
+    executor: str = "process",
+    cache: Optional[ResultCache] = None,
+    finished_job_limit: int = DEFAULT_FINISHED_JOB_LIMIT,
+) -> None:
+    """Run a server until shutdown (the ``python -m repro.service`` body)."""
+    async with SolveScheduler(
+        max_workers=max_workers,
+        shard_size=shard_size,
+        executor=executor,
+        cache=cache,
+        finished_job_limit=finished_job_limit,
+    ) as scheduler:
+        server = NashServer(scheduler, host=host, port=port)
+        await server.start()
+        print(f"repro.service listening on {server.host}:{server.port} "
+              f"(executor={executor}, shard_size={shard_size})")
+        try:
+            await server.serve_until_shutdown()
+        finally:
+            await server.close()
+
+
+async def _smoke() -> int:
+    """One client-server round trip in a single process (CI smoke check)."""
+    from repro.games.library import battle_of_the_sexes
+    from repro.core.config import CNashConfig
+    from repro.service.client import ServiceClient
+
+    async with SolveScheduler(max_workers=2, shard_size=8, executor="thread") as scheduler:
+        server = NashServer(scheduler, port=0)
+        await server.start()
+        serve_task = asyncio.get_running_loop().create_task(server.serve_until_shutdown())
+        request = SolveRequest(
+            game=battle_of_the_sexes(),
+            policy="portfolio",
+            num_runs=16,
+            seed=7,
+            config=CNashConfig(num_intervals=4, num_iterations=300),
+        )
+        client = await ServiceClient.connect(server.host, server.port)
+        try:
+            assert (await client.ping())["pong"]
+            outcome = await client.solve(request)
+            repeat = await client.solve(request)
+            stats = await client.stats()
+            await client.shutdown()
+        finally:
+            await client.close()
+        await serve_task
+        await server.close()
+        hits = stats["cache"]["hits"]
+        ok = bool(outcome.equilibria) and repeat.to_dict() == outcome.to_dict() and hits >= 1
+        print(f"smoke: backend={outcome.backend} equilibria={outcome.num_equilibria} "
+              f"cache_hits={hits} -> {'OK' if ok else 'FAILED'}")
+        return 0 if ok else 1
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point for ``python -m repro.service``."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service",
+        description="Serve Nash-equilibrium solves over JSON-over-TCP.",
+    )
+    parser.add_argument("--host", default="127.0.0.1", help="bind address")
+    parser.add_argument("--port", type=int, default=8765, help="bind port (0 = ephemeral)")
+    parser.add_argument("--workers", type=int, default=None, help="worker pool size")
+    parser.add_argument(
+        "--shard-size", type=int, default=DEFAULT_SHARD_SIZE,
+        help="runs per shard of a sharded C-Nash batch",
+    )
+    parser.add_argument(
+        "--executor", default="process", choices=list(EXECUTOR_KINDS),
+        help="worker pool kind",
+    )
+    parser.add_argument("--cache-capacity", type=int, default=256, help="in-memory LRU entries")
+    parser.add_argument(
+        "--finished-job-limit", type=int, default=DEFAULT_FINISHED_JOB_LIMIT,
+        help="finished job records retained for submit/status/result polling "
+        "before the oldest are evicted",
+    )
+    parser.add_argument("--cache-dir", default=None, help="directory for the persistent cache tier")
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="run a self-contained client-server round trip and exit (CI)",
+    )
+    args = parser.parse_args(argv)
+    if args.smoke:
+        return asyncio.run(_smoke())
+    cache = ResultCache(capacity=args.cache_capacity, directory=args.cache_dir)
+    try:
+        asyncio.run(
+            serve(
+                host=args.host,
+                port=args.port,
+                max_workers=args.workers,
+                shard_size=args.shard_size,
+                executor=args.executor,
+                cache=cache,
+                finished_job_limit=args.finished_job_limit,
+            )
+        )
+    except KeyboardInterrupt:  # pragma: no cover - interactive
+        pass
+    return 0

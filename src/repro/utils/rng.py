@@ -60,3 +60,18 @@ def derive_seed(seed: Optional[int], index: int) -> Optional[int]:
     if seed is None:
         return None
     return int(np.random.SeedSequence([seed, index]).generate_state(1)[0])
+
+
+def shard_seeds(seed: Optional[int], num_shards: int) -> List[Optional[int]]:
+    """Derive one integer seed per shard of a sharded batch.
+
+    Shard ``i`` always receives ``derive_seed(seed, i)``, so the seed
+    assigned to a shard depends only on the base seed and the shard
+    index — *not* on how many workers execute the shards.  This is what
+    makes the service scheduler's sharded execution result-identical
+    across worker-pool sizes.  With ``seed=None`` every shard stays
+    unseeded (independent OS entropy).
+    """
+    if num_shards < 0:
+        raise ValueError(f"num_shards must be non-negative, got {num_shards}")
+    return [derive_seed(seed, index) for index in range(num_shards)]

@@ -103,8 +103,16 @@ class TestCNashSolver:
 
     def test_invalid_num_runs(self, bos, fast_config):
         solver = CNashSolver(bos, fast_config)
-        with pytest.raises(ValueError):
+        with pytest.raises(ValueError, match="num_runs"):
             solver.solve_batch(num_runs=0)
+        with pytest.raises(ValueError, match="num_runs"):
+            solver.solve_batch(num_runs=-5)
+        with pytest.raises(ValueError, match="num_runs"):
+            solver.solve_batch(num_runs=2.5)
+        with pytest.raises(ValueError, match="num_runs"):
+            solver.solve_batch(num_runs=True)
+        with pytest.raises(ValueError, match="num_runs"):
+            solver.solve_batch(num_runs="10")
 
     def test_finds_all_bos_equilibria_including_mixed(self, bos):
         solver = CNashSolver(bos, CNashConfig(num_intervals=6, num_iterations=2000))

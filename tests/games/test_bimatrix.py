@@ -118,6 +118,40 @@ class TestTransformations:
         np.testing.assert_allclose(swapped.payoff_col, bos.payoff_row.T)
 
 
+class TestFingerprint:
+    def test_stable_across_instances(self, bos):
+        from repro.games.library import battle_of_the_sexes
+
+        assert bos.fingerprint() == battle_of_the_sexes().fingerprint()
+
+    def test_is_hex_sha256(self, bos):
+        fingerprint = bos.fingerprint()
+        assert len(fingerprint) == 64
+        int(fingerprint, 16)
+
+    def test_sensitive_to_payoffs(self, bos):
+        perturbed = BimatrixGame(
+            bos.payoff_row + 1e-9, bos.payoff_col, name=bos.name
+        )
+        assert perturbed.fingerprint() != bos.fingerprint()
+
+    def test_sensitive_to_name(self, bos):
+        renamed = BimatrixGame(bos.payoff_row, bos.payoff_col, name="other")
+        assert renamed.fingerprint() != bos.fingerprint()
+
+    def test_dtype_invariant(self, bos):
+        as_int = BimatrixGame(
+            bos.payoff_row.astype(int), bos.payoff_col.astype(int), name=bos.name
+        )
+        assert as_int.fingerprint() == bos.fingerprint()
+
+    def test_shape_disambiguated_from_flat_content(self):
+        # Same bytes, different shapes must not collide.
+        tall = BimatrixGame(np.zeros((4, 1)), np.zeros((4, 1)), name="z")
+        wide = BimatrixGame(np.zeros((1, 4)), np.zeros((1, 4)), name="z")
+        assert tall.fingerprint() != wide.fingerprint()
+
+
 class TestPredicates:
     def test_zero_sum_detection(self, pennies, bos):
         assert pennies.is_zero_sum()

@@ -30,6 +30,21 @@ class TestLibrary:
         games = paper_benchmark_games()
         assert [game.num_actions for game in games] == [2, 3, 8]
 
+    def test_paper_games_are_distinct_by_fingerprint(self):
+        games = paper_benchmark_games()
+        fingerprints = {game.fingerprint() for game in games}
+        assert len(fingerprints) == len(games)
+
+    def test_paper_games_fingerprints_stable_across_rebuilds(self):
+        first = [game.fingerprint() for game in paper_benchmark_games()]
+        second = [game.fingerprint() for game in paper_benchmark_games()]
+        assert first == second
+
+    def test_whole_library_dedupes_by_fingerprint(self):
+        games = [get_game(name) for name in available_games()]
+        by_fingerprint = {game.fingerprint(): game for game in games}
+        assert len(by_fingerprint) == len(games)
+
     def test_battle_of_the_sexes_payoffs(self):
         game = battle_of_the_sexes()
         assert game.pure_payoffs(0, 0) == (2.0, 1.0)

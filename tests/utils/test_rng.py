@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.utils.rng import as_generator, derive_seed, spawn_generators
+from repro.utils.rng import as_generator, derive_seed, shard_seeds, spawn_generators
 
 
 class TestAsGenerator:
@@ -66,3 +66,27 @@ class TestDeriveSeed:
 
     def test_varies_with_index(self):
         assert derive_seed(10, 1) != derive_seed(10, 2)
+
+
+class TestShardSeeds:
+    def test_matches_derive_seed_per_index(self):
+        assert shard_seeds(10, 4) == [derive_seed(10, i) for i in range(4)]
+
+    def test_prefix_stable_as_shard_count_grows(self):
+        # Adding shards must never change the seeds of earlier shards —
+        # this is what keeps sharded batches worker-count invariant.
+        assert shard_seeds(7, 6)[:3] == shard_seeds(7, 3)
+
+    def test_none_base_stays_none(self):
+        assert shard_seeds(None, 3) == [None, None, None]
+
+    def test_all_distinct(self):
+        seeds = shard_seeds(123, 16)
+        assert len(set(seeds)) == 16
+
+    def test_zero_shards(self):
+        assert shard_seeds(5, 0) == []
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError, match="num_shards"):
+            shard_seeds(5, -1)
