@@ -1,0 +1,69 @@
+"""Facade dispatch overhead vs. calling the solver directly.
+
+The unified API (:func:`repro.api.solve`) adds a registry lookup, a
+:class:`SolveSpec` resolution, solver construction and a
+:class:`SolveReport` build around ``CNashSolver.solve_batch``.  On a
+real batch (100 runs) that bookkeeping must be noise: this benchmark
+asserts the facade costs < 5% over the direct call.  Both paths run the
+identical seeded workload, interleaved over several rounds and compared
+on medians (plus a small absolute slack for scheduler/GC jitter) so a
+transient load burst on a shared CI runner cannot fail the gate.
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+
+import repro.api as api
+from repro.backends import SolveSpec
+from repro.core.config import CNashConfig
+from repro.core.solver import CNashSolver
+from repro.games.library import battle_of_the_sexes
+
+#: 100-run batch (the satellite's contract) at a budget that still takes
+#: long enough for timing to be meaningful.
+NUM_RUNS = 100
+CONFIG = CNashConfig(num_intervals=6, num_iterations=1000)
+ROUNDS = 5
+MAX_OVERHEAD = 0.05
+#: Absolute jitter floor: one scheduler tick / GC pause must not fail
+#: the relative gate on its own.
+ABS_SLACK_S = 0.02
+
+
+def _direct() -> float:
+    start = time.perf_counter()
+    solver = CNashSolver(battle_of_the_sexes(), CONFIG, seed=0)
+    batch = solver.solve_batch(num_runs=NUM_RUNS, seed=0)
+    solver.distinct_solutions(batch)  # the facade de-duplicates too
+    return time.perf_counter() - start
+
+
+def _facade() -> float:
+    spec = SolveSpec(num_runs=NUM_RUNS, seed=0, options={"config": CONFIG})
+    start = time.perf_counter()
+    api.solve(battle_of_the_sexes(), backend="cnash", spec=spec)
+    return time.perf_counter() - start
+
+
+def test_facade_dispatch_overhead_under_5_percent():
+    # Warm up both paths (imports, first-call caches, allocator).
+    _direct()
+    _facade()
+    direct_times = []
+    facade_times = []
+    for _ in range(ROUNDS):
+        direct_times.append(_direct())
+        facade_times.append(_facade())
+    direct_median = statistics.median(direct_times)
+    facade_median = statistics.median(facade_times)
+    overhead = facade_median / direct_median - 1.0
+    print(
+        f"\ndirect median {direct_median:.3f}s, facade median {facade_median:.3f}s, "
+        f"overhead {overhead:+.2%}"
+    )
+    assert facade_median < direct_median * (1.0 + MAX_OVERHEAD) + ABS_SLACK_S, (
+        f"facade dispatch overhead {overhead:+.2%} exceeds {MAX_OVERHEAD:.0%} "
+        f"(direct {direct_median:.3f}s vs facade {facade_median:.3f}s)"
+    )

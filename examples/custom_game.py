@@ -6,22 +6,28 @@ airport, suburbs).  Riders multi-home, so payoffs depend on both
 platforms' choices: concentrating where the rival is absent wins that
 zone outright, while head-to-head spending splits it.  The resulting
 bimatrix game has both pure and mixed equilibria; this example builds the
-payoff matrices from the scenario parameters, finds the equilibria with
-C-Nash, cross-checks them with the ground-truth enumeration solvers, and
-compares against the S-QUBO baseline which only ever reports pure
-solutions.
+payoff matrices from the scenario parameters and then runs the whole
+solver comparison — C-Nash, the ground-truth enumeration solver and the
+pure-only S-QUBO baseline — through one :func:`repro.api.compare` call.
 
 Run with::
 
     python examples/custom_game.py
+
+Set ``CNASH_SMOKE=1`` for a reduced run count (CI smoke mode).
 """
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 
-from repro import BimatrixGame, CNashConfig, CNashSolver, support_enumeration
-from repro.baselines import DWaveLikeSolver
+import repro.api as api
+from repro import BimatrixGame, CNashConfig, SolveSpec
+from repro.games.equilibrium import EquilibriumSet
+
+SMOKE = bool(os.environ.get("CNASH_SMOKE"))
 
 ZONES = ("downtown", "airport", "suburbs")
 ZONE_VALUE = np.array([6.0, 4.0, 2.0])  # ride demand per zone
@@ -56,34 +62,36 @@ def main() -> None:
     game = build_promotion_game()
     print(f"Game: {game.name}, payoffs:\n{np.round(game.payoff_row, 2)}")
 
-    print("\nGround truth (support enumeration):")
-    ground_truth = support_enumeration(game)
-    for profile in ground_truth:
-        describe(profile, "truth")
+    # One facade call runs every backend on the game; per-backend spec
+    # overrides give the stochastic solvers their own budgets.
+    spec = SolveSpec(
+        num_runs=20 if SMOKE else 60,
+        seed=0,
+        options={"config": CNashConfig(num_intervals=8, num_iterations=4000)},
+    )
+    comparison = api.compare(
+        game,
+        backends=["exact", "cnash", "squbo"],
+        spec=spec,
+        overrides={"squbo": SolveSpec(num_runs=40, seed=1, options={"num_sweeps": 300})},
+    )
+    print()
+    print(comparison.to_table())
 
-    print("\nC-Nash solver:")
-    solver = CNashSolver(game, CNashConfig(num_intervals=8, num_iterations=4000))
-    batch = solver.solve_batch(num_runs=60, seed=0)
-    found = solver.distinct_solutions(batch)
-    print(f"  success rate {batch.success_rate:.1%}, "
-          f"{len(found)} distinct solutions, "
-          f"{ground_truth.count_found(list(found), atol=0.1)}/{len(ground_truth)} matched")
-    for profile in found:
-        describe(profile, "c-nash")
+    truth = comparison.report("exact")
+    for name in ("exact", "cnash", "squbo"):
+        report = comparison.report(name)
+        print(f"\n{report.backend}:")
+        for profile in report.equilibria:
+            describe(profile, name)
 
-    print("\nS-QUBO baseline (pure strategies only):")
-    baseline = DWaveLikeSolver(game, num_sweeps=300, seed=0)
-    baseline_batch = baseline.sample_batch(40, seed=1)
-    baseline_found = baseline.distinct_solutions(baseline_batch)
-    print(f"  success rate {baseline_batch.success_rate:.1%}, "
-          f"{len(baseline_found)} distinct solutions")
-    for profile in baseline_found:
-        describe(profile, "s-qubo")
-
-    mixed_found = [profile for profile in found if not profile.is_pure(atol=1e-3)]
-    if mixed_found:
+    cnash = comparison.report("cnash")
+    truth_set = EquilibriumSet.from_profiles(game, truth.equilibria)
+    matched = truth_set.count_found(cnash.equilibria, atol=0.1)
+    print(f"\nC-Nash matched {matched}/{truth.num_equilibria} ground-truth equilibria.")
+    if comparison.finds_mixed("cnash") and not comparison.finds_mixed("squbo"):
         print(
-            "\nC-Nash recovered the mixed promotion strategies that the pure-only "
+            "C-Nash recovered the mixed promotion strategies that the pure-only "
             "S-QUBO baseline structurally cannot represent."
         )
 

@@ -13,13 +13,21 @@ This example exercises the FeFET CiM hardware model directly:
 Run with::
 
     python examples/hardware_in_the_loop.py
+
+Set ``CNASH_SMOKE=1`` for reduced Monte-Carlo and run counts (CI smoke
+mode).
 """
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 
-from repro import CNashConfig, CNashSolver, bird_game
+import repro.api as api
+from repro import CNashConfig, CNashSolver, SolveSpec, bird_game
+
+SMOKE = bool(os.environ.get("CNASH_SMOKE"))
 from repro.experiments.fig7_robustness import run_crossbar_linearity, run_wta_corners
 from repro.hardware import (
     BiCrossbar,
@@ -31,7 +39,9 @@ from repro.hardware import (
 
 def characterise_crossbar() -> None:
     print("=== Crossbar Monte-Carlo linearity (Fig. 7a) ===")
-    result = run_crossbar_linearity(rows=64, columns=64, num_monte_carlo=50, seed=0)
+    result = run_crossbar_linearity(
+        rows=64, columns=64, num_monte_carlo=10 if SMOKE else 50, seed=0
+    )
     print(f"  linear-fit R^2        : {result.linearity_r2:.6f}")
     print(f"  max relative spread   : {result.max_relative_spread:.4f}")
     print(f"  mean current @ 64 rows: {result.mean_currents_ua[-1]:.2f} uA")
@@ -49,16 +59,28 @@ def characterise_wta() -> None:
 def solve_with_hardware() -> None:
     print("\n=== Solving the Bird Game through the hardware model ===")
     game = bird_game()
-    software = CNashSolver(game, CNashConfig(num_intervals=8, num_iterations=3000))
+    num_runs = 8 if SMOKE else 20
+    iterations = 1200 if SMOKE else 3000
+    # Software (ideal-evaluator) batch through the unified facade; the
+    # hardware run keeps the solver class so the paper's variability
+    # model can be injected explicitly.
+    software_report = api.solve(
+        game,
+        backend="cnash",
+        spec=SolveSpec(
+            num_runs=num_runs,
+            seed=0,
+            options={"config": CNashConfig(num_intervals=8, num_iterations=iterations)},
+        ),
+    )
     hardware = CNashSolver(
         game,
-        CNashConfig(num_intervals=8, num_iterations=3000, use_hardware=True),
+        CNashConfig(num_intervals=8, num_iterations=iterations, use_hardware=True),
         variability=PAPER_VARIABILITY,
         seed=1,
     )
-    software_batch = software.solve_batch(num_runs=20, seed=0)
-    hardware_batch = hardware.solve_batch(num_runs=20, seed=0)
-    print(f"  software (exact) success rate : {software_batch.success_rate:.1%}")
+    hardware_batch = hardware.solve_batch(num_runs=num_runs, seed=0)
+    print(f"  software (exact) success rate : {software_report.success_rate:.1%}")
     print(f"  hardware (noisy) success rate : {hardware_batch.success_rate:.1%}")
     found = hardware.distinct_solutions(hardware_batch)
     print(f"  distinct solutions via hardware: {len(found)}")

@@ -11,11 +11,16 @@ Run with::
     python examples/paper_benchmark_comparison.py [smoke|default|paper]
 
 (The default "smoke" scale finishes in well under a minute; "default"
-takes several minutes; "paper" replays the full 5000-run protocol.)
+takes several minutes; "paper" replays the full 5000-run protocol.
+``CNASH_SMOKE=1`` forces the smoke scale regardless of the argument.)
+
+Every C-Nash batch underneath these experiments is produced through the
+unified solver facade (:func:`repro.api.solve`).
 """
 
 from __future__ import annotations
 
+import os
 import sys
 
 from repro.experiments import get_scale, run_fig8, run_fig9, run_fig10, run_table1
@@ -23,6 +28,8 @@ from repro.experiments import get_scale, run_fig8, run_fig9, run_fig10, run_tabl
 
 def main() -> None:
     scale_name = sys.argv[1] if len(sys.argv) > 1 else "smoke"
+    if os.environ.get("CNASH_SMOKE"):
+        scale_name = "smoke"
     scale = get_scale(scale_name)
     print(f"Running the paper benchmark comparison at '{scale.name}' scale...\n")
 

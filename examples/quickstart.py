@@ -1,21 +1,36 @@
-"""Quickstart: solve Battle of the Sexes with the C-Nash solver.
+"""Quickstart: solve Battle of the Sexes through the unified solver API.
 
-Runs a batch of C-Nash simulated-annealing runs on the paper's simplest
-benchmark game, verifies the solutions against the ground-truth
-equilibrium set, and prints the success rate, the solution-type
-distribution and every distinct equilibrium found (including the mixed
-one the S-QUBO quantum baselines cannot represent).
+Everything goes through the one-call facade (:mod:`repro.api`): one
+``api.solve`` call runs a batch of C-Nash simulated-annealing runs on
+the paper's simplest benchmark game, one ``api.solve(..., "exact")``
+call provides the ground truth, and the report objects carry the
+success rate, the distinct equilibria (including the mixed one the
+S-QUBO quantum baselines cannot represent) and the timing.
 
 Run with::
 
     python examples/quickstart.py
+
+Set ``CNASH_SMOKE=1`` for a reduced run count (CI smoke mode).
 """
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 
-from repro import CNashConfig, CNashSolver, battle_of_the_sexes, support_enumeration
+import repro.api as api
+from repro import CNashConfig, SolveSpec, battle_of_the_sexes
+from repro.games.equilibrium import EquilibriumSet
+
+#: CI smoke mode: same structure, reduced run budget.
+SMOKE = bool(os.environ.get("CNASH_SMOKE"))
+
+
+def describe(profile, label: str) -> None:
+    kind = "pure " if profile.is_pure(atol=1e-3) else "mixed"
+    print(f"  [{label}] [{kind}] p={np.round(profile.p, 3)}, q={np.round(profile.q, 3)}")
 
 
 def main() -> None:
@@ -24,36 +39,42 @@ def main() -> None:
     print("Row payoffs:\n", game.payoff_row)
     print("Column payoffs:\n", game.payoff_col)
 
-    # Ground truth from the support-enumeration solver (the paper uses Nashpy).
-    ground_truth = support_enumeration(game)
-    print(f"\nGround-truth equilibria ({len(ground_truth)}):")
-    for profile in ground_truth:
-        kind = "pure " if profile.is_pure() else "mixed"
-        print(f"  [{kind}] p={np.round(profile.p, 3)}, q={np.round(profile.q, 3)}")
+    # Ground truth through the same facade (the paper uses Nashpy).
+    truth = api.solve(game, backend="exact")
+    print(f"\nGround-truth equilibria ({truth.num_equilibria}):")
+    for profile in truth.equilibria:
+        describe(profile, "truth")
 
-    # Configure and run the C-Nash solver: probabilities on a 1/6 grid (the
-    # mixed equilibrium of this game lies on thirds, so it is exactly
-    # representable), 2000 two-phase SA iterations per run, 100 runs.
-    config = CNashConfig(num_intervals=6, num_iterations=2000)
-    solver = CNashSolver(game, config)
-    batch = solver.solve_batch(num_runs=100, seed=0)
+    # C-Nash through the facade: probabilities on a 1/6 grid (the mixed
+    # equilibrium of this game lies on thirds, so it is exactly
+    # representable), 2000 two-phase SA iterations per run.
+    spec = SolveSpec(
+        num_runs=20 if SMOKE else 100,
+        seed=0,
+        options={"config": CNashConfig(num_intervals=6, num_iterations=2000)},
+    )
+    report = api.solve(game, backend="cnash", spec=spec)
 
-    print(f"\nC-Nash results over {batch.num_runs} SA runs "
-          f"({batch.wall_clock_seconds:.1f}s wall clock):")
-    print(f"  success rate          : {batch.success_rate:.1%}")
+    print(f"\nC-Nash results over {report.num_runs} SA runs "
+          f"({report.wall_clock_seconds:.1f}s wall clock):")
+    print(f"  success rate          : {report.success_rate:.1%}")
+    batch = report.batch_result()
     fractions = batch.classification_fractions()
     print(f"  pure / mixed / error  : {fractions['pure']:.1%} / "
           f"{fractions['mixed']:.1%} / {fractions['error']:.1%}")
 
-    found = solver.distinct_solutions(batch)
-    matched = ground_truth.count_found(list(found), atol=0.1)
-    print(f"  distinct solutions    : {len(found)} found, "
-          f"{matched}/{len(ground_truth)} ground-truth equilibria matched")
-    for profile in found:
-        kind = "pure " if profile.is_pure(atol=1e-3) else "mixed"
-        print(f"    [{kind}] p={np.round(profile.p, 3)}, q={np.round(profile.q, 3)}")
+    truth_set = EquilibriumSet.from_profiles(game, truth.equilibria)
+    matched = truth_set.count_found(report.equilibria, atol=0.1)
+    print(f"  distinct solutions    : {report.num_equilibria} found, "
+          f"{matched}/{truth.num_equilibria} ground-truth equilibria matched")
+    for profile in report.equilibria:
+        describe(profile, "c-nash")
 
-    # Estimated hardware time-to-solution from the FeFET timing model.
+    # Estimated hardware time-to-solution from the FeFET timing model
+    # (the solver classes stay available underneath the facade).
+    from repro import CNashSolver
+
+    solver = CNashSolver(game, spec.options["config"])
     time_to_solution = solver.time_to_solution_s(batch)
     print(f"  est. hardware time-to-solution: {time_to_solution * 1e6:.2f} us")
 

@@ -7,15 +7,26 @@ bi-crossbar / WTA-tree hardware model, the two-phase simulated-annealing
 solver, the S-QUBO quantum-annealer baselines, and the full experiment
 harness regenerating every table and figure of the paper's evaluation.
 
-Quickstart::
+Quickstart — the unified solver facade (:mod:`repro.api`)::
 
-    from repro import CNashSolver, CNashConfig, battle_of_the_sexes
+    import repro.api as api
+    from repro import battle_of_the_sexes
 
-    solver = CNashSolver(battle_of_the_sexes(), CNashConfig(num_intervals=8))
-    batch = solver.solve_batch(num_runs=100, seed=0)
-    print(f"success rate: {batch.success_rate:.1%}")
-    for profile in solver.distinct_solutions(batch):
+    report = api.solve(battle_of_the_sexes(), backend="cnash",
+                       num_runs=100, seed=0)
+    print(f"success rate: {report.success_rate:.1%}")
+    for profile in report.equilibria:
         print(profile)
+
+    # The paper's comparison in one call:
+    print(api.compare(battle_of_the_sexes(),
+                      backends=["cnash", "squbo", "exact"]).to_table())
+
+Every solver sits behind the :class:`~repro.backends.Backend` protocol;
+``repro.backends.register_backend()`` plugs a new one into the facade,
+the experiment runner and the serving layer in one line.  The
+underlying solver classes (:class:`CNashSolver` & co.) remain available
+for fine-grained control.
 """
 
 from repro.core import (
@@ -39,11 +50,34 @@ from repro.games import (
     paper_benchmark_games,
     support_enumeration,
 )
+from repro.backends import (
+    Backend,
+    BackendCapabilities,
+    SolveReport,
+    SolveSpec,
+    available_backends,
+    backend_capabilities,
+    get_backend,
+    register_backend,
+)
+from repro.api import Comparison, compare, solve, solve_many
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
+    "solve",
+    "compare",
+    "solve_many",
+    "Comparison",
+    "Backend",
+    "BackendCapabilities",
+    "SolveSpec",
+    "SolveReport",
+    "register_backend",
+    "get_backend",
+    "available_backends",
+    "backend_capabilities",
     "CNashSolver",
     "CNashConfig",
     "QuantizedStrategyPair",

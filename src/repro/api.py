@@ -1,0 +1,293 @@
+"""One-call facade over the unified solver API.
+
+Three functions cover the repo's workloads:
+
+* :func:`solve` — run one game through one backend::
+
+      import repro.api as api
+      report = api.solve(game, backend="cnash",
+                         spec=api.SolveSpec(num_runs=200, seed=0))
+
+* :func:`compare` — the paper's evaluation in one call: run several
+  backends on the same game and get a per-backend report table::
+
+      comparison = api.compare(game, backends=["cnash", "squbo", "exact"])
+      print(comparison.to_table())
+
+* :func:`solve_many` — a batched heterogeneous workload: a list of
+  ``(game, backend, spec)`` jobs, optionally routed through a service
+  client so the scheduler shards, caches and parallelises them.
+
+Every function resolves backends through the global registry
+(:mod:`repro.backends`), so one ``register_backend()`` call makes a new
+solver reachable here, through the experiment runner and over TCP.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.backends.adapters import config_from_spec, label_is_exact
+from repro.backends.base import SolveReport, SolveSpec, profiles_from_wire
+from repro.backends.registry import available_backends, get_backend
+from repro.games.bimatrix import BimatrixGame
+
+#: A solve_many job: ``(game, backend_name, spec)``; the spec may be None.
+SolveJob = Tuple[BimatrixGame, str, Optional[SolveSpec]]
+
+
+def _resolve_spec(spec: Optional[SolveSpec], spec_kwargs: Dict[str, Any]) -> SolveSpec:
+    if spec is None:
+        return SolveSpec(**spec_kwargs)
+    if spec_kwargs:
+        raise TypeError(
+            f"pass either a SolveSpec or keyword spec fields, not both "
+            f"(got spec and {sorted(spec_kwargs)})"
+        )
+    return spec
+
+
+def _request_from_spec(game: BimatrixGame, backend: str, spec: SolveSpec, priority: int = 0):
+    """A service :class:`~repro.service.jobs.SolveRequest` for (game, backend, spec).
+
+    Only the C-Nash config and the universal spec fields travel inside
+    the request wire format, so a spec carrying any other option cannot
+    be routed through a client without silently computing something
+    different on the server — that is an error here, not a silent
+    downgrade.  (``spec.epsilon`` does survive: it is a first-class
+    request field.)
+    """
+    from repro.service.jobs import SolveRequest
+
+    unroutable = sorted(key for key in spec.options if key != "config")
+    if unroutable:
+        raise ValueError(
+            f"spec options {unroutable} cannot be routed through a service "
+            f"client: the SolveRequest wire format carries only the C-Nash "
+            f"config, so the server would run backend {backend!r} with "
+            f"default options instead. Run in-process (client=None) or move "
+            f"the options into the backend's server-side defaults."
+        )
+    return SolveRequest(
+        game=game,
+        policy=backend,
+        num_runs=spec.num_runs,
+        seed=spec.seed,
+        config=config_from_spec(spec),
+        epsilon=spec.epsilon,
+        priority=priority,
+        deadline_s=spec.deadline_s,
+    )
+
+
+def _report_from_outcome(outcome, game: BimatrixGame, num_runs: int) -> SolveReport:
+    """A :class:`SolveReport` view of a service ``SolveOutcome``."""
+    if outcome.batch is not None:
+        executed_runs = len(outcome.batch.get("runs", []))
+    elif label_is_exact(outcome.backend):
+        executed_runs = 0  # matches the in-process ExactBackend report
+    else:
+        executed_runs = num_runs
+    return SolveReport(
+        backend=outcome.backend,
+        game_name=game.name,
+        equilibria=profiles_from_wire(outcome.equilibria),
+        success_rate=outcome.success_rate,
+        num_runs=executed_runs,
+        wall_clock_seconds=outcome.wall_clock_seconds,
+        batch=outcome.batch,
+        metadata={
+            "policy": outcome.policy,
+            "fingerprint": outcome.fingerprint,
+            "shards": outcome.shards,
+            "served_via": "service",
+        },
+    )
+
+
+def solve(
+    game: BimatrixGame,
+    backend: str = "cnash",
+    spec: Optional[SolveSpec] = None,
+    *,
+    client=None,
+    **spec_kwargs: Any,
+) -> SolveReport:
+    """Solve one game through one backend; returns a :class:`SolveReport`.
+
+    Parameters
+    ----------
+    game:
+        The bimatrix game to solve.
+    backend:
+        Registered backend name (see
+        :func:`repro.backends.available_backends`).
+    spec:
+        The :class:`SolveSpec` to run under.  As a convenience, spec
+        fields may be given as keyword arguments instead
+        (``solve(game, "cnash", num_runs=500, seed=0)``).
+    client:
+        Optional service client (:class:`repro.service.client.InProcessClient`,
+        ``SyncServiceClient``, or a scheduler-backed equivalent exposing
+        ``solve(request) -> SolveOutcome``).  When given, the solve is
+        routed through the service layer — sharded worker-pool
+        execution and result caching — instead of running in-process.
+    """
+    spec = _resolve_spec(spec, spec_kwargs)
+    if client is not None:
+        request = _request_from_spec(game, backend, spec)
+        return _report_from_outcome(client.solve(request), game, spec.num_runs)
+    return get_backend(backend).solve(game, spec)
+
+
+@dataclass
+class Comparison:
+    """Per-backend report table from :func:`compare`.
+
+    ``reports`` preserves the backend order of the call; ``skipped``
+    maps backends that were not run (capability mismatch) to the
+    reason.
+    """
+
+    game_name: str
+    reports: Dict[str, SolveReport] = field(default_factory=dict)
+    skipped: Dict[str, str] = field(default_factory=dict)
+
+    def report(self, backend: str) -> SolveReport:
+        """The report of one backend (raises ``KeyError`` if skipped/absent)."""
+        return self.reports[backend]
+
+    def finds_mixed(self, backend: str, atol: float = 1e-3) -> bool:
+        """Whether a backend's report contains a mixed equilibrium."""
+        return bool(self.reports[backend].mixed_equilibria(atol=atol))
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-JSON representation of the whole comparison."""
+        return {
+            "game_name": self.game_name,
+            "reports": {name: report.to_dict() for name, report in self.reports.items()},
+            "skipped": dict(self.skipped),
+        }
+
+    def to_table(self) -> str:
+        """Human-readable per-backend summary table."""
+        header = (
+            f"{'backend':<28} {'success':>8} {'distinct':>9} "
+            f"{'mixed':>6} {'time [s]':>9}"
+        )
+        lines = [f"Game: {self.game_name}", header, "-" * len(header)]
+        for name, report in self.reports.items():
+            lines.append(
+                f"{report.backend:<28} {report.success_rate:>7.1%} "
+                f"{report.num_equilibria:>9d} {len(report.mixed_equilibria()):>6d} "
+                f"{report.wall_clock_seconds:>9.3f}"
+            )
+        for name, reason in self.skipped.items():
+            lines.append(f"{name:<28} skipped: {reason}")
+        return "\n".join(lines)
+
+
+def compare(
+    game: BimatrixGame,
+    backends: Optional[Sequence[str]] = None,
+    spec: Optional[SolveSpec] = None,
+    *,
+    overrides: Optional[Mapping[str, SolveSpec]] = None,
+    client=None,
+    **spec_kwargs: Any,
+) -> Comparison:
+    """Run several backends on one game; returns a :class:`Comparison`.
+
+    This is the paper's evaluation as a single call:
+    ``compare(game, backends=["cnash", "squbo", "exact"])`` reproduces
+    the qualitative Table-1 / Fig.-8 result (S-QUBO cannot produce the
+    mixed equilibria that C-Nash and the exact solvers find).
+
+    Parameters
+    ----------
+    backends:
+        Backend names to run, in order.  Defaults to every registered
+        backend except ``"portfolio"`` (which merely races the others).
+    spec:
+        Shared :class:`SolveSpec` (or keyword spec fields).
+    overrides:
+        Optional per-backend spec overrides, e.g. a bigger run budget
+        for a slow-converging solver.
+    client:
+        Optional service client; forwarded to :func:`solve`.
+    Backends whose declared capabilities do not support the game's size
+    are recorded in ``Comparison.skipped`` instead of being run.
+    """
+    spec = _resolve_spec(spec, spec_kwargs)
+    if backends is None:
+        backends = [name for name in available_backends() if name != "portfolio"]
+    if overrides:
+        unknown = sorted(set(overrides) - set(backends))
+        if unknown:
+            raise ValueError(
+                f"overrides for backends not in the comparison: {unknown} "
+                f"(comparing {sorted(backends)})"
+            )
+    comparison = Comparison(game_name=game.name)
+    runnable: List[Tuple[str, SolveSpec]] = []
+    for name in backends:
+        backend = get_backend(name)
+        capabilities = backend.capabilities()
+        if not capabilities.supports(game):
+            comparison.skipped[name] = (
+                f"game has {game.num_actions} actions, backend supports "
+                f"<= {capabilities.max_actions}"
+            )
+            continue
+        runnable.append((name, overrides.get(name, spec) if overrides else spec))
+    # solve_many overlaps the jobs across the scheduler's worker pool
+    # when a submit/result-capable client is attached; in-process it
+    # runs them sequentially, same as before.
+    reports = solve_many(
+        [(game, name, backend_spec) for name, backend_spec in runnable], client=client
+    )
+    for (name, _), report in zip(runnable, reports):
+        comparison.reports[name] = report
+    return comparison
+
+
+def solve_many(
+    jobs: Iterable[Union[SolveJob, Mapping[str, Any]]],
+    *,
+    client=None,
+) -> List[SolveReport]:
+    """Solve a batched heterogeneous workload; returns reports in job order.
+
+    Each job is a ``(game, backend, spec)`` tuple (spec may be ``None``
+    for defaults) or a mapping with ``game`` / ``backend`` / ``spec``
+    keys.  Without a client, jobs run in-process sequentially.  With a
+    client, all jobs are submitted up front and collected afterwards, so
+    the scheduler overlaps them across its worker pool (and serves
+    repeats from its result cache).
+    """
+    normalised: List[SolveJob] = []
+    for job in jobs:
+        if isinstance(job, Mapping):
+            normalised.append(
+                (job["game"], job.get("backend", "cnash"), job.get("spec"))
+            )
+        else:
+            game, backend, spec = job
+            normalised.append((game, backend, spec))
+    resolved = [
+        (game, backend, spec if spec is not None else SolveSpec())
+        for game, backend, spec in normalised
+    ]
+    if client is not None and hasattr(client, "submit") and hasattr(client, "result"):
+        job_ids = [
+            client.submit(_request_from_spec(game, backend, spec))
+            for game, backend, spec in resolved
+        ]
+        return [
+            _report_from_outcome(client.result(job_id), game, spec.num_runs)
+            for job_id, (game, backend, spec) in zip(job_ids, resolved)
+        ]
+    return [
+        solve(game, backend, spec, client=client) for game, backend, spec in resolved
+    ]

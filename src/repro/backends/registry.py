@@ -1,0 +1,190 @@
+"""Global backend registry: one line to make a solver servable.
+
+``register_backend(backend)`` is the only step needed to plug a new
+Nash solver into the whole stack: the :mod:`repro.api` facade, the
+service scheduler, the TCP server and the experiment runner all resolve
+backends by name through this registry, so a backend registered here is
+immediately reachable from every entry point with zero changes to
+``service/`` code.
+
+The registry is intentionally plain module state (like ``logging``'s
+handler table): process-wide, mutated at import/startup time, read on
+every dispatch.  Worker *threads* and the inline executor share it.
+Worker *processes* depend on the multiprocessing start method: with
+``spawn`` (the macOS/Windows default) they re-import
+:mod:`repro.backends` and see only the built-ins, while with ``fork``
+(the Linux default) they inherit the parent's registry — custom
+backends happening to work through a process pool on Linux is therefore
+not portable.  Use the ``thread``/``inline`` executors (or register
+inside the worker via an import side effect) to serve custom backends.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import threading
+from contextlib import contextmanager
+from typing import Dict, Iterator, Tuple
+
+from repro.backends.base import Backend, BackendCapabilities
+
+_LOCK = threading.Lock()
+_REGISTRY: Dict[str, Backend] = {}
+#: Per-name registration serials (see :func:`registry_fingerprint`).
+_SERIALS: Dict[str, int] = {}
+_COUNTER = 0
+
+
+class UnknownBackendError(ValueError):
+    """Lookup of a backend name that is not registered.
+
+    A ``ValueError`` subclass so existing call sites that caught the
+    service layer's historical ``ValueError`` keep working.  The message
+    always lists the currently registered backends; ``noun`` names the
+    concept in the caller's vocabulary (the service layer says
+    "policy").
+    """
+
+    def __init__(self, name: str, available: Tuple[str, ...], noun: str = "backend") -> None:
+        self.name = name
+        self.available = tuple(available)
+        self.noun = noun
+        listing = ", ".join(self.available) if self.available else "<none>"
+        super().__init__(
+            f"unknown {noun} {name!r}; available backends: {listing} "
+            f"(register custom backends with repro.backends.register_backend)"
+        )
+
+    def __reduce__(self):
+        # BaseException pickling replays __init__ with the formatted
+        # message as the sole argument, which does not match this
+        # signature — without this, an instance raised inside a worker
+        # process would break the pool's result queue instead of
+        # failing one job.
+        return (type(self), (self.name, self.available, self.noun))
+
+
+def _validate_backend(backend: Backend) -> str:
+    name = getattr(backend, "name", None)
+    if not isinstance(name, str) or not name or name != name.strip():
+        raise ValueError(
+            f"backend must have a non-empty 'name' string attribute, got {name!r}"
+        )
+    for method in ("capabilities", "solve"):
+        if not callable(getattr(backend, method, None)):
+            raise TypeError(
+                f"backend {name!r} does not implement the Backend protocol: "
+                f"missing callable {method}()"
+            )
+    return name
+
+
+def register_backend(backend: Backend, *, replace: bool = False) -> Backend:
+    """Register a backend under its ``name``; returns the backend.
+
+    Raises ``ValueError`` when the name is already taken (pass
+    ``replace=True`` to swap an implementation deliberately, e.g. to
+    reorder the portfolio or substitute a tuned variant).
+    """
+    global _COUNTER
+    name = _validate_backend(backend)
+    with _LOCK:
+        if name in _REGISTRY and not replace:
+            raise ValueError(
+                f"backend {name!r} is already registered "
+                f"(pass replace=True to substitute it)"
+            )
+        _REGISTRY[name] = backend
+        _COUNTER += 1
+        _SERIALS[name] = _COUNTER
+    return backend
+
+
+def unregister_backend(name: str) -> Backend:
+    """Remove and return a registered backend."""
+    with _LOCK:
+        if name not in _REGISTRY:
+            raise UnknownBackendError(name, tuple(sorted(_REGISTRY)))
+        _SERIALS.pop(name, None)
+        return _REGISTRY.pop(name)
+
+
+def registry_fingerprint() -> str:
+    """Digest identifying *which implementations* the names resolve to.
+
+    A request fingerprint identifies what was asked for by backend
+    name; this digest is the proxy for the implementations behind the
+    names — each entry contributes its name, its type's qualified name,
+    and a monotonic per-registration serial (so substituting a
+    different *instance* of the same class, e.g. a re-ordered
+    portfolio, also changes the digest).  The scheduler folds it into
+    its result-cache keys so re-registering a backend never serves
+    outcomes computed by a previous implementation.  After a plain
+    ``import repro.backends`` the digest is a deterministic constant
+    (built-ins register in a fixed order), so cache keys stay stable
+    across processes — and across disk-cache tiers — that perform the
+    same registrations.
+    """
+    with _LOCK:
+        entries = sorted(
+            (name, f"{type(b).__module__}.{type(b).__qualname__}", _SERIALS.get(name, 0))
+            for name, b in _REGISTRY.items()
+        )
+    payload = json.dumps(entries, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def get_backend(name: str) -> Backend:
+    """Look a backend up by name (raises :class:`UnknownBackendError`)."""
+    with _LOCK:
+        if name not in _REGISTRY:
+            raise UnknownBackendError(name, tuple(sorted(_REGISTRY)))
+        return _REGISTRY[name]
+
+
+def is_registered(name: str) -> bool:
+    """Whether a backend with this name is registered."""
+    with _LOCK:
+        return name in _REGISTRY
+
+
+def available_backends() -> Tuple[str, ...]:
+    """Names of all registered backends, sorted."""
+    with _LOCK:
+        return tuple(sorted(_REGISTRY))
+
+
+def backend_capabilities() -> Dict[str, BackendCapabilities]:
+    """Capability descriptors of every registered backend, by name."""
+    with _LOCK:
+        backends = dict(_REGISTRY)
+    return {name: backend.capabilities() for name, backend in sorted(backends.items())}
+
+
+@contextmanager
+def temporary_backend(backend: Backend, *, replace: bool = False) -> Iterator[Backend]:
+    """Context manager: register a backend, restore the registry on exit.
+
+    Used by tests and by short-lived experiment code that wants to plug
+    a one-off backend in without leaking it into the process registry.
+    """
+    name = _validate_backend(backend)
+    with _LOCK:
+        previous = _REGISTRY.get(name)
+    if previous is not None and not replace:
+        raise ValueError(
+            f"backend {name!r} is already registered (pass replace=True to shadow it)"
+        )
+    register_backend(backend, replace=True)
+    try:
+        yield backend
+    finally:
+        # Restore through the public entry points so the registration
+        # serial advances and cache keys derived from
+        # registry_fingerprint() never alias the temporary window.
+        if previous is None:
+            if is_registered(name):
+                unregister_backend(name)
+        else:
+            register_backend(previous, replace=True)

@@ -2,11 +2,44 @@
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Any, Dict, Optional
 
-from repro.annealing.acceptance import AcceptanceRule, MetropolisAcceptance
+from repro.annealing.acceptance import (
+    AcceptanceRule,
+    GlauberAcceptance,
+    GreedyAcceptance,
+    MetropolisAcceptance,
+)
 from repro.annealing.temperature import GeometricSchedule, TemperatureSchedule
+
+#: Built-in acceptance rules reconstructable from their class name.
+ACCEPTANCE_REGISTRY = {
+    cls.__name__: cls for cls in (MetropolisAcceptance, GreedyAcceptance, GlauberAcceptance)
+}
+
+
+def acceptance_to_dict(rule: AcceptanceRule) -> Dict[str, Any]:
+    """Canonical JSON form of a (dataclass) acceptance rule."""
+    name = type(rule).__name__
+    if name not in ACCEPTANCE_REGISTRY:
+        raise ValueError(
+            f"acceptance rule {name!r} is not serialisable; "
+            f"supported: {', '.join(sorted(ACCEPTANCE_REGISTRY))}"
+        )
+    params = {
+        f.name: getattr(rule, f.name) for f in dataclasses.fields(rule)  # type: ignore[arg-type]
+    }
+    return {"name": name, "params": params}
+
+
+def acceptance_from_dict(data: Dict[str, Any]) -> AcceptanceRule:
+    """Inverse of :func:`acceptance_to_dict`."""
+    name = data["name"]
+    if name not in ACCEPTANCE_REGISTRY:
+        raise ValueError(f"unknown acceptance rule {name!r}")
+    return ACCEPTANCE_REGISTRY[name](**data.get("params", {}))
 
 
 @dataclass(frozen=True)
@@ -89,6 +122,37 @@ class CNashConfig:
             raise ValueError(
                 f"execution must be one of {self.EXECUTION_MODES}, got {self.execution!r}"
             )
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Canonical JSON form of the configuration (inverse of :meth:`from_dict`).
+
+        This is the wire representation used by the service layer and the
+        unified backend API; its keys are part of the request-fingerprint
+        contract, so adding a field to the config means extending this
+        dict (and bumping any persisted caches).
+        """
+        return {
+            "num_intervals": self.num_intervals,
+            "num_iterations": self.num_iterations,
+            "initial_temperature": self.initial_temperature,
+            "final_temperature": self.final_temperature,
+            "use_hardware": self.use_hardware,
+            "cells_per_element": self.cells_per_element,
+            "adc_bits": self.adc_bits,
+            "epsilon": self.epsilon,
+            "move_both_players": self.move_both_players,
+            "pure_start_bias": self.pure_start_bias,
+            "record_history": self.record_history,
+            "execution": self.execution,
+            "acceptance": acceptance_to_dict(self.acceptance),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "CNashConfig":
+        """Reconstruct a configuration from :meth:`to_dict` output."""
+        payload = dict(data)
+        payload["acceptance"] = acceptance_from_dict(payload["acceptance"])
+        return cls(**payload)
 
     def schedule(self) -> TemperatureSchedule:
         """The temperature schedule implied by the configured bounds."""

@@ -173,6 +173,12 @@ def evaluate_game(
         num_iterations=budget.num_iterations,
         use_hardware=scale.use_hardware,
     )
+    # The solver instance doubles as the GameEvaluation's analysis handle
+    # (distinct_solutions, timing model), so the default path solves on
+    # it directly rather than re-constructing one inside the facade —
+    # CNashBackend performs the identical computation for the same
+    # (game, config, seed).  The runner's --service mode installs a
+    # backend that routes every batch through repro.api instead.
     cnash = CNashSolver(game, config, seed=seed)
     if _SOLVE_BACKEND is not None:
         cnash_batch = _SOLVE_BACKEND(game, config, budget.num_runs, seed)

@@ -80,15 +80,24 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _service_backend(client):
-    """A :func:`repro.experiments.common.set_solve_backend` adapter."""
-    from repro.service.jobs import SolveRequest
+    """A :func:`repro.experiments.common.set_solve_backend` adapter.
+
+    Routes every C-Nash batch through :func:`repro.api.solve` with the
+    service client attached, so the scheduler shards it across the
+    worker pool and serves repeats from the result cache.
+    """
+    import repro.api as api
+    from repro.backends import SolveSpec
 
     def solve(game, config, num_runs, seed):
-        request = SolveRequest(
-            game=game, policy="cnash", num_runs=num_runs, seed=seed, config=config
+        report = api.solve(
+            game,
+            backend="cnash",
+            spec=SolveSpec(num_runs=num_runs, seed=seed, options={"config": config}),
+            client=client,
         )
-        batch = client.solve(request).batch_result()
-        assert batch is not None  # the cnash policy always carries a batch
+        batch = report.batch_result()
+        assert batch is not None  # the cnash backend always carries a batch
         return batch
 
     return solve

@@ -9,8 +9,10 @@ This package turns the in-process solvers into a serving layer:
 * :mod:`repro.service.scheduler` — asyncio priority queue with a
   process-pool worker backend that shards ``num_runs=N`` batches into
   per-worker sub-batches and merges them deterministically;
-* :mod:`repro.service.portfolio` — multi-backend dispatch across the
-  C-Nash solver, the S-QUBO baseline and the exact game solvers;
+* :mod:`repro.service.portfolio` — dispatch of request policies through
+  the pluggable backend registry (:mod:`repro.backends`): any backend
+  registered with ``register_backend()`` is servable here with zero
+  changes to this package;
 * :mod:`repro.service.server` / :mod:`repro.service.client` — a
   dependency-free JSON-over-TCP front end plus async, sync and
   in-process clients.
@@ -42,7 +44,12 @@ from repro.service.jobs import (
     game_from_dict,
     game_to_dict,
 )
-from repro.service.portfolio import execute_request, shard_payloads, solve_shard_payload
+from repro.service.portfolio import (
+    execute_request,
+    portfolio_order,
+    shard_payloads,
+    solve_shard_payload,
+)
 from repro.service.scheduler import DEFAULT_SHARD_SIZE, SolveScheduler
 from repro.service.server import NashServer, serve
 
@@ -62,6 +69,7 @@ __all__ = [
     "game_to_dict",
     "game_from_dict",
     "execute_request",
+    "portfolio_order",
     "shard_payloads",
     "solve_shard_payload",
     "SolveScheduler",

@@ -17,7 +17,6 @@ process and network boundaries unchanged.
 
 from __future__ import annotations
 
-import dataclasses
 import hashlib
 import json
 import time
@@ -27,70 +26,25 @@ from typing import Any, Dict, List, Optional
 
 import numpy as np
 
-from repro.annealing.acceptance import (
-    AcceptanceRule,
-    GlauberAcceptance,
-    GreedyAcceptance,
-    MetropolisAcceptance,
-)
+from repro.backends import UnknownBackendError, available_backends, is_registered
 from repro.core.config import CNashConfig
 from repro.core.result import SolverBatchResult
 from repro.games.bimatrix import BimatrixGame
 
-#: Backend policies a request may ask for (see :mod:`repro.service.portfolio`).
+#: The built-in backend policies (kept for back-compat; the live set is
+#: :func:`repro.backends.available_backends` — any registered backend
+#: name is a valid policy).
 POLICIES = ("cnash", "squbo", "exact", "portfolio")
-
-#: Built-in acceptance rules reconstructable from their class name.
-_ACCEPTANCE_REGISTRY = {
-    cls.__name__: cls for cls in (MetropolisAcceptance, GreedyAcceptance, GlauberAcceptance)
-}
-
-
-def _acceptance_to_dict(rule: AcceptanceRule) -> Dict[str, Any]:
-    """Canonical JSON form of a (dataclass) acceptance rule."""
-    name = type(rule).__name__
-    if name not in _ACCEPTANCE_REGISTRY:
-        raise ValueError(
-            f"acceptance rule {name!r} is not serialisable for the service; "
-            f"supported: {', '.join(sorted(_ACCEPTANCE_REGISTRY))}"
-        )
-    params = {
-        f.name: getattr(rule, f.name) for f in dataclasses.fields(rule)  # type: ignore[arg-type]
-    }
-    return {"name": name, "params": params}
-
-
-def _acceptance_from_dict(data: Dict[str, Any]) -> AcceptanceRule:
-    name = data["name"]
-    if name not in _ACCEPTANCE_REGISTRY:
-        raise ValueError(f"unknown acceptance rule {name!r}")
-    return _ACCEPTANCE_REGISTRY[name](**data.get("params", {}))
 
 
 def config_to_dict(config: CNashConfig) -> Dict[str, Any]:
-    """Canonical JSON form of a :class:`CNashConfig` (inverse of :func:`config_from_dict`)."""
-    return {
-        "num_intervals": config.num_intervals,
-        "num_iterations": config.num_iterations,
-        "initial_temperature": config.initial_temperature,
-        "final_temperature": config.final_temperature,
-        "use_hardware": config.use_hardware,
-        "cells_per_element": config.cells_per_element,
-        "adc_bits": config.adc_bits,
-        "epsilon": config.epsilon,
-        "move_both_players": config.move_both_players,
-        "pure_start_bias": config.pure_start_bias,
-        "record_history": config.record_history,
-        "execution": config.execution,
-        "acceptance": _acceptance_to_dict(config.acceptance),
-    }
+    """Canonical JSON form of a :class:`CNashConfig` (now :meth:`CNashConfig.to_dict`)."""
+    return config.to_dict()
 
 
 def config_from_dict(data: Dict[str, Any]) -> CNashConfig:
-    """Reconstruct a :class:`CNashConfig` from :func:`config_to_dict` output."""
-    payload = dict(data)
-    payload["acceptance"] = _acceptance_from_dict(payload["acceptance"])
-    return CNashConfig(**payload)
+    """Reconstruct a :class:`CNashConfig` (now :meth:`CNashConfig.from_dict`)."""
+    return CNashConfig.from_dict(data)
 
 
 def game_to_dict(game: BimatrixGame) -> Dict[str, Any]:
@@ -125,11 +79,17 @@ class SolveRequest:
     game:
         The bimatrix game to solve.
     policy:
-        Backend policy: ``"cnash"`` (sharded annealing batch),
-        ``"squbo"`` (the D-Wave-like S-QUBO baseline), ``"exact"``
-        (enumeration / Lemke–Howson ground truth) or ``"portfolio"``
-        (try exact first, fall back through the annealers; see
-        :mod:`repro.service.portfolio`).
+        Name of a registered backend (:mod:`repro.backends`).  Built-ins:
+        ``"cnash"`` (sharded annealing batch), ``"squbo"`` (the
+        D-Wave-like S-QUBO baseline), ``"exact"`` (enumeration /
+        Lemke–Howson ground truth) and ``"portfolio"`` (registry-driven
+        fallback chain).  Custom backends registered with
+        :func:`repro.backends.register_backend` are equally valid.
+        Validation happens at construction against *this process's*
+        registry (so typos fail fast with the available names); a
+        remote TCP client targeting a backend registered only on the
+        server must therefore import/register that backend locally too
+        before constructing the request.
     num_runs:
         SA runs (or baseline samples) for the annealing policies;
         ignored by ``"exact"``.
@@ -139,6 +99,13 @@ class SolveRequest:
         are never cached.
     config:
         Solver configuration for the C-Nash backend.
+    epsilon:
+        Optional backend-agnostic equilibrium-tolerance override
+        (:attr:`repro.backends.SolveSpec.epsilon`).  ``None`` (the
+        default) lets each backend derive its own tolerance, exactly as
+        before this field existed; to keep historical fingerprints and
+        cache keys stable, ``None`` is also excluded from the
+        fingerprint.
     priority:
         Scheduler priority — *lower* values run first (0 is the default
         lane, negative values jump the queue).
@@ -155,19 +122,22 @@ class SolveRequest:
     num_runs: int = 100
     seed: Optional[int] = None
     config: CNashConfig = field(default_factory=CNashConfig)
+    epsilon: Optional[float] = None
     priority: int = 0
     deadline_s: Optional[float] = None
     use_cache: bool = True
 
     def __post_init__(self) -> None:
-        if self.policy not in POLICIES:
-            raise ValueError(f"policy must be one of {POLICIES}, got {self.policy!r}")
+        if not is_registered(self.policy):
+            raise UnknownBackendError(self.policy, available_backends(), noun="policy")
         if not isinstance(self.num_runs, (int, np.integer)) or isinstance(self.num_runs, bool):
             raise ValueError(f"num_runs must be an integer >= 1, got {self.num_runs!r}")
         if self.num_runs < 1:
             raise ValueError(f"num_runs must be >= 1, got {self.num_runs}")
         if self.seed is not None and not isinstance(self.seed, (int, np.integer)):
             raise ValueError(f"seed must be an int or None, got {self.seed!r}")
+        if self.epsilon is not None and self.epsilon < 0:
+            raise ValueError(f"epsilon must be non-negative, got {self.epsilon}")
         if self.deadline_s is not None and self.deadline_s <= 0:
             raise ValueError(f"deadline_s must be positive, got {self.deadline_s}")
 
@@ -192,6 +162,11 @@ class SolveRequest:
             "seed": None if self.seed is None else int(self.seed),
             "policy": self.policy,
         }
+        # epsilon joined the request schema after fingerprints were
+        # already persisted in caches; only a set value changes what is
+        # computed, so only a set value joins the hash.
+        if self.epsilon is not None:
+            payload["epsilon"] = float(self.epsilon)
         return hashlib.sha256(canonical_json(payload).encode("utf-8")).hexdigest()
 
     def to_dict(self) -> Dict[str, Any]:
@@ -202,6 +177,7 @@ class SolveRequest:
             "num_runs": int(self.num_runs),
             "seed": None if self.seed is None else int(self.seed),
             "config": config_to_dict(self.config),
+            "epsilon": self.epsilon,
             "priority": int(self.priority),
             "deadline_s": self.deadline_s,
             "use_cache": bool(self.use_cache),
@@ -216,6 +192,7 @@ class SolveRequest:
             num_runs=int(data.get("num_runs", 100)),
             seed=None if data.get("seed") is None else int(data["seed"]),
             config=config_from_dict(data["config"]) if "config" in data else CNashConfig(),
+            epsilon=data.get("epsilon"),
             priority=int(data.get("priority", 0)),
             deadline_s=data.get("deadline_s"),
             use_cache=bool(data.get("use_cache", True)),

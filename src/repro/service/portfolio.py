@@ -1,21 +1,18 @@
-"""Multi-backend dispatch: C-Nash, S-QUBO baseline and exact solvers.
+"""Service-side backend dispatch over the global backend registry.
 
-The adaptive collaborative-neurodynamic line of work (PAPERS.md, Chen
-2025) shows that racing a *population* of heterogeneous NE solvers and
-keeping the first verified answer beats committing to any single one.
-This module is the in-process version of that idea: every
-:class:`~repro.service.jobs.SolveRequest` names a policy, and
+Historically this module hard-wired the C-Nash / S-QUBO / exact solvers
+behind an ``if/elif`` over policy strings.  It is now a thin bridge
+between the service's wire types (:class:`~repro.service.jobs.SolveRequest`
+/ :class:`~repro.service.jobs.SolveOutcome`) and the pluggable backend
+registry (:mod:`repro.backends`): a request's ``policy`` is simply a
+registered backend name, so a backend registered in one line becomes
+servable over the scheduler and the TCP transport with no changes here.
 
-* ``"cnash"`` runs the paper's solver (the scheduler shards this one
-  across the worker pool);
-* ``"squbo"`` runs the D-Wave-like S-QUBO baseline (pure strategies
-  only — it exists so clients can reproduce the paper's comparison
-  through the same front end);
-* ``"exact"`` runs the ground-truth solvers — support enumeration for
-  small games, Lemke–Howson from all labels for larger ones;
-* ``"portfolio"`` tries ``exact`` first (cheap and complete on the
-  benchmark sizes) and falls back to ``cnash`` then ``squbo``, keeping
-  the first backend that produced a *verified* equilibrium.
+The pre-registry entry points (:func:`solve_cnash`, :func:`solve_squbo`,
+:func:`solve_exact`, :func:`solve_portfolio`) are kept as deprecation
+shims; for a fixed seed they produce byte-identical ``SolveOutcome``
+wire dicts to the old implementations (guarded by
+``tests/service/test_shims.py``).
 
 Everything in this module is synchronous and picklable-by-payload: the
 scheduler ships request dicts into worker processes and gets outcome
@@ -25,37 +22,111 @@ dicts back (see :func:`execute_request_payload`).
 from __future__ import annotations
 
 import dataclasses
-import time
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
-from repro.baselines.dwave_like import DWaveLikeSolver
+from repro.backends import (
+    DEFAULT_PORTFOLIO_ORDER,
+    EXACT_ENUMERATION_LIMIT,  # noqa: F401 - re-exported for back-compat
+    SolveReport,
+    SolveSpec,
+    get_backend,
+    profiles_from_wire,
+    profiles_to_wire,
+    profiles_verified,
+)
 from repro.core.result import SolverBatchResult
 from repro.core.solver import CNashSolver
-from repro.games.equilibrium import EquilibriumSet, StrategyProfile, is_epsilon_equilibrium
-from repro.games.lemke_howson import lemke_howson_all_labels
-from repro.games.support_enumeration import support_enumeration
+from repro.games.equilibrium import EquilibriumSet, StrategyProfile
 from repro.service.jobs import SolveOutcome, SolveRequest
 from repro.utils.rng import shard_seeds
 
-#: Action-count bound below which the exact backend uses full support
-#: enumeration; larger games fall back to Lemke–Howson from all labels.
-EXACT_ENUMERATION_LIMIT = 9
-
-#: Portfolio fallback order after the exact attempt.
-PORTFOLIO_ORDER = ("exact", "cnash", "squbo")
+#: Deprecated alias — the portfolio member order is now data on the
+#: registered ``"portfolio"`` backend (see :func:`portfolio_order`).
+PORTFOLIO_ORDER = DEFAULT_PORTFOLIO_ORDER
 
 
-def _profiles_to_wire(profiles: List[StrategyProfile]) -> List[Dict[str, List[float]]]:
-    """Strategy profiles as JSON-ready ``{"p": [...], "q": [...]}`` dicts."""
-    return [
-        {"p": [float(x) for x in profile.p], "q": [float(x) for x in profile.q]}
-        for profile in profiles
-    ]
+def portfolio_order() -> Optional[Tuple[str, ...]]:
+    """The registered portfolio backend's member order (data, not code).
+
+    Returns ``None`` when the registered ``"portfolio"`` backend is not
+    chain-shaped (no ``order`` attribute) — e.g. a custom replacement
+    with its own selection semantics.  The scheduler only takes its
+    member-sharding fast path for chain-shaped portfolios; anything
+    else executes through the backend's own ``solve()`` like any other
+    policy, so replacing the portfolio never silently reverts to the
+    built-in chain.
+    """
+    backend = get_backend("portfolio")
+    order = getattr(backend, "order", None)
+    if not order:
+        return None
+    return tuple(order)
 
 
 def wire_to_profiles(equilibria: List[Dict[str, List[float]]]) -> List[StrategyProfile]:
     """Inverse of the wire encoding used in :class:`SolveOutcome`."""
-    return [StrategyProfile(entry["p"], entry["q"]) for entry in equilibria]
+    return profiles_from_wire(equilibria)
+
+
+def cnash_is_builtin() -> bool:
+    """Whether ``"cnash"`` still resolves to the built-in backend.
+
+    The scheduler's sharded fast path runs :func:`solve_cnash` (the
+    built-in solver) directly on workers; it is only taken when the
+    registry agrees that is what ``"cnash"`` means.  A substituted
+    variant executes through its own ``solve()`` instead.
+    """
+    from repro.backends import CNashBackend
+
+    return type(get_backend("cnash")) is CNashBackend
+
+
+def effective_config(request: SolveRequest):
+    """The request's C-Nash config with its ``epsilon`` override folded in.
+
+    Every service-side consumer of the config (shard execution,
+    verification) must use this, so the scheduler's fast paths and the
+    registry path apply the same tolerance
+    (:func:`repro.backends.config_from_spec` performs the identical fold
+    for in-process backends).
+    """
+    if request.epsilon is None or request.epsilon == request.config.epsilon:
+        return request.config
+    return dataclasses.replace(request.config, epsilon=request.epsilon)
+
+
+def spec_from_request(request: SolveRequest) -> SolveSpec:
+    """The backend-facing :class:`SolveSpec` equivalent of a request.
+
+    The request's :class:`~repro.core.config.CNashConfig` travels under
+    ``options["config"]`` (backends that do not use it ignore it), and
+    the request's explicit ``epsilon`` field becomes ``spec.epsilon`` —
+    so a tolerance set through the facade survives the service round
+    trip for *every* backend, while legacy requests (``epsilon=None``)
+    behave exactly as before, even if their C-Nash config sets its own
+    ``epsilon``.  Deadlines are enforced by the scheduler, not the
+    backend, so they are not propagated.
+    """
+    return SolveSpec(
+        num_runs=request.num_runs,
+        seed=request.seed,
+        epsilon=request.epsilon,
+        options={"config": request.config},
+    )
+
+
+def outcome_from_report(request: SolveRequest, report: SolveReport) -> SolveOutcome:
+    """The service wire outcome for one backend report."""
+    return SolveOutcome(
+        fingerprint=request.fingerprint(),
+        policy=request.policy,
+        backend=report.backend,
+        success_rate=report.success_rate,
+        equilibria=profiles_to_wire(report.equilibria),
+        batch=report.batch_dict(),
+        shards=1,
+        wall_clock_seconds=report.wall_clock_seconds,
+    )
 
 
 def outcome_from_batch(
@@ -78,7 +149,7 @@ def outcome_from_batch(
         policy=request.policy,
         backend=backend,
         success_rate=batch.success_rate,
-        equilibria=_profiles_to_wire(list(distinct)),
+        equilibria=profiles_to_wire(list(distinct)),
         batch=batch.to_dict(),
         shards=shards,
         wall_clock_seconds=batch.wall_clock_seconds,
@@ -86,15 +157,20 @@ def outcome_from_batch(
 
 
 # ----------------------------------------------------------------------
-# Backends
+# Deprecation shims (pre-registry entry points)
 # ----------------------------------------------------------------------
-def solve_cnash(request: SolveRequest, num_runs: Optional[int] = None, seed=None) -> SolverBatchResult:
+def solve_cnash(
+    request: SolveRequest, num_runs: Optional[int] = None, seed=None
+) -> SolverBatchResult:
     """Run the C-Nash solver for (a shard of) a request.
 
     ``num_runs`` / ``seed`` default to the request's own values; the
-    scheduler overrides them per shard.
+    scheduler overrides them per shard.  Kept as a direct (non-registry)
+    path because shard execution must stay byte-identical regardless of
+    what is registered under ``"cnash"`` (the scheduler only takes it
+    when the built-in backend is the one registered).
     """
-    solver = CNashSolver(request.game, request.config, seed=request.seed)
+    solver = CNashSolver(request.game, effective_config(request), seed=request.seed)
     return solver.solve_batch(
         num_runs=request.num_runs if num_runs is None else num_runs,
         seed=request.seed if seed is None else seed,
@@ -102,49 +178,24 @@ def solve_cnash(request: SolveRequest, num_runs: Optional[int] = None, seed=None
 
 
 def solve_squbo(request: SolveRequest) -> SolveOutcome:
-    """Run the D-Wave-like S-QUBO baseline for a request."""
-    solver = DWaveLikeSolver(request.game, seed=request.seed)
-    start = time.perf_counter()
-    batch = solver.sample_batch(request.num_runs, seed=request.seed)
-    distinct = solver.distinct_solutions(batch)
-    return SolveOutcome(
-        fingerprint=request.fingerprint(),
-        policy=request.policy,
-        backend=f"squbo/{solver.machine.name}",
-        success_rate=batch.success_rate,
-        equilibria=_profiles_to_wire(list(distinct)),
-        batch=None,
-        shards=1,
-        wall_clock_seconds=time.perf_counter() - start,
-    )
+    """Deprecated shim: the D-Wave-like S-QUBO baseline via the registry."""
+    return _execute_member(request, "squbo")
 
 
 def solve_exact(request: SolveRequest) -> SolveOutcome:
-    """Run the ground-truth solvers for a request.
+    """Deprecated shim: the ground-truth solvers via the registry."""
+    return _execute_member(request, "exact")
 
-    Support enumeration is complete but exponential in the support
-    count, so games beyond :data:`EXACT_ENUMERATION_LIMIT` actions use
-    Lemke–Howson from every initial label instead (at least one
-    equilibrium, usually several, each verified).
-    """
-    start = time.perf_counter()
-    if request.game.num_actions <= EXACT_ENUMERATION_LIMIT:
-        equilibria = support_enumeration(request.game)
-        backend = "exact/support-enumeration"
-    else:
-        equilibria = lemke_howson_all_labels(request.game)
-        backend = "exact/lemke-howson"
-    profiles = list(equilibria)
-    return SolveOutcome(
-        fingerprint=request.fingerprint(),
-        policy=request.policy,
-        backend=backend,
-        success_rate=1.0 if profiles else 0.0,
-        equilibria=_profiles_to_wire(profiles),
-        batch=None,
-        shards=1,
-        wall_clock_seconds=time.perf_counter() - start,
-    )
+
+def solve_portfolio(request: SolveRequest) -> SolveOutcome:
+    """Deprecated shim: the registry-driven portfolio chain."""
+    return _execute_member(request, "portfolio")
+
+
+def _execute_member(request: SolveRequest, backend_name: str) -> SolveOutcome:
+    """Execute a request through one named backend, relabelled as the request."""
+    report = get_backend(backend_name).solve(request.game, spec_from_request(request))
+    return outcome_from_report(request, report)
 
 
 def has_verified_equilibrium(request: SolveRequest, outcome: SolveOutcome) -> bool:
@@ -153,21 +204,16 @@ def has_verified_equilibrium(request: SolveRequest, outcome: SolveOutcome) -> bo
     Exact-backend profiles are checked at tight tolerance; annealing
     output lives on the quantisation grid, so it is checked at the
     solver's epsilon (computed arithmetically — no solver or hardware
-    model is constructed for the check).
+    model is constructed for the check).  Shares its tolerance policy
+    with the backend-level portfolio via
+    :func:`repro.backends.profiles_verified`, so the two selection paths
+    cannot drift apart.
     """
-    if not outcome.equilibria:
-        return False
-    if outcome.backend.startswith("exact/"):
-        epsilon = 1e-6
-    else:
-        game = request.game
-        payoff_scale = float(
-            max(abs(game.payoff_row).max(), abs(game.payoff_col).max())
-        )
-        epsilon = request.config.effective_epsilon(payoff_scale)
-    return any(
-        is_epsilon_equilibrium(request.game, profile.p, profile.q, epsilon)
-        for profile in wire_to_profiles(outcome.equilibria)
+    return profiles_verified(
+        request.game,
+        wire_to_profiles(outcome.equilibria),
+        outcome.backend,
+        effective_config(request),
     )
 
 
@@ -176,57 +222,33 @@ def member_request(request: SolveRequest, member: str) -> SolveRequest:
     return dataclasses.replace(request, policy=member)
 
 
-def adopt_portfolio_attempt(
-    request: SolveRequest, attempt: SolveOutcome
-) -> bool:
+def adopt_portfolio_attempt(request: SolveRequest, attempt: SolveOutcome) -> bool:
     """Re-label a member attempt as the portfolio's own outcome.
 
     Mutates ``attempt`` to carry the portfolio request's policy and
     fingerprint and returns whether it contains a verified equilibrium
     (i.e. whether the portfolio should stop here).  Shared by the
-    in-worker loop below and the scheduler's sharded portfolio routing
-    so the two selection paths cannot drift apart.
+    scheduler's sharded portfolio routing so its selection semantics
+    match the in-worker :class:`~repro.backends.PortfolioBackend`.
     """
     attempt.policy = request.policy
     attempt.fingerprint = request.fingerprint()
     return has_verified_equilibrium(request, attempt)
 
 
-def solve_portfolio(request: SolveRequest) -> SolveOutcome:
-    """Try the backends in :data:`PORTFOLIO_ORDER`, keep the first verified answer.
-
-    The returned outcome's ``backend`` records which member won; if no
-    backend verified an equilibrium the last attempt is returned as-is
-    (its ``success_rate`` tells the caller how badly things went).
-    ``wall_clock_seconds`` covers the whole portfolio run, failed
-    members included.
-    """
-    start = time.perf_counter()
-    last: Optional[SolveOutcome] = None
-    for member in PORTFOLIO_ORDER:
-        attempt = execute_request(member_request(request, member))
-        last = attempt
-        if adopt_portfolio_attempt(request, attempt):
-            break
-    assert last is not None  # PORTFOLIO_ORDER is non-empty
-    last.wall_clock_seconds = time.perf_counter() - start
-    return last
-
-
 # ----------------------------------------------------------------------
 # Entry points (scheduler / worker pool)
 # ----------------------------------------------------------------------
 def execute_request(request: SolveRequest) -> SolveOutcome:
-    """Synchronously execute one request, whole, on the calling process."""
-    if request.policy == "cnash":
-        return outcome_from_batch(request, solve_cnash(request), backend="cnash")
-    if request.policy == "squbo":
-        return solve_squbo(request)
-    if request.policy == "exact":
-        return solve_exact(request)
-    if request.policy == "portfolio":
-        return solve_portfolio(request)
-    raise ValueError(f"unknown policy {request.policy!r}")
+    """Synchronously execute one request, whole, on the calling process.
+
+    The policy string resolves through the backend registry
+    (:func:`repro.backends.get_backend`), so any registered backend —
+    built-in or custom — is executable here; unknown policies raise
+    :class:`repro.backends.UnknownBackendError`, which lists the
+    available backends.
+    """
+    return _execute_member(request, request.policy)
 
 
 def execute_request_payload(payload: dict) -> dict:
@@ -234,7 +256,11 @@ def execute_request_payload(payload: dict) -> dict:
 
     Dicts (not rich objects) cross the process boundary so the pool only
     ever pickles plain JSON-compatible data, and the same payloads are
-    reusable verbatim over the TCP transport.
+    reusable verbatim over the TCP transport.  Note that whether worker
+    *processes* see custom backends depends on the multiprocessing start
+    method (``fork`` inherits the parent registry, ``spawn`` re-imports
+    and sees only built-ins) — serve custom backends with the
+    thread/inline executors for portable behaviour.
     """
     return execute_request(SolveRequest.from_dict(payload)).to_dict()
 

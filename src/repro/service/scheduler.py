@@ -35,11 +35,12 @@ from repro.core.result import SolverBatchResult
 from repro.service.cache import ResultCache
 from repro.service.jobs import JobRecord, JobStatus, SolveOutcome, SolveRequest
 from repro.service.portfolio import (
-    PORTFOLIO_ORDER,
     adopt_portfolio_attempt,
+    cnash_is_builtin,
     execute_request_payload,
     member_request,
     outcome_from_batch,
+    portfolio_order,
     shard_payloads,
     solve_shard_payload,
 )
@@ -429,14 +430,22 @@ class SolveScheduler:
         this configuration would compute — including across schedulers
         sharing a disk tier.  ``"portfolio"`` outcomes may embed a
         sharded C-Nash batch (the fallback member), so they are keyed
-        the same way; the exact/S-QUBO policies use the raw fingerprint.
+        the same way; the exact/S-QUBO policies skip the shard suffix.
+
+        The registry fingerprint is folded into every key because a
+        request's fingerprint names backends, not implementations:
+        re-registering a backend (or re-ordering the portfolio) must not
+        serve outcomes the previous implementation computed.  With only
+        the built-ins registered the digest is a deterministic constant,
+        so keys stay stable across restarts sharing a disk tier.
         """
+        from repro.backends import registry_fingerprint
+
         fingerprint = request.fingerprint()
-        if request.policy not in ("cnash", "portfolio"):
-            return fingerprint
-        return hashlib.sha256(
-            f"{fingerprint}:shard_size={self.shard_size}".encode("ascii")
-        ).hexdigest()
+        suffix = f":registry={registry_fingerprint()}"
+        if request.policy in ("cnash", "portfolio"):
+            suffix += f":shard_size={self.shard_size}"
+        return hashlib.sha256(f"{fingerprint}{suffix}".encode("ascii")).hexdigest()
 
     async def _execute(self, request: SolveRequest) -> SolveOutcome:
         """Run one request on the worker pool (sharded for C-Nash batches).
@@ -448,7 +457,17 @@ class SolveScheduler:
         already running on a worker complete (and are discarded).
         """
         loop = asyncio.get_running_loop()
-        if request.policy == "cnash":
+        if request.policy == "cnash" and not cnash_is_builtin():
+            # A substituted "cnash" backend must actually be the one that
+            # answers; run it through the generic registry path below
+            # (shared-registry executors only — same rule as portfolio).
+            if self.executor_kind == "process":
+                raise RuntimeError(
+                    "a replaced 'cnash' backend cannot be served by the process "
+                    "executor: worker processes may resolve the name to the "
+                    "built-in solver instead; use executor='thread' or 'inline'"
+                )
+        elif request.policy == "cnash":
             payloads = shard_payloads(request, self.shard_size)
             shard_dicts = await asyncio.gather(
                 *(
@@ -462,32 +481,52 @@ class SolveScheduler:
             )
             return outcome_from_batch(request, merged, backend="cnash", shards=len(payloads))
         if request.policy == "portfolio":
-            return await self._execute_portfolio(request)
+            order = portfolio_order()
+            if order is not None:
+                return await self._execute_portfolio(request, order)
+            # Custom (non-chain) portfolio replacement: its own solve()
+            # runs on a worker through the generic path below.  That is
+            # only sound when the worker shares this process's registry
+            # — a worker *process* may re-import the built-in portfolio
+            # under the same name and silently answer with the wrong
+            # semantics, so refuse rather than guess.
+            if self.executor_kind == "process":
+                raise RuntimeError(
+                    "a custom (non-chain) 'portfolio' backend cannot be served "
+                    "by the process executor: worker processes may resolve the "
+                    "name to the built-in portfolio chain instead; use "
+                    "executor='thread' or 'inline'"
+                )
         outcome_dict = await loop.run_in_executor(
             self._executor, execute_request_payload, request.to_dict()
         )
         self.counters["shards_executed"] += 1
         return SolveOutcome.from_dict(outcome_dict)
 
-    async def _execute_portfolio(self, request: SolveRequest) -> SolveOutcome:
+    async def _execute_portfolio(
+        self, request: SolveRequest, order: "tuple[str, ...]"
+    ) -> SolveOutcome:
         """Portfolio policy with scheduler-level member routing.
 
-        Same selection semantics as
-        :func:`repro.service.portfolio.solve_portfolio` (shared via
+        Same selection semantics as the registered
+        :class:`~repro.backends.PortfolioBackend` (shared via
         :func:`~repro.service.portfolio.adopt_portfolio_attempt`) — try
-        the members in order, keep the first verified answer — but each
-        member goes through :meth:`_execute`, so the C-Nash fallback is
-        *sharded* across the worker pool instead of running its whole
-        batch inside one worker.
+        the members in :func:`~repro.service.portfolio.portfolio_order`,
+        keep the first verified answer — but each member goes through
+        :meth:`_execute`, so the C-Nash fallback is *sharded* across the
+        worker pool instead of running its whole batch inside one
+        worker.  The member order is data on the registered portfolio
+        backend: re-registering it with a different order re-routes this
+        path too, with no scheduler change.
         """
         start = time.perf_counter()
         last: Optional[SolveOutcome] = None
-        for member in PORTFOLIO_ORDER:
+        for member in order:
             attempt = await self._execute(member_request(request, member))
             last = attempt
             if adopt_portfolio_attempt(request, attempt):
                 break
-        assert last is not None  # PORTFOLIO_ORDER is non-empty
+        assert last is not None  # order is non-empty
         last.wall_clock_seconds = time.perf_counter() - start
         return last
 

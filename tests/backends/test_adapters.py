@@ -1,0 +1,252 @@
+"""Tests for SolveSpec/SolveReport and the built-in backend adapters."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.backends import (
+    BackendCapabilities,
+    PortfolioBackend,
+    SolveReport,
+    SolveSpec,
+    config_from_spec,
+    get_backend,
+    profiles_verified,
+    temporary_backend,
+)
+from repro.core.config import CNashConfig
+from repro.games.equilibrium import is_epsilon_equilibrium
+from repro.games.library import battle_of_the_sexes, matching_pennies
+
+FAST = CNashConfig(num_intervals=4, num_iterations=300)
+
+
+def fast_spec(**overrides) -> SolveSpec:
+    params = dict(num_runs=8, seed=0, options={"config": FAST})
+    params.update(overrides)
+    return SolveSpec(**params)
+
+
+class TestSolveSpec:
+    def test_frozen_and_options_read_only(self):
+        spec = SolveSpec(num_runs=4, seed=1, options={"a": 1})
+        with pytest.raises(AttributeError):
+            spec.num_runs = 5
+        with pytest.raises(TypeError):
+            spec.options["a"] = 2
+
+    def test_hashable_as_memoization_key(self):
+        # Frozen implies usable as a dict key; options are excluded from
+        # the hash (the read-only proxy is unhashable) but still compared.
+        a = SolveSpec(num_runs=4, seed=1, options={"a": 1})
+        b = SolveSpec(num_runs=4, seed=1, options={"a": 1})
+        c = SolveSpec(num_runs=4, seed=1, options={"a": 2})
+        assert hash(a) == hash(b)
+        assert a == b and a != c
+        assert len({a: "x", b: "y"}) == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="num_runs"):
+            SolveSpec(num_runs=0)
+        with pytest.raises(ValueError, match="num_runs"):
+            SolveSpec(num_runs=2.5)
+        with pytest.raises(ValueError, match="seed"):
+            SolveSpec(seed="zero")
+        with pytest.raises(ValueError, match="epsilon"):
+            SolveSpec(epsilon=-0.1)
+        with pytest.raises(ValueError, match="deadline_s"):
+            SolveSpec(deadline_s=0.0)
+
+    def test_with_options_merges(self):
+        spec = SolveSpec(num_runs=4, options={"a": 1})
+        merged = spec.with_options(b=2)
+        assert dict(merged.options) == {"a": 1, "b": 2}
+        assert dict(spec.options) == {"a": 1}
+        assert merged.num_runs == 4
+
+    def test_pickle_and_deepcopy(self):
+        import copy
+        import pickle
+
+        spec = fast_spec(epsilon=0.5)
+        for restored in (pickle.loads(pickle.dumps(spec)), copy.deepcopy(spec)):
+            assert restored == spec
+            assert dict(restored.options) == dict(spec.options)
+            with pytest.raises(TypeError):
+                restored.options["x"] = 1  # still read-only after rebuild
+
+    def test_wire_round_trip_with_config(self):
+        spec = fast_spec(epsilon=0.25, deadline_s=9.0)
+        payload = json.loads(json.dumps(spec.to_dict()))
+        restored = SolveSpec.from_dict(payload)
+        assert restored == spec
+        assert restored.options["config"] == FAST
+
+    def test_config_from_spec(self):
+        assert config_from_spec(SolveSpec()) == CNashConfig()
+        assert config_from_spec(fast_spec()) == FAST
+        assert config_from_spec(fast_spec(epsilon=0.5)).epsilon == 0.5
+        from_dict = SolveSpec(options={"config": FAST.to_dict()})
+        assert config_from_spec(from_dict) == FAST
+        with pytest.raises(TypeError, match="config"):
+            config_from_spec(SolveSpec(options={"config": 42}))
+
+
+class TestSolveReportWire:
+    def test_round_trip(self):
+        report = get_backend("cnash").solve(battle_of_the_sexes(), fast_spec())
+        payload = json.loads(json.dumps(report.to_dict()))
+        restored = SolveReport.from_dict(payload)
+        assert restored.backend == report.backend
+        assert restored.success_rate == report.success_rate
+        assert restored.num_equilibria == report.num_equilibria
+        assert all(
+            a.close_to(b, atol=1e-12)
+            for a, b in zip(restored.equilibria, report.equilibria)
+        )
+        assert restored.batch == report.batch_dict()
+        assert restored.metadata == report.metadata
+
+
+class TestCNashBackend:
+    def test_report_carries_batch_and_equilibria(self):
+        game = battle_of_the_sexes()
+        report = get_backend("cnash").solve(game, fast_spec())
+        batch = report.batch_result()
+        assert batch is not None
+        assert batch.num_runs == 8
+        assert report.num_runs == 8
+        assert report.success_rate == batch.success_rate
+        for profile in report.equilibria:
+            assert is_epsilon_equilibrium(game, profile.p, profile.q, report.metadata["epsilon"])
+
+    def test_seeded_solve_is_deterministic(self):
+        game = battle_of_the_sexes()
+        first = get_backend("cnash").solve(game, fast_spec())
+        second = get_backend("cnash").solve(game, fast_spec())
+        a, b = first.to_dict(), second.to_dict()
+        for payload in (a, b):
+            payload["wall_clock_seconds"] = 0.0
+            payload["batch"]["wall_clock_seconds"] = 0.0
+        assert a == b
+
+    def test_capabilities(self):
+        caps = get_backend("cnash").capabilities()
+        assert caps.mixed_strategies and caps.deterministic and not caps.exact
+
+
+class TestSQuboBackend:
+    def test_never_reports_mixed(self):
+        report = get_backend("squbo").solve(battle_of_the_sexes(), fast_spec())
+        assert not report.found_mixed
+        assert report.backend.startswith("squbo/")
+        assert report.batch is None
+        assert get_backend("squbo").capabilities().mixed_strategies is False
+
+    def test_machine_option_by_name(self):
+        spec = fast_spec(options={"machine": "D-Wave 2000 Q6", "num_sweeps": 50})
+        report = get_backend("squbo").solve(battle_of_the_sexes(), spec)
+        assert report.backend == "squbo/D-Wave 2000 Q6"
+        assert report.metadata["num_sweeps"] == 50
+
+    def test_bad_machine_option(self):
+        with pytest.raises(TypeError, match="machine"):
+            get_backend("squbo").solve(
+                battle_of_the_sexes(), fast_spec(options={"machine": 3})
+            )
+
+
+class TestExactBackend:
+    def test_finds_all_bos_equilibria(self):
+        game = battle_of_the_sexes()
+        report = get_backend("exact").solve(game, SolveSpec())
+        assert report.backend == "exact/support-enumeration"
+        assert report.num_equilibria == 3
+        assert report.success_rate == 1.0
+        assert len(report.mixed_equilibria()) == 1
+
+    def test_enumeration_limit_switches_to_lemke_howson(self):
+        game = battle_of_the_sexes()
+        report = get_backend("exact").solve(
+            game, SolveSpec(options={"enumeration_limit": 1})
+        )
+        assert report.backend == "exact/lemke-howson"
+        assert report.num_equilibria >= 1
+
+    def test_capabilities_exact(self):
+        assert get_backend("exact").capabilities().exact is True
+
+
+class _EmptyBackend:
+    """A backend that never finds anything (portfolio fallback tests)."""
+
+    name = "empty-for-tests"
+
+    def capabilities(self) -> BackendCapabilities:
+        return BackendCapabilities(description="always fails")
+
+    def solve(self, game, spec) -> SolveReport:
+        return SolveReport(backend=self.name, game_name=game.name)
+
+
+class TestPortfolioBackend:
+    def test_default_order_is_data(self):
+        portfolio = get_backend("portfolio")
+        assert portfolio.order == ("exact", "cnash", "squbo")
+
+    def test_exact_wins_on_bos(self):
+        report = get_backend("portfolio").solve(battle_of_the_sexes(), fast_spec())
+        assert report.backend == "exact/support-enumeration"
+        assert report.metadata["portfolio_attempts"] == ["exact/support-enumeration"]
+        assert report.metadata["portfolio_order"] == ["exact", "cnash", "squbo"]
+
+    def test_falls_through_unverified_members(self):
+        with temporary_backend(_EmptyBackend()):
+            portfolio = PortfolioBackend(order=("empty-for-tests", "exact"))
+            report = portfolio.solve(battle_of_the_sexes(), SolveSpec())
+        assert report.backend == "exact/support-enumeration"
+        assert report.metadata["portfolio_attempts"] == [
+            "empty-for-tests",
+            "exact/support-enumeration",
+        ]
+
+    def test_returns_last_attempt_when_nothing_verifies(self):
+        with temporary_backend(_EmptyBackend()):
+            portfolio = PortfolioBackend(order=("empty-for-tests",))
+            report = portfolio.solve(battle_of_the_sexes(), SolveSpec())
+        assert report.backend == "empty-for-tests"
+        assert report.num_equilibria == 0
+
+    def test_empty_order_rejected(self):
+        with pytest.raises(ValueError, match="order"):
+            PortfolioBackend(order=())
+
+
+class TestProfilesVerified:
+    def test_exact_label_uses_tight_tolerance(self):
+        game = matching_pennies()
+        truth = get_backend("exact").solve(game, SolveSpec()).equilibria
+        assert profiles_verified(game, truth, "exact/support-enumeration")
+        assert profiles_verified(game, truth, "cnash", FAST)
+        assert not profiles_verified(game, [], "exact")
+
+    def test_exactness_comes_from_capabilities_not_the_name(self):
+        from repro.backends import label_is_exact
+
+        class CustomExact(_EmptyBackend):
+            name = "lh-all-for-tests"
+
+            def capabilities(self) -> BackendCapabilities:
+                return BackendCapabilities(exact=True)
+
+        assert label_is_exact("exact/support-enumeration")
+        assert not label_is_exact("cnash")
+        assert not label_is_exact("squbo/D-Wave Advantage 4.1")
+        with temporary_backend(CustomExact()):
+            # A registered custom backend is judged by its declared
+            # capabilities, so portfolio verification uses the tight
+            # exact tolerance for it rather than the annealing grid one.
+            assert label_is_exact("lh-all-for-tests")
+        assert not label_is_exact("lh-all-for-tests")  # unregistered: name rule

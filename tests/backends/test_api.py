@@ -1,0 +1,391 @@
+"""Tests for the one-call facade (:mod:`repro.api`).
+
+Includes the two acceptance scenarios of the unified-API redesign:
+
+* a custom toy backend registered with ``register_backend()`` is
+  immediately usable through ``api.solve``, ``api.compare`` AND a
+  ``SolveRequest`` served end-to-end through the scheduler — with zero
+  edits to ``service/`` code;
+* ``compare`` on the three paper benchmark games reproduces the paper's
+  qualitative result (S-QUBO misses the mixed equilibria, C-Nash and
+  the exact solvers find them) through the facade alone.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro.api as api
+from repro.backends import (
+    BackendCapabilities,
+    SolveReport,
+    SolveSpec,
+    UnknownBackendError,
+    temporary_backend,
+)
+from repro.core.config import CNashConfig
+from repro.games.equilibrium import StrategyProfile
+from repro.games.library import (
+    battle_of_the_sexes,
+    bird_game,
+    matching_pennies,
+    modified_prisoners_dilemma,
+)
+
+FAST = CNashConfig(num_intervals=4, num_iterations=300)
+
+
+def fast_spec(**overrides) -> SolveSpec:
+    params = dict(num_runs=8, seed=0, options={"config": FAST})
+    params.update(overrides)
+    return SolveSpec(**params)
+
+
+class UniformProfileBackend:
+    """Toy backend: always returns the uniform mixed profile."""
+
+    name = "uniform-profile"
+
+    def capabilities(self) -> BackendCapabilities:
+        return BackendCapabilities(
+            mixed_strategies=True,
+            deterministic=True,
+            description="uniform mixed profile (toy)",
+        )
+
+    def solve(self, game, spec: SolveSpec) -> SolveReport:
+        profile = StrategyProfile(
+            np.full(game.shape[0], 1.0 / game.shape[0]),
+            np.full(game.shape[1], 1.0 / game.shape[1]),
+        )
+        return SolveReport(
+            backend=self.name,
+            game_name=game.name,
+            equilibria=[profile],
+            success_rate=1.0,
+            num_runs=spec.num_runs,
+            metadata={"toy": True},
+        )
+
+
+class TestSolve:
+    def test_solve_returns_report(self):
+        report = api.solve(battle_of_the_sexes(), backend="exact")
+        assert report.backend == "exact/support-enumeration"
+        assert report.num_equilibria == 3
+
+    def test_spec_kwargs_convenience(self):
+        report = api.solve(
+            battle_of_the_sexes(), "cnash", num_runs=4, seed=0, options={"config": FAST}
+        )
+        assert report.num_runs == 4
+
+    def test_spec_and_kwargs_conflict(self):
+        with pytest.raises(TypeError, match="not both"):
+            api.solve(battle_of_the_sexes(), "exact", SolveSpec(), num_runs=4)
+
+    def test_unknown_backend_lists_available(self):
+        with pytest.raises(UnknownBackendError, match="available backends"):
+            api.solve(battle_of_the_sexes(), backend="not-a-backend")
+
+    def test_matches_direct_solver_output(self):
+        game = battle_of_the_sexes()
+        from repro.core.solver import CNashSolver
+
+        direct = CNashSolver(game, FAST, seed=0).solve_batch(num_runs=8, seed=0)
+        report = api.solve(game, "cnash", fast_spec())
+        assert report.batch_result().to_dict()["runs"] == direct.to_dict()["runs"]
+
+
+class TestCompare:
+    def test_default_backends_exclude_portfolio(self):
+        comparison = api.compare(battle_of_the_sexes(), spec=fast_spec())
+        assert "portfolio" not in comparison.reports
+        assert {"cnash", "squbo", "exact"} <= set(comparison.reports)
+
+    def test_capability_gated_backends_are_skipped(self):
+        class TinyGamesOnly(UniformProfileBackend):
+            name = "tiny-games-only"
+
+            def capabilities(self) -> BackendCapabilities:
+                return BackendCapabilities(max_actions=1)
+
+        with temporary_backend(TinyGamesOnly()):
+            comparison = api.compare(
+                battle_of_the_sexes(), backends=["exact", "tiny-games-only"]
+            )
+        assert "tiny-games-only" in comparison.skipped
+        assert "tiny-games-only" not in comparison.reports
+        assert "exact" in comparison.reports
+
+    def test_overrides_for_absent_backend_rejected(self):
+        with pytest.raises(ValueError, match="sqobo"):
+            api.compare(
+                battle_of_the_sexes(),
+                backends=["cnash", "squbo"],
+                spec=fast_spec(),
+                overrides={"sqobo": fast_spec(num_runs=3)},
+            )
+
+    def test_overrides_apply_per_backend(self):
+        comparison = api.compare(
+            battle_of_the_sexes(),
+            backends=["cnash", "squbo"],
+            spec=fast_spec(),
+            overrides={"squbo": fast_spec(num_runs=3)},
+        )
+        assert comparison.report("cnash").num_runs == 8
+        assert comparison.report("squbo").num_runs == 3
+
+    def test_table_and_dict_render(self):
+        comparison = api.compare(battle_of_the_sexes(), backends=["exact"], spec=fast_spec())
+        table = comparison.to_table()
+        assert "exact/support-enumeration" in table
+        assert comparison.to_dict()["game_name"] == "Battle of the Sexes"
+
+    @pytest.mark.parametrize(
+        "game,budget",
+        [
+            (battle_of_the_sexes(), (60, 1500, 6)),
+            (bird_game(), (60, 2500, 6)),
+            (modified_prisoners_dilemma(), (40, 5000, 4)),
+        ],
+        ids=lambda value: value.name if hasattr(value, "name") else "",
+    )
+    def test_paper_qualitative_result_through_facade(self, game, budget):
+        """S-QUBO misses the mixed equilibria; C-Nash and exact find them."""
+        num_runs, num_iterations, num_intervals = budget
+        spec = SolveSpec(
+            num_runs=num_runs,
+            seed=0,
+            options={
+                "config": CNashConfig(
+                    num_intervals=num_intervals, num_iterations=num_iterations
+                )
+            },
+        )
+        comparison = api.compare(game, backends=["cnash", "squbo", "exact"], spec=spec)
+        assert comparison.finds_mixed("exact")
+        assert comparison.finds_mixed("cnash")
+        assert not comparison.finds_mixed("squbo")
+
+
+class TestSolveMany:
+    def test_heterogeneous_jobs_in_order(self):
+        jobs = [
+            (battle_of_the_sexes(), "exact", None),
+            (matching_pennies(), "exact", None),
+            {"game": battle_of_the_sexes(), "backend": "cnash", "spec": fast_spec()},
+        ]
+        reports = api.solve_many(jobs)
+        assert [report.backend for report in reports] == [
+            "exact/support-enumeration",
+            "exact/support-enumeration",
+            "cnash",
+        ]
+        assert reports[1].game_name == "Matching Pennies"
+
+    def test_through_service_client(self):
+        from repro.service.client import InProcessClient
+
+        jobs = [
+            (battle_of_the_sexes(), "cnash", fast_spec()),
+            (battle_of_the_sexes(), "exact", None),
+        ]
+        with InProcessClient(max_workers=2, executor="thread") as client:
+            reports = api.solve_many(jobs, client=client)
+        assert reports[0].backend == "cnash"
+        assert reports[0].batch_result() is not None
+        assert reports[0].metadata["served_via"] == "service"
+        assert reports[1].backend == "exact/support-enumeration"
+        # Same num_runs convention as the in-process ExactBackend report.
+        assert reports[1].num_runs == 0
+
+    def test_epsilon_survives_the_service_round_trip(self):
+        # spec.epsilon is folded into the config on the client side and
+        # restored into the spec on the server side, so a tolerance set
+        # through the facade gives identical results with and without a
+        # client — for every backend, not just cnash.
+        from repro.service.client import InProcessClient
+
+        game = matching_pennies()
+        spec = SolveSpec(num_runs=20, seed=0, epsilon=10.0)
+        in_process = api.solve(game, "squbo", spec)
+        with InProcessClient(max_workers=1, executor="inline") as client:
+            via_client = api.solve(game, "squbo", spec, client=client)
+        assert via_client.success_rate == in_process.success_rate
+        assert via_client.num_equilibria == in_process.num_equilibria
+
+    def test_request_epsilon_reaches_the_sharded_cnash_path(self):
+        # The scheduler's shard fast path and the registry path must
+        # apply the same tolerance: a direct SolveRequest with a tight
+        # epsilon yields the identical outcome through both.
+        from repro.service.client import InProcessClient
+        from repro.service.jobs import SolveRequest
+        from repro.service.portfolio import execute_request
+
+        request = SolveRequest(
+            game=matching_pennies(),
+            policy="cnash",
+            num_runs=8,
+            seed=0,
+            config=CNashConfig(num_intervals=5, num_iterations=200),
+            epsilon=1e-12,
+        )
+        registry_outcome = execute_request(request)
+        with InProcessClient(max_workers=2, executor="thread") as client:
+            scheduler_outcome = client.solve(request)
+        assert scheduler_outcome.success_rate == registry_outcome.success_rate
+        assert scheduler_outcome.equilibria == registry_outcome.equilibria
+
+    def test_replaced_cnash_backend_is_served_not_bypassed(self):
+        # Substituting the "cnash" backend must reroute the scheduler's
+        # shard fast path too — no silent fallback to the built-in.
+        from repro.service.client import InProcessClient
+        from repro.service.jobs import SolveRequest
+
+        class TunedCNash:
+            name = "cnash"
+
+            def capabilities(self):
+                return BackendCapabilities()
+
+            def solve(self, game, spec):
+                return SolveReport(
+                    backend="tuned-cnash", game_name=game.name, success_rate=0.17
+                )
+
+        with temporary_backend(TunedCNash(), replace=True):
+            request = SolveRequest(
+                game=matching_pennies(), policy="cnash", num_runs=4, seed=0
+            )
+            with InProcessClient(max_workers=1, executor="inline") as client:
+                outcome = client.solve(request)
+            assert outcome.backend == "tuned-cnash"
+            assert outcome.success_rate == 0.17
+            # The process executor cannot guarantee the substitute is
+            # visible in workers; it must refuse, not guess.
+            with InProcessClient(max_workers=1, executor="process") as client:
+                with pytest.raises(RuntimeError, match="replaced 'cnash'"):
+                    client.solve(request)
+
+    def test_reregistration_invalidates_cached_outcomes(self):
+        # Fingerprints name backends, not implementations; the scheduler
+        # folds the registry epoch into cache keys so a substituted
+        # backend is actually consulted instead of a stale cache entry.
+        from repro.service.client import InProcessClient
+        from repro.service.jobs import SolveRequest
+
+        class ConstantBackend:
+            name = "exact"
+
+            def __init__(self, rate):
+                self.rate = rate
+
+            def capabilities(self):
+                return BackendCapabilities(exact=True)
+
+            def solve(self, game, spec):
+                return SolveReport(
+                    backend="constant", game_name=game.name, success_rate=self.rate
+                )
+
+        request = SolveRequest(game=matching_pennies(), policy="exact", num_runs=4, seed=0)
+        with InProcessClient(max_workers=1, executor="inline") as client:
+            with temporary_backend(ConstantBackend(0.25), replace=True):
+                first = client.solve(request)
+                repeat = client.solve(request)  # same epoch: cache hit
+                with temporary_backend(ConstantBackend(0.75), replace=True):
+                    replaced = client.solve(request)
+        assert first.success_rate == 0.25
+        assert repeat.success_rate == 0.25
+        assert replaced.success_rate == 0.75
+
+    def test_custom_portfolio_replacement_is_served(self):
+        # A non-chain-shaped portfolio replacement must have its own
+        # solve() executed by the scheduler, not be silently shadowed by
+        # the built-in exact->cnash->squbo chain.
+        from repro.service.client import InProcessClient
+        from repro.service.jobs import SolveRequest
+
+        class WeirdPortfolio:
+            name = "portfolio"
+
+            def capabilities(self):
+                return BackendCapabilities()
+
+            def solve(self, game, spec):
+                return SolveReport(
+                    backend="weird-portfolio", game_name=game.name, success_rate=0.42
+                )
+
+        with temporary_backend(WeirdPortfolio(), replace=True):
+            request = SolveRequest(
+                game=matching_pennies(), policy="portfolio", num_runs=4, seed=0
+            )
+            with InProcessClient(max_workers=1, executor="inline") as client:
+                outcome = client.solve(request)
+        assert outcome.backend == "weird-portfolio"
+        assert outcome.success_rate == 0.42
+
+    def test_unroutable_options_fail_fast_with_client(self):
+        # Only the C-Nash config travels in the request wire format; any
+        # other option would silently change what the server computes,
+        # so routing it through a client is an error, not a downgrade.
+        from repro.service.client import InProcessClient
+
+        with InProcessClient(max_workers=1, executor="inline") as client:
+            with pytest.raises(ValueError, match="num_sweeps"):
+                api.solve(
+                    battle_of_the_sexes(),
+                    "squbo",
+                    SolveSpec(num_runs=4, seed=0, options={"num_sweeps": 300}),
+                    client=client,
+                )
+
+
+class TestCustomBackendEndToEnd:
+    """The acceptance scenario: one registration, every entry point works."""
+
+    def test_custom_backend_through_api_compare_and_scheduler(self):
+        from repro.service.client import InProcessClient
+        from repro.service.jobs import SolveRequest
+
+        game = matching_pennies()
+        with temporary_backend(UniformProfileBackend()):
+            # repro.api.solve
+            report = api.solve(game, backend="uniform-profile", num_runs=5, seed=0)
+            assert report.backend == "uniform-profile"
+            assert report.equilibria[0].close_to(
+                StrategyProfile([0.5, 0.5], [0.5, 0.5]), atol=1e-9
+            )
+
+            # repro.api.compare, next to the built-ins
+            comparison = api.compare(game, backends=["exact", "uniform-profile"])
+            assert comparison.report("uniform-profile").success_rate == 1.0
+
+            # SolveRequest served end-to-end through the scheduler — no
+            # service/ changes: the policy string resolves through the
+            # registry (thread workers share the process registry).
+            request = SolveRequest(game=game, policy="uniform-profile", num_runs=5, seed=0)
+            with InProcessClient(max_workers=2, executor="thread") as client:
+                outcome = client.solve(request)
+            assert outcome.policy == "uniform-profile"
+            assert outcome.backend == "uniform-profile"
+            assert outcome.num_equilibria == 1
+
+        # Once unregistered, the policy is rejected with a helpful error.
+        with pytest.raises(ValueError, match="available backends"):
+            SolveRequest(game=game, policy="uniform-profile")
+
+    def test_unknown_policy_error_names_backends(self):
+        from repro.backends import available_backends
+        from repro.service.jobs import SolveRequest
+
+        with pytest.raises(ValueError) as excinfo:
+            SolveRequest(game=battle_of_the_sexes(), policy="no-such-policy")
+        message = str(excinfo.value)
+        assert "policy" in message
+        for name in available_backends():
+            assert name in message

@@ -1,0 +1,145 @@
+"""Tests for the global backend registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.backends import (
+    BackendCapabilities,
+    SolveReport,
+    UnknownBackendError,
+    available_backends,
+    backend_capabilities,
+    get_backend,
+    is_registered,
+    register_backend,
+    temporary_backend,
+    unregister_backend,
+)
+
+
+class NullBackend:
+    """Minimal protocol-conforming backend for registry tests."""
+
+    def __init__(self, name: str = "null") -> None:
+        self.name = name
+
+    def capabilities(self) -> BackendCapabilities:
+        return BackendCapabilities(description="does nothing")
+
+    def solve(self, game, spec) -> SolveReport:
+        return SolveReport(backend=self.name, game_name=game.name)
+
+
+class TestBuiltins:
+    def test_builtins_registered_on_import(self):
+        assert set(("cnash", "squbo", "exact", "portfolio")) <= set(available_backends())
+
+    def test_available_backends_sorted(self):
+        names = available_backends()
+        assert list(names) == sorted(names)
+
+    def test_capabilities_table(self):
+        table = backend_capabilities()
+        assert table["squbo"].mixed_strategies is False
+        assert table["cnash"].mixed_strategies is True
+        assert table["exact"].exact is True
+        assert all(isinstance(c, BackendCapabilities) for c in table.values())
+
+
+class TestRegistration:
+    def test_register_get_unregister(self):
+        backend = NullBackend("registry-test")
+        register_backend(backend)
+        try:
+            assert is_registered("registry-test")
+            assert get_backend("registry-test") is backend
+        finally:
+            assert unregister_backend("registry-test") is backend
+        assert not is_registered("registry-test")
+
+    def test_duplicate_requires_replace(self):
+        with temporary_backend(NullBackend("dup-test")):
+            with pytest.raises(ValueError, match="already registered"):
+                register_backend(NullBackend("dup-test"))
+            replacement = NullBackend("dup-test")
+            register_backend(replacement, replace=True)
+            assert get_backend("dup-test") is replacement
+
+    def test_unknown_backend_error_lists_available(self):
+        with pytest.raises(UnknownBackendError) as excinfo:
+            get_backend("definitely-not-registered")
+        message = str(excinfo.value)
+        for name in available_backends():
+            assert name in message
+        assert "register_backend" in message
+
+    def test_unknown_backend_error_is_value_error(self):
+        with pytest.raises(ValueError):
+            get_backend("definitely-not-registered")
+        with pytest.raises(UnknownBackendError):
+            unregister_backend("definitely-not-registered")
+
+    def test_unknown_backend_error_pickles(self):
+        # Instances raised inside worker processes must cross the pool's
+        # result queue intact (fail one job, not the whole pool).
+        import pickle
+
+        original = UnknownBackendError("foo", ("a", "b"), noun="policy")
+        restored = pickle.loads(pickle.dumps(original))
+        assert isinstance(restored, UnknownBackendError)
+        assert restored.name == "foo"
+        assert restored.available == ("a", "b")
+        assert str(restored) == str(original)
+
+    def test_rejects_malformed_backends(self):
+        class NoName:
+            def capabilities(self):
+                return BackendCapabilities()
+
+            def solve(self, game, spec):
+                return None
+
+        with pytest.raises(ValueError, match="name"):
+            register_backend(NoName())
+
+        class NoSolve:
+            name = "no-solve"
+
+            def capabilities(self):
+                return BackendCapabilities()
+
+        with pytest.raises(TypeError, match="solve"):
+            register_backend(NoSolve())
+
+    def test_registry_fingerprint_tracks_substitutions(self):
+        from repro.backends import registry_fingerprint
+
+        base = registry_fingerprint()
+        with temporary_backend(NullBackend("fp-test")):
+            inside = registry_fingerprint()
+            assert inside != base
+        # Removing the temporary backend restores the base digest (old
+        # cache entries are valid again: same implementations)...
+        assert registry_fingerprint() == base
+        # ...while *replacing* an existing backend advances the serial
+        # even after restore, so the temporary window never aliases.
+        with temporary_backend(NullBackend("fp-test")):
+            with temporary_backend(NullBackend("fp-test"), replace=True):
+                shadowed = registry_fingerprint()
+            restored = registry_fingerprint()
+            assert restored != shadowed
+
+    def test_temporary_backend_restores_previous(self):
+        first = NullBackend("temp-test")
+        with temporary_backend(first):
+            with temporary_backend(NullBackend("temp-test"), replace=True):
+                assert get_backend("temp-test") is not first
+            assert get_backend("temp-test") is first
+        assert not is_registered("temp-test")
+
+    def test_temporary_backend_without_replace_refuses_shadowing(self):
+        with temporary_backend(NullBackend("temp-shadow")):
+            with pytest.raises(ValueError, match="already registered"):
+                with temporary_backend(NullBackend("temp-shadow")):
+                    pass  # pragma: no cover

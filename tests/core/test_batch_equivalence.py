@@ -207,6 +207,12 @@ class TestExecutionEquivalence:
         with pytest.raises(ValueError):
             CNashConfig(execution="parallel-universe")
 
+    def test_execution_typo_fails_at_construction(self):
+        # A typo must fail in __post_init__, not deep inside solve_batch;
+        # the message names the valid modes.
+        with pytest.raises(ValueError, match="execution must be one of"):
+            CNashConfig(execution="vectorised")
+
     def test_random_game_statistical_equivalence(self):
         game = random_game(3, 3, seed=21)
         rates = {}
