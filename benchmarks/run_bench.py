@@ -1,0 +1,238 @@
+#!/usr/bin/env python
+"""Persistent perf-trajectory harness for the annealing kernels.
+
+Measures, on this machine:
+
+* **Kernel throughput** — proposals/second of the three batch SA
+  engines (legacy ``VectorizedAnnealer`` full evaluation, fused kernel
+  with full evaluation, fused kernel with incremental *delta*
+  evaluation) on random integer-payoff games, including the headline
+  64x64 / B=1000 / I=32 workload and the paper-sized 2x2 / 3x3 games
+  where the delta kernel must not regress.
+* **End-to-end Table-1 workload** — ``CNashSolver.solve_batch`` on the
+  paper's three games for each ``execution``/``evaluation`` mode,
+  runs/second and success rate.
+
+Results are written as JSON (default ``BENCH_PR4.json`` next to the
+repo root) so future PRs can track the trajectory::
+
+    PYTHONPATH=src python benchmarks/run_bench.py --json BENCH_PR4.json
+    PYTHONPATH=src python benchmarks/run_bench.py --smoke --assert-speedup 1.0
+
+``--smoke`` shrinks every workload for CI; ``--assert-speedup X`` exits
+non-zero unless the delta kernel is at least ``X`` times as fast as the
+legacy full-evaluation path on the largest benchmarked game.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+import numpy as np
+
+from repro.annealing import AnnealingConfig, FusedAnnealer, VectorizedAnnealer
+from repro.core import (
+    BatchTwoPhaseAnnealingProblem,
+    CNashConfig,
+    CNashSolver,
+    FusedTwoPhaseProblem,
+    IdealEvaluator,
+)
+from repro.games import battle_of_the_sexes, bird_game, modified_prisoners_dilemma
+from repro.games.generators import random_game
+
+
+def _best_of(repeats, fn):
+    """Minimum wall-clock over ``repeats`` runs (robust to CI noise)."""
+    best = np.inf
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def bench_kernels(smoke: bool, repeats: int):
+    """Proposals/sec of legacy vs fused-full vs fused-delta per workload."""
+    if smoke:
+        workloads = [
+            ("random 16x16", random_game(16, 16, integer_payoffs=True, seed=1), 8, 128, 300),
+            ("battle of the sexes 2x2", battle_of_the_sexes(), 8, 128, 300),
+        ]
+    else:
+        workloads = [
+            ("random 64x64", random_game(64, 64, integer_payoffs=True, seed=1), 32, 1000, 300),
+            ("random 16x16", random_game(16, 16, integer_payoffs=True, seed=1), 8, 1000, 1000),
+            ("battle of the sexes 2x2", battle_of_the_sexes(), 8, 1000, 2000),
+            ("bird game 3x3", bird_game(), 8, 1000, 2000),
+        ]
+    records = []
+    for name, game, num_intervals, batch_size, num_iterations in workloads:
+        evaluator = IdealEvaluator(game)
+        annealing = AnnealingConfig(num_iterations=num_iterations)
+        proposals = batch_size * num_iterations
+
+        def run_legacy():
+            VectorizedAnnealer(
+                BatchTwoPhaseAnnealingProblem(evaluator, num_intervals), annealing
+            ).run(batch_size, seed=0)
+
+        def run_fused(evaluation):
+            FusedAnnealer(
+                FusedTwoPhaseProblem(evaluator, num_intervals, evaluation=evaluation),
+                annealing,
+            ).run(batch_size, seed=0)
+
+        timings = {
+            "legacy_full": _best_of(repeats, run_legacy),
+            "fused_full": _best_of(repeats, lambda: run_fused("full")),
+            "fused_delta": _best_of(repeats, lambda: run_fused("delta")),
+        }
+        record = {
+            "workload": name,
+            "shape": list(game.shape),
+            "num_intervals": num_intervals,
+            "batch_size": batch_size,
+            "num_iterations": num_iterations,
+            "proposals": proposals,
+            "seconds": {key: round(value, 4) for key, value in timings.items()},
+            "proposals_per_second": {
+                key: round(proposals / value) for key, value in timings.items()
+            },
+            "delta_speedup_vs_legacy": round(
+                timings["legacy_full"] / timings["fused_delta"], 2
+            ),
+            "delta_speedup_vs_fused_full": round(
+                timings["fused_full"] / timings["fused_delta"], 2
+            ),
+        }
+        records.append(record)
+        print(
+            f"[kernel] {name}: "
+            f"legacy {record['proposals_per_second']['legacy_full']:,} prop/s, "
+            f"delta {record['proposals_per_second']['fused_delta']:,} prop/s "
+            f"({record['delta_speedup_vs_legacy']}x vs legacy, "
+            f"{record['delta_speedup_vs_fused_full']}x vs fused full)"
+        )
+    return records
+
+
+def bench_end_to_end(smoke: bool):
+    """Table-1 workload through ``CNashSolver.solve_batch`` per mode."""
+    if smoke:
+        games = [(battle_of_the_sexes(), 300, 24, 8)]
+    else:
+        games = [
+            (battle_of_the_sexes(), 2000, 200, 20),
+            (bird_game(), 2000, 200, 20),
+            (modified_prisoners_dilemma(), 2000, 200, 20),
+        ]
+    records = []
+    for game, num_iterations, vector_runs, sequential_runs in games:
+        modes = [
+            ("sequential", "full", sequential_runs),
+            ("vectorized", "full", vector_runs),
+            ("vectorized", "delta", vector_runs),
+        ]
+        entry = {"game": game.name, "num_iterations": num_iterations, "modes": {}}
+        for execution, evaluation, num_runs in modes:
+            config = CNashConfig(
+                num_intervals=8,
+                num_iterations=num_iterations,
+                execution=execution,
+                evaluation=evaluation,
+            )
+            solver = CNashSolver(game, config)
+            start = time.perf_counter()
+            batch = solver.solve_batch(num_runs=num_runs, seed=0)
+            elapsed = time.perf_counter() - start
+            entry["modes"][f"{execution}/{evaluation}"] = {
+                "num_runs": num_runs,
+                "seconds": round(elapsed, 4),
+                "runs_per_second": round(num_runs / elapsed, 2),
+                "success_rate": round(batch.success_rate, 4),
+            }
+        sequential = entry["modes"]["sequential/full"]["runs_per_second"]
+        delta = entry["modes"]["vectorized/delta"]["runs_per_second"]
+        full = entry["modes"]["vectorized/full"]["runs_per_second"]
+        entry["delta_speedup_vs_sequential"] = round(delta / sequential, 2)
+        entry["delta_speedup_vs_vectorized_full"] = round(delta / full, 2)
+        records.append(entry)
+        print(
+            f"[end-to-end] {game.name}: sequential {sequential:.1f} runs/s, "
+            f"vectorized/full {full:.1f} runs/s, vectorized/delta {delta:.1f} runs/s"
+        )
+    return records
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true", help="small CI-sized workloads")
+    parser.add_argument(
+        "--json", type=Path, default=REPO_ROOT / "BENCH_PR4.json", help="output path"
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=3, help="kernel timing repeats (best-of)"
+    )
+    parser.add_argument(
+        "--assert-speedup",
+        type=float,
+        default=None,
+        metavar="X",
+        help="fail unless delta >= X times the legacy kernel on the largest game",
+    )
+    parser.add_argument(
+        "--skip-end-to-end", action="store_true", help="kernel benchmarks only"
+    )
+    args = parser.parse_args(argv)
+
+    kernels = bench_kernels(args.smoke, max(1, args.repeats))
+    end_to_end = [] if args.skip_end_to_end else bench_end_to_end(args.smoke)
+
+    headline = max(kernels, key=lambda record: record["shape"][0] * record["shape"][1])
+    payload = {
+        "bench": "PR4 incremental delta-objective annealing kernel",
+        "smoke": args.smoke,
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "machine": {
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+        },
+        "kernel_throughput": kernels,
+        "end_to_end_table1": end_to_end,
+        "headline": {
+            "workload": headline["workload"],
+            "delta_speedup_vs_legacy": headline["delta_speedup_vs_legacy"],
+            "delta_speedup_vs_fused_full": headline["delta_speedup_vs_fused_full"],
+        },
+    }
+    args.json.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.json}")
+
+    if args.assert_speedup is not None:
+        speedup = headline["delta_speedup_vs_legacy"]
+        if speedup < args.assert_speedup:
+            print(
+                f"FAIL: delta kernel speedup {speedup}x on {headline['workload']} "
+                f"is below the required {args.assert_speedup}x",
+                file=sys.stderr,
+            )
+            return 1
+        print(
+            f"OK: delta kernel {speedup}x vs legacy on {headline['workload']} "
+            f"(required >= {args.assert_speedup}x)"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -30,6 +30,8 @@ from repro.annealing.temperature import (
 from repro.annealing.vectorized import (
     BatchAnnealingProblem,
     BatchAnnealingResult,
+    FusedAnnealer,
+    FusedBatchProblem,
     VectorizedAnnealer,
 )
 
@@ -51,6 +53,8 @@ __all__ = [
     "SimulatedAnnealer",
     "BatchAnnealingProblem",
     "BatchAnnealingResult",
+    "FusedAnnealer",
+    "FusedBatchProblem",
     "VectorizedAnnealer",
     "BatchResult",
     "BatchStatistics",

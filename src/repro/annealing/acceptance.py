@@ -42,6 +42,28 @@ class AcceptanceRule(ABC):
         """Probability of accepting the move (used in tests and analysis)."""
         raise NotImplementedError
 
+    def accept_batch_given(
+        self, delta_energies: np.ndarray, temperature: float, uniforms: np.ndarray
+    ) -> np.ndarray:
+        """Vectorized acceptance driven by *pre-drawn* uniform variates.
+
+        The fused annealing kernel draws its acceptance randomness in
+        blocks ahead of the iteration loop (one ``U[0, 1)`` value per
+        chain per iteration) and hands the block rows to this method, so
+        the decision is a pure function of ``(deltas, temperature,
+        uniforms)``.  The default compares each uniform against
+        :meth:`acceptance_probability`; rules whose probability is not
+        defined elementwise must override this.
+        """
+        deltas = np.asarray(delta_energies, dtype=float)
+        probabilities = np.array(
+            [
+                self.acceptance_probability(float(delta), temperature)
+                for delta in deltas.ravel()
+            ]
+        ).reshape(deltas.shape)
+        return uniforms < probabilities
+
 
 @dataclass(frozen=True)
 class MetropolisAcceptance(AcceptanceRule):
@@ -73,6 +95,16 @@ class MetropolisAcceptance(AcceptanceRule):
         probabilities = np.exp(-np.maximum(deltas, 0.0) / temperature)
         return downhill | (rng.random(deltas.shape) < probabilities)
 
+    def accept_batch_given(
+        self, delta_energies: np.ndarray, temperature: float, uniforms: np.ndarray
+    ) -> np.ndarray:
+        deltas = np.asarray(delta_energies, dtype=float)
+        downhill = deltas <= 0
+        if temperature <= 0:
+            return downhill
+        probabilities = np.exp(-np.maximum(deltas, 0.0) / temperature)
+        return downhill | (uniforms < probabilities)
+
 
 @dataclass(frozen=True)
 class GreedyAcceptance(AcceptanceRule):
@@ -86,6 +118,11 @@ class GreedyAcceptance(AcceptanceRule):
 
     def accept_batch(
         self, delta_energies: np.ndarray, temperature: float, rng: np.random.Generator
+    ) -> np.ndarray:
+        return np.asarray(delta_energies, dtype=float) <= 0
+
+    def accept_batch_given(
+        self, delta_energies: np.ndarray, temperature: float, uniforms: np.ndarray
     ) -> np.ndarray:
         return np.asarray(delta_energies, dtype=float) <= 0
 
@@ -113,6 +150,16 @@ class GlauberAcceptance(AcceptanceRule):
             # 0 without overflow warnings.
             probabilities = 1.0 / (1.0 + np.exp(np.minimum(deltas / temperature, 700.0)))
         return rng.random(deltas.shape) < probabilities
+
+    def accept_batch_given(
+        self, delta_energies: np.ndarray, temperature: float, uniforms: np.ndarray
+    ) -> np.ndarray:
+        deltas = np.asarray(delta_energies, dtype=float)
+        if temperature <= 0:
+            probabilities = np.where(deltas < 0, 1.0, np.where(deltas == 0, 0.5, 0.0))
+        else:
+            probabilities = 1.0 / (1.0 + np.exp(np.minimum(deltas / temperature, 700.0)))
+        return uniforms < probabilities
 
 
 def make_acceptance_rule(name: str) -> AcceptanceRule:

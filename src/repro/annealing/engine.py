@@ -120,9 +120,13 @@ class SimulatedAnnealer(Generic[StateT]):
         iterations_to_best = 0
         accepted = 0
         history: List[float] = []
+        # The whole cooling trajectory is precomputed once; the values are
+        # bit-identical to per-iteration schedule calls (and shared with
+        # the vectorized engines, which precompute the same array).
+        temperatures = config.schedule.temperatures(config.num_iterations)
 
         for iteration in range(config.num_iterations):
-            temperature = config.schedule.temperature(iteration, config.num_iterations)
+            temperature = temperatures[iteration]
             candidate = self.problem.propose(state, rng)
             candidate_energy = self.problem.energy(candidate)
             delta = candidate_energy - energy

@@ -26,7 +26,18 @@ class TemperatureSchedule(ABC):
         """Temperature at ``iteration`` out of ``num_iterations`` total."""
 
     def temperatures(self, num_iterations: int) -> np.ndarray:
-        """The full temperature trajectory as an array (for plots/tests)."""
+        """The full temperature trajectory as an array.
+
+        The annealing engines precompute this once per run instead of
+        calling :meth:`temperature` inside the iteration loop, so the
+        array must be elementwise bit-identical to the per-iteration
+        values.  The default loop guarantees that for any schedule;
+        overrides may use closed-form array expressions only when every
+        element reproduces the scalar path exactly (transcendental
+        functions can differ by an ulp between scalar and array
+        evaluation, which is why the geometric/exponential/logarithmic
+        schedules keep the default).
+        """
         return np.array(
             [self.temperature(step, num_iterations) for step in range(num_iterations)]
         )
@@ -73,6 +84,12 @@ class LinearSchedule(TemperatureSchedule):
             return self.final
         fraction = iteration / (num_iterations - 1)
         return float(self.initial + (self.final - self.initial) * fraction)
+
+    def temperatures(self, num_iterations: int) -> np.ndarray:
+        if num_iterations <= 1:
+            return np.full(num_iterations, self.final)
+        fractions = np.arange(num_iterations) / (num_iterations - 1)
+        return self.initial + (self.final - self.initial) * fractions
 
 
 @dataclass(frozen=True)
@@ -124,3 +141,6 @@ class ConstantSchedule(TemperatureSchedule):
 
     def temperature(self, iteration: int, num_iterations: int) -> float:
         return float(self.value)
+
+    def temperatures(self, num_iterations: int) -> np.ndarray:
+        return np.full(num_iterations, float(self.value))

@@ -195,7 +195,10 @@ class VectorizedAnnealer(Generic[BatchStateT]):
             if initial_states is not None
             else problem.initial_states(batch_size, rng)
         )
-        energies = np.asarray(problem.energies(states), dtype=float)
+        # An owned copy: problems may hand out views of internal buffers
+        # (e.g. piggybacked energy caches) and the loop below updates the
+        # array in place.
+        energies = np.array(problem.energies(states), dtype=float)
         if energies.shape != (batch_size,):
             raise ValueError(
                 f"problem.energies returned shape {energies.shape}, "
@@ -205,30 +208,35 @@ class VectorizedAnnealer(Generic[BatchStateT]):
         best_energies = energies.copy()
         iterations_to_best = np.zeros(batch_size, dtype=int)
         accepted_counts = np.zeros(batch_size, dtype=int)
+        improved = np.empty(batch_size, dtype=bool)
         stride = config.history_stride
         history = (
             np.empty((config.num_iterations // stride, batch_size))
             if config.record_history
             else None
         )
+        # One schedule evaluation per run instead of one per iteration
+        # (values are bit-identical to per-iteration calls).
+        temperatures = config.schedule.temperatures(config.num_iterations)
 
         for iteration in range(config.num_iterations):
-            temperature = config.schedule.temperature(iteration, config.num_iterations)
+            temperature = temperatures[iteration]
             candidates = problem.propose_batch(states, rng)
             candidate_energies = np.asarray(problem.energies(candidates), dtype=float)
             delta = candidate_energies - energies
             accept = config.acceptance.accept_batch(delta, temperature, rng)
             if accept.any():
                 states = problem.select(accept, candidates, states)
-                energies = np.where(accept, candidate_energies, energies)
-                accepted_counts += accept
-                improved = accept & (energies < best_energies)
+                # In-place merges: no fresh per-iteration arrays for the
+                # energy/best-tracking state.
+                np.copyto(energies, candidate_energies, where=accept)
+                np.add(accepted_counts, accept, out=accepted_counts, casting="unsafe")
+                np.less(energies, best_energies, out=improved)
+                improved &= accept
                 if improved.any():
                     best_states = problem.select(improved, states, best_states)
-                    best_energies = np.where(improved, energies, best_energies)
-                    iterations_to_best = np.where(
-                        improved, iteration + 1, iterations_to_best
-                    )
+                    np.copyto(best_energies, energies, where=improved)
+                    np.copyto(iterations_to_best, iteration + 1, where=improved)
             done = iteration + 1
             if history is not None and done % stride == 0:
                 history[done // stride - 1] = energies
@@ -241,6 +249,220 @@ class VectorizedAnnealer(Generic[BatchStateT]):
             final_states=states,
             final_energies=energies,
             num_iterations=config.num_iterations,
+            num_accepted=accepted_counts,
+            iterations_to_best=iterations_to_best,
+            energy_history=history,
+        )
+
+
+class FusedBatchProblem(ABC, Generic[BatchStateT]):
+    """A problem driven by the fused in-place annealing kernel.
+
+    :class:`BatchAnnealingProblem` treats batch states as immutable
+    objects, which costs a full candidate-state allocation and several
+    merge copies per iteration.  This interface inverts the contract:
+    the *problem* owns mutable state buffers (and whatever evaluation
+    caches it keeps alongside them), the engine drives them through a
+    stage/commit cycle, and proposal randomness is consumed from blocks
+    of pre-drawn uniforms rather than per-iteration generator calls.
+
+    Per iteration the engine calls :meth:`propose` (stage one move per
+    chain and return the candidate energies), decides acceptance, then
+    :meth:`commit` (fold the staged move into the accepted chains, in
+    place).  Incremental problems update rank-1 caches in ``commit`` and
+    periodically rebuild them in :meth:`resync`.
+    """
+
+    @abstractmethod
+    def begin(
+        self,
+        batch_size: int,
+        rng: np.random.Generator,
+        initial_states: Optional[BatchStateT] = None,
+    ) -> np.ndarray:
+        """Allocate state buffers and return the live energies array.
+
+        The returned ``(B,)`` float array is *shared*: the engine updates
+        it in place on acceptance/resync and the problem may read it
+        between calls.  ``initial_states`` (a stacked batch-state object)
+        seeds the chains when provided; otherwise the problem samples its
+        own initial states from ``rng``.
+        """
+
+    @abstractmethod
+    def draw_block(self, num_steps: int, rng: np.random.Generator) -> None:
+        """Pre-draw proposal randomness for the next ``num_steps`` iterations."""
+
+    @abstractmethod
+    def propose(self, step: int) -> np.ndarray:
+        """Stage the ``step``-th proposal of the block; return candidate energies."""
+
+    @abstractmethod
+    def commit(self, accept: np.ndarray) -> None:
+        """Apply the staged proposal to the chains where ``accept`` is set."""
+
+    def resync(self) -> Optional[np.ndarray]:
+        """Rebuild evaluation caches from the authoritative state.
+
+        Called every ``resync_interval`` iterations; returns refreshed
+        energies (copied into the live buffer by the engine) or ``None``
+        when the problem keeps no drifting caches.
+        """
+        return None
+
+    @abstractmethod
+    def make_snapshot(self) -> object:
+        """A preallocated copy of the current per-chain states."""
+
+    @abstractmethod
+    def update_snapshot(self, snapshot: object, mask: np.ndarray) -> None:
+        """Overwrite ``snapshot`` with the current state where ``mask`` is set."""
+
+    @abstractmethod
+    def export_snapshot(self, snapshot: object) -> BatchStateT:
+        """Convert a snapshot into a stacked batch-state object."""
+
+    @abstractmethod
+    def export_states(self) -> BatchStateT:
+        """The current states as a stacked batch-state object (a copy)."""
+
+    @abstractmethod
+    def current_states(self) -> BatchStateT:
+        """A zero-copy view of the current states (for callbacks only)."""
+
+    @abstractmethod
+    def unstack(self, states: BatchStateT, index: int):
+        """Extract chain ``index``'s state as a per-chain object."""
+
+
+class FusedAnnealer(Generic[BatchStateT]):
+    """Fused lockstep SA: block-sampled randomness, in-place accept/reject.
+
+    Runs the same Markov chains as :class:`VectorizedAnnealer` — one
+    proposal per chain per iteration, Metropolis (or configured)
+    acceptance at the scheduled temperature — but drives a
+    :class:`FusedBatchProblem` whose state lives in preallocated buffers:
+
+    * the whole temperature trajectory is precomputed as one array;
+    * proposal and acceptance uniforms are drawn in blocks of
+      ``block_size`` iterations (the problem's block first, then the
+      engine's acceptance block, so the stream is a deterministic
+      function of the seed);
+    * accept/reject, best-state tracking and energy bookkeeping are
+      in-place ``np.copyto`` merges on double-buffered arrays — no fresh
+      per-iteration state allocations;
+    * every ``resync_interval`` iterations the problem may rebuild its
+      evaluation caches from the authoritative state, bounding float
+      drift of incremental (delta) evaluation.
+
+    The RNG block layout makes this kernel's random stream different
+    from :class:`VectorizedAnnealer`'s per-iteration stream: the two
+    engines sample identical distributions but are not flip-for-flip
+    reproductions of each other.  Within this kernel, however, the
+    stream is independent of the problem's evaluation strategy, so delta
+    and full evaluation see identical proposals and uniforms.
+    """
+
+    def __init__(
+        self,
+        problem: FusedBatchProblem[BatchStateT],
+        config: Optional[AnnealingConfig] = None,
+        block_size: int = 128,
+        resync_interval: int = 1024,
+    ) -> None:
+        if block_size < 1:
+            raise ValueError(f"block_size must be >= 1, got {block_size}")
+        if resync_interval < 0:
+            raise ValueError(
+                f"resync_interval must be >= 0 (0 disables), got {resync_interval}"
+            )
+        self.problem = problem
+        self.config = config or AnnealingConfig()
+        self.block_size = block_size
+        self.resync_interval = resync_interval
+
+    def run(
+        self,
+        batch_size: int,
+        seed: SeedLike = None,
+        initial_states: Optional[BatchStateT] = None,
+        callback: Optional[Callable[[int, BatchStateT, np.ndarray], None]] = None,
+    ) -> BatchAnnealingResult[BatchStateT]:
+        """Anneal all chains and return the stacked batch result.
+
+        Mirrors :meth:`VectorizedAnnealer.run`; ``callback`` receives a
+        zero-copy view of the live states and must not mutate or retain
+        it across iterations.
+        """
+        if batch_size <= 0:
+            raise ValueError(f"batch_size must be positive, got {batch_size}")
+        config = self.config
+        problem = self.problem
+        rng = as_generator(seed)
+        num_iterations = config.num_iterations
+
+        energies = problem.begin(batch_size, rng, initial_states)
+        if energies.shape != (batch_size,):
+            raise ValueError(
+                f"problem.begin returned energies of shape {energies.shape}, "
+                f"expected ({batch_size},)"
+            )
+        best_snapshot = problem.make_snapshot()
+        best_energies = energies.copy()
+        iterations_to_best = np.zeros(batch_size, dtype=int)
+        accepted_counts = np.zeros(batch_size, dtype=int)
+        improved = np.empty(batch_size, dtype=bool)
+        stride = config.history_stride
+        history = (
+            np.empty((num_iterations // stride, batch_size))
+            if config.record_history
+            else None
+        )
+        temperatures = config.schedule.temperatures(num_iterations)
+        acceptance = config.acceptance
+        block_size = min(self.block_size, num_iterations)
+        accept_uniforms: Optional[np.ndarray] = None
+
+        for iteration in range(num_iterations):
+            step = iteration % block_size
+            if step == 0:
+                steps = min(block_size, num_iterations - iteration)
+                problem.draw_block(steps, rng)
+                accept_uniforms = rng.random((steps, batch_size))
+            candidate_energies = problem.propose(step)
+            delta = candidate_energies - energies
+            accept = acceptance.accept_batch_given(
+                delta, temperatures[iteration], accept_uniforms[step]
+            )
+            problem.commit(accept)
+            np.copyto(energies, candidate_energies, where=accept)
+            np.add(accepted_counts, accept, out=accepted_counts, casting="unsafe")
+            np.less(energies, best_energies, out=improved)
+            improved &= accept
+            if improved.any():
+                problem.update_snapshot(best_snapshot, improved)
+                np.copyto(best_energies, energies, where=improved)
+                np.copyto(iterations_to_best, iteration + 1, where=improved)
+            done = iteration + 1
+            if (
+                self.resync_interval
+                and done % self.resync_interval == 0
+                and done < num_iterations
+            ):
+                refreshed = problem.resync()
+                if refreshed is not None:
+                    np.copyto(energies, refreshed)
+            if history is not None and done % stride == 0:
+                history[done // stride - 1] = energies
+            if callback is not None:
+                callback(iteration, problem.current_states(), energies)
+
+        return BatchAnnealingResult(
+            best_states=problem.export_snapshot(best_snapshot),
+            best_energies=best_energies,
+            final_states=problem.export_states(),
+            final_energies=energies,
+            num_iterations=num_iterations,
             num_accepted=accepted_counts,
             iterations_to_best=iterations_to_best,
             energy_history=history,

@@ -13,7 +13,9 @@ from repro.core.max_qubo import (
     GridOptimum,
     HardwareEvaluator,
     IdealEvaluator,
+    IncrementalIdealState,
     ObjectiveEvaluator,
+    composition_grid,
     enumerate_grid_optimum,
     max_qubo_breakdown,
     max_qubo_objective,
@@ -24,9 +26,12 @@ from repro.core.strategy import (
     BatchedStrategyState,
     QuantizedStrategyPair,
     StrategyMoveGenerator,
+    TransferMoveBatch,
+    sample_transfer_moves,
 )
 from repro.core.two_phase_sa import (
     BatchTwoPhaseAnnealingProblem,
+    FusedTwoPhaseProblem,
     TwoPhaseAnnealingProblem,
     TwoPhaseSARun,
     run_two_phase_sa,
@@ -41,15 +46,20 @@ __all__ = [
     "QuantizedStrategyPair",
     "BatchedStrategyState",
     "StrategyMoveGenerator",
+    "TransferMoveBatch",
+    "sample_transfer_moves",
     "max_qubo_objective",
     "max_qubo_breakdown",
     "ObjectiveEvaluator",
     "IdealEvaluator",
+    "IncrementalIdealState",
     "HardwareEvaluator",
     "GridOptimum",
+    "composition_grid",
     "enumerate_grid_optimum",
     "TwoPhaseAnnealingProblem",
     "BatchTwoPhaseAnnealingProblem",
+    "FusedTwoPhaseProblem",
     "TwoPhaseSARun",
     "run_two_phase_sa",
     "run_two_phase_sa_batch",

@@ -84,6 +84,29 @@ class CNashConfig:
         time (the reference implementation).  Both sample the same move
         and acceptance distributions; single ``solve`` calls always use
         the sequential engine.
+    evaluation:
+        Candidate-energy strategy for the vectorized execution path:
+        ``"delta"`` (default) computes each proposal's objective through
+        O(n+m) rank-1 cache updates on the fused kernel wherever the
+        evaluator supports it (the exact/ideal evaluator does), with a
+        periodic full re-sync bounding float drift; ``"full"``
+        re-evaluates the complete MAX-QUBO objective for every proposal.
+        Both consume identical randomness on the fused kernel, so for
+        exactly representable payoffs they produce identical
+        accept/reject sequences and equilibria.  Evaluators without
+        incremental support — the hardware evaluator (physical two-phase
+        reads) and custom evaluators — always perform full evaluations
+        regardless of this knob, as do ``move_both_players`` runs and
+        the sequential engine.
+
+        Note that *both* modes run on the fused kernel when the
+        evaluator supports it, whose block-sampled random stream differs
+        from the earlier per-iteration vectorized engine: seeded
+        ``execution="vectorized"`` batches therefore sample different
+        (identically distributed) runs than releases predating this
+        knob, and ``evaluation="full"`` is *not* a compatibility mode
+        for their exact numbers.  ``execution="sequential"`` remains the
+        stream-stable reference.
     """
 
     num_intervals: int = 8
@@ -98,10 +121,14 @@ class CNashConfig:
     pure_start_bias: float = 0.5
     record_history: bool = False
     execution: str = "vectorized"
+    evaluation: str = "delta"
     acceptance: AcceptanceRule = field(default_factory=MetropolisAcceptance)
 
     #: Supported batch execution strategies.
     EXECUTION_MODES = ("vectorized", "sequential")
+
+    #: Supported candidate-energy evaluation strategies.
+    EVALUATION_MODES = ("delta", "full")
 
     def __post_init__(self) -> None:
         if self.num_intervals < 1:
@@ -121,6 +148,10 @@ class CNashConfig:
         if self.execution not in self.EXECUTION_MODES:
             raise ValueError(
                 f"execution must be one of {self.EXECUTION_MODES}, got {self.execution!r}"
+            )
+        if self.evaluation not in self.EVALUATION_MODES:
+            raise ValueError(
+                f"evaluation must be one of {self.EVALUATION_MODES}, got {self.evaluation!r}"
             )
 
     def to_dict(self) -> Dict[str, Any]:
@@ -144,6 +175,7 @@ class CNashConfig:
             "pure_start_bias": self.pure_start_bias,
             "record_history": self.record_history,
             "execution": self.execution,
+            "evaluation": self.evaluation,
             "acceptance": acceptance_to_dict(self.acceptance),
         }
 

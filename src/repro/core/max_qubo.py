@@ -29,7 +29,11 @@ from typing import Optional
 import numpy as np
 
 from repro.games.bimatrix import BimatrixGame
-from repro.core.strategy import BatchedStrategyState, QuantizedStrategyPair
+from repro.core.strategy import (
+    BatchedStrategyState,
+    QuantizedStrategyPair,
+    TransferMoveBatch,
+)
 from repro.hardware.bicrossbar import BiCrossbar, ObjectiveBreakdown
 
 
@@ -84,6 +88,24 @@ class ObjectiveEvaluator(ABC):
         """The three objective components (default: exact recomputation)."""
         return max_qubo_breakdown(self.game, state.p, state.q)
 
+    def supports_incremental(self) -> bool:
+        """Whether :meth:`incremental_state` is available.
+
+        Incremental (delta) evaluation computes candidate energies for
+        interval-transfer moves via rank-1 cache updates instead of full
+        ``O(B·n·m)`` products.  The base class answers ``False`` —
+        custom evaluators and the hardware path (which performs physical
+        two-phase reads of the whole objective) keep the full-evaluation
+        code path.
+        """
+        return False
+
+    def incremental_state(self, states: BatchedStrategyState) -> "IncrementalIdealState":
+        """Build the delta-evaluation cache for a stacked batch of states."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support incremental evaluation"
+        )
+
 
 class IdealEvaluator(ObjectiveEvaluator):
     """Exact (noise-free, infinite-precision) MAX-QUBO evaluation."""
@@ -118,6 +140,153 @@ class IdealEvaluator(ObjectiveEvaluator):
         col_values = p @ self._game.payoff_col
         bilinear = np.einsum("bi,ij,bj->b", p, self._combined, q)
         return row_values.max(axis=1) + col_values.max(axis=1) - bilinear
+
+    def supports_incremental(self) -> bool:
+        return True
+
+    def incremental_state(self, states: BatchedStrategyState) -> "IncrementalIdealState":
+        return IncrementalIdealState(self._game, states, combined=self._combined)
+
+
+class IncrementalIdealState:
+    """Per-chain action-value caches for O(n+m) delta evaluation.
+
+    The MAX-QUBO objective of chain ``b`` is
+
+        ``f = max(M q) + max(N^T p) - p^T (M + N) q``
+
+    and an interval-transfer move only shifts ``1/I`` of probability mass
+    between two actions of one player, so the candidate objective is a
+    rank-1 perturbation of cached quantities rather than a fresh
+    ``O(n·m)`` product.  The cache holds, for every chain:
+
+    * ``row_values = M q``  (``(B, n)``) and its max;
+    * ``col_values = N^T p``  (``(B, m)``) and its max;
+    * ``bilinear = p^T C q`` with ``C = M + N``;
+    * the helper products ``u = p^T C`` (``(B, m)``) and ``w = C q``
+      (``(B, n)``) that turn the bilinear update into two gathers.
+
+    A column-player move ``j -> k`` updates ``row_values`` by
+    ``(M[:, k] − M[:, j]) / I``, leaves ``col_values`` untouched and
+    shifts the bilinear term by ``(u[k] − u[j]) / I``; the row player is
+    symmetric through ``col_values``/``w``.  :meth:`resync` recomputes
+    everything from the counts with the same full-product expressions as
+    :meth:`IdealEvaluator.evaluate_batch`, bounding float drift on long
+    runs (call it every K iterations).
+
+    With payoffs and ``1/I`` exactly representable (integer payoffs,
+    power-of-two ``I``) every update is exact dyadic arithmetic, so the
+    delta path is bit-identical to full evaluation; otherwise it agrees
+    to float rounding and the periodic resync keeps the drift bounded.
+    """
+
+    def __init__(
+        self,
+        game: BimatrixGame,
+        states: BatchedStrategyState,
+        combined: Optional[np.ndarray] = None,
+    ) -> None:
+        if combined is None:
+            combined = game.payoff_row + game.payoff_col
+        self._row_payoff = np.ascontiguousarray(game.payoff_row)
+        #: Row ``k`` is ``M[:, k]`` — the row-values delta of a column move.
+        self._row_payoff_cols = np.ascontiguousarray(game.payoff_row.T)
+        #: Row ``j`` is ``N[j, :]`` — the col-values delta of a row move.
+        self._col_payoff_rows = np.ascontiguousarray(game.payoff_col)
+        self._combined_rows = np.ascontiguousarray(combined)
+        self._combined_cols = np.ascontiguousarray(combined.T)
+        self._inv_intervals = 1.0 / states.num_intervals
+        self._staged_moves: Optional[TransferMoveBatch] = None
+        self.resync(states)
+
+    def resync(self, states: BatchedStrategyState) -> np.ndarray:
+        """Rebuild every cache from ``states`` via full products.
+
+        Returns the refreshed energies; uses the exact expressions of
+        :meth:`IdealEvaluator.evaluate_batch` so a resynced cache and a
+        full evaluation agree bit-for-bit.
+        """
+        p = states.p
+        q = states.q
+        self.row_values = q @ self._row_payoff.T
+        self.col_values = p @ self._col_payoff_rows
+        self.bilinear = np.einsum("bi,ij,bj->b", p, self._combined_rows, q)
+        self.u = p @ self._combined_rows
+        self.w = q @ self._combined_cols
+        self.row_max = self.row_values.max(axis=1)
+        self.col_max = self.col_values.max(axis=1)
+        self._staged_moves = None
+        return self.energies()
+
+    def energies(self) -> np.ndarray:
+        """Current per-chain objectives from the cached components."""
+        return self.row_max + self.col_max - self.bilinear
+
+    def candidate_energies(self, moves: TransferMoveBatch) -> np.ndarray:
+        """Objective of every chain's candidate state, via rank-1 updates.
+
+        Stages the per-move cache deltas for a following :meth:`commit`;
+        chains without a move (an action-starved player) keep their
+        current objective.
+        """
+        inv = self._inv_intervals
+        cand_row_max = self.row_max.copy()
+        cand_col_max = self.col_max.copy()
+        cand_bilinear = self.bilinear.copy()
+        rows, source, target = moves.q_rows, moves.q_source, moves.q_target
+        if rows.size:
+            self._d_row = (self._row_payoff_cols[target] - self._row_payoff_cols[source]) * inv
+            cand_row_max[rows] = (self.row_values[rows] + self._d_row).max(axis=1)
+            cand_bilinear[rows] += (self.u[rows, target] - self.u[rows, source]) * inv
+        rows, source, target = moves.p_rows, moves.p_source, moves.p_target
+        if rows.size:
+            self._d_col = (self._col_payoff_rows[target] - self._col_payoff_rows[source]) * inv
+            cand_col_max[rows] = (self.col_values[rows] + self._d_col).max(axis=1)
+            cand_bilinear[rows] += (self.w[rows, target] - self.w[rows, source]) * inv
+        self._staged_moves = moves
+        self._cand_row_max = cand_row_max
+        self._cand_col_max = cand_col_max
+        self._cand_bilinear = cand_bilinear
+        return cand_row_max + cand_col_max - cand_bilinear
+
+    def commit(self, accept: np.ndarray) -> None:
+        """Fold the staged candidate caches into the accepted chains.
+
+        The helper-product deltas (``w`` for column moves, ``u`` for row
+        moves) are only needed for chains that actually move, so they are
+        computed here, on the accepted subset, rather than for every
+        proposal.
+        """
+        moves = self._staged_moves
+        if moves is None:
+            raise RuntimeError("commit() without a staged candidate_energies() call")
+        inv = self._inv_intervals
+        rows = moves.q_rows
+        if rows.size:
+            keep = accept[rows]
+            accepted_rows = rows[keep]
+            if accepted_rows.size:
+                source = moves.q_source[keep]
+                target = moves.q_target[keep]
+                self.row_values[accepted_rows] += self._d_row[keep]
+                self.w[accepted_rows] += (
+                    self._combined_cols[target] - self._combined_cols[source]
+                ) * inv
+        rows = moves.p_rows
+        if rows.size:
+            keep = accept[rows]
+            accepted_rows = rows[keep]
+            if accepted_rows.size:
+                source = moves.p_source[keep]
+                target = moves.p_target[keep]
+                self.col_values[accepted_rows] += self._d_col[keep]
+                self.u[accepted_rows] += (
+                    self._combined_rows[target] - self._combined_rows[source]
+                ) * inv
+        np.copyto(self.row_max, self._cand_row_max, where=accept)
+        np.copyto(self.col_max, self._cand_col_max, where=accept)
+        np.copyto(self.bilinear, self._cand_bilinear, where=accept)
+        self._staged_moves = None
 
 
 class HardwareEvaluator(ObjectiveEvaluator):
@@ -189,37 +358,69 @@ class GridOptimum:
     num_states: int
 
 
+def composition_grid(total: int, parts: int) -> np.ndarray:
+    """All compositions of ``total`` into ``parts`` as a stacked count array.
+
+    Shape ``(C(total+parts-1, parts-1), parts)``, every row summing to
+    ``total``, in the deterministic enumeration order the scalar grid
+    scan used (so tie-breaking in :func:`enumerate_grid_optimum` is
+    unchanged).
+    """
+    from itertools import combinations_with_replacement
+
+    dividers = np.array(
+        list(combinations_with_replacement(range(parts), total)), dtype=np.int64
+    ).reshape(-1, total)
+    grid = np.zeros((dividers.shape[0], parts), dtype=int)
+    rows = np.repeat(np.arange(dividers.shape[0]), total)
+    np.add.at(grid, (rows, dividers.ravel()), 1)
+    return grid
+
+
 def enumerate_grid_optimum(
-    game: BimatrixGame, num_intervals: int, evaluator: Optional[ObjectiveEvaluator] = None
+    game: BimatrixGame,
+    num_intervals: int,
+    evaluator: Optional[ObjectiveEvaluator] = None,
+    chunk_size: int = 4096,
 ) -> GridOptimum:
     """Exhaustively minimise the MAX-QUBO objective over the strategy grid.
 
     Only practical for small games / coarse grids (the grid has
     ``C(I+n-1, n-1) * C(I+m-1, m-1)`` points); used in tests to verify
     that the annealer reaches the grid optimum.
-    """
-    from itertools import combinations_with_replacement
 
+    The scan stacks the composition grids of both players and scores the
+    cross product through :meth:`ObjectiveEvaluator.evaluate_batch` in
+    chunks of ``chunk_size`` states, so the built-in evaluators process
+    the whole grid as a handful of array operations (custom evaluators
+    without a batch override fall back to per-state evaluation inside
+    ``evaluate_batch`` and still see identical results).  The first grid
+    point attaining the minimum — in row-player-major order, as the old
+    per-state loop visited them — is returned.
+    """
+    if chunk_size < 1:
+        raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
     evaluator = evaluator or IdealEvaluator(game)
     n, m = game.shape
-
-    def compositions(total: int, parts: int):
-        for dividers in combinations_with_replacement(range(parts), total):
-            counts = np.zeros(parts, dtype=int)
-            for index in dividers:
-                counts[index] += 1
-            yield counts
-
-    best_state: Optional[QuantizedStrategyPair] = None
+    p_grid = composition_grid(num_intervals, n)
+    q_grid = composition_grid(num_intervals, m)
+    num_q = q_grid.shape[0]
+    num_states = p_grid.shape[0] * num_q
     best_objective = np.inf
-    num_states = 0
-    for p_counts in compositions(num_intervals, n):
-        for q_counts in compositions(num_intervals, m):
-            state = QuantizedStrategyPair(p_counts.copy(), q_counts.copy(), num_intervals)
-            value = evaluator.evaluate(state)
-            num_states += 1
-            if value < best_objective:
-                best_objective = value
-                best_state = state
-    assert best_state is not None  # the grid is never empty
-    return GridOptimum(best_state=best_state, best_objective=float(best_objective), num_states=num_states)
+    best_flat = 0
+    for start in range(0, num_states, chunk_size):
+        flat = np.arange(start, min(start + chunk_size, num_states))
+        states = BatchedStrategyState(
+            p_grid[flat // num_q], q_grid[flat % num_q], num_intervals
+        )
+        values = np.asarray(evaluator.evaluate_batch(states), dtype=float)
+        index = int(np.argmin(values))
+        if values[index] < best_objective:
+            best_objective = float(values[index])
+            best_flat = int(flat[index])
+    best_state = QuantizedStrategyPair(
+        p_grid[best_flat // num_q].copy(), q_grid[best_flat % num_q].copy(), num_intervals
+    )
+    return GridOptimum(
+        best_state=best_state, best_objective=float(best_objective), num_states=num_states
+    )

@@ -130,10 +130,15 @@ class CNashSolver:
         With ``config.execution == "vectorized"`` (the default) all runs
         advance in lockstep as stacked array operations — one batched
         objective evaluation per iteration instead of one tiny evaluation
-        per run per iteration.  ``"sequential"`` executes the runs one at
-        a time with per-run generators (the reference implementation);
-        both sample the same move/acceptance distributions, so the batch
-        statistics match.
+        per run per iteration.  ``config.evaluation`` picks how candidate
+        energies are computed on that path: ``"delta"`` (default) uses the
+        fused O(n+m) rank-1 kernel wherever the evaluator supports it,
+        ``"full"`` re-evaluates the whole objective per proposal; the
+        hardware evaluator always performs its full two-phase reads.
+        ``"sequential"`` executes the runs one at a time with per-run
+        generators (the reference implementation).  All paths sample the
+        same move/acceptance distributions, so the batch statistics
+        match.
 
         Parameters
         ----------

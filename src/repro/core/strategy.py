@@ -129,6 +129,103 @@ def _batched_transfer(
     counts[rows, receiver[rows]] += 1
 
 
+@dataclass
+class TransferMoveBatch:
+    """One structured interval-transfer move per chain.
+
+    Instead of materialising candidate count arrays, the fused annealing
+    kernel represents each chain's proposal as *(player, from-action,
+    to-action)*: the moving player transfers one interval of probability
+    mass from ``source`` to ``target``.  Chains are grouped by moving
+    player so evaluators can apply the two rank-1 update families with
+    one gather each.  Chains whose chosen player has fewer than two
+    actions appear in neither group — their proposal is the identity
+    move (matching :func:`_batched_transfer`, which skips such players).
+    """
+
+    #: Chain indices whose *row* player moves, with per-entry actions.
+    p_rows: np.ndarray
+    p_source: np.ndarray
+    p_target: np.ndarray
+    #: Chain indices whose *column* player moves, with per-entry actions.
+    q_rows: np.ndarray
+    q_source: np.ndarray
+    q_target: np.ndarray
+
+    def apply(
+        self,
+        p_counts: np.ndarray,
+        q_counts: np.ndarray,
+        accept: Optional[np.ndarray] = None,
+    ) -> None:
+        """Apply the moves in place, optionally only where ``accept`` is set."""
+        for rows, source, target, counts in (
+            (self.p_rows, self.p_source, self.p_target, p_counts),
+            (self.q_rows, self.q_source, self.q_target, q_counts),
+        ):
+            if accept is not None:
+                keep = accept[rows]
+                rows, source, target = rows[keep], source[keep], target[keep]
+            if rows.size:
+                counts[rows, source] -= 1
+                counts[rows, target] += 1
+
+
+_EMPTY_INDEX = np.empty(0, dtype=np.int64)
+
+
+def _pick_transfer(
+    counts: np.ndarray, rows: np.ndarray, u_donor: np.ndarray, u_receiver: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Donor/receiver actions for the chains in ``rows``, from uniforms.
+
+    Samples the same distribution as :func:`_batched_transfer` — donor
+    uniform over the actions holding at least one interval, receiver
+    uniform over the remaining actions — but from pre-drawn ``U[0, 1)``
+    variates instead of fresh generator calls, so a whole block of
+    iterations can share one draw.
+    """
+    num_actions = counts.shape[1]
+    if num_actions < 2 or rows.size == 0:
+        return _EMPTY_INDEX, _EMPTY_INDEX, _EMPTY_INDEX
+    sub = counts[rows]
+    positive = sub > 0
+    num_positive = positive.sum(axis=1)
+    pick = np.minimum(
+        (u_donor[rows] * num_positive).astype(np.int64), num_positive - 1
+    )
+    source = np.argmax(np.cumsum(positive, axis=1) > pick[:, None], axis=1)
+    target = (u_receiver[rows] * (num_actions - 1)).astype(np.int64)
+    np.minimum(target, num_actions - 2, out=target)
+    target += target >= source
+    return rows, source, target
+
+
+def sample_transfer_moves(
+    p_counts: np.ndarray,
+    q_counts: np.ndarray,
+    u_player: np.ndarray,
+    u_donor: np.ndarray,
+    u_receiver: np.ndarray,
+) -> TransferMoveBatch:
+    """One structured SA move per chain from three rows of block uniforms.
+
+    Each chain perturbs its row player when ``u_player < 0.5`` and its
+    column player otherwise; the move transfers a single interval of
+    probability mass between two actions of that player (the Alg.-1
+    neighbourhood, identical in distribution to
+    :meth:`BatchedStrategyState.transfer_moves` with one-player moves).
+    """
+    move_p = u_player < 0.5
+    p_rows, p_source, p_target = _pick_transfer(
+        p_counts, np.flatnonzero(move_p), u_donor, u_receiver
+    )
+    q_rows, q_source, q_target = _pick_transfer(
+        q_counts, np.flatnonzero(~move_p), u_donor, u_receiver
+    )
+    return TransferMoveBatch(p_rows, p_source, p_target, q_rows, q_source, q_target)
+
+
 @dataclass(frozen=True)
 class BatchedStrategyState:
     """A stacked batch of quantised strategy pairs.

@@ -20,7 +20,7 @@ problem definition plus a convenience runner.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Tuple
 
 import numpy as np
 
@@ -28,11 +28,19 @@ from repro.annealing.engine import AnnealingConfig, AnnealingResult, AnnealingPr
 from repro.annealing.vectorized import (
     BatchAnnealingProblem,
     BatchAnnealingResult,
+    FusedAnnealer,
+    FusedBatchProblem,
     VectorizedAnnealer,
 )
 from repro.core.config import CNashConfig
 from repro.core.max_qubo import ObjectiveEvaluator
-from repro.core.strategy import BatchedStrategyState, QuantizedStrategyPair, StrategyMoveGenerator
+from repro.core.strategy import (
+    BatchedStrategyState,
+    QuantizedStrategyPair,
+    StrategyMoveGenerator,
+    TransferMoveBatch,
+    sample_transfer_moves,
+)
 from repro.utils.rng import SeedLike
 
 
@@ -117,6 +125,149 @@ class BatchTwoPhaseAnnealingProblem(BatchAnnealingProblem[BatchedStrategyState])
         return states.state(index)
 
 
+class FusedTwoPhaseProblem(FusedBatchProblem[BatchedStrategyState]):
+    """MAX-QUBO minimisation on the fused in-place kernel.
+
+    The chains' interval counts live in problem-owned ``(B, n)`` /
+    ``(B, m)`` buffers; every iteration stages one structured
+    interval-transfer move per chain (:class:`TransferMoveBatch`,
+    sampled from pre-drawn block uniforms) and computes candidate
+    energies either
+
+    * ``evaluation="delta"`` — through the evaluator's
+      :class:`~repro.core.max_qubo.IncrementalIdealState` rank-1 cache,
+      ``O(B·(n+m))`` per iteration, periodically resynced; or
+    * ``evaluation="full"`` — through ``evaluator.evaluate_batch`` on a
+      double-buffered candidate state, ``O(B·n·m)`` per iteration.
+
+    Both modes consume identical randomness, so at exactly representable
+    payoffs (integer payoffs, power-of-two ``I``) they produce identical
+    accept/reject sequences and equilibria.
+
+    Rank-1 updates only pay off once a full ``O(n·m)`` product costs more
+    than the delta bookkeeping, so ``evaluation="delta"`` falls back to
+    full products for games with fewer than ``min_incremental_cells``
+    payoff cells (the measured crossover; pass ``0`` to force incremental
+    updates regardless of size, e.g. in equivalence tests).
+    """
+
+    #: Payoff-cell count below which delta evaluation uses full products.
+    MIN_INCREMENTAL_CELLS = 36
+
+    def __init__(
+        self,
+        evaluator: ObjectiveEvaluator,
+        num_intervals: int,
+        pure_start_bias: float = 0.5,
+        evaluation: str = "delta",
+        min_incremental_cells: Optional[int] = None,
+    ) -> None:
+        if evaluation not in ("delta", "full"):
+            raise ValueError(f"evaluation must be 'delta' or 'full', got {evaluation!r}")
+        if evaluation == "delta" and not evaluator.supports_incremental():
+            raise ValueError(
+                f"{type(evaluator).__name__} does not support incremental (delta) "
+                "evaluation; use evaluation='full' or the VectorizedAnnealer path"
+            )
+        self.evaluator = evaluator
+        self.num_intervals = num_intervals
+        self.pure_start_bias = pure_start_bias
+        self.evaluation = evaluation
+        self._shape = evaluator.game.shape
+        if min_incremental_cells is None:
+            min_incremental_cells = self.MIN_INCREMENTAL_CELLS
+        n, m = self._shape
+        self._use_incremental = evaluation == "delta" and n * m >= min_incremental_cells
+        self._incremental = None
+        self._moves: Optional[TransferMoveBatch] = None
+
+    # ------------------------------------------------------------------
+    # FusedBatchProblem interface
+    # ------------------------------------------------------------------
+    def begin(
+        self,
+        batch_size: int,
+        rng: np.random.Generator,
+        initial_states: Optional[BatchedStrategyState] = None,
+    ) -> np.ndarray:
+        n, m = self._shape
+        if initial_states is None:
+            initial_states = BatchedStrategyState.random(
+                batch_size, n, m, self.num_intervals, rng, pure_bias=self.pure_start_bias
+            )
+        self._p_counts = np.array(initial_states.p_counts, dtype=int)
+        self._q_counts = np.array(initial_states.q_counts, dtype=int)
+        self._state_view = BatchedStrategyState(
+            self._p_counts, self._q_counts, self.num_intervals
+        )
+        if self._use_incremental:
+            self._incremental = self.evaluator.incremental_state(self._state_view)
+            return self._incremental.energies()
+        self._cand_p = self._p_counts.copy()
+        self._cand_q = self._q_counts.copy()
+        self._cand_view = BatchedStrategyState(
+            self._cand_p, self._cand_q, self.num_intervals
+        )
+        return np.array(self.evaluator.evaluate_batch(self._state_view), dtype=float)
+
+    def draw_block(self, num_steps: int, rng: np.random.Generator) -> None:
+        # One generator call per block: player choice, donor pick and
+        # receiver pick for every chain and step.
+        self._uniforms = rng.random((3, num_steps, self._p_counts.shape[0]))
+
+    def propose(self, step: int) -> np.ndarray:
+        u_player, u_donor, u_receiver = self._uniforms[:, step]
+        moves = sample_transfer_moves(
+            self._p_counts, self._q_counts, u_player, u_donor, u_receiver
+        )
+        self._moves = moves
+        if self._incremental is not None:
+            return self._incremental.candidate_energies(moves)
+        np.copyto(self._cand_p, self._p_counts)
+        np.copyto(self._cand_q, self._q_counts)
+        moves.apply(self._cand_p, self._cand_q)
+        return np.asarray(self.evaluator.evaluate_batch(self._cand_view), dtype=float)
+
+    def commit(self, accept: np.ndarray) -> None:
+        assert self._moves is not None
+        self._moves.apply(self._p_counts, self._q_counts, accept=accept)
+        if self._incremental is not None:
+            self._incremental.commit(accept)
+        self._moves = None
+
+    def resync(self) -> Optional[np.ndarray]:
+        if self._incremental is None:
+            return None
+        return self._incremental.resync(self._state_view)
+
+    def make_snapshot(self) -> Tuple[np.ndarray, np.ndarray]:
+        return self._p_counts.copy(), self._q_counts.copy()
+
+    def update_snapshot(
+        self, snapshot: Tuple[np.ndarray, np.ndarray], mask: np.ndarray
+    ) -> None:
+        snapshot_p, snapshot_q = snapshot
+        np.copyto(snapshot_p, self._p_counts, where=mask[:, None])
+        np.copyto(snapshot_q, self._q_counts, where=mask[:, None])
+
+    def export_snapshot(
+        self, snapshot: Tuple[np.ndarray, np.ndarray]
+    ) -> BatchedStrategyState:
+        snapshot_p, snapshot_q = snapshot
+        return BatchedStrategyState(snapshot_p, snapshot_q, self.num_intervals)
+
+    def export_states(self) -> BatchedStrategyState:
+        return BatchedStrategyState(
+            self._p_counts.copy(), self._q_counts.copy(), self.num_intervals
+        )
+
+    def current_states(self) -> BatchedStrategyState:
+        return self._state_view
+
+    def unstack(self, states: BatchedStrategyState, index: int) -> QuantizedStrategyPair:
+        return states.state(index)
+
+
 @dataclass
 class TwoPhaseSARun:
     """Raw outcome of one two-phase SA run (before NE classification)."""
@@ -179,25 +330,44 @@ def run_two_phase_sa_batch(
 
     The vectorized counterpart of calling :func:`run_two_phase_sa`
     ``num_runs`` times: every iteration proposes one move per chain and
-    evaluates all objectives as a single stacked computation (ideal
-    einsum path or batched bi-crossbar reads).  The whole batch is
-    reproducible from a single ``seed``.
+    evaluates all objectives as a single stacked computation.  The whole
+    batch is reproducible from a single ``seed``.
+
+    Execution routes through the fused in-place kernel
+    (:class:`~repro.annealing.vectorized.FusedAnnealer` driving
+    :class:`FusedTwoPhaseProblem`) whenever the evaluator supports it:
+    single-player moves and, for ``config.evaluation == "delta"``, an
+    evaluator advertising :meth:`ObjectiveEvaluator.supports_incremental`.
+    The hardware evaluator (whose objective is a physical two-phase
+    read), custom evaluators without incremental support and
+    ``move_both_players`` runs keep the full-evaluation
+    :class:`~repro.annealing.vectorized.VectorizedAnnealer` path
+    unchanged.
     """
-    problem = BatchTwoPhaseAnnealingProblem(
+    annealing_config = AnnealingConfig(
+        num_iterations=config.num_iterations,
+        schedule=config.schedule(),
+        acceptance=config.acceptance,
+        record_history=config.record_history,
+    )
+    if not config.move_both_players and evaluator.supports_incremental():
+        problem = FusedTwoPhaseProblem(
+            evaluator=evaluator,
+            num_intervals=config.num_intervals,
+            pure_start_bias=config.pure_start_bias,
+            evaluation=config.evaluation,
+        )
+        annealer = FusedAnnealer(problem, annealing_config)
+        return annealer.run(
+            num_runs, seed=seed, initial_states=initial_states, callback=callback
+        )
+    legacy_problem = BatchTwoPhaseAnnealingProblem(
         evaluator=evaluator,
         num_intervals=config.num_intervals,
         move_both_players=config.move_both_players,
         pure_start_bias=config.pure_start_bias,
     )
-    annealer = VectorizedAnnealer(
-        problem,
-        AnnealingConfig(
-            num_iterations=config.num_iterations,
-            schedule=config.schedule(),
-            acceptance=config.acceptance,
-            record_history=config.record_history,
-        ),
-    )
-    return annealer.run(
+    legacy_annealer = VectorizedAnnealer(legacy_problem, annealing_config)
+    return legacy_annealer.run(
         num_runs, seed=seed, initial_states=initial_states, callback=callback
     )

@@ -11,6 +11,7 @@ from repro.qubo.annealer import (
     BinaryAnnealerConfig,
     BinaryAnnealResult,
     BinaryQuboBatchProblem,
+    FusedBinaryQuboProblem,
     anneal_qubo,
     anneal_qubo_batch,
 )
@@ -53,6 +54,7 @@ __all__ = [
     "anneal_qubo",
     "anneal_qubo_batch",
     "BinaryQuboBatchProblem",
+    "FusedBinaryQuboProblem",
     "BinaryAnnealerConfig",
     "BinaryAnnealResult",
 ]

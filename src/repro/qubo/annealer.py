@@ -26,7 +26,8 @@ from repro.annealing.engine import AnnealingConfig
 from repro.annealing.temperature import GeometricSchedule, TemperatureSchedule
 from repro.annealing.vectorized import (
     BatchAnnealingProblem,
-    VectorizedAnnealer,
+    FusedAnnealer,
+    FusedBatchProblem,
     run_scaled_progress_callback,
 )
 from repro.qubo.model import QuboModel
@@ -135,6 +136,35 @@ class _PerSweepSchedule(TemperatureSchedule):
         num_sweeps = max(1, num_iterations // self.num_variables)
         return self.inner.temperature(iteration // self.num_variables, num_sweeps)
 
+    def temperatures(self, num_iterations: int) -> np.ndarray:
+        # One inner evaluation per *sweep* instead of per flip; values are
+        # bit-identical to per-iteration calls by construction.
+        if num_iterations <= 0:
+            return np.empty(0)
+        num_sweeps = max(1, num_iterations // self.num_variables)
+        indices = np.arange(num_iterations) // self.num_variables
+        per_sweep = np.array(
+            [self.inner.temperature(index, num_sweeps) for index in range(int(indices[-1]) + 1)]
+        )
+        return per_sweep[indices]
+
+
+def _batched_flip_deltas(
+    q_matrix: np.ndarray, assignments: np.ndarray, flips: np.ndarray, current_bits: np.ndarray
+) -> np.ndarray:
+    """Energy change of flipping bit ``flips[b]`` in every read ``b``.
+
+    The same O(n) delta as :meth:`QuboModel.energy_delta`, for the whole
+    batch: flipping ``x_k`` by ``dx = 1 - 2 x_k`` changes the energy by
+    ``2 dx sum_{j != k} Q[k, j] x_j + Q[k, k] dx`` (since ``x_k`` is
+    binary; assumes the symmetric ``Q`` that :class:`QuboModel` stores).
+    """
+    delta_x = 1.0 - 2.0 * current_bits
+    q_rows = q_matrix[flips]
+    diagonal = q_matrix[flips, flips]
+    off_diagonal = np.einsum("bj,bj->b", q_rows, assignments) - diagonal * current_bits
+    return 2.0 * delta_x * off_diagonal + diagonal * delta_x
+
 
 class _BinaryBatchState:
     """Stacked assignments of all reads, with their energies piggybacked.
@@ -153,6 +183,11 @@ class _BinaryBatchState:
 
 class BinaryQuboBatchProblem(BatchAnnealingProblem[_BinaryBatchState]):
     """Chain-parallel single-bit-flip minimisation of one QUBO model.
+
+    The immutable-protocol variant for the generic
+    :class:`~repro.annealing.vectorized.VectorizedAnnealer`;
+    ``anneal_qubo_batch`` itself runs on the in-place
+    :class:`FusedBinaryQuboProblem` counterpart below.
 
     Proposals follow the sequential annealer's *permutation-sweep*
     kernel: each read flips every bit exactly once per sweep in an
@@ -197,14 +232,7 @@ class BinaryQuboBatchProblem(BatchAnnealingProblem[_BinaryBatchState]):
         flips = self._next_flips(batch_size, rng)
         rows = np.arange(batch_size)
         current_bits = assignments[rows, flips]
-        # Same O(n) delta as QuboModel.energy_delta, for the whole batch:
-        # flipping x_k by dx = 1 - 2 x_k changes the energy by
-        # 2 dx sum_{j != k} Q[k, j] x_j + Q[k, k] dx (since x_k is binary).
-        delta_x = 1.0 - 2.0 * current_bits
-        q_rows = self.model.q_matrix[flips]
-        diagonal = self.model.q_matrix[flips, flips]
-        off_diagonal = np.einsum("bj,bj->b", q_rows, assignments) - diagonal * current_bits
-        deltas = 2.0 * delta_x * off_diagonal + diagonal * delta_x
+        deltas = _batched_flip_deltas(self.model.q_matrix, assignments, flips, current_bits)
         candidate = assignments.copy()
         candidate[rows, flips] = 1.0 - current_bits
         return _BinaryBatchState(candidate, self.energies(states) + deltas)
@@ -226,6 +254,101 @@ class BinaryQuboBatchProblem(BatchAnnealingProblem[_BinaryBatchState]):
         return states.assignments[index].copy()
 
 
+class FusedBinaryQuboProblem(FusedBatchProblem[_BinaryBatchState]):
+    """Permutation-sweep single-bit-flip minimisation on the fused kernel.
+
+    The same Markov kernel as :class:`BinaryQuboBatchProblem` — every bit
+    flipped exactly once per sweep in an independent random permutation
+    per read, O(batch × n) flip deltas — but with problem-owned mutable
+    assignment buffers, structured (read, bit) staged flips, and
+    permutation queues drained in blocks, so accept/reject needs no
+    per-iteration state allocation.  Like its predecessor, an instance is
+    stateful across one :meth:`FusedAnnealer.run` call.
+    """
+
+    def __init__(self, model: QuboModel):
+        self.model = model
+        self._q_matrix = np.ascontiguousarray(model.q_matrix)
+        self._queue: Optional[np.ndarray] = None
+        self._queue_cursor = 0
+
+    def begin(
+        self,
+        batch_size: int,
+        rng: np.random.Generator,
+        initial_states: Optional[_BinaryBatchState] = None,
+    ) -> np.ndarray:
+        num_variables = self.model.num_variables
+        if initial_states is None:
+            assignments = rng.integers(0, 2, size=(batch_size, num_variables)).astype(float)
+        else:
+            assignments = np.array(initial_states.assignments, dtype=float)
+        self._assignments = assignments
+        self._rows = np.arange(batch_size)
+        self._energies = np.array(self.model.energies(assignments), dtype=float)
+        self._queue = None
+        self._queue_cursor = 0
+        return self._energies
+
+    def draw_block(self, num_steps: int, rng: np.random.Generator) -> None:
+        """The next ``num_steps`` sweep positions, one bit per read per step."""
+        num_variables = self.model.num_variables
+        batch_size = self._assignments.shape[0]
+        segments = []
+        have = 0
+        while have < num_steps:
+            if self._queue is None or self._queue_cursor >= num_variables:
+                self._queue = rng.permuted(
+                    np.tile(np.arange(num_variables), (batch_size, 1)), axis=1
+                )
+                self._queue_cursor = 0
+            take = min(num_steps - have, num_variables - self._queue_cursor)
+            segments.append(self._queue[:, self._queue_cursor : self._queue_cursor + take])
+            self._queue_cursor += take
+            have += take
+        self._flips = segments[0] if len(segments) == 1 else np.concatenate(segments, axis=1)
+
+    def propose(self, step: int) -> np.ndarray:
+        assignments = self._assignments
+        flips = self._flips[:, step]
+        current_bits = assignments[self._rows, flips]
+        self._staged_flips = flips
+        self._staged_bits = current_bits
+        return self._energies + _batched_flip_deltas(
+            self._q_matrix, assignments, flips, current_bits
+        )
+
+    def commit(self, accept: np.ndarray) -> None:
+        rows = self._rows[accept]
+        if rows.size:
+            flips = self._staged_flips[accept]
+            self._assignments[rows, flips] = 1.0 - self._staged_bits[accept]
+
+    def resync(self) -> Optional[np.ndarray]:
+        # Flip deltas accumulate float error on long runs; rebuild the
+        # energies from the assignments via the full quadratic form.
+        np.copyto(self._energies, self.model.energies(self._assignments))
+        return self._energies
+
+    def make_snapshot(self) -> np.ndarray:
+        return self._assignments.copy()
+
+    def update_snapshot(self, snapshot: np.ndarray, mask: np.ndarray) -> None:
+        np.copyto(snapshot, self._assignments, where=mask[:, None])
+
+    def export_snapshot(self, snapshot: np.ndarray) -> _BinaryBatchState:
+        return _BinaryBatchState(snapshot)
+
+    def export_states(self) -> _BinaryBatchState:
+        return _BinaryBatchState(self._assignments.copy())
+
+    def current_states(self) -> _BinaryBatchState:
+        return _BinaryBatchState(self._assignments)
+
+    def unstack(self, states: _BinaryBatchState, index: int) -> np.ndarray:
+        return states.assignments[index].copy()
+
+
 def anneal_qubo_batch(
     model: QuboModel,
     num_reads: int,
@@ -237,9 +360,12 @@ def anneal_qubo_batch(
     """Run ``num_reads`` independent annealing runs (a D-Wave-style sample set).
 
     With ``execution="vectorized"`` (the default) all reads run in
-    lockstep on the chain-parallel engine: each of the
+    lockstep on the fused chain-parallel engine
+    (:class:`~repro.annealing.vectorized.FusedAnnealer`): each of the
     ``num_sweeps * num_variables`` iterations proposes one bit flip per
-    read and applies the Metropolis rule to the whole batch at once.
+    read via an O(batch × n) delta and applies the Metropolis rule to
+    the whole batch in place, with block-sampled randomness and a
+    periodic energy resync against the full quadratic form.
     ``execution="sequential"`` keeps the reference behaviour of
     independent :func:`anneal_qubo` calls.  Both use the same Markov
     kernel — every bit flipped exactly once per sweep in an independent
@@ -275,8 +401,8 @@ def anneal_qubo_batch(
         callback = run_scaled_progress_callback(
             progress, config.num_sweeps * num_variables, num_reads
         )
-    problem = BinaryQuboBatchProblem(model)
-    annealer = VectorizedAnnealer(
+    problem = FusedBinaryQuboProblem(model)
+    annealer = FusedAnnealer(
         problem,
         AnnealingConfig(
             num_iterations=config.num_sweeps * num_variables,

@@ -1,0 +1,161 @@
+"""Tests for the fused in-place annealing kernel."""
+
+import numpy as np
+import pytest
+
+from repro.annealing import (
+    AnnealingConfig,
+    FusedAnnealer,
+    FusedBatchProblem,
+    GeometricSchedule,
+    MetropolisAcceptance,
+)
+
+
+class QuadraticFusedProblem(FusedBatchProblem):
+    """Minimise ``x^2`` over integers per chain on the fused interface."""
+
+    def __init__(self):
+        self.resync_calls = 0
+
+    def begin(self, batch_size, rng, initial_states=None):
+        if initial_states is None:
+            self.x = rng.integers(-20, 21, size=batch_size).astype(float)
+        else:
+            self.x = np.array(initial_states, dtype=float)
+        self.energies = self.x**2
+        return self.energies
+
+    def draw_block(self, num_steps, rng):
+        self.uniforms = rng.random((num_steps, self.x.shape[0]))
+
+    def propose(self, step):
+        self.direction = np.where(self.uniforms[step] < 0.5, -1.0, 1.0)
+        return (self.x + self.direction) ** 2
+
+    def commit(self, accept):
+        self.x[accept] += self.direction[accept]
+
+    def resync(self):
+        self.resync_calls += 1
+        np.copyto(self.energies, self.x**2)
+        return self.energies
+
+    def make_snapshot(self):
+        return self.x.copy()
+
+    def update_snapshot(self, snapshot, mask):
+        np.copyto(snapshot, self.x, where=mask)
+
+    def export_snapshot(self, snapshot):
+        return snapshot
+
+    def export_states(self):
+        return self.x.copy()
+
+    def current_states(self):
+        return self.x
+
+    def unstack(self, states, index):
+        return float(states[index])
+
+
+def make_annealer(num_iterations=200, **kwargs):
+    return FusedAnnealer(
+        QuadraticFusedProblem(),
+        AnnealingConfig(
+            num_iterations=num_iterations,
+            schedule=GeometricSchedule(initial=5.0, final=0.001),
+            acceptance=MetropolisAcceptance(),
+            record_history=kwargs.pop("record_history", False),
+        ),
+        **kwargs,
+    )
+
+
+class TestFusedAnnealer:
+    def test_all_chains_reach_minimum(self):
+        result = make_annealer().run(batch_size=32, seed=0)
+        assert result.batch_size == 32
+        np.testing.assert_allclose(result.best_energies, 0.0)
+
+    def test_best_never_worse_than_final(self):
+        result = make_annealer(num_iterations=50).run(batch_size=16, seed=1)
+        assert np.all(result.best_energies <= result.final_energies + 1e-12)
+
+    def test_reproducible_from_seed(self):
+        annealer = make_annealer(num_iterations=60)
+        a = annealer.run(batch_size=8, seed=7)
+        b = make_annealer(num_iterations=60).run(batch_size=8, seed=7)
+        np.testing.assert_array_equal(a.best_energies, b.best_energies)
+        np.testing.assert_array_equal(a.num_accepted, b.num_accepted)
+        np.testing.assert_array_equal(a.iterations_to_best, b.iterations_to_best)
+
+    def test_block_boundaries_cover_all_iterations(self):
+        # 37 iterations over blocks of 8: the tail block has 5 steps.
+        annealer = FusedAnnealer(
+            QuadraticFusedProblem(),
+            AnnealingConfig(num_iterations=37),
+            block_size=8,
+        )
+        result = annealer.run(batch_size=4, seed=2)
+        assert result.num_iterations == 37
+        assert np.all(result.num_accepted <= 37)
+
+    def test_history_recorded(self):
+        result = make_annealer(num_iterations=40, record_history=True).run(
+            batch_size=5, seed=3
+        )
+        assert result.energy_history.shape == (40, 5)
+        np.testing.assert_array_equal(result.energy_history[-1], result.final_energies)
+
+    def test_resync_called_every_interval(self):
+        problem = QuadraticFusedProblem()
+        annealer = FusedAnnealer(
+            problem, AnnealingConfig(num_iterations=100), resync_interval=30
+        )
+        annealer.run(batch_size=4, seed=4)
+        # Iterations 30, 60 and 90 (the final iteration never resyncs).
+        assert problem.resync_calls == 3
+
+    def test_resync_disabled(self):
+        problem = QuadraticFusedProblem()
+        FusedAnnealer(
+            problem, AnnealingConfig(num_iterations=100), resync_interval=0
+        ).run(batch_size=4, seed=4)
+        assert problem.resync_calls == 0
+
+    def test_callback_sees_every_iteration(self):
+        calls = []
+        make_annealer(num_iterations=25).run(
+            batch_size=3,
+            seed=5,
+            callback=lambda iteration, states, energies: calls.append(iteration),
+        )
+        assert calls == list(range(25))
+
+    def test_initial_states_respected(self):
+        result = make_annealer(num_iterations=1).run(
+            batch_size=3, seed=6, initial_states=np.array([0.0, 1.0, -2.0])
+        )
+        assert float(result.best_energies[0]) == 0.0
+
+    def test_per_chain_unstacks(self):
+        problem = QuadraticFusedProblem()
+        annealer = FusedAnnealer(
+            problem, AnnealingConfig(num_iterations=30, record_history=True)
+        )
+        batch = annealer.run(batch_size=4, seed=8)
+        runs = batch.per_chain(problem)
+        assert len(runs) == 4
+        for index, run in enumerate(runs):
+            assert run.best_energy == pytest.approx(float(batch.best_energies[index]))
+            assert len(run.energy_history) == 30
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            make_annealer().run(batch_size=0)
+        with pytest.raises(ValueError):
+            FusedAnnealer(QuadraticFusedProblem(), block_size=0)
+        with pytest.raises(ValueError):
+            FusedAnnealer(QuadraticFusedProblem(), resync_interval=-1)

@@ -6,6 +6,7 @@ import pytest
 from repro.core import (
     IdealEvaluator,
     HardwareEvaluator,
+    ObjectiveEvaluator,
     QuantizedStrategyPair,
     enumerate_grid_optimum,
     max_qubo_breakdown,
@@ -103,3 +104,82 @@ class TestGridOptimum:
         result = enumerate_grid_optimum(bos, num_intervals=2)
         assert result.num_states == 9
         assert result.best_state.p_counts.sum() == 2
+
+    def test_chunk_size_does_not_change_result(self, bird):
+        reference = enumerate_grid_optimum(bird, num_intervals=3)
+        for chunk_size in (1, 3, 7, 10_000):
+            result = enumerate_grid_optimum(bird, num_intervals=3, chunk_size=chunk_size)
+            assert result.num_states == reference.num_states
+            assert result.best_objective == reference.best_objective
+            np.testing.assert_array_equal(
+                result.best_state.p_counts, reference.best_state.p_counts
+            )
+            np.testing.assert_array_equal(
+                result.best_state.q_counts, reference.best_state.q_counts
+            )
+
+    def test_matches_scalar_scan(self, bos):
+        """The chunked scan agrees with a per-state reference loop."""
+        from repro.core import composition_grid
+
+        num_intervals = 4
+        evaluator = IdealEvaluator(bos)
+        best_value = np.inf
+        best_pair = None
+        count = 0
+        for p_counts in composition_grid(num_intervals, 2):
+            for q_counts in composition_grid(num_intervals, 2):
+                state = QuantizedStrategyPair(
+                    p_counts.copy(), q_counts.copy(), num_intervals
+                )
+                value = evaluator.evaluate(state)
+                count += 1
+                if value < best_value:
+                    best_value = value
+                    best_pair = state
+        result = enumerate_grid_optimum(bos, num_intervals=num_intervals)
+        assert result.num_states == count
+        assert result.best_objective == best_value
+        np.testing.assert_array_equal(result.best_state.p_counts, best_pair.p_counts)
+        np.testing.assert_array_equal(result.best_state.q_counts, best_pair.q_counts)
+
+    def test_composition_grid_order_and_sums(self):
+        from itertools import combinations_with_replacement
+
+        from repro.core import composition_grid
+
+        grid = composition_grid(3, 4)
+        assert grid.shape == (20, 4)  # C(3+3, 3)
+        np.testing.assert_array_equal(grid.sum(axis=1), 3)
+        expected = []
+        for dividers in combinations_with_replacement(range(4), 3):
+            counts = np.zeros(4, dtype=int)
+            for index in dividers:
+                counts[index] += 1
+            expected.append(counts)
+        np.testing.assert_array_equal(grid, np.array(expected))
+
+    def test_custom_evaluator_without_batch_override(self, bos):
+        """Custom evaluators fall back to per-state evaluation, same result."""
+
+        class Shifted(ObjectiveEvaluator):
+            def __init__(self, game):
+                self._ideal = IdealEvaluator(game)
+
+            @property
+            def game(self):
+                return self._ideal.game
+
+            def evaluate(self, state):
+                return self._ideal.evaluate(state) + 2.0
+
+        shifted = enumerate_grid_optimum(bos, num_intervals=3, evaluator=Shifted(bos))
+        plain = enumerate_grid_optimum(bos, num_intervals=3)
+        assert shifted.best_objective == pytest.approx(plain.best_objective + 2.0)
+        np.testing.assert_array_equal(
+            shifted.best_state.p_counts, plain.best_state.p_counts
+        )
+
+    def test_invalid_chunk_size(self, bos):
+        with pytest.raises(ValueError):
+            enumerate_grid_optimum(bos, num_intervals=2, chunk_size=0)
