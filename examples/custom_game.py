@@ -24,7 +24,7 @@ import os
 import numpy as np
 
 import repro.api as api
-from repro import BimatrixGame, CNashConfig, SolveSpec
+from repro import BimatrixGame, CNashConfig, GameSpec, SolveSpec
 from repro.games.equilibrium import EquilibriumSet
 
 SMOKE = bool(os.environ.get("CNASH_SMOKE"))
@@ -59,7 +59,12 @@ def describe(profile, label: str) -> None:
 
 
 def main() -> None:
-    game = build_promotion_game()
+    # An inline GameSpec wraps custom dense payoffs in the same workload
+    # IR the library/generator sources use — its fingerprint is
+    # byte-compatible with the raw BimatrixGame, so caches and services
+    # treat the two identically.
+    game_spec = GameSpec.inline(build_promotion_game())
+    game = game_spec.materialize()
     print(f"Game: {game.name}, payoffs:\n{np.round(game.payoff_row, 2)}")
 
     # One facade call runs every backend on the game; per-backend spec
@@ -70,7 +75,7 @@ def main() -> None:
         options={"config": CNashConfig(num_intervals=8, num_iterations=4000)},
     )
     comparison = api.compare(
-        game,
+        game_spec,
         backends=["exact", "cnash", "squbo"],
         spec=spec,
         overrides={"squbo": SolveSpec(num_runs=40, seed=1, options={"num_sweeps": 300})},

@@ -21,7 +21,7 @@ import os
 import numpy as np
 
 import repro.api as api
-from repro import CNashConfig, SolveSpec, battle_of_the_sexes
+from repro import CNashConfig, GameSpec, SolveSpec
 from repro.games.equilibrium import EquilibriumSet
 
 #: CI smoke mode: same structure, reduced run budget.
@@ -34,13 +34,17 @@ def describe(profile, label: str) -> None:
 
 
 def main() -> None:
-    game = battle_of_the_sexes()
-    print(f"Game: {game.name}  (shape {game.shape})")
+    # Games are *described*, not constructed: a GameSpec is a ~60-byte
+    # declarative workload (the string "library:battle_of_the_sexes"
+    # works everywhere a game does), materialised on demand.
+    game_spec = GameSpec.library("battle_of_the_sexes")
+    game = game_spec.materialize()
+    print(f"Game: {game.name}  (shape {game.shape}, spec {game_spec.to_dict()})")
     print("Row payoffs:\n", game.payoff_row)
     print("Column payoffs:\n", game.payoff_col)
 
     # Ground truth through the same facade (the paper uses Nashpy).
-    truth = api.solve(game, backend="exact")
+    truth = api.solve(game_spec, backend="exact")
     print(f"\nGround-truth equilibria ({truth.num_equilibria}):")
     for profile in truth.equilibria:
         describe(profile, "truth")
@@ -53,7 +57,7 @@ def main() -> None:
         seed=0,
         options={"config": CNashConfig(num_intervals=6, num_iterations=2000)},
     )
-    report = api.solve(game, backend="cnash", spec=spec)
+    report = api.solve(game_spec, backend="cnash", spec=spec)
 
     print(f"\nC-Nash results over {report.num_runs} SA runs "
           f"({report.wall_clock_seconds:.1f}s wall clock):")

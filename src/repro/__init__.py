@@ -42,7 +42,9 @@ from repro.core import (
 )
 from repro.games import (
     BimatrixGame,
+    GameSpec,
     StrategyProfile,
+    as_game_spec,
     battle_of_the_sexes,
     bird_game,
     is_nash_equilibrium,
@@ -50,6 +52,7 @@ from repro.games import (
     paper_benchmark_games,
     support_enumeration,
 )
+from repro.workloads import EnsembleSpec
 from repro.backends import (
     Backend,
     BackendCapabilities,
@@ -60,7 +63,7 @@ from repro.backends import (
     get_backend,
     register_backend,
 )
-from repro.api import Comparison, compare, solve, solve_many
+from repro.api import Comparison, SweepResult, compare, solve, solve_many, sweep
 
 __version__ = "1.1.0"
 
@@ -69,7 +72,12 @@ __all__ = [
     "solve",
     "compare",
     "solve_many",
+    "sweep",
+    "SweepResult",
     "Comparison",
+    "GameSpec",
+    "EnsembleSpec",
+    "as_game_spec",
     "Backend",
     "BackendCapabilities",
     "SolveSpec",

@@ -1,6 +1,6 @@
 """One-call facade over the unified solver API.
 
-Three functions cover the repo's workloads:
+Four functions cover the repo's workloads:
 
 * :func:`solve` — run one game through one backend::
 
@@ -18,6 +18,21 @@ Three functions cover the repo's workloads:
   ``(game, backend, spec)`` jobs, optionally routed through a service
   client so the scheduler shards, caches and parallelises them.
 
+* :func:`sweep` — an ensemble workload: stream a
+  :class:`~repro.workloads.EnsembleSpec` (or any iterable of game
+  specs) through the service scheduler with bounded in-flight
+  materialisation and spec-keyed result caching.
+
+Every ``game`` argument is a :data:`~repro.games.spec.GameLike` — a
+dense :class:`~repro.games.bimatrix.BimatrixGame`, a declarative
+:class:`~repro.games.spec.GameSpec`, or a spec string such as
+``"library:chicken"``.  Spec-backed workloads stay lazy end to end:
+requests ship the ~100-byte spec and the dense matrices are built where
+the solve actually runs.  When a spec's transform chain
+dominance-reduces the game, the backend solves the reduced game and the
+facade lifts the equilibria back to original coordinates, recording the
+action mapping under ``report.metadata["reduction"]``.
+
 Every function resolves backends through the global registry
 (:mod:`repro.backends`), so one ``register_backend()`` call makes a new
 solver reachable here, through the experiment runner and over TCP.
@@ -25,6 +40,7 @@ solver reachable here, through the experiment runner and over TCP.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
 
@@ -32,9 +48,10 @@ from repro.backends.adapters import config_from_spec, label_is_exact
 from repro.backends.base import SolveReport, SolveSpec, profiles_from_wire
 from repro.backends.registry import available_backends, get_backend
 from repro.games.bimatrix import BimatrixGame
+from repro.games.spec import GameLike, GameSpec, MaterializedGame, as_game_spec
 
 #: A solve_many job: ``(game, backend_name, spec)``; the spec may be None.
-SolveJob = Tuple[BimatrixGame, str, Optional[SolveSpec]]
+SolveJob = Tuple[GameLike, str, Optional[SolveSpec]]
 
 
 def _resolve_spec(spec: Optional[SolveSpec], spec_kwargs: Dict[str, Any]) -> SolveSpec:
@@ -48,7 +65,21 @@ def _resolve_spec(spec: Optional[SolveSpec], spec_kwargs: Dict[str, Any]) -> Sol
     return spec
 
 
-def _request_from_spec(game: BimatrixGame, backend: str, spec: SolveSpec, priority: int = 0):
+def _as_workload(game: GameLike) -> Union[BimatrixGame, GameSpec]:
+    """Normalise a game argument; dense games pass through unwrapped.
+
+    (Wrapping a ``BimatrixGame`` in an inline spec would be equivalent —
+    fingerprints are byte-compatible — but passing it through avoids a
+    payoff copy on the hot in-process path.)
+    """
+    if isinstance(game, (BimatrixGame, GameSpec)):
+        return game
+    return as_game_spec(game)
+
+
+def _request_from_spec(
+    game: Union[BimatrixGame, GameSpec], backend: str, spec: SolveSpec, priority: int = 0
+):
     """A service :class:`~repro.service.jobs.SolveRequest` for (game, backend, spec).
 
     Only the C-Nash config and the universal spec fields travel inside
@@ -81,7 +112,7 @@ def _request_from_spec(game: BimatrixGame, backend: str, spec: SolveSpec, priori
     )
 
 
-def _report_from_outcome(outcome, game: BimatrixGame, num_runs: int) -> SolveReport:
+def _report_from_outcome(outcome, game_name: str, num_runs: int) -> SolveReport:
     """A :class:`SolveReport` view of a service ``SolveOutcome``."""
     if outcome.batch is not None:
         executed_runs = len(outcome.batch.get("runs", []))
@@ -91,7 +122,7 @@ def _report_from_outcome(outcome, game: BimatrixGame, num_runs: int) -> SolveRep
         executed_runs = num_runs
     return SolveReport(
         backend=outcome.backend,
-        game_name=game.name,
+        game_name=game_name,
         equilibria=profiles_from_wire(outcome.equilibria),
         success_rate=outcome.success_rate,
         num_runs=executed_runs,
@@ -106,8 +137,41 @@ def _report_from_outcome(outcome, game: BimatrixGame, num_runs: int) -> SolveRep
     )
 
 
+def _spec_context(
+    work: Union[BimatrixGame, GameSpec]
+) -> Tuple[Optional[MaterializedGame], str]:
+    """``(tracked, game_name)`` for building a report without eager work.
+
+    Dominance-reducing specs must be materialised caller-side so the
+    returned equilibria can be lifted to original coordinates; every
+    other spec stays lazy and is named by its cheap
+    :meth:`~repro.games.spec.GameSpec.display_name` (so a report served
+    via a client for a lazy spec is labelled by the spec, not the
+    materialised game's pretty name).
+    """
+    if isinstance(work, BimatrixGame):
+        return None, work.name
+    if work.has_reduction:
+        tracked = work.materialize_tracked()
+        return tracked, tracked.game.name
+    return None, work.display_name()
+
+
+def _finalise_spec_report(
+    report: SolveReport,
+    work: Union[BimatrixGame, GameSpec],
+    tracked: Optional[MaterializedGame],
+) -> SolveReport:
+    """Attach spec provenance and lift reduced equilibria on a report."""
+    if isinstance(work, GameSpec):
+        if tracked is not None:
+            report.lift_reduction(tracked)
+        report.metadata["game_spec"] = work.to_dict()
+    return report
+
+
 def solve(
-    game: BimatrixGame,
+    game: GameLike,
     backend: str = "cnash",
     spec: Optional[SolveSpec] = None,
     *,
@@ -119,7 +183,12 @@ def solve(
     Parameters
     ----------
     game:
-        The bimatrix game to solve.
+        The workload: a dense :class:`BimatrixGame`, a declarative
+        :class:`~repro.games.spec.GameSpec`, or a spec string such as
+        ``"library:chicken"``.  Spec-backed solves record the spec under
+        ``report.metadata["game_spec"]``; if the spec dominance-reduces
+        the game, equilibria are lifted back to original coordinates and
+        the action mapping lands in ``report.metadata["reduction"]``.
     backend:
         Registered backend name (see
         :func:`repro.backends.available_backends`).
@@ -132,13 +201,22 @@ def solve(
         ``SyncServiceClient``, or a scheduler-backed equivalent exposing
         ``solve(request) -> SolveOutcome``).  When given, the solve is
         routed through the service layer — sharded worker-pool
-        execution and result caching — instead of running in-process.
+        execution and result caching — instead of running in-process;
+        spec-backed workloads ship as ~100-byte spec payloads and
+        materialise server-side.
     """
     spec = _resolve_spec(spec, spec_kwargs)
+    work = _as_workload(game)
     if client is not None:
-        request = _request_from_spec(game, backend, spec)
-        return _report_from_outcome(client.solve(request), game, spec.num_runs)
-    return get_backend(backend).solve(game, spec)
+        request = _request_from_spec(work, backend, spec)
+        tracked, game_name = _spec_context(work)
+        report = _report_from_outcome(client.solve(request), game_name, spec.num_runs)
+        return _finalise_spec_report(report, work, tracked)
+    if isinstance(work, GameSpec):
+        tracked = work.materialize_tracked()
+        report = get_backend(backend).solve(tracked.game, spec)
+        return _finalise_spec_report(report, work, tracked)
+    return get_backend(backend).solve(work, spec)
 
 
 @dataclass
@@ -189,7 +267,7 @@ class Comparison:
 
 
 def compare(
-    game: BimatrixGame,
+    game: GameLike,
     backends: Optional[Sequence[str]] = None,
     spec: Optional[SolveSpec] = None,
     *,
@@ -220,6 +298,11 @@ def compare(
     are recorded in ``Comparison.skipped`` instead of being run.
     """
     spec = _resolve_spec(spec, spec_kwargs)
+    work = _as_workload(game)
+    # Capability routing needs the game's size; for spec workloads one
+    # caller-side materialisation probes it (the solves themselves still
+    # ship the compact spec when a client is attached).
+    probe = work if isinstance(work, BimatrixGame) else work.materialize()
     if backends is None:
         backends = [name for name in available_backends() if name != "portfolio"]
     if overrides:
@@ -229,14 +312,14 @@ def compare(
                 f"overrides for backends not in the comparison: {unknown} "
                 f"(comparing {sorted(backends)})"
             )
-    comparison = Comparison(game_name=game.name)
+    comparison = Comparison(game_name=probe.name)
     runnable: List[Tuple[str, SolveSpec]] = []
     for name in backends:
         backend = get_backend(name)
         capabilities = backend.capabilities()
-        if not capabilities.supports(game):
+        if not capabilities.supports(probe):
             comparison.skipped[name] = (
-                f"game has {game.num_actions} actions, backend supports "
+                f"game has {probe.num_actions} actions, backend supports "
                 f"<= {capabilities.max_actions}"
             )
             continue
@@ -245,7 +328,7 @@ def compare(
     # when a submit/result-capable client is attached; in-process it
     # runs them sequentially, same as before.
     reports = solve_many(
-        [(game, name, backend_spec) for name, backend_spec in runnable], client=client
+        [(work, name, backend_spec) for name, backend_spec in runnable], client=client
     )
     for (name, _), report in zip(runnable, reports):
         comparison.reports[name] = report
@@ -261,10 +344,12 @@ def solve_many(
 
     Each job is a ``(game, backend, spec)`` tuple (spec may be ``None``
     for defaults) or a mapping with ``game`` / ``backend`` / ``spec``
-    keys.  Without a client, jobs run in-process sequentially.  With a
-    client, all jobs are submitted up front and collected afterwards, so
-    the scheduler overlaps them across its worker pool (and serves
-    repeats from its result cache).
+    keys; every ``game`` is a :data:`~repro.games.spec.GameLike`.
+    Without a client, jobs run in-process sequentially.  With a client,
+    all jobs are submitted up front and collected afterwards, so the
+    scheduler overlaps them across its worker pool (and serves repeats
+    from its result cache).  For workloads too large to submit up front,
+    use :func:`sweep`, which bounds the in-flight window.
     """
     normalised: List[SolveJob] = []
     for job in jobs:
@@ -276,18 +361,189 @@ def solve_many(
             game, backend, spec = job
             normalised.append((game, backend, spec))
     resolved = [
-        (game, backend, spec if spec is not None else SolveSpec())
+        (_as_workload(game), backend, spec if spec is not None else SolveSpec())
         for game, backend, spec in normalised
     ]
     if client is not None and hasattr(client, "submit") and hasattr(client, "result"):
         job_ids = [
-            client.submit(_request_from_spec(game, backend, spec))
-            for game, backend, spec in resolved
+            client.submit(_request_from_spec(work, backend, spec))
+            for work, backend, spec in resolved
         ]
-        return [
-            _report_from_outcome(client.result(job_id), game, spec.num_runs)
-            for job_id, (game, backend, spec) in zip(job_ids, resolved)
-        ]
+        reports = []
+        for job_id, (work, backend, spec) in zip(job_ids, resolved):
+            tracked, game_name = _spec_context(work)
+            report = _report_from_outcome(client.result(job_id), game_name, spec.num_runs)
+            reports.append(_finalise_spec_report(report, work, tracked))
+        return reports
     return [
-        solve(game, backend, spec, client=client) for game, backend, spec in resolved
+        solve(work, backend, spec, client=client) for work, backend, spec in resolved
     ]
+
+
+@dataclass
+class SweepResult:
+    """Aggregate result of one :func:`sweep` call.
+
+    ``reports`` is in submission order (ensemble order, with the
+    backends of one game adjacent).  ``cache_hits`` counts jobs served
+    without recomputation (result-cache hits plus coalesced duplicates),
+    measured as the scheduler-counter delta across the sweep; it is
+    ``None`` when the attached client exposes no ``stats()``.
+    """
+
+    backends: Tuple[str, ...]
+    reports: List[SolveReport] = field(default_factory=list)
+    num_games: int = 0
+    elapsed_seconds: float = 0.0
+    cache_hits: Optional[int] = None
+    scheduler_stats: Optional[Dict[str, Any]] = None
+
+    @property
+    def num_jobs(self) -> int:
+        """Jobs executed: one per (game, backend) pair."""
+        return len(self.reports)
+
+    @property
+    def cache_hit_rate(self) -> Optional[float]:
+        """Fraction of jobs served from the spec-keyed cache."""
+        if self.cache_hits is None or not self.reports:
+            return None
+        return self.cache_hits / len(self.reports)
+
+    def reports_for(self, backend: str) -> List[SolveReport]:
+        """The reports produced by one backend, in ensemble order."""
+        return [report for report in self.reports if report.backend.startswith(backend)]
+
+    def mean_success_rate(self) -> float:
+        """Mean per-job success rate across the whole sweep."""
+        if not self.reports:
+            return 0.0
+        return sum(report.success_rate for report in self.reports) / len(self.reports)
+
+    def summary(self) -> str:
+        """One-line human-readable sweep summary."""
+        hit_part = ""
+        if self.cache_hit_rate is not None:
+            hit_part = f", {self.cache_hit_rate:.0%} cache hits"
+        return (
+            f"{self.num_games} games x {len(self.backends)} backends = "
+            f"{self.num_jobs} jobs in {self.elapsed_seconds:.2f}s "
+            f"(mean success {self.mean_success_rate():.1%}{hit_part})"
+        )
+
+
+def sweep(
+    ensemble,
+    backends: Union[str, Sequence[str]] = "cnash",
+    spec: Optional[SolveSpec] = None,
+    *,
+    client=None,
+    max_in_flight: int = 32,
+    keep_batches: bool = False,
+    executor: str = "thread",
+    max_workers: Optional[int] = None,
+    **spec_kwargs: Any,
+) -> SweepResult:
+    """Stream an ensemble of games through the service scheduler.
+
+    This is the bulk-workload entry point: a
+    :class:`~repro.workloads.EnsembleSpec` (or any iterable of
+    :data:`~repro.games.spec.GameLike`, including a lazy generator)
+    flows through the scheduler as spec-backed requests.  Materialisation
+    is *bounded*: at most ``max_in_flight`` jobs are submitted ahead of
+    collection, so a 10,000-game sweep never holds more than the
+    in-flight window of dense games in memory, no matter how large the
+    ensemble (completed reports keep only equilibria and metrics —
+    per-run batches are dropped unless ``keep_batches=True``).
+
+    Repeating an identical sweep is served from the spec-keyed result
+    cache: give the :class:`SolveSpec` a seed (seeded requests are the
+    cacheable ones) and the second pass recomputes nothing.
+
+    Parameters
+    ----------
+    ensemble:
+        :class:`~repro.workloads.EnsembleSpec` or iterable of game-likes.
+    backends:
+        One backend name or a sequence; every game runs through each.
+    spec:
+        Shared :class:`SolveSpec` (or keyword spec fields).  Set
+        ``seed`` to make the sweep cacheable.
+    client:
+        A submit/result-capable service client
+        (:class:`repro.service.client.InProcessClient` or equivalent).
+        ``None`` creates a private in-process scheduler client for the
+        duration of the call.
+    max_in_flight:
+        Bound on submitted-but-uncollected jobs (and therefore on
+        concurrently materialised games).
+    keep_batches:
+        Retain full per-run batches on the reports (memory-heavy).
+    executor, max_workers:
+        Worker-pool configuration for the private client when
+        ``client=None`` (ignored otherwise).
+    """
+    from repro.workloads.ensembles import ensemble_or_specs
+
+    spec = _resolve_spec(spec, spec_kwargs)
+    backend_names: Tuple[str, ...] = (
+        (backends,) if isinstance(backends, str) else tuple(backends)
+    )
+    if not backend_names:
+        raise ValueError("backends must name at least one backend")
+    if max_in_flight < 1:
+        raise ValueError(f"max_in_flight must be >= 1, got {max_in_flight}")
+
+    owns_client = client is None
+    if owns_client:
+        from repro.service.client import InProcessClient
+
+        client = InProcessClient(executor=executor, max_workers=max_workers)
+    if not (hasattr(client, "submit") and hasattr(client, "result")):
+        raise TypeError(
+            "sweep requires a submit/result-capable service client "
+            "(e.g. repro.service.client.InProcessClient); got "
+            f"{type(client).__name__}"
+        )
+
+    def _counter_totals() -> Optional[int]:
+        if not hasattr(client, "stats"):
+            return None
+        counters = client.stats()["counters"]
+        return int(counters["cache_hits"]) + int(counters["coalesced"])
+
+    result = SweepResult(backends=backend_names)
+    hits_before = _counter_totals()
+    start = time.perf_counter()
+    #: (job_id, workload, backend) triples awaiting collection.
+    pending: List[Tuple[str, Union[BimatrixGame, GameSpec], str]] = []
+
+    def _collect_oldest() -> None:
+        job_id, work, _ = pending.pop(0)
+        tracked, game_name = _spec_context(work)
+        report = _report_from_outcome(client.result(job_id), game_name, spec.num_runs)
+        _finalise_spec_report(report, work, tracked)
+        if not keep_batches:
+            report.batch = None
+        result.reports.append(report)
+
+    try:
+        for game_spec in ensemble_or_specs(ensemble):
+            result.num_games += 1
+            for backend in backend_names:
+                while len(pending) >= max_in_flight:
+                    _collect_oldest()
+                request = _request_from_spec(game_spec, backend, spec)
+                pending.append((client.submit(request), game_spec, backend))
+        while pending:
+            _collect_oldest()
+        result.elapsed_seconds = time.perf_counter() - start
+        hits_after = _counter_totals()
+        if hits_before is not None and hits_after is not None:
+            result.cache_hits = hits_after - hits_before
+        if hasattr(client, "stats"):
+            result.scheduler_stats = client.stats()
+    finally:
+        if owns_client:
+            client.close()
+    return result

@@ -271,6 +271,28 @@ class SolveReport:
             return self.batch
         return SolverBatchResult.from_dict(self.batch)
 
+    def lift_reduction(self, materialized) -> "SolveReport":
+        """Re-express equilibria in the coordinates of an unreduced game.
+
+        When a :class:`repro.games.spec.GameSpec` transform chain
+        dominance-reduces a game, the backend solves the *reduced* game
+        and its equilibria live in reduced coordinates.  Given the
+        spec's :class:`~repro.games.spec.MaterializedGame` (which
+        carries the action mapping), this lifts every equilibrium back
+        to the original action sets — eliminated actions get probability
+        zero, which preserves equilibrium-ness because only strictly
+        dominated actions are eliminated — and records the mapping under
+        ``metadata["reduction"]``.  No-op (and no metadata) when nothing
+        was eliminated.  Returns ``self`` for chaining.
+        """
+        if not getattr(materialized, "was_reduced", False):
+            return self
+        self.equilibria = [
+            materialized.lift_profile(profile) for profile in self.equilibria
+        ]
+        self.metadata["reduction"] = materialized.mapping_dict()
+        return self
+
     def batch_dict(self) -> Optional[Dict[str, Any]]:
         """The per-run batch in wire form (serialised on demand)."""
         if self.batch is None:

@@ -22,7 +22,9 @@ from repro.experiments.common import (
     ExperimentScale,
     GameBudget,
     GameEvaluation,
+    BENCHMARK_SUITE,
     benchmark_games,
+    benchmark_specs,
     clear_evaluation_cache,
     evaluate_all_games,
     evaluate_game,
@@ -43,7 +45,9 @@ __all__ = [
     "PAPER_SCALE",
     "SOLVER_NAMES",
     "get_scale",
+    "BENCHMARK_SUITE",
     "benchmark_games",
+    "benchmark_specs",
     "evaluate_game",
     "evaluate_all_games",
     "clear_evaluation_cache",

@@ -29,10 +29,21 @@ from repro.core.result import SolverBatchResult
 from repro.core.solver import CNashSolver
 from repro.games.bimatrix import BimatrixGame
 from repro.games.equilibrium import EquilibriumSet
-from repro.games.library import battle_of_the_sexes, bird_game, modified_prisoners_dilemma
+from repro.games.spec import GameSpec
 
 #: Names of the solvers compared in every experiment, in table order.
 SOLVER_NAMES = ("D-Wave 2000 Q6", "D-Wave Advantage 4.1", "C-Nash")
+
+#: The paper's benchmark suite as declarative workload specs, in the
+#: paper's order (increasing action count).  This — not a hard-coded
+#: list of constructor calls — is what every experiment materialises,
+#: so swapping or extending the suite (including ``--scale``-dependent
+#: sweeps) is a data change.
+BENCHMARK_SUITE: Tuple[GameSpec, ...] = (
+    GameSpec.library("battle_of_the_sexes"),
+    GameSpec.library("bird_game"),
+    GameSpec.library("modified_prisoners_dilemma"),
+)
 
 
 @dataclass(frozen=True)
@@ -48,16 +59,27 @@ class GameBudget:
 
 @dataclass(frozen=True)
 class ExperimentScale:
-    """A complete experiment budget across the three benchmark games."""
+    """A complete experiment budget across the benchmark suite.
+
+    The games themselves are data too: ``suite`` is a tuple of
+    :class:`~repro.games.spec.GameSpec` descriptions (defaulting to the
+    paper's three benchmarks), so a scale can swap in a different or
+    generated suite without any experiment code change.
+    """
 
     name: str
     budgets: Dict[str, GameBudget]
     use_hardware: bool = False
+    suite: Tuple[GameSpec, ...] = BENCHMARK_SUITE
 
     def budget_for(self, game_name: str) -> GameBudget:
         """The budget of one benchmark game (by canonical name)."""
         key = canonical_game_name(game_name)
         return self.budgets[key]
+
+    def games(self) -> List[BimatrixGame]:
+        """Materialise the scale's benchmark suite."""
+        return [spec.materialize() for spec in self.suite]
 
 
 #: Minimal budget used by the test suite and CI smoke runs.
@@ -101,9 +123,14 @@ def get_scale(name: str) -> ExperimentScale:
     return _SCALES[key]
 
 
-def benchmark_games() -> List[BimatrixGame]:
-    """The three benchmark games in the paper's order."""
-    return [battle_of_the_sexes(), bird_game(), modified_prisoners_dilemma()]
+def benchmark_specs(scale: Optional[ExperimentScale] = None) -> Tuple[GameSpec, ...]:
+    """The benchmark suite as workload specs (a scale may override it)."""
+    return BENCHMARK_SUITE if scale is None else scale.suite
+
+
+def benchmark_games(scale: Optional[ExperimentScale] = None) -> List[BimatrixGame]:
+    """The benchmark games in the paper's order, materialised from specs."""
+    return [spec.materialize() for spec in benchmark_specs(scale)]
 
 
 @dataclass
@@ -226,7 +253,7 @@ def evaluate_all_games(
     if use_cache and key in _EVALUATION_CACHE:
         return _EVALUATION_CACHE[key]
     evaluations = {}
-    for game in benchmark_games():
+    for game in benchmark_games(scale):
         evaluation = evaluate_game(game, scale, seed=seed)
         evaluations[evaluation.canonical_name] = evaluation
     if use_cache:

@@ -29,6 +29,9 @@ from repro.games.equilibrium import (
     is_nash_equilibrium,
 )
 from repro.games.generators import (
+    available_generators,
+    get_generator,
+    planted_pure_game,
     random_coordination_game,
     random_game,
     random_game_with_pure_equilibrium,
@@ -49,6 +52,14 @@ from repro.games.library import (
     prisoners_dilemma,
     rock_paper_scissors,
     stag_hunt,
+)
+from repro.games.spec import (
+    GameLike,
+    GameSpec,
+    GameTransform,
+    MaterializedGame,
+    as_game_spec,
+    iter_specs,
 )
 from repro.games.support_enumeration import pure_equilibria, support_enumeration
 from repro.games.vertex_enumeration import cross_check_equilibria, vertex_enumeration
@@ -92,4 +103,13 @@ __all__ = [
     "random_coordination_game",
     "random_symmetric_game",
     "random_game_with_pure_equilibrium",
+    "planted_pure_game",
+    "available_generators",
+    "get_generator",
+    "GameLike",
+    "GameSpec",
+    "GameTransform",
+    "MaterializedGame",
+    "as_game_spec",
+    "iter_specs",
 ]

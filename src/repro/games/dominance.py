@@ -62,6 +62,32 @@ class ReducedGame:
         """Whether any action was eliminated."""
         return bool(self.eliminated_rows or self.eliminated_cols)
 
+    @property
+    def original_shape(self) -> Tuple[int, int]:
+        """The ``(n, m)`` action counts of the game before elimination."""
+        return (
+            len(self.row_actions) + len(self.eliminated_rows),
+            len(self.col_actions) + len(self.eliminated_cols),
+        )
+
+    def mapping_dict(self) -> dict:
+        """JSON-ready action mapping back to the original game.
+
+        ``row_actions[i]`` / ``col_actions[j]`` give the original index
+        of reduced action ``i`` / ``j``.  Solve reports over reduced
+        games carry this mapping in their metadata so equilibria can be
+        reported in original coordinates
+        (:meth:`repro.backends.SolveReport.lift_reduction`).
+        """
+        return {
+            "row_actions": [int(index) for index in self.row_actions],
+            "col_actions": [int(index) for index in self.col_actions],
+            "eliminated_rows": [int(index) for index in self.eliminated_rows],
+            "eliminated_cols": [int(index) for index in self.eliminated_cols],
+            "original_shape": [int(axis) for axis in self.original_shape],
+            "rounds": int(self.rounds),
+        }
+
     def lift_profile(self, profile: StrategyProfile) -> StrategyProfile:
         """Map a profile of the reduced game back onto the original action sets.
 

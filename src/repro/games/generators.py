@@ -7,13 +7,13 @@ size and structure, which these generators provide.
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
 from repro.games.bimatrix import BimatrixGame
 from repro.utils.rng import SeedLike, as_generator
-from repro.utils.validation import ensure_int_at_least
+from repro.utils.validation import ensure_int_at_least, normalise_key, unknown_key_error
 
 
 def random_game(
@@ -130,3 +130,49 @@ def random_game_with_pure_equilibrium(
     payoff_col[i, j] = high + 1.0
     planted = BimatrixGame(payoff_row, payoff_col, name=f"planted {num_actions}x{num_actions} game")
     return planted, (i, j)
+
+
+def planted_pure_game(
+    num_actions: int,
+    payoff_range: Tuple[float, float] = (0.0, 10.0),
+    seed: SeedLike = None,
+) -> BimatrixGame:
+    """:func:`random_game_with_pure_equilibrium` without the planted cell.
+
+    Workload specs (:class:`repro.games.spec.GameSpec`) need generators
+    that return a plain game; sweeps that want games with at least one
+    guaranteed pure equilibrium use this wrapper.
+    """
+    game, _ = random_game_with_pure_equilibrium(num_actions, payoff_range, seed=seed)
+    return game
+
+
+#: Generator kinds addressable by name from :class:`repro.games.spec.GameSpec`.
+#: Every entry is a callable accepting a ``seed`` keyword plus its own
+#: parameters and returning a :class:`BimatrixGame`; equal seeds and
+#: parameters must produce bit-identical games (the spec-keyed result
+#: cache depends on it, and tests/games/test_spec.py guards it).
+GENERATORS: Dict[str, Callable[..., BimatrixGame]] = {
+    "random": random_game,
+    "zero_sum": random_zero_sum_game,
+    "coordination": random_coordination_game,
+    "symmetric": random_symmetric_game,
+    "planted_pure": planted_pure_game,
+}
+
+
+def available_generators() -> List[str]:
+    """Generator kinds accepted by :func:`get_generator` (and game specs)."""
+    return sorted(GENERATORS)
+
+
+def get_generator(kind: str) -> Callable[..., BimatrixGame]:
+    """Look up a generator by kind.
+
+    Raises ``KeyError`` listing the available kinds (with close-match
+    suggestions) when unknown — the same error surface game specs give.
+    """
+    key = normalise_key(kind)
+    if key not in GENERATORS:
+        raise unknown_key_error(kind, available_generators(), noun="generator")
+    return GENERATORS[key]

@@ -29,11 +29,13 @@ examples and the extension benchmarks.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List
+import re
+from typing import Any, Callable, Dict, List, Tuple
 
 import numpy as np
 
 from repro.games.bimatrix import BimatrixGame
+from repro.utils.validation import normalise_key, unknown_key_error
 
 
 def battle_of_the_sexes() -> BimatrixGame:
@@ -169,17 +171,87 @@ def paper_benchmark_games() -> List[BimatrixGame]:
 
 
 def available_games() -> List[str]:
-    """Names accepted by :func:`get_game`."""
+    """Names accepted by :func:`get_game`.
+
+    This is the single source of truth for library-game names: the
+    parametric lookup below and :class:`repro.games.spec.GameSpec`
+    validation both resolve against exactly this list.
+    """
     return sorted(list(_PAPER_GAMES) + list(_EXTRA_GAMES))
 
 
-def get_game(name: str) -> BimatrixGame:
-    """Look up a game by snake_case name.
+#: ``name(arg, ...)`` call syntax accepted by :func:`get_game`, e.g.
+#: ``"coordination_game(5)"`` or ``"modified_prisoners_dilemma(10)"``.
+_PARAMETRIC_NAME = re.compile(r"^(?P<name>[^()]+)\((?P<args>[^()]*)\)$")
 
-    Raises ``KeyError`` with the list of valid names when unknown.
+
+def _parse_scalar(text: str) -> Any:
+    text = text.strip()
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        return text.strip("'\"")
+
+
+def parse_call_syntax(name: str) -> Tuple[str, Tuple[Any, ...]]:
+    """Split ``"name(arg, ...)"`` call syntax into ``(name, args)``.
+
+    Plain names come back with empty args.  No registry validation —
+    both the game library and the generator registry share this parser.
     """
-    key = name.strip().lower().replace(" ", "_").replace("-", "_")
+    text = name.strip()
+    args: Tuple[Any, ...] = ()
+    match = _PARAMETRIC_NAME.match(text)
+    if match:
+        text = match.group("name").strip()
+        raw_args = match.group("args").strip()
+        if raw_args:
+            args = tuple(_parse_scalar(part) for part in raw_args.split(","))
+    return text, args
+
+
+def parse_game_name(name: str) -> Tuple[str, Tuple[Any, ...]]:
+    """Split a (possibly parametric) game name into ``(key, args)``.
+
+    ``"chicken"`` -> ``("chicken", ())``; ``"coordination_game(5)"`` ->
+    ``("coordination_game", (5,))``.  The key is normalised to the
+    snake_case form used by :func:`available_games` and validated against
+    it — unknown names raise ``KeyError`` listing the candidates (with
+    close-match suggestions for typos).
+    """
+    text, args = parse_call_syntax(name)
+    key = normalise_key(text)
+    if key not in _PAPER_GAMES and key not in _EXTRA_GAMES:
+        raise unknown_key_error(name, available_games(), noun="game")
+    return key, args
+
+
+def get_game_factory(name: str) -> Tuple[Callable[..., BimatrixGame], int]:
+    """The factory behind a (possibly parametric) name.
+
+    Returns ``(factory, positional_arg_count)`` where the count is the
+    number of arguments already supplied by call syntax in the name
+    (``"coordination_game(5)"`` -> 1).  The spec layer uses this to
+    validate factory parameters at construction time.
+    """
+    key, args = parse_game_name(name)
     registry = {**_PAPER_GAMES, **_EXTRA_GAMES}
-    if key not in registry:
-        raise KeyError(f"unknown game {name!r}; available: {', '.join(available_games())}")
-    return registry[key]()
+    return registry[key], len(args)
+
+
+def get_game(name: str, *args: Any, **params: Any) -> BimatrixGame:
+    """Look up a game by snake_case name, optionally parameterised.
+
+    Accepts plain names (``"chicken"``), call syntax
+    (``"coordination_game(5)"``) and explicit factory arguments
+    (``get_game("coordination_game", num_actions=5)``) — the spec layer
+    uses the keyword form.  Raises ``KeyError`` with the list of valid
+    names (and close-match suggestions) when unknown.
+    """
+    key, parsed_args = parse_game_name(name)
+    registry = {**_PAPER_GAMES, **_EXTRA_GAMES}
+    return registry[key](*parsed_args, *args, **params)

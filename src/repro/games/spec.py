@@ -1,0 +1,594 @@
+"""``GameSpec``: a declarative, fingerprintable IR for game workloads.
+
+Every entry point of the solver stack historically took an
+eagerly-constructed :class:`~repro.games.bimatrix.BimatrixGame`: dense
+payoff matrices were built up front, pickled to scheduler shards and
+fingerprinted byte-by-byte.  That is fine for three benchmark games and
+hopeless for the thousand-game generated sweeps the evaluation
+methodology calls for, so this module introduces a workload IR:
+
+* a :class:`GameSpec` is a frozen, JSON-serialisable *description* of a
+  game — a library name (``library:chicken``), a generator kind with
+  parameters and a seed (``GameSpec.generator("random",
+  num_row_actions=64, seed=7)``), or inline dense payoffs — plus a chain
+  of composable transforms (``shifted`` / ``scaled`` / ``transpose`` /
+  ``reduce_dominated``);
+* :meth:`GameSpec.materialize` produces the dense game *on demand*, so a
+  64x64 random-game job ships a ~100-byte spec to scheduler shards
+  instead of dense arrays;
+* :meth:`GameSpec.fingerprint` is computed from the spec, not the
+  matrices, so spec-keyed cache entries exist before any materialisation
+  happens.  Inline specs without transforms fall back to the matrix
+  fingerprint of the game they wrap, byte-compatible with cache entries
+  written for plain ``BimatrixGame`` requests.
+
+:func:`as_game_spec` coerces the union every API entry point accepts
+(``BimatrixGame | GameSpec | str``) into a spec.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import inspect
+from dataclasses import dataclass, field
+from types import MappingProxyType
+from typing import Any, Callable, Dict, Iterator, List, Mapping, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.games.bimatrix import BimatrixGame
+from repro.games.dominance import iterated_elimination
+from repro.games.equilibrium import StrategyProfile
+from repro.games.generators import get_generator
+from repro.games.library import get_game, get_game_factory, parse_game_name
+from repro.utils.serialization import canonical_json
+
+#: Where a spec's payoffs come from.
+SOURCE_KINDS = ("library", "generator", "inline")
+
+#: Equilibrium-preserving transform operations, applied in chain order.
+TRANSFORM_OPS = ("shifted", "scaled", "transpose", "reduce_dominated")
+
+
+def validate_factory_params(
+    factory: Callable[..., Any],
+    params: Mapping[str, Any],
+    context: str,
+    positional_args: int = 0,
+    ignore: Tuple[str, ...] = ("seed",),
+) -> None:
+    """Check ``params`` against a game factory's signature at spec time.
+
+    A spec is supposed to fail at *construction* with an actionable
+    message — not inside a scheduler worker with an opaque ``TypeError``
+    after a sweep has already dispatched it.  ``positional_args`` counts
+    arguments supplied positionally (parametric name syntax like
+    ``"coordination_game(5)"``).
+    """
+    signature = inspect.signature(factory)
+    names = [
+        name
+        for name, parameter in signature.parameters.items()
+        if parameter.kind
+        in (inspect.Parameter.POSITIONAL_OR_KEYWORD, inspect.Parameter.KEYWORD_ONLY)
+    ]
+    unknown = sorted(set(params) - set(names))
+    if unknown:
+        accepted = [name for name in names if name not in ignore]
+        raise ValueError(
+            f"{context} does not accept parameter(s) {unknown}; "
+            f"accepted: {', '.join(accepted) or '(none)'}"
+        )
+    covered = set(names[:positional_args]) | set(params) | set(ignore)
+    missing = [
+        name
+        for name, parameter in signature.parameters.items()
+        if name in names
+        and name not in covered
+        and parameter.default is inspect.Parameter.empty
+    ]
+    if missing:
+        raise ValueError(f"{context} requires parameter(s) {missing}")
+
+
+def _jsonable(value: Any, context: str) -> Any:
+    """Normalise a parameter value to a canonical JSON-compatible form."""
+    if isinstance(value, (tuple, list)):
+        return [_jsonable(item, context) for item in value]
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    if isinstance(value, (bool, int, float, str)) or value is None:
+        return value
+    raise ValueError(
+        f"{context} must be JSON-compatible scalars/lists, got {type(value).__name__}: {value!r}"
+    )
+
+
+@dataclass(frozen=True)
+class GameTransform:
+    """One equilibrium-preserving step of a spec's transform chain."""
+
+    op: str
+    params: Mapping[str, Any] = field(default_factory=dict, hash=False)
+
+    def __post_init__(self) -> None:
+        if self.op not in TRANSFORM_OPS:
+            raise ValueError(f"transform op must be one of {TRANSFORM_OPS}, got {self.op!r}")
+        params = {
+            str(key): _jsonable(value, f"transform {self.op!r} param {key!r}")
+            for key, value in dict(self.params).items()
+        }
+        if self.op == "scaled":
+            factor = params.get("factor")
+            if not isinstance(factor, (int, float)) or factor <= 0:
+                raise ValueError(f"scaled transform needs a positive 'factor', got {factor!r}")
+        if self.op == "transpose" and params:
+            raise ValueError(f"transpose takes no parameters, got {sorted(params)}")
+        object.__setattr__(self, "params", MappingProxyType(params))
+
+    def __reduce__(self):
+        # MappingProxyType is unpicklable; rebuild from a plain dict.
+        return (type(self), (self.op, dict(self.params)))
+
+    def to_wire(self) -> List[Any]:
+        """``[op, params]`` wire form (inverse of :meth:`from_wire`)."""
+        return [self.op, dict(self.params)]
+
+    @classmethod
+    def from_wire(cls, data: Any) -> "GameTransform":
+        """Reconstruct a transform from :meth:`to_wire` output."""
+        op, params = data
+        return cls(op=str(op), params=dict(params))
+
+
+@dataclass
+class MaterializedGame:
+    """A dense game plus the action mapping back to the spec's source game.
+
+    ``row_actions[i]`` (``col_actions[j]``) is the index, *in the source
+    game's current orientation*, of materialised action ``i`` (``j``);
+    transposes swap the two maps, dominance reductions shrink them.
+    When nothing was eliminated the maps are identities.
+    """
+
+    game: BimatrixGame
+    row_actions: Tuple[int, ...]
+    col_actions: Tuple[int, ...]
+    original_shape: Tuple[int, int]
+    elimination_rounds: int = 0
+
+    @property
+    def was_reduced(self) -> bool:
+        """Whether the transform chain eliminated any action."""
+        return self.game.shape != self.original_shape
+
+    def lift_profile(self, profile: StrategyProfile) -> StrategyProfile:
+        """Map a profile of the materialised game to original coordinates.
+
+        Eliminated actions receive probability zero; since only strictly
+        dominated actions are eliminated, lifted equilibria are
+        equilibria of the unreduced game.
+        """
+        if not self.was_reduced:
+            return profile
+        p = np.zeros(self.original_shape[0])
+        q = np.zeros(self.original_shape[1])
+        p[list(self.row_actions)] = profile.p
+        q[list(self.col_actions)] = profile.q
+        return StrategyProfile(p, q)
+
+    def mapping_dict(self) -> Dict[str, Any]:
+        """JSON-ready action mapping (recorded in solve-report metadata)."""
+        return {
+            "row_actions": [int(index) for index in self.row_actions],
+            "col_actions": [int(index) for index in self.col_actions],
+            "original_shape": [int(axis) for axis in self.original_shape],
+            "rounds": int(self.elimination_rounds),
+        }
+
+
+@dataclass(frozen=True)
+class GameSpec:
+    """A frozen, JSON-serialisable description of one game workload.
+
+    Construct through the classmethods rather than the raw fields::
+
+        GameSpec.library("chicken")
+        GameSpec.library("coordination_game", num_actions=5)
+        GameSpec.generator("random", num_row_actions=64, seed=7)
+        GameSpec.inline(game)                  # wrap a dense game
+        GameSpec.parse("library:chicken")      # string wire form
+
+    and compose transforms functionally::
+
+        GameSpec.library("chicken").scaled(2.0).reduce_dominated()
+
+    Parameters
+    ----------
+    kind:
+        Source kind: ``"library"``, ``"generator"`` or ``"inline"``.
+    name:
+        Library game name / generator kind / inline game label.
+    params:
+        Factory parameters (library factories and generators).
+    seed:
+        Generator seed (generator specs only).  Defaults to 0 so
+        generated specs are deterministic — and therefore cacheable —
+        unless explicitly unseeded with ``seed=None``.
+    payoffs:
+        Inline dense payoffs as a ``(payoff_row, payoff_col)`` pair of
+        nested float tuples (inline specs only).
+    transforms:
+        Chain of :class:`GameTransform` steps applied in order after the
+        source game is built.
+    label:
+        Optional name override for the materialised game.
+    """
+
+    kind: str
+    name: str = ""
+    params: Mapping[str, Any] = field(default_factory=dict, hash=False)
+    seed: Optional[int] = None
+    payoffs: Optional[Tuple[Any, Any]] = None
+    transforms: Tuple[GameTransform, ...] = ()
+    label: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in SOURCE_KINDS:
+            raise ValueError(f"kind must be one of {SOURCE_KINDS}, got {self.kind!r}")
+        params = {
+            str(key): _jsonable(value, f"spec param {key!r}")
+            for key, value in dict(self.params).items()
+        }
+        object.__setattr__(self, "params", MappingProxyType(params))
+        transforms = tuple(
+            step if isinstance(step, GameTransform) else GameTransform.from_wire(step)
+            for step in self.transforms
+        )
+        object.__setattr__(self, "transforms", transforms)
+        if self.seed is not None:
+            if self.kind != "generator":
+                raise ValueError(
+                    f"seed only applies to generator specs, not kind={self.kind!r} "
+                    f"(library and inline sources are already deterministic)"
+                )
+            if not isinstance(self.seed, (int, np.integer)) or isinstance(self.seed, bool):
+                raise ValueError(f"seed must be an int or None, got {self.seed!r}")
+            object.__setattr__(self, "seed", int(self.seed))
+        if self.kind == "library":
+            if self.payoffs is not None:
+                raise ValueError("library specs carry no inline payoffs")
+            # Raises KeyError listing candidates for unknown names, and
+            # ValueError for parameters the factory cannot accept.
+            factory, positional_args = get_game_factory(self.name)
+            validate_factory_params(
+                factory, params, f"library game {self.name!r}",
+                positional_args=positional_args, ignore=(),
+            )
+        elif self.kind == "generator":
+            if self.payoffs is not None:
+                raise ValueError("generator specs carry no inline payoffs")
+            validate_factory_params(
+                get_generator(self.name), params, f"generator {self.name!r}"
+            )
+        else:  # inline
+            if self.payoffs is None:
+                raise ValueError("inline specs require payoffs")
+            row, col = self.payoffs
+            row_array = np.asarray(row, dtype=float)
+            col_array = np.asarray(col, dtype=float)
+            if row_array.ndim != 2 or row_array.shape != col_array.shape:
+                raise ValueError(
+                    f"inline payoffs must be two equal-shape matrices, got shapes "
+                    f"{row_array.shape} and {col_array.shape}"
+                )
+            frozen = tuple(
+                tuple(tuple(float(x) for x in line) for line in matrix)
+                for matrix in (row_array, col_array)
+            )
+            object.__setattr__(self, "payoffs", frozen)
+
+    def __reduce__(self):
+        return (
+            type(self),
+            (
+                self.kind,
+                self.name,
+                dict(self.params),
+                self.seed,
+                self.payoffs,
+                self.transforms,
+                self.label,
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def library(cls, name: str, **params: Any) -> "GameSpec":
+        """Spec for a benchmark-library game, optionally parameterised."""
+        return cls(kind="library", name=name, params=params)
+
+    @classmethod
+    def generator(cls, kind: str, seed: Optional[int] = 0, **params: Any) -> "GameSpec":
+        """Spec for a generated game (see :data:`repro.games.generators.GENERATORS`)."""
+        return cls(kind="generator", name=kind, params=params, seed=seed)
+
+    @classmethod
+    def inline(
+        cls,
+        game_or_payoff_row: Union[BimatrixGame, Any],
+        payoff_col: Any = None,
+        name: Optional[str] = None,
+    ) -> "GameSpec":
+        """Spec wrapping dense payoffs (or an existing :class:`BimatrixGame`)."""
+        if isinstance(game_or_payoff_row, BimatrixGame):
+            game = game_or_payoff_row
+            return cls(
+                kind="inline",
+                name=name if name is not None else game.name,
+                payoffs=(game.payoff_row, game.payoff_col),
+            )
+        return cls(
+            kind="inline",
+            name=name if name is not None else "inline game",
+            payoffs=(game_or_payoff_row, payoff_col),
+        )
+
+    @classmethod
+    def parse(cls, text: str) -> "GameSpec":
+        """Parse the string wire form.
+
+        ``"library:chicken"``, ``"library:coordination_game(5)"`` and
+        bare library names (``"chicken"``) all resolve to library specs.
+        ``"generator:random(8)"`` resolves to a generator spec with the
+        call arguments bound to the generator's leading parameters (and
+        the default seed 0); keyword parameters and explicit seeds are
+        richer than a string — use :meth:`GameSpec.generator` for those.
+        """
+        value = text.strip()
+        if ":" in value:
+            prefix, _, remainder = value.partition(":")
+            prefix = prefix.strip().lower()
+            if prefix == "library":
+                return cls.library(remainder.strip())
+            if prefix == "generator":
+                from repro.games.library import parse_call_syntax
+
+                kind, args = parse_call_syntax(remainder)
+                factory = get_generator(kind)
+                names = [
+                    name
+                    for name in inspect.signature(factory).parameters
+                    if name != "seed"
+                ]
+                if len(args) > len(names):
+                    raise ValueError(
+                        f"generator {kind!r} takes at most {len(names)} "
+                        f"call arguments ({', '.join(names)}), got {len(args)}"
+                    )
+                return cls.generator(kind, **dict(zip(names, args)))
+            raise ValueError(
+                f"unknown spec prefix {prefix!r} in {text!r}; "
+                f"expected 'library:<name>' or 'generator:<kind>'"
+            )
+        return cls.library(value)
+
+    # ------------------------------------------------------------------
+    # Composable transforms
+    # ------------------------------------------------------------------
+    def _with_transform(self, op: str, **params: Any) -> "GameSpec":
+        step = GameTransform(op, {k: v for k, v in params.items() if v is not None})
+        return dataclasses.replace(self, transforms=self.transforms + (step,))
+
+    def shifted(self, offset: Optional[float] = None) -> "GameSpec":
+        """Append a non-negativity shift (``None`` = smallest sufficient)."""
+        return self._with_transform("shifted", offset=offset)
+
+    def scaled(self, factor: float) -> "GameSpec":
+        """Append a positive payoff scaling."""
+        return self._with_transform("scaled", factor=factor)
+
+    def transpose(self) -> "GameSpec":
+        """Append a player swap."""
+        return self._with_transform("transpose")
+
+    def reduce_dominated(
+        self, max_rounds: Optional[int] = None, atol: Optional[float] = None
+    ) -> "GameSpec":
+        """Append iterated elimination of strictly dominated actions.
+
+        Materialisation then yields the *reduced* game; the action
+        mapping back to original coordinates travels on
+        :meth:`materialize_tracked` (and, through the API layer, in
+        solve-report metadata).
+        """
+        return self._with_transform("reduce_dominated", max_rounds=max_rounds, atol=atol)
+
+    # ------------------------------------------------------------------
+    # Identity
+    # ------------------------------------------------------------------
+    def display_name(self) -> str:
+        """A cheap human-readable name (no materialisation)."""
+        if self.label is not None:
+            return self.label
+        if self.kind == "library":
+            return self.name
+        if self.kind == "generator":
+            args = ", ".join(f"{k}={v}" for k, v in sorted(self.params.items()))
+            seed_part = f"seed={self.seed}" if self.seed is not None else "unseeded"
+            joined = ", ".join(part for part in (args, seed_part) if part)
+            return f"generator:{self.name}({joined})"
+        return self.name
+
+    def fingerprint(self) -> str:
+        """Stable SHA-256 identity, computed from the *spec*.
+
+        Two specs describing the same workload hash identically without
+        any payoff matrix being built — this is what lets the service
+        cache key thousand-game sweeps by ~100-byte descriptions.  The
+        one deliberate exception: an inline spec with no transforms and
+        no label override delegates to the matrix fingerprint of the
+        game it wraps, so requests for plain ``BimatrixGame`` payloads
+        and their ``GameSpec.inline`` equivalents share cache entries
+        (including entries persisted before specs existed).
+        """
+        if self.kind == "inline" and not self.transforms and self.label is None:
+            return self.materialize().fingerprint()
+        digest = hashlib.sha256(b"gamespec\x00")
+        digest.update(canonical_json(self.to_dict()).encode("utf-8"))
+        return digest.hexdigest()
+
+    # ------------------------------------------------------------------
+    # Wire form
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """Compact JSON wire form (inverse of :meth:`from_dict`).
+
+        Defaulted fields are omitted, so the encoding of existing specs
+        stays byte-stable if optional fields are added later (the
+        fingerprint hashes this dict).
+        """
+        payload: Dict[str, Any] = {"kind": self.kind, "name": self.name}
+        if self.params:
+            payload["params"] = dict(self.params)
+        if self.seed is not None:
+            payload["seed"] = int(self.seed)
+        if self.payoffs is not None:
+            row, col = self.payoffs
+            payload["payoffs"] = {
+                "payoff_row": [list(line) for line in row],
+                "payoff_col": [list(line) for line in col],
+            }
+        if self.transforms:
+            payload["transforms"] = [step.to_wire() for step in self.transforms]
+        if self.label is not None:
+            payload["label"] = self.label
+        return payload
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "GameSpec":
+        """Reconstruct a spec from :meth:`to_dict` output."""
+        payoffs = None
+        if data.get("payoffs") is not None:
+            payoffs = (data["payoffs"]["payoff_row"], data["payoffs"]["payoff_col"])
+        return cls(
+            kind=str(data["kind"]),
+            name=str(data.get("name", "")),
+            params=dict(data.get("params", {})),
+            seed=None if data.get("seed") is None else int(data["seed"]),
+            payoffs=payoffs,
+            transforms=tuple(
+                GameTransform.from_wire(step) for step in data.get("transforms", [])
+            ),
+            label=data.get("label"),
+        )
+
+    # ------------------------------------------------------------------
+    # Materialisation
+    # ------------------------------------------------------------------
+    def _source_game(self) -> BimatrixGame:
+        if self.kind == "library":
+            return get_game(self.name, **dict(self.params))
+        if self.kind == "generator":
+            factory = get_generator(self.name)
+            params = {
+                key: tuple(value) if isinstance(value, list) else value
+                for key, value in self.params.items()
+            }
+            return factory(seed=self.seed, **params)
+        assert self.payoffs is not None
+        row, col = self.payoffs
+        return BimatrixGame(
+            np.asarray(row, dtype=float), np.asarray(col, dtype=float), name=self.name
+        )
+
+    def materialize_tracked(self) -> MaterializedGame:
+        """Build the dense game plus the action mapping to original coordinates."""
+        game = self._source_game()
+        rows = tuple(range(game.num_row_actions))
+        cols = tuple(range(game.num_col_actions))
+        original_shape = game.shape
+        rounds = 0
+        for step in self.transforms:
+            if step.op == "shifted":
+                game = game.shifted(step.params.get("offset"))
+            elif step.op == "scaled":
+                game = game.scaled(float(step.params["factor"]))
+            elif step.op == "transpose":
+                game = game.transpose()
+                rows, cols = cols, rows
+                original_shape = (original_shape[1], original_shape[0])
+            else:  # reduce_dominated
+                kwargs: Dict[str, Any] = {}
+                if step.params.get("max_rounds") is not None:
+                    kwargs["max_rounds"] = int(step.params["max_rounds"])
+                if step.params.get("atol") is not None:
+                    kwargs["atol"] = float(step.params["atol"])
+                reduced = iterated_elimination(game, **kwargs)
+                game = reduced.game
+                rows = tuple(rows[index] for index in reduced.row_actions)
+                cols = tuple(cols[index] for index in reduced.col_actions)
+                rounds += reduced.rounds
+        if self.label is not None and game.name != self.label:
+            game = BimatrixGame(game.payoff_row, game.payoff_col, name=self.label)
+        return MaterializedGame(
+            game=game,
+            row_actions=rows,
+            col_actions=cols,
+            original_shape=original_shape,
+            elimination_rounds=rounds,
+        )
+
+    def materialize(self) -> BimatrixGame:
+        """Build the dense :class:`BimatrixGame` this spec describes."""
+        return self.materialize_tracked().game
+
+    @property
+    def has_reduction(self) -> bool:
+        """Whether the transform chain contains a dominance reduction."""
+        return any(step.op == "reduce_dominated" for step in self.transforms)
+
+    @property
+    def deterministic(self) -> bool:
+        """Whether every materialisation yields the same game.
+
+        Library and inline sources always are; a generator spec is
+        deterministic only when seeded.  Unseeded generator specs have a
+        stable fingerprint but draw a *fresh* game per materialisation,
+        so the service layer refuses them (shards and cache entries
+        would silently describe different games under one key) — use
+        them only for local one-shot sampling.
+        """
+        return self.kind != "generator" or self.seed is not None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        chain = "".join(f".{step.op}" for step in self.transforms)
+        return f"GameSpec({self.display_name()!r}{chain})"
+
+
+#: The union every API entry point accepts as a game argument.
+GameLike = Union[BimatrixGame, GameSpec, str]
+
+
+def as_game_spec(game: GameLike) -> GameSpec:
+    """Coerce a ``BimatrixGame | GameSpec | str`` into a :class:`GameSpec`."""
+    if isinstance(game, GameSpec):
+        return game
+    if isinstance(game, BimatrixGame):
+        return GameSpec.inline(game)
+    if isinstance(game, str):
+        return GameSpec.parse(game)
+    raise TypeError(
+        f"expected a BimatrixGame, GameSpec or spec string, got {type(game).__name__}"
+    )
+
+
+def iter_specs(specs: Any) -> Iterator[GameSpec]:
+    """Yield :class:`GameSpec`s from any iterable of game-likes (lazily)."""
+    for item in specs:
+        yield as_game_spec(item)

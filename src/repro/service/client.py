@@ -9,7 +9,14 @@
 * :class:`InProcessClient` — the same blocking API served by a private
   :class:`~repro.service.scheduler.SolveScheduler` on a background
   event-loop thread, no sockets involved.  This is what
-  ``cnash-experiments --service`` uses.
+  ``cnash-experiments --service`` and :func:`repro.api.sweep` use.
+
+All clients take :class:`~repro.service.jobs.SolveRequest` objects,
+which may be spec-backed (``game`` is a
+:class:`~repro.games.spec.GameSpec`): such requests travel as ~100-byte
+``game_spec`` wire payloads and the dense game is materialised
+server-side, which is what keeps thousand-game ensemble sweeps cheap to
+ship.
 """
 
 from __future__ import annotations

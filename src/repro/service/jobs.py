@@ -18,11 +18,10 @@ process and network boundaries unchanged.
 from __future__ import annotations
 
 import hashlib
-import json
 import time
 import uuid
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Union
 
 import numpy as np
 
@@ -30,6 +29,11 @@ from repro.backends import UnknownBackendError, available_backends, is_registere
 from repro.core.config import CNashConfig
 from repro.core.result import SolverBatchResult
 from repro.games.bimatrix import BimatrixGame
+from repro.games.spec import GameSpec
+
+# Shared with GameSpec fingerprints so the two content-address layers
+# cannot drift apart (re-exported here for back-compat).
+from repro.utils.serialization import canonical_json
 
 #: The built-in backend policies (kept for back-compat; the live set is
 #: :func:`repro.backends.available_backends` — any registered backend
@@ -65,9 +69,6 @@ def game_from_dict(data: Dict[str, Any]) -> BimatrixGame:
     )
 
 
-def canonical_json(payload: Any) -> str:
-    """Deterministic JSON encoding (sorted keys, no whitespace drift)."""
-    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
 
 
 @dataclass(frozen=True)
@@ -77,7 +78,14 @@ class SolveRequest:
     Parameters
     ----------
     game:
-        The bimatrix game to solve.
+        The workload: either a dense :class:`BimatrixGame` or — the
+        preferred form for generated/library workloads — a
+        :class:`~repro.games.spec.GameSpec` (a spec *string* such as
+        ``"library:chicken"`` is also accepted and parsed).  Spec-backed
+        requests stay lazy: the wire form and the fingerprint carry the
+        ~100-byte spec, and the dense game is only materialised where it
+        is actually solved (:attr:`resolved_game`, typically inside a
+        worker).
     policy:
         Name of a registered backend (:mod:`repro.backends`).  Built-ins:
         ``"cnash"`` (sharded annealing batch), ``"squbo"`` (the
@@ -117,7 +125,7 @@ class SolveRequest:
         result cache (seeded requests only).
     """
 
-    game: BimatrixGame
+    game: Union[BimatrixGame, GameSpec]
     policy: str = "cnash"
     num_runs: int = 100
     seed: Optional[int] = None
@@ -128,6 +136,22 @@ class SolveRequest:
     use_cache: bool = True
 
     def __post_init__(self) -> None:
+        if isinstance(self.game, str):
+            object.__setattr__(self, "game", GameSpec.parse(self.game))
+        elif not isinstance(self.game, (BimatrixGame, GameSpec)):
+            raise ValueError(
+                f"game must be a BimatrixGame, GameSpec or spec string, "
+                f"got {type(self.game).__name__}"
+            )
+        if isinstance(self.game, GameSpec) and not self.game.deterministic:
+            # An unseeded generator spec draws a fresh game on every
+            # materialisation while its fingerprint stays constant, so
+            # shards of one job would solve different games and cache
+            # entries would alias work that was never computed.
+            raise ValueError(
+                f"spec {self.game!r} is not deterministic (unseeded generator); "
+                f"give the GameSpec a seed before submitting it to the service"
+            )
         if not is_registered(self.policy):
             raise UnknownBackendError(self.policy, available_backends(), noun="policy")
         if not isinstance(self.num_runs, (int, np.integer)) or isinstance(self.num_runs, bool):
@@ -146,17 +170,64 @@ class SolveRequest:
         """Deterministic requests (seeded) are the only cacheable ones."""
         return self.use_cache and self.seed is not None
 
+    @property
+    def game_spec(self) -> Optional[GameSpec]:
+        """The workload spec, or ``None`` for dense-game requests."""
+        return self.game if isinstance(self.game, GameSpec) else None
+
+    @property
+    def resolved_game(self) -> BimatrixGame:
+        """The dense game, materialising a spec on first access.
+
+        Materialisation is cached on the record (requests are frozen but
+        the cache is not part of the value), so repeated service-side
+        consumers — shard execution, equilibrium dedup, verification —
+        build the matrices at most once per request object.
+        """
+        if isinstance(self.game, BimatrixGame):
+            return self.game
+        cached = getattr(self, "_resolved_game", None)
+        if cached is None:
+            cached = self.game.materialize()
+            object.__setattr__(self, "_resolved_game", cached)
+        return cached
+
+    def release_materialization(self) -> None:
+        """Drop the memoised dense game of a spec-backed request.
+
+        The scheduler calls this when a job finishes: its record (and
+        therefore the request) stays in the retained job table for
+        status lookups, and without the release a large cold sweep
+        would pin every materialised game in memory simultaneously —
+        exactly what spec-backed workloads exist to avoid.  Dense-game
+        requests are untouched (the game is the caller's own object).
+        """
+        if isinstance(self.game, GameSpec) and hasattr(self, "_resolved_game"):
+            object.__delattr__(self, "_resolved_game")
+
+    def game_fingerprint(self) -> str:
+        """The game component of the request fingerprint.
+
+        Dense games hash their payoff bytes
+        (:meth:`BimatrixGame.fingerprint`); specs hash their description
+        (:meth:`~repro.games.spec.GameSpec.fingerprint` — which itself
+        falls back to the matrix fingerprint for plain inline specs, so
+        pre-spec cache entries keep hitting).
+        """
+        return self.game.fingerprint()
+
     def fingerprint(self) -> str:
         """Deterministic content hash of the *work*, not the serving knobs.
 
-        Covers the game (via :meth:`BimatrixGame.fingerprint`), the full
-        solver configuration, the run budget, the seed and the backend
-        policy.  Priority, deadline and cache preferences do not change
-        what is computed, so they are excluded — two requests for the
-        same work share a fingerprint regardless of how they are queued.
+        Covers the game (via :meth:`game_fingerprint` — spec-keyed for
+        spec-backed requests, matrix-keyed otherwise), the full solver
+        configuration, the run budget, the seed and the backend policy.
+        Priority, deadline and cache preferences do not change what is
+        computed, so they are excluded — two requests for the same work
+        share a fingerprint regardless of how they are queued.
         """
         payload = {
-            "game": self.game.fingerprint(),
+            "game": self.game_fingerprint(),
             "config": config_to_dict(self.config),
             "num_runs": int(self.num_runs),
             "seed": None if self.seed is None else int(self.seed),
@@ -170,9 +241,18 @@ class SolveRequest:
         return hashlib.sha256(canonical_json(payload).encode("utf-8")).hexdigest()
 
     def to_dict(self) -> Dict[str, Any]:
-        """Wire representation (inverse of :meth:`from_dict`)."""
+        """Wire representation (inverse of :meth:`from_dict`).
+
+        Spec-backed requests ship ``game_spec`` (the compact IR) instead
+        of dense ``game`` matrices — this is what keeps sweep payloads
+        to ~100 bytes per job across scheduler shards and the TCP wire.
+        """
+        if isinstance(self.game, GameSpec):
+            game_field: Dict[str, Any] = {"game_spec": self.game.to_dict()}
+        else:
+            game_field = {"game": game_to_dict(self.game)}
         return {
-            "game": game_to_dict(self.game),
+            **game_field,
             "policy": self.policy,
             "num_runs": int(self.num_runs),
             "seed": None if self.seed is None else int(self.seed),
@@ -185,9 +265,17 @@ class SolveRequest:
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "SolveRequest":
-        """Reconstruct a request from :meth:`to_dict` output."""
+        """Reconstruct a request from :meth:`to_dict` output.
+
+        Accepts both wire forms: ``game_spec`` (the spec IR) and dense
+        ``game`` matrices.
+        """
+        if data.get("game_spec") is not None:
+            game: Union[BimatrixGame, GameSpec] = GameSpec.from_dict(data["game_spec"])
+        else:
+            game = game_from_dict(data["game"])
         return cls(
-            game=game_from_dict(data["game"]),
+            game=game,
             policy=str(data.get("policy", "cnash")),
             num_runs=int(data.get("num_runs", 100)),
             seed=None if data.get("seed") is None else int(data["seed"]),

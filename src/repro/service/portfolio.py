@@ -142,7 +142,7 @@ def outcome_from_batch(
     """
     atol = 0.5 / request.config.num_intervals
     distinct = EquilibriumSet.from_profiles(
-        request.game, (run.profile for run in batch.runs if run.success), atol=atol
+        request.resolved_game, (run.profile for run in batch.runs if run.success), atol=atol
     )
     return SolveOutcome(
         fingerprint=request.fingerprint(),
@@ -170,7 +170,7 @@ def solve_cnash(
     what is registered under ``"cnash"`` (the scheduler only takes it
     when the built-in backend is the one registered).
     """
-    solver = CNashSolver(request.game, effective_config(request), seed=request.seed)
+    solver = CNashSolver(request.resolved_game, effective_config(request), seed=request.seed)
     return solver.solve_batch(
         num_runs=request.num_runs if num_runs is None else num_runs,
         seed=request.seed if seed is None else seed,
@@ -194,7 +194,7 @@ def solve_portfolio(request: SolveRequest) -> SolveOutcome:
 
 def _execute_member(request: SolveRequest, backend_name: str) -> SolveOutcome:
     """Execute a request through one named backend, relabelled as the request."""
-    report = get_backend(backend_name).solve(request.game, spec_from_request(request))
+    report = get_backend(backend_name).solve(request.resolved_game, spec_from_request(request))
     return outcome_from_report(request, report)
 
 
@@ -210,7 +210,7 @@ def has_verified_equilibrium(request: SolveRequest, outcome: SolveOutcome) -> bo
     cannot drift apart.
     """
     return profiles_verified(
-        request.game,
+        request.resolved_game,
         wire_to_profiles(outcome.equilibria),
         outcome.backend,
         effective_config(request),

@@ -534,6 +534,11 @@ class SolveScheduler:
         record.status = status
         record.error = error
         record.finished_at = time.time()
+        # Spec-backed requests may have materialised their dense game in
+        # this process (outcome merging, verification); the record stays
+        # in the retained job table, so drop the matrices now — a cold
+        # thousand-game sweep must never pin every dense game at once.
+        record.request.release_materialization()
         if record.request.cacheable:
             key = self._cache_key(record.request)
             if self._inflight.get(key) is record:

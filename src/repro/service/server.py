@@ -5,6 +5,12 @@ Wire protocol: newline-delimited JSON objects over a plain TCP stream
 request is one line ``{"op": ..., ...}``; each response is one line
 ``{"ok": true, ...}`` or ``{"ok": false, "error": ...}``.
 
+Solve payloads accept both game wire forms of
+:meth:`repro.service.jobs.SolveRequest.to_dict`: dense ``game``
+matrices, or a compact ``game_spec`` (the :class:`repro.games.spec.GameSpec`
+IR — ``{"kind": "generator", "name": "random", "params": {...},
+"seed": 7}``), which the server materialises lazily on its workers.
+
 Operations
 ----------
 ``ping``                     liveness check.
@@ -192,8 +198,11 @@ async def serve(
 
 
 async def _smoke() -> int:
-    """One client-server round trip in a single process (CI smoke check)."""
-    from repro.games.library import battle_of_the_sexes
+    """One client-server round trip in a single process (CI smoke check).
+
+    The request ships as a ``game_spec`` payload (the GameSpec IR), so
+    the smoke run also covers the compact wire form end to end.
+    """
     from repro.core.config import CNashConfig
     from repro.service.client import ServiceClient
 
@@ -202,12 +211,13 @@ async def _smoke() -> int:
         await server.start()
         serve_task = asyncio.get_running_loop().create_task(server.serve_until_shutdown())
         request = SolveRequest(
-            game=battle_of_the_sexes(),
+            game="library:battle_of_the_sexes",
             policy="portfolio",
             num_runs=16,
             seed=7,
             config=CNashConfig(num_intervals=4, num_iterations=300),
         )
+        assert request.to_dict().get("game_spec") is not None  # spec wire form in play
         client = await ServiceClient.connect(server.host, server.port)
         try:
             assert (await client.ping())["pong"]

@@ -1,0 +1,18 @@
+"""Wire-format helpers shared across the fingerprinting layers.
+
+Both content-addressed identity layers — request fingerprints
+(:mod:`repro.service.jobs`) and workload-spec fingerprints
+(:mod:`repro.games.spec`) — hash canonical JSON; keeping the encoder in
+one place guarantees the two can never drift apart (a change here is a
+deliberate, global cache-format break).
+"""
+
+from __future__ import annotations
+
+from json import dumps
+from typing import Any
+
+
+def canonical_json(payload: Any) -> str:
+    """Deterministic JSON encoding (sorted keys, no whitespace drift)."""
+    return dumps(payload, sort_keys=True, separators=(",", ":"))

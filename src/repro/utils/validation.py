@@ -7,11 +7,31 @@ checks so error wording stays consistent.
 
 from __future__ import annotations
 
-from typing import Sequence, Tuple, Union
+import difflib
+from typing import Iterable, Sequence, Tuple, Union
 
 import numpy as np
 
 ArrayLike = Union[np.ndarray, Sequence[float], Sequence[Sequence[float]]]
+
+
+def normalise_key(name: str) -> str:
+    """Normalise a registry name to its snake_case lookup key."""
+    return name.strip().lower().replace(" ", "_").replace("-", "_")
+
+
+def unknown_key_error(name: str, available: Iterable[str], noun: str) -> KeyError:
+    """A ``KeyError`` listing the valid names, with close-match suggestions.
+
+    Shared by every name-addressed registry (library games, generators)
+    so the unknown-name error surface stays uniform.
+    """
+    candidates = sorted(available)
+    close = difflib.get_close_matches(normalise_key(name), candidates, n=3)
+    hint = f" (did you mean {', '.join(close)}?)" if close else ""
+    return KeyError(
+        f"unknown {noun} {name!r}{hint}; available: {', '.join(candidates)}"
+    )
 
 
 def ensure_matrix(value: ArrayLike, name: str = "matrix") -> np.ndarray:

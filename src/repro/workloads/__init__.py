@@ -1,0 +1,38 @@
+"""Declarative workload descriptions: game specs and ensemble sweeps.
+
+This package is the *input* side of the solver stack, mirroring what
+:mod:`repro.backends` did for the solver side:
+
+* :class:`~repro.games.spec.GameSpec` (re-exported here) — a frozen,
+  JSON-serialisable, fingerprintable description of one game;
+* :class:`~repro.workloads.ensembles.EnsembleSpec` — a generator x
+  parameter grid x seed range that lazily yields game specs;
+* :func:`repro.api.sweep` — streams an ensemble through the service
+  scheduler with bounded in-flight materialisation and spec-keyed
+  caching.
+
+``python -m repro.workloads --smoke`` runs a small ensemble through the
+in-process scheduler twice and asserts the second pass is served from
+the spec-keyed cache (the CI ensemble smoke job).
+"""
+
+from repro.games.spec import (
+    GameLike,
+    GameSpec,
+    GameTransform,
+    MaterializedGame,
+    as_game_spec,
+    iter_specs,
+)
+from repro.workloads.ensembles import EnsembleSpec, ensemble_or_specs
+
+__all__ = [
+    "GameLike",
+    "GameSpec",
+    "GameTransform",
+    "MaterializedGame",
+    "as_game_spec",
+    "iter_specs",
+    "EnsembleSpec",
+    "ensemble_or_specs",
+]

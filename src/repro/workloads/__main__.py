@@ -1,0 +1,83 @@
+"""Ensemble smoke run: ``python -m repro.workloads --smoke``.
+
+Streams a small generator grid through :func:`repro.api.sweep` on the
+in-process scheduler twice and asserts the second pass is served (>= 95%)
+from the spec-keyed result cache.  This is the CI guard for the whole
+workload-IR path: spec wire forms through the scheduler, lazy
+materialisation on workers, and spec-keyed cache keys.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+
+def run_smoke(num_seeds: int = 3, verbose: bool = True) -> int:
+    """Two identical ensemble sweeps; the repeat must be cache-served."""
+    import repro.api as api
+    from repro.core.config import CNashConfig
+    from repro.service.client import InProcessClient
+    from repro.workloads import EnsembleSpec
+
+    ensemble = EnsembleSpec(
+        generator="random",
+        grid={"num_row_actions": [2, 3], "payoff_range": [[0.0, 4.0], [0.0, 8.0]]},
+        seeds=num_seeds,
+        base_params={"integer_payoffs": True},
+        name="ci smoke grid",
+    )
+    spec = api.SolveSpec(
+        num_runs=4,
+        seed=11,
+        options={"config": CNashConfig(num_intervals=4, num_iterations=120)},
+    )
+    if verbose:
+        print(f"ensemble: {ensemble.describe()}")
+    with InProcessClient(executor="thread", max_workers=2, shard_size=4) as client:
+        first = api.sweep(ensemble, backends="cnash", spec=spec, client=client,
+                          max_in_flight=4)
+        second = api.sweep(ensemble, backends="cnash", spec=spec, client=client,
+                           max_in_flight=4)
+    if verbose:
+        print(f"pass 1: {first.summary()}")
+        print(f"pass 2: {second.summary()}")
+    ok = (
+        first.num_jobs == len(ensemble)
+        and second.num_jobs == first.num_jobs
+        and (first.cache_hits or 0) == 0
+        and second.cache_hits is not None
+        and second.cache_hit_rate is not None
+        and second.cache_hit_rate >= 0.95
+    )
+    if verbose:
+        print(f"smoke: jobs={second.num_jobs} repeat_cache_hits={second.cache_hits} "
+              f"-> {'OK' if ok else 'FAILED'}")
+    return 0 if ok else 1
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point for ``python -m repro.workloads``."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.workloads",
+        description="Ensemble-sweep utilities for the GameSpec workload IR.",
+    )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="run a small ensemble sweep twice and assert the repeat is "
+        "served from the spec-keyed cache (CI)",
+    )
+    parser.add_argument(
+        "--seeds", type=int, default=3,
+        help="seeds per grid point for the smoke ensemble",
+    )
+    args = parser.parse_args(argv)
+    if args.smoke:
+        return run_smoke(num_seeds=args.seeds)
+    parser.print_help()
+    return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

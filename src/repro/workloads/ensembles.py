@@ -1,0 +1,215 @@
+"""Ensemble sweeps: generator x parameter grid x seed range, lazily.
+
+The evaluation methodology of the neurodynamic Nash-equilibrium line of
+work (PAPERS.md) measures solvers over *families* of generated games —
+thousands of instances per configuration — rather than a handful of
+hand-picked benchmarks.  An :class:`EnsembleSpec` describes such a
+family declaratively: one generator kind, a grid of parameter values and
+a seed range.  ``specs()`` lazily yields one
+:class:`~repro.games.spec.GameSpec` per (grid point, seed) combination,
+so a 10,000-game ensemble costs a few hundred bytes until the scheduler
+actually materialises each game inside a worker.
+
+``repro.api.sweep`` streams an ensemble (or any iterable of game-likes)
+through the service scheduler with bounded in-flight materialisation.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from types import MappingProxyType
+from typing import Any, Dict, Iterator, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.games.generators import get_generator
+from repro.games.spec import GameSpec, GameTransform, _jsonable, validate_factory_params
+
+#: Seed-range argument forms accepted by :class:`EnsembleSpec`: an int
+#: ``n`` (meaning ``range(n)``), a ``range``, or an explicit sequence.
+SeedsLike = Union[int, range, Sequence[int]]
+
+
+def _normalise_seeds(seeds: SeedsLike) -> Tuple[int, ...]:
+    if isinstance(seeds, bool):
+        raise ValueError(f"seeds must be an int count, range or sequence, got {seeds!r}")
+    if isinstance(seeds, int):
+        if seeds < 1:
+            raise ValueError(f"seed count must be >= 1, got {seeds}")
+        return tuple(range(seeds))
+    values = tuple(int(seed) for seed in seeds)
+    if not values:
+        raise ValueError("seeds must be non-empty")
+    return values
+
+
+@dataclass(frozen=True)
+class EnsembleSpec:
+    """A declarative family of generated games.
+
+    Parameters
+    ----------
+    generator:
+        Generator kind (see :func:`repro.games.generators.available_generators`).
+    grid:
+        Parameter grid: each key maps to the list of values to sweep.
+        The cartesian product of all value lists is enumerated in sorted
+        key order (deterministic regardless of insertion order).
+    seeds:
+        Seed range: an int ``n`` (``range(n)``), a ``range``, or an
+        explicit sequence of ints.  Every grid point is instantiated
+        once per seed.
+    base_params:
+        Fixed generator parameters shared by every grid point.
+    transforms:
+        Transform chain appended to every generated spec (e.g.
+        ``(GameTransform("shifted", {}),)``).
+    name:
+        Optional human-readable ensemble label.
+
+    Examples
+    --------
+    >>> ensemble = EnsembleSpec(
+    ...     generator="random",
+    ...     grid={"num_row_actions": [2, 4, 8]},
+    ...     seeds=range(100),
+    ... )
+    >>> len(ensemble)
+    300
+    """
+
+    generator: str
+    grid: Mapping[str, Sequence[Any]] = field(default_factory=dict, hash=False)
+    seeds: SeedsLike = 1
+    base_params: Mapping[str, Any] = field(default_factory=dict, hash=False)
+    transforms: Tuple[GameTransform, ...] = ()
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        get_generator(self.generator)  # raises KeyError listing candidates
+        grid = {
+            str(key): [_jsonable(value, f"grid value for {key!r}") for value in values]
+            for key, values in dict(self.grid).items()
+        }
+        for key, values in grid.items():
+            if not values:
+                raise ValueError(f"grid axis {key!r} has no values")
+        base = {
+            str(key): _jsonable(value, f"base param {key!r}")
+            for key, value in dict(self.base_params).items()
+        }
+        overlap = sorted(set(grid) & set(base))
+        if overlap:
+            raise ValueError(f"parameters {overlap} appear in both grid and base_params")
+        # Fail at ensemble construction — not on game N of a dispatched
+        # sweep — when the grid/base parameters do not fit the generator.
+        probe = {key: values[0] for key, values in grid.items()}
+        probe.update(base)
+        validate_factory_params(
+            get_generator(self.generator), probe, f"generator {self.generator!r}"
+        )
+        object.__setattr__(self, "grid", MappingProxyType(grid))
+        object.__setattr__(self, "base_params", MappingProxyType(base))
+        object.__setattr__(self, "seeds", _normalise_seeds(self.seeds))
+        object.__setattr__(
+            self,
+            "transforms",
+            tuple(
+                step if isinstance(step, GameTransform) else GameTransform.from_wire(step)
+                for step in self.transforms
+            ),
+        )
+
+    def __reduce__(self):
+        return (
+            type(self),
+            (
+                self.generator,
+                dict(self.grid),
+                self.seeds,
+                dict(self.base_params),
+                self.transforms,
+                self.name,
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    # Enumeration
+    # ------------------------------------------------------------------
+    def grid_points(self) -> Iterator[Dict[str, Any]]:
+        """Lazily yield one merged parameter dict per grid point."""
+        keys = sorted(self.grid)
+        for combination in itertools.product(*(self.grid[key] for key in keys)):
+            params = dict(self.base_params)
+            params.update(zip(keys, combination))
+            yield params
+
+    def specs(self) -> Iterator[GameSpec]:
+        """Lazily yield one :class:`GameSpec` per (grid point, seed)."""
+        for params in self.grid_points():
+            for seed in self.seeds:
+                yield GameSpec(
+                    kind="generator",
+                    name=self.generator,
+                    params=params,
+                    seed=seed,
+                    transforms=self.transforms,
+                )
+
+    def __iter__(self) -> Iterator[GameSpec]:
+        return self.specs()
+
+    def __len__(self) -> int:
+        count = 1
+        for values in self.grid.values():
+            count *= len(values)
+        return count * len(self.seeds)
+
+    # ------------------------------------------------------------------
+    # Wire form
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON wire form (inverse of :meth:`from_dict`)."""
+        payload: Dict[str, Any] = {
+            "generator": self.generator,
+            "grid": {key: list(values) for key, values in self.grid.items()},
+            "seeds": list(self.seeds),
+        }
+        if self.base_params:
+            payload["base_params"] = dict(self.base_params)
+        if self.transforms:
+            payload["transforms"] = [step.to_wire() for step in self.transforms]
+        if self.name:
+            payload["name"] = self.name
+        return payload
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "EnsembleSpec":
+        """Reconstruct an ensemble from :meth:`to_dict` output."""
+        return cls(
+            generator=str(data["generator"]),
+            grid=dict(data.get("grid", {})),
+            seeds=list(data.get("seeds", [0])),
+            base_params=dict(data.get("base_params", {})),
+            transforms=tuple(
+                GameTransform.from_wire(step) for step in data.get("transforms", [])
+            ),
+            name=str(data.get("name", "")),
+        )
+
+    def describe(self) -> str:
+        """One-line summary for logs and reports."""
+        axes = ", ".join(f"{key}x{len(values)}" for key, values in sorted(self.grid.items()))
+        label = f"{self.name}: " if self.name else ""
+        return (
+            f"{label}{len(self)} games = {self.generator}"
+            f"[{axes or 'no grid'}] x {len(self.seeds)} seeds"
+        )
+
+
+def ensemble_or_specs(workload: Any) -> Iterator[GameSpec]:
+    """Lazily yield specs from an :class:`EnsembleSpec` or any iterable of game-likes."""
+    from repro.games.spec import iter_specs
+
+    if isinstance(workload, EnsembleSpec):
+        return workload.specs()
+    return iter_specs(workload)

@@ -1,0 +1,123 @@
+"""GameLike coercion and dominance-reduction lifting through repro.api."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro.api as api
+from repro.backends import SolveSpec
+from repro.core.config import CNashConfig
+from repro.games.equilibrium import is_nash_equilibrium
+from repro.games.library import battle_of_the_sexes, prisoners_dilemma
+from repro.games.spec import GameSpec
+from repro.service.client import InProcessClient
+
+FAST = CNashConfig(num_intervals=4, num_iterations=250)
+
+
+class TestGameLikeArguments:
+    def test_solve_accepts_spec_string(self):
+        report = api.solve("library:battle_of_the_sexes", backend="exact")
+        assert report.game_name == "Battle of the Sexes"
+        assert report.num_equilibria == 3
+        assert report.metadata["game_spec"] == {
+            "kind": "library", "name": "battle_of_the_sexes",
+        }
+
+    def test_solve_spec_matches_dense_game(self):
+        spec = SolveSpec(num_runs=6, seed=0, options={"config": FAST})
+        via_spec = api.solve(GameSpec.library("battle_of_the_sexes"), "cnash", spec)
+        via_game = api.solve(battle_of_the_sexes(), "cnash", spec)
+        assert via_spec.success_rate == via_game.success_rate
+        assert [p.p.tolist() for p in via_spec.equilibria] == [
+            p.p.tolist() for p in via_game.equilibria
+        ]
+
+    def test_compare_accepts_spec(self):
+        comparison = api.compare(
+            "library:battle_of_the_sexes",
+            backends=["exact", "squbo"],
+            spec=SolveSpec(num_runs=6, seed=0, options={"config": FAST}),
+        )
+        assert comparison.game_name == "Battle of the Sexes"
+        assert comparison.report("exact").num_equilibria == 3
+
+    def test_solve_many_mixes_game_likes(self):
+        reports = api.solve_many([
+            (battle_of_the_sexes(), "exact", None),
+            ("library:stag_hunt", "exact", None),
+            (GameSpec.generator("random", num_row_actions=2, seed=0), "exact", None),
+        ])
+        assert len(reports) == 3
+        assert all(report.num_equilibria >= 1 for report in reports)
+
+    def test_solve_many_specs_through_client(self):
+        spec = SolveSpec(num_runs=4, seed=0, options={"config": FAST})
+        jobs = [
+            ("library:battle_of_the_sexes", "cnash", spec),
+            (GameSpec.generator("random", num_row_actions=2, seed=1), "cnash", spec),
+        ]
+        with InProcessClient(executor="thread", max_workers=2, shard_size=4) as client:
+            reports = api.solve_many(jobs, client=client)
+        assert [r.metadata["served_via"] for r in reports] == ["service", "service"]
+        assert reports[0].metadata["game_spec"]["name"] == "battle_of_the_sexes"
+
+
+class TestReductionLifting:
+    def test_exact_solve_reports_original_coordinates(self):
+        game = prisoners_dilemma()
+        report = api.solve(GameSpec.inline(game).reduce_dominated(), backend="exact")
+        assert report.metadata["reduction"] == {
+            "row_actions": [1],
+            "col_actions": [1],
+            "original_shape": [2, 2],
+            "rounds": 1,
+        }
+        (profile,) = report.equilibria
+        np.testing.assert_array_equal(profile.p, [0.0, 1.0])
+        np.testing.assert_array_equal(profile.q, [0.0, 1.0])
+        assert is_nash_equilibrium(game, profile.p, profile.q)
+
+    def test_cnash_solve_on_reduced_game_lifts(self):
+        game = prisoners_dilemma()
+        report = api.solve(
+            GameSpec.inline(game).reduce_dominated(),
+            backend="cnash",
+            spec=SolveSpec(num_runs=4, seed=0, options={"config": FAST}),
+        )
+        assert "reduction" in report.metadata
+        for profile in report.equilibria:
+            assert profile.p.shape == (2,)
+            assert is_nash_equilibrium(game, profile.p, profile.q)
+
+    def test_reduction_lifts_through_service_client(self):
+        game = prisoners_dilemma()
+        spec = SolveSpec(num_runs=4, seed=0, options={"config": FAST})
+        with InProcessClient(executor="thread", max_workers=1, shard_size=4) as client:
+            report = api.solve(
+                GameSpec.inline(game).reduce_dominated(), backend="cnash",
+                spec=spec, client=client,
+            )
+        assert report.metadata["served_via"] == "service"
+        assert report.metadata["reduction"]["original_shape"] == [2, 2]
+        for profile in report.equilibria:
+            assert profile.p.shape == (2,)
+            assert is_nash_equilibrium(game, profile.p, profile.q)
+
+    def test_unreduced_spec_has_no_reduction_metadata(self):
+        report = api.solve(GameSpec.library("chicken").reduce_dominated(),
+                           backend="exact")
+        # Chicken has no strictly dominated action: the transform is a
+        # no-op and must not pollute the metadata.
+        assert "reduction" not in report.metadata
+        assert report.num_equilibria == 3
+
+    def test_sweep_lifts_reduced_specs(self):
+        specs = [GameSpec.inline(prisoners_dilemma()).reduce_dominated()]
+        result = api.sweep(specs, backends="exact", spec=SolveSpec(seed=0),
+                           max_in_flight=1)
+        (report,) = result.reports
+        assert report.metadata["reduction"]["rounds"] == 1
+        (profile,) = report.equilibria
+        assert profile.p.shape == (2,)

@@ -90,6 +90,22 @@ class TestIteratedElimination:
         reduced = iterated_elimination(pd, max_rounds=0)
         assert not reduced.was_reduced
 
+    def test_mapping_dict_round_trips_to_json(self, pd):
+        import json
+
+        reduced = iterated_elimination(pd)
+        mapping = json.loads(json.dumps(reduced.mapping_dict()))
+        assert mapping["row_actions"] == [1]
+        assert mapping["col_actions"] == [1]
+        assert mapping["eliminated_rows"] == [0]
+        assert mapping["eliminated_cols"] == [0]
+        assert mapping["original_shape"] == [2, 2]
+        assert mapping["rounds"] == 1
+
+    def test_original_shape_property(self, pd):
+        reduced = iterated_elimination(pd)
+        assert reduced.original_shape == (2, 2)
+
 
 class TestSolvableByElimination:
     def test_prisoners_dilemma_is_solvable(self, pd):

@@ -100,11 +100,35 @@ class TestLibrary:
         with pytest.raises(KeyError, match="unknown game"):
             get_game("no such game")
 
+    def test_get_game_unknown_suggests_close_match(self):
+        with pytest.raises(KeyError, match="did you mean.*chicken"):
+            get_game("chickn")
+
+    def test_get_game_parametric_call_syntax(self):
+        assert get_game("coordination_game(5)").shape == (5, 5)
+        assert get_game("modified_prisoners_dilemma(10)").shape == (10, 10)
+
+    def test_get_game_keyword_params(self):
+        assert get_game("coordination_game", num_actions=4).shape == (4, 4)
+
+    def test_parametric_unknown_name_still_lists_candidates(self):
+        with pytest.raises(KeyError, match="available:"):
+            get_game("mystery_game(3)")
+
     def test_available_games_lists_paper_games(self):
         names = available_games()
         assert "battle_of_the_sexes" in names
         assert "bird_game" in names
         assert "modified_prisoners_dilemma" in names
+
+    def test_available_games_is_single_source_of_truth(self):
+        # Every listed name must resolve through both get_game and the
+        # GameSpec validation layer.
+        from repro.games.spec import GameSpec
+
+        for name in available_games():
+            assert get_game(name).num_actions >= 2
+            assert GameSpec.library(name).kind == "library"
 
 
 class TestGenerators:

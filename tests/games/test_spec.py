@@ -1,0 +1,308 @@
+"""Tests for the GameSpec workload IR (repro.games.spec)."""
+
+from __future__ import annotations
+
+import json
+import pickle
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+
+from repro.games.bimatrix import BimatrixGame
+from repro.games.generators import GENERATORS, available_generators
+from repro.games.library import available_games, battle_of_the_sexes, prisoners_dilemma
+from repro.games.spec import GameSpec, GameTransform, as_game_spec, iter_specs
+
+
+class TestConstruction:
+    def test_library_spec_materializes_library_game(self):
+        spec = GameSpec.library("battle_of_the_sexes")
+        game = spec.materialize()
+        reference = battle_of_the_sexes()
+        assert game.name == reference.name
+        np.testing.assert_array_equal(game.payoff_row, reference.payoff_row)
+
+    def test_library_spec_with_params(self):
+        spec = GameSpec.library("coordination_game", num_actions=5)
+        assert spec.materialize().shape == (5, 5)
+
+    def test_parametric_name_string(self):
+        spec = GameSpec.library("coordination_game(5)")
+        assert spec.materialize().shape == (5, 5)
+
+    def test_unknown_library_name_lists_candidates(self):
+        with pytest.raises(KeyError) as excinfo:
+            GameSpec.library("chickn")
+        message = str(excinfo.value)
+        assert "chicken" in message  # close-match suggestion
+        for name in available_games():
+            assert name in message
+
+    def test_unknown_generator_lists_candidates(self):
+        with pytest.raises(KeyError) as excinfo:
+            GameSpec.generator("randomish", num_row_actions=2)
+        message = str(excinfo.value)
+        assert "random" in message
+        for name in available_generators():
+            assert name in message
+
+    def test_generator_spec_materializes(self):
+        spec = GameSpec.generator("random", num_row_actions=4, num_col_actions=3, seed=7)
+        game = spec.materialize()
+        assert game.shape == (4, 3)
+
+    def test_inline_from_game(self):
+        game = battle_of_the_sexes()
+        spec = GameSpec.inline(game)
+        rebuilt = spec.materialize()
+        assert rebuilt.name == game.name
+        np.testing.assert_array_equal(rebuilt.payoff_row, game.payoff_row)
+        np.testing.assert_array_equal(rebuilt.payoff_col, game.payoff_col)
+
+    def test_inline_from_matrices(self):
+        spec = GameSpec.inline([[1.0, 0.0], [0.0, 1.0]], [[1.0, 0.0], [0.0, 1.0]],
+                               name="identity game")
+        assert spec.materialize().name == "identity game"
+
+    def test_inline_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="equal-shape"):
+            GameSpec.inline([[1.0, 0.0]], [[1.0], [0.0]])
+
+    def test_seed_rejected_for_library_specs(self):
+        with pytest.raises(ValueError, match="seed only applies to generator"):
+            GameSpec(kind="library", name="chicken", seed=3)
+
+    def test_bad_kind_rejected(self):
+        with pytest.raises(ValueError, match="kind must be one of"):
+            GameSpec(kind="magic", name="x")
+
+    def test_parse_forms(self):
+        assert GameSpec.parse("library:chicken").name == "chicken"
+        assert GameSpec.parse("chicken").kind == "library"
+        parsed = GameSpec.parse("generator:random(8)")
+        assert parsed.kind == "generator"
+        assert parsed.params["num_row_actions"] == 8
+        assert parsed.seed == 0  # default seed: deterministic by default
+        assert parsed.materialize().shape == (8, 8)
+        with pytest.raises(ValueError, match="unknown spec prefix"):
+            GameSpec.parse("carrier:pigeon")
+        with pytest.raises(ValueError, match="at most"):
+            GameSpec.parse("generator:zero_sum(2, 0, 1, 9)")
+
+    def test_generator_missing_required_params_fails_at_construction(self):
+        # Not deep inside a worker with an opaque TypeError.
+        with pytest.raises(ValueError, match="requires parameter.*num_row_actions"):
+            GameSpec.generator("random")
+        with pytest.raises(ValueError, match="requires parameter.*num_actions"):
+            GameSpec.parse("generator:zero_sum")
+
+    def test_unknown_factory_params_fail_at_construction(self):
+        with pytest.raises(ValueError, match="does not accept parameter"):
+            GameSpec.generator("random", num_row_actions=2, num_cols=3)
+        with pytest.raises(ValueError, match="does not accept parameter"):
+            GameSpec.library("battle_of_the_sexes", levels=3)
+
+    def test_deterministic_flag(self):
+        assert GameSpec.library("chicken").deterministic
+        assert GameSpec.generator("random", num_row_actions=2, seed=3).deterministic
+        assert not GameSpec.generator("random", num_row_actions=2, seed=None).deterministic
+
+    def test_as_game_spec_coercions(self):
+        assert as_game_spec(GameSpec.library("chicken")).name == "chicken"
+        assert as_game_spec("library:chicken").name == "chicken"
+        assert as_game_spec(battle_of_the_sexes()).kind == "inline"
+        with pytest.raises(TypeError, match="expected a BimatrixGame"):
+            as_game_spec(42)
+
+    def test_iter_specs_is_lazy(self):
+        def exploding():
+            yield "library:chicken"
+            raise RuntimeError("must not be reached")
+
+        iterator = iter_specs(exploding())
+        assert next(iterator).name == "chicken"
+
+    def test_every_registered_generator_materializes(self):
+        for kind in GENERATORS:
+            spec = GameSpec.generator(kind, num_actions=3, seed=1) \
+                if kind != "random" else GameSpec.generator(kind, num_row_actions=3, seed=1)
+            game = spec.materialize()
+            assert isinstance(game, BimatrixGame)
+
+
+class TestTransforms:
+    def test_shifted_scaled_chain(self):
+        base = GameSpec.library("matching_pennies")
+        spec = base.shifted().scaled(2.0)
+        game = spec.materialize()
+        assert float(game.payoff_row.min()) >= 0.0
+        reference = base.materialize().shifted().scaled(2.0)
+        np.testing.assert_allclose(game.payoff_row, reference.payoff_row)
+
+    def test_transpose_tracks_orientation(self):
+        spec = GameSpec.generator("random", num_row_actions=3, num_col_actions=2, seed=0)
+        materialized = spec.transpose().materialize_tracked()
+        assert materialized.game.shape == (2, 3)
+        assert materialized.original_shape == (2, 3)
+        assert not materialized.was_reduced
+
+    def test_reduce_dominated_mapping(self):
+        materialized = (
+            GameSpec.library("prisoners_dilemma").reduce_dominated().materialize_tracked()
+        )
+        assert materialized.was_reduced
+        assert materialized.game.shape == (1, 1)
+        assert materialized.row_actions == (1,)  # defect survives
+        lifted = materialized.lift_profile(
+            # Reduced game has one action per player.
+            __import__("repro.games.equilibrium", fromlist=["StrategyProfile"])
+            .StrategyProfile(np.array([1.0]), np.array([1.0]))
+        )
+        np.testing.assert_array_equal(lifted.p, [0.0, 1.0])
+        np.testing.assert_array_equal(lifted.q, [0.0, 1.0])
+
+    def test_reduce_then_transpose_swaps_maps(self):
+        # Eliminate PD's cooperate action, then swap players: the lifted
+        # coordinates must follow the orientation.
+        spec = GameSpec.library("prisoners_dilemma").reduce_dominated().transpose()
+        materialized = spec.materialize_tracked()
+        assert materialized.original_shape == (2, 2)
+        assert materialized.row_actions == (1,)
+        assert materialized.col_actions == (1,)
+
+    def test_scaled_requires_positive_factor(self):
+        with pytest.raises(ValueError, match="positive 'factor'"):
+            GameSpec.library("chicken").scaled(0.0)
+
+    def test_unknown_transform_rejected(self):
+        with pytest.raises(ValueError, match="transform op must be one of"):
+            GameTransform("flip", {})
+
+    def test_label_overrides_name(self):
+        spec = GameSpec.library("chicken")
+        relabelled = GameSpec(kind="library", name="chicken", label="hawk-dove")
+        assert spec.materialize().name == "Chicken"
+        assert relabelled.materialize().name == "hawk-dove"
+
+
+class TestWireForm:
+    def test_round_trip_through_json(self):
+        specs = [
+            GameSpec.library("chicken"),
+            GameSpec.library("coordination_game", num_actions=4),
+            GameSpec.generator("random", num_row_actions=8, seed=3,
+                               payoff_range=(0.0, 5.0)),
+            GameSpec.inline(battle_of_the_sexes()),
+            GameSpec.library("prisoners_dilemma").reduce_dominated().shifted(),
+        ]
+        for spec in specs:
+            wire = json.loads(json.dumps(spec.to_dict()))
+            rebuilt = GameSpec.from_dict(wire)
+            assert rebuilt == spec
+            assert rebuilt.fingerprint() == spec.fingerprint()
+
+    def test_generator_wire_is_compact(self):
+        spec = GameSpec.generator("random", num_row_actions=64, seed=7)
+        wire = json.dumps(spec.to_dict())
+        assert len(wire) < 150  # the whole point: ~100 bytes, not 64x64 floats
+
+    def test_pickle_round_trip(self):
+        spec = GameSpec.generator("random", num_row_actions=4, seed=1).shifted()
+        clone = pickle.loads(pickle.dumps(spec))
+        assert clone == spec
+        assert clone.fingerprint() == spec.fingerprint()
+
+
+class TestFingerprints:
+    def test_inline_fingerprint_matches_matrix_fingerprint(self):
+        # Byte-compatibility with pre-spec cache entries: an inline spec
+        # without transforms hashes exactly like the game it wraps.
+        game = battle_of_the_sexes()
+        assert GameSpec.inline(game).fingerprint() == game.fingerprint()
+
+    def test_spec_fingerprint_does_not_materialize(self, monkeypatch):
+        spec = GameSpec.generator("random", num_row_actions=512, seed=0)
+        monkeypatch.setattr(
+            GameSpec, "materialize", lambda self: pytest.fail("materialized eagerly")
+        )
+        assert len(spec.fingerprint()) == 64
+
+    def test_fingerprint_distinguishes_params_and_seed(self):
+        base = GameSpec.generator("random", num_row_actions=4, seed=0)
+        assert base.fingerprint() != GameSpec.generator("random", num_row_actions=5,
+                                                        seed=0).fingerprint()
+        assert base.fingerprint() != GameSpec.generator("random", num_row_actions=4,
+                                                        seed=1).fingerprint()
+        assert base.fingerprint() != base.shifted().fingerprint()
+
+    def test_fingerprint_stable_across_processes(self):
+        spec = GameSpec.generator("random", num_row_actions=6, seed=42,
+                                  payoff_range=(0.0, 3.0))
+        code = (
+            "from repro.games.spec import GameSpec; "
+            "print(GameSpec.generator('random', num_row_actions=6, seed=42, "
+            "payoff_range=(0.0, 3.0)).fingerprint())"
+        )
+        output = subprocess.run(
+            [sys.executable, "-c", code], capture_output=True, text=True, check=True,
+        ).stdout.strip()
+        assert output == spec.fingerprint()
+
+    def test_fingerprint_frozen_values(self):
+        # Golden digests: a change here silently invalidates (or worse,
+        # aliases) every persisted spec-keyed cache entry.  Update only
+        # with a deliberate cache-format break.
+        assert GameSpec.library("chicken").fingerprint() == (
+            "63225b124d87878191b22ebb272953377261a3113cacd382d6368551aa24d15d"
+        )
+
+
+class TestGeneratorDeterminism:
+    """Equal seeds must produce bit-identical games (spec-keyed cache guard)."""
+
+    CASES = [
+        ("random", {"num_row_actions": 5, "num_col_actions": 3}),
+        ("random", {"num_row_actions": 4, "integer_payoffs": True}),
+        ("zero_sum", {"num_actions": 4}),
+        ("coordination", {"num_actions": 4}),
+        ("symmetric", {"num_actions": 4}),
+        ("planted_pure", {"num_actions": 4}),
+    ]
+
+    @pytest.mark.parametrize("kind,params", CASES)
+    def test_equal_seeds_bit_identical(self, kind, params):
+        first = GameSpec.generator(kind, seed=123, **params).materialize()
+        second = GameSpec.generator(kind, seed=123, **params).materialize()
+        assert first.payoff_row.tobytes() == second.payoff_row.tobytes()
+        assert first.payoff_col.tobytes() == second.payoff_col.tobytes()
+        assert first.fingerprint() == second.fingerprint()
+
+    @pytest.mark.parametrize("kind,params", CASES)
+    def test_different_seeds_differ(self, kind, params):
+        first = GameSpec.generator(kind, seed=0, **params).materialize()
+        second = GameSpec.generator(kind, seed=1, **params).materialize()
+        assert first.fingerprint() != second.fingerprint()
+
+    def test_materialization_stable_across_processes(self):
+        spec = GameSpec.generator("random", num_row_actions=4, seed=9)
+        code = (
+            "from repro.games.spec import GameSpec; "
+            "print(GameSpec.generator('random', num_row_actions=4, seed=9)"
+            ".materialize().fingerprint())"
+        )
+        output = subprocess.run(
+            [sys.executable, "-c", code], capture_output=True, text=True, check=True,
+        ).stdout.strip()
+        assert output == spec.materialize().fingerprint()
+
+    def test_generated_payoffs_frozen_value(self):
+        # Golden value: platform-independent PCG64 stream (numpy
+        # guarantees stability for a fixed seed across platforms).
+        game = GameSpec.generator("random", num_row_actions=2, seed=0).materialize()
+        np.testing.assert_allclose(
+            game.payoff_row,
+            [[6.369616873214543, 2.697867137638703],
+             [0.409735239519687, 0.16527635528529094]],
+        )
