@@ -22,7 +22,7 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
-from typing import Callable, Generic, List, Optional, TypeVar
+from typing import Callable, Generic, List, Optional, Sequence, Tuple, TypeVar
 
 import numpy as np
 
@@ -335,6 +335,63 @@ class FusedBatchProblem(ABC, Generic[BatchStateT]):
         """Extract chain ``index``'s state as a per-chain object."""
 
 
+class MultiFusedBatchProblem(FusedBatchProblem[BatchStateT]):
+    """A fused problem whose chains belong to several independent launches.
+
+    The batched dispatch path coalesces many scheduler jobs (one
+    same-shape game each) into a single fused kernel launch.  To keep
+    each job's result *bit-identical* to a solo
+    :meth:`FusedAnnealer.run`, every launch keeps its own generator and
+    consumes it in exactly the solo order — initial states first, then
+    per block the problem's proposal uniforms followed by the engine's
+    acceptance uniforms.  Chains are concatenated along the batch axis
+    in launch order, so launch ``j``'s chains occupy one contiguous
+    slice of every stacked array.
+
+    Multi problems are driven exclusively through
+    :meth:`FusedAnnealer.run_multi`; the single-generator
+    :meth:`~FusedBatchProblem.begin` / :meth:`~FusedBatchProblem.draw_block`
+    entry points are not used.
+    """
+
+    @abstractmethod
+    def begin_multi(
+        self, launches: Sequence[Tuple[int, np.random.Generator]]
+    ) -> np.ndarray:
+        """Allocate buffers for all launches and return the live energies.
+
+        ``launches`` is one ``(batch_size, rng)`` pair per launch; each
+        launch's initial states are drawn from its own generator exactly
+        as a solo :meth:`~FusedBatchProblem.begin` would draw them.
+        Returns the concatenated ``(B_total,)`` energies array (shared
+        with the engine, like ``begin``).
+        """
+
+    @abstractmethod
+    def draw_block_multi(
+        self, num_steps: int, rngs: Sequence[np.random.Generator]
+    ) -> np.ndarray:
+        """Pre-draw proposal *and* acceptance randomness per launch.
+
+        For each launch ``j`` (in order) draws the problem's proposal
+        block from ``rngs[j]`` first and the acceptance uniforms second
+        — the solo consumption order.  Returns the acceptance uniforms
+        concatenated along the chain axis as a ``(num_steps, B_total)``
+        array; the engine indexes it exactly like its own block.
+        """
+
+    def begin(
+        self,
+        batch_size: int,
+        rng: np.random.Generator,
+        initial_states: Optional[BatchStateT] = None,
+    ) -> np.ndarray:
+        raise NotImplementedError("multi-launch problems are driven via run_multi()")
+
+    def draw_block(self, num_steps: int, rng: np.random.Generator) -> None:
+        raise NotImplementedError("multi-launch problems are driven via run_multi()")
+
+
 class FusedAnnealer(Generic[BatchStateT]):
     """Fused lockstep SA: block-sampled randomness, in-place accept/reject.
 
@@ -396,17 +453,79 @@ class FusedAnnealer(Generic[BatchStateT]):
         """
         if batch_size <= 0:
             raise ValueError(f"batch_size must be positive, got {batch_size}")
-        config = self.config
-        problem = self.problem
         rng = as_generator(seed)
-        num_iterations = config.num_iterations
-
-        energies = problem.begin(batch_size, rng, initial_states)
+        energies = self.problem.begin(batch_size, rng, initial_states)
         if energies.shape != (batch_size,):
             raise ValueError(
                 f"problem.begin returned energies of shape {energies.shape}, "
                 f"expected ({batch_size},)"
             )
+
+        def draw(steps: int) -> np.ndarray:
+            # The solo RNG stream contract: the problem's proposal block
+            # first, the engine's acceptance block second.
+            self.problem.draw_block(steps, rng)
+            return rng.random((steps, batch_size))
+
+        return self._anneal(batch_size, energies, draw, callback)
+
+    def run_multi(
+        self,
+        launches: Sequence[Tuple[int, SeedLike]],
+        callback: Optional[Callable[[int, BatchStateT, np.ndarray], None]] = None,
+    ) -> BatchAnnealingResult[BatchStateT]:
+        """Anneal several independent launches as one fused batch.
+
+        ``launches`` is one ``(batch_size, seed)`` pair per launch; the
+        problem must be a :class:`MultiFusedBatchProblem`.  Each launch
+        owns a generator seeded exactly as :meth:`run` would seed it and
+        consumes it in the solo order, so chain ``b`` of launch ``j``
+        evolves flip-for-flip identically to the same chain of a solo
+        ``run(batch_size_j, seed_j)`` on that launch's problem — the
+        fusion only amortises the per-iteration Python/kernel overhead
+        across launches.  Results come back as a single stacked
+        :class:`BatchAnnealingResult` with launch ``j``'s chains at
+        offset ``sum(sizes[:j])``.
+        """
+        problem = self.problem
+        if not isinstance(problem, MultiFusedBatchProblem):
+            raise TypeError(
+                f"run_multi requires a MultiFusedBatchProblem, got {type(problem).__name__}"
+            )
+        if not launches:
+            raise ValueError("need at least one launch")
+        sizes = [int(size) for size, _ in launches]
+        if any(size <= 0 for size in sizes):
+            raise ValueError(f"launch batch sizes must be positive, got {sizes}")
+        batch_size = sum(sizes)
+        rngs = [as_generator(seed) for _, seed in launches]
+        energies = problem.begin_multi(list(zip(sizes, rngs)))
+        if energies.shape != (batch_size,):
+            raise ValueError(
+                f"problem.begin_multi returned energies of shape {energies.shape}, "
+                f"expected ({batch_size},)"
+            )
+
+        def draw(steps: int) -> np.ndarray:
+            return problem.draw_block_multi(steps, rngs)
+
+        return self._anneal(batch_size, energies, draw, callback)
+
+    def _anneal(
+        self,
+        batch_size: int,
+        energies: np.ndarray,
+        draw: Callable[[int], np.ndarray],
+        callback: Optional[Callable[[int, BatchStateT, np.ndarray], None]],
+    ) -> BatchAnnealingResult[BatchStateT]:
+        """The fused accept/commit loop shared by :meth:`run` and :meth:`run_multi`.
+
+        ``draw(steps)`` refills the problem's proposal block and returns
+        the ``(steps, batch_size)`` acceptance uniforms.
+        """
+        config = self.config
+        problem = self.problem
+        num_iterations = config.num_iterations
         best_snapshot = problem.make_snapshot()
         best_energies = energies.copy()
         iterations_to_best = np.zeros(batch_size, dtype=int)
@@ -427,8 +546,7 @@ class FusedAnnealer(Generic[BatchStateT]):
             step = iteration % block_size
             if step == 0:
                 steps = min(block_size, num_iterations - iteration)
-                problem.draw_block(steps, rng)
-                accept_uniforms = rng.random((steps, batch_size))
+                accept_uniforms = draw(steps)
             candidate_energies = problem.propose(step)
             delta = candidate_energies - energies
             accept = acceptance.accept_batch_given(

@@ -483,7 +483,7 @@ def sweep(
         Worker-pool configuration for the private client when
         ``client=None`` (ignored otherwise).
     """
-    from repro.workloads.ensembles import ensemble_or_specs
+    from repro.workloads.ensembles import ensemble_or_specs, spec_chunks
 
     spec = _resolve_spec(spec, spec_kwargs)
     backend_names: Tuple[str, ...] = (
@@ -517,26 +517,57 @@ def sweep(
     start = time.perf_counter()
     #: (job_id, workload, backend) triples awaiting collection.
     pending: List[Tuple[str, Union[BimatrixGame, GameSpec], str]] = []
+    bulk = hasattr(client, "submit_many") and hasattr(client, "results")
 
-    def _collect_oldest() -> None:
-        job_id, work, _ = pending.pop(0)
-        tracked, game_name = _spec_context(work)
-        report = _report_from_outcome(client.result(job_id), game_name, spec.num_runs)
-        _finalise_spec_report(report, work, tracked)
-        if not keep_batches:
-            report.batch = None
-        result.reports.append(report)
+    def _collect(count: int) -> None:
+        taken = pending[:count]
+        del pending[:count]
+        if not taken:
+            return
+        if bulk:
+            outcomes = client.results([job_id for job_id, _, _ in taken])
+        else:
+            outcomes = [client.result(job_id) for job_id, _, _ in taken]
+        for (_, work, _), outcome in zip(taken, outcomes):
+            tracked, game_name = _spec_context(work)
+            report = _report_from_outcome(outcome, game_name, spec.num_runs)
+            _finalise_spec_report(report, work, tracked)
+            if not keep_batches:
+                report.batch = None
+            result.reports.append(report)
 
     try:
-        for game_spec in ensemble_or_specs(ensemble):
-            result.num_games += 1
-            for backend in backend_names:
-                while len(pending) >= max_in_flight:
-                    _collect_oldest()
-                request = _request_from_spec(game_spec, backend, spec)
-                pending.append((client.submit(request), game_spec, backend))
+        if bulk:
+            # Chunked submission: one loop-thread/service hop enqueues a
+            # whole compatible group, so the scheduler's batch coalescing
+            # sees companions even with a zero linger budget.
+            chunk_games = max(1, max_in_flight // len(backend_names))
+            for chunk in spec_chunks(ensemble, chunk_games):
+                result.num_games += len(chunk)
+                work = [
+                    (game_spec, backend)
+                    for game_spec in chunk
+                    for backend in backend_names
+                ]
+                while pending and len(pending) + len(work) > max_in_flight:
+                    _collect(min(len(pending), len(work)))
+                job_ids = client.submit_many(
+                    [_request_from_spec(g, backend, spec) for g, backend in work]
+                )
+                pending.extend(
+                    (job_id, g, backend)
+                    for job_id, (g, backend) in zip(job_ids, work)
+                )
+        else:
+            for game_spec in ensemble_or_specs(ensemble):
+                result.num_games += 1
+                for backend in backend_names:
+                    while len(pending) >= max_in_flight:
+                        _collect(1)
+                    request = _request_from_spec(game_spec, backend, spec)
+                    pending.append((client.submit(request), game_spec, backend))
         while pending:
-            _collect_oldest()
+            _collect(len(pending))
         result.elapsed_seconds = time.perf_counter() - start
         hits_after = _counter_totals()
         if hits_before is not None and hits_after is not None:

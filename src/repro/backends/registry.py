@@ -34,6 +34,8 @@ _REGISTRY: Dict[str, Backend] = {}
 #: Per-name registration serials (see :func:`registry_fingerprint`).
 _SERIALS: Dict[str, int] = {}
 _COUNTER = 0
+#: (counter, digest) memo for :func:`registry_fingerprint`.
+_FINGERPRINT_CACHE: Tuple[int, str] | None = None
 
 
 class UnknownBackendError(ValueError):
@@ -103,9 +105,11 @@ def register_backend(backend: Backend, *, replace: bool = False) -> Backend:
 
 def unregister_backend(name: str) -> Backend:
     """Remove and return a registered backend."""
+    global _COUNTER
     with _LOCK:
         if name not in _REGISTRY:
             raise UnknownBackendError(name, tuple(sorted(_REGISTRY)))
+        _COUNTER += 1  # invalidate the memoised fingerprint
         _SERIALS.pop(name, None)
         return _REGISTRY.pop(name)
 
@@ -125,14 +129,25 @@ def registry_fingerprint() -> str:
     (built-ins register in a fixed order), so cache keys stay stable
     across processes — and across disk-cache tiers — that perform the
     same registrations.
+
+    The digest is memoised against ``_COUNTER`` (bumped on every
+    registration; unregistration bumps it too), so the scheduler can
+    fold it into every cache key without re-hashing the registry on
+    each job.
     """
+    global _FINGERPRINT_CACHE
     with _LOCK:
+        cached = _FINGERPRINT_CACHE
+        if cached is not None and cached[0] == _COUNTER:
+            return cached[1]
         entries = sorted(
             (name, f"{type(b).__module__}.{type(b).__qualname__}", _SERIALS.get(name, 0))
             for name, b in _REGISTRY.items()
         )
-    payload = json.dumps(entries, sort_keys=True, separators=(",", ":"))
-    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+        payload = json.dumps(entries, sort_keys=True, separators=(",", ":"))
+        digest = hashlib.sha256(payload.encode("utf-8")).hexdigest()
+        _FINGERPRINT_CACHE = (_COUNTER, digest)
+    return digest
 
 
 def get_backend(name: str) -> Backend:

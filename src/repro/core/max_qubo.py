@@ -24,7 +24,7 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Sequence
 
 import numpy as np
 
@@ -287,6 +287,218 @@ class IncrementalIdealState:
         np.copyto(self.col_max, self._cand_col_max, where=accept)
         np.copyto(self.bilinear, self._cand_bilinear, where=accept)
         self._staged_moves = None
+
+
+class StackedIncrementalState:
+    """Delta-evaluation caches for chains of *several* same-shape games.
+
+    The batched dispatch path fuses the SA chains of many independent
+    games (one scheduler job each) into a single kernel launch, so the
+    per-iteration Python overhead of the fused loop is paid once per
+    *batch* instead of once per job.  This class is the stacked
+    counterpart of :class:`IncrementalIdealState`: chain ``b`` belongs to
+    game ``chain_games[b]`` and every payoff gather indexes a ``(K, n,
+    m)``-shaped stack with that per-chain game index.
+
+    Bit-identity contract: a chain of this stacked state advances
+    *flip-for-flip* identically to the same chain run solo through
+    :class:`IncrementalIdealState`.
+
+    * the per-iteration math (:meth:`candidate_energies`,
+      :meth:`commit`) is purely per-chain — elementwise arithmetic,
+      row gathers and row-wise maxima — so the values of chain ``b``
+      depend only on chain ``b``'s rows and its own game's matrices;
+    * the summation-order-sensitive reductions (the matmuls/einsum of
+      :meth:`resync`) are computed per contiguous game block over the
+      exact expressions (and the exact array layouts — a leading-axis
+      slice of a C-contiguous stack is itself C-contiguous) that the
+      solo cache uses, so resynced caches match the solo ones
+      bit-for-bit as well.
+
+    ``chain_games`` must be sorted (chains of one game form one
+    contiguous block); the launch builder guarantees this by
+    construction.
+    """
+
+    def __init__(
+        self,
+        games: "Sequence[BimatrixGame]",
+        chain_games: np.ndarray,
+        states: BatchedStrategyState,
+        combined: Optional["Sequence[np.ndarray]"] = None,
+    ) -> None:
+        if not games:
+            raise ValueError("need at least one game")
+        shape = games[0].shape
+        for game in games[1:]:
+            if game.shape != shape:
+                raise ValueError(
+                    f"all stacked games must share one shape, got {shape} and {game.shape}"
+                )
+        if combined is None:
+            combined = [game.payoff_row + game.payoff_col for game in games]
+        # np.stack always yields fresh C-contiguous stacks, and the cols
+        # variants are built as one vectorised transpose-copy of the
+        # stack rather than per-game copies.  All four stay C-contiguous:
+        # the per-iteration gathers want contiguous rows, and layout
+        # selects the BLAS path in resync, which must match the solo
+        # cache exactly.
+        self._row_payoff = np.stack([game.payoff_row for game in games])
+        self._row_payoff_cols = np.ascontiguousarray(
+            self._row_payoff.transpose(0, 2, 1)
+        )
+        self._col_payoff_rows = np.stack([game.payoff_col for game in games])
+        self._combined_rows = np.stack(list(combined))
+        self._combined_cols = np.ascontiguousarray(
+            self._combined_rows.transpose(0, 2, 1)
+        )
+        chain_games = np.asarray(chain_games, dtype=np.int64)
+        if chain_games.shape != (states.batch_size,):
+            raise ValueError(
+                f"chain_games must have shape ({states.batch_size},), "
+                f"got {chain_games.shape}"
+            )
+        if np.any(np.diff(chain_games) < 0):
+            raise ValueError("chain_games must be sorted (contiguous per-game blocks)")
+        if chain_games.size and not (
+            0 <= chain_games[0] and chain_games[-1] < len(games)
+        ):
+            raise ValueError("chain_games indexes outside the game stack")
+        self._chain_games = chain_games
+        # Flattened (game*actions, actions) gather views plus per-chain
+        # flat bases: the per-iteration gathers pick [game, action]
+        # rows, and one flat first-axis index selects the exact same
+        # elements as 2-D advanced indexing at measurably lower cost.
+        num_rows, num_cols = shape
+        self._flat_row_payoff_cols = self._row_payoff_cols.reshape(-1, num_rows)
+        self._flat_col_payoff_rows = self._col_payoff_rows.reshape(-1, num_cols)
+        self._flat_combined_rows = self._combined_rows.reshape(-1, num_cols)
+        self._flat_combined_cols = self._combined_cols.reshape(-1, num_rows)
+        self._chain_base_rows = chain_games * num_rows
+        self._chain_base_cols = chain_games * num_cols
+        # Contiguous chain slice of every game block (possibly empty).
+        starts = np.searchsorted(chain_games, np.arange(len(games)), side="left")
+        stops = np.searchsorted(chain_games, np.arange(len(games)), side="right")
+        self._blocks = [slice(int(a), int(b)) for a, b in zip(starts, stops)]
+        self._inv_intervals = 1.0 / states.num_intervals
+        self._staged_moves: Optional[TransferMoveBatch] = None
+        self.resync(states)
+
+    def resync(self, states: BatchedStrategyState) -> np.ndarray:
+        """Rebuild every cache per game block via the solo full products."""
+        p = states.p
+        q = states.q
+        batch_size = p.shape[0]
+        n = self._row_payoff.shape[1]
+        m = self._row_payoff.shape[2]
+        self.row_values = np.empty((batch_size, n))
+        self.col_values = np.empty((batch_size, m))
+        self.bilinear = np.empty(batch_size)
+        self.u = np.empty((batch_size, m))
+        self.w = np.empty((batch_size, n))
+        for index, block in enumerate(self._blocks):
+            if block.start == block.stop:
+                continue
+            # The exact expressions (and layouts) of
+            # IncrementalIdealState.resync, applied to this game's block.
+            self.row_values[block] = q[block] @ self._row_payoff[index].T
+            self.col_values[block] = p[block] @ self._col_payoff_rows[index]
+            self.bilinear[block] = np.einsum(
+                "bi,ij,bj->b", p[block], self._combined_rows[index], q[block]
+            )
+            self.u[block] = p[block] @ self._combined_rows[index]
+            self.w[block] = q[block] @ self._combined_cols[index]
+        self.row_max = self.row_values.max(axis=1)
+        self.col_max = self.col_values.max(axis=1)
+        self._staged_moves = None
+        return self.energies()
+
+    def energies(self) -> np.ndarray:
+        """Current per-chain objectives from the cached components."""
+        return self.row_max + self.col_max - self.bilinear
+
+    def candidate_energies(self, moves: TransferMoveBatch) -> np.ndarray:
+        """Per-chain candidate objectives via game-indexed rank-1 updates."""
+        inv = self._inv_intervals
+        cand_row_max = self.row_max.copy()
+        cand_col_max = self.col_max.copy()
+        cand_bilinear = self.bilinear.copy()
+        rows, source, target = moves.q_rows, moves.q_source, moves.q_target
+        if rows.size:
+            flat = self._flat_row_payoff_cols
+            base = self._chain_base_cols[rows]
+            self._d_row = (flat[base + target] - flat[base + source]) * inv
+            cand_row_max[rows] = (self.row_values[rows] + self._d_row).max(axis=1)
+            u_flat = self.u.reshape(-1)
+            u_base = rows * self.u.shape[1]
+            cand_bilinear[rows] += (u_flat[u_base + target] - u_flat[u_base + source]) * inv
+        rows, source, target = moves.p_rows, moves.p_source, moves.p_target
+        if rows.size:
+            flat = self._flat_col_payoff_rows
+            base = self._chain_base_rows[rows]
+            self._d_col = (flat[base + target] - flat[base + source]) * inv
+            cand_col_max[rows] = (self.col_values[rows] + self._d_col).max(axis=1)
+            w_flat = self.w.reshape(-1)
+            w_base = rows * self.w.shape[1]
+            cand_bilinear[rows] += (w_flat[w_base + target] - w_flat[w_base + source]) * inv
+        self._staged_moves = moves
+        self._cand_row_max = cand_row_max
+        self._cand_col_max = cand_col_max
+        self._cand_bilinear = cand_bilinear
+        return cand_row_max + cand_col_max - cand_bilinear
+
+    def commit(self, accept: np.ndarray) -> None:
+        """Fold the staged candidate caches into the accepted chains."""
+        moves = self._staged_moves
+        if moves is None:
+            raise RuntimeError("commit() without a staged candidate_energies() call")
+        inv = self._inv_intervals
+        rows = moves.q_rows
+        if rows.size:
+            keep = accept[rows]
+            accepted_rows = rows[keep]
+            if accepted_rows.size:
+                source = moves.q_source[keep]
+                target = moves.q_target[keep]
+                flat = self._flat_combined_cols
+                base = self._chain_base_cols[accepted_rows]
+                self.row_values[accepted_rows] += self._d_row[keep]
+                self.w[accepted_rows] += (flat[base + target] - flat[base + source]) * inv
+        rows = moves.p_rows
+        if rows.size:
+            keep = accept[rows]
+            accepted_rows = rows[keep]
+            if accepted_rows.size:
+                source = moves.p_source[keep]
+                target = moves.p_target[keep]
+                flat = self._flat_combined_rows
+                base = self._chain_base_rows[accepted_rows]
+                self.col_values[accepted_rows] += self._d_col[keep]
+                self.u[accepted_rows] += (flat[base + target] - flat[base + source]) * inv
+        np.copyto(self.row_max, self._cand_row_max, where=accept)
+        np.copyto(self.col_max, self._cand_col_max, where=accept)
+        np.copyto(self.bilinear, self._cand_bilinear, where=accept)
+        self._staged_moves = None
+
+    @classmethod
+    def from_evaluators(
+        cls,
+        evaluators: "Sequence[IdealEvaluator]",
+        chain_games: np.ndarray,
+        states: BatchedStrategyState,
+    ) -> "StackedIncrementalState":
+        """Build the stacked cache from per-game :class:`IdealEvaluator` objects.
+
+        Reuses each evaluator's precomputed combined payoff so the
+        bilinear matrices are the *same floats* the solo incremental
+        cache would use.
+        """
+        return cls(
+            [evaluator.game for evaluator in evaluators],
+            chain_games,
+            states,
+            combined=[evaluator._combined for evaluator in evaluators],
+        )
 
 
 class HardwareEvaluator(ObjectiveEvaluator):

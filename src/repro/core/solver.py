@@ -15,7 +15,7 @@ quantised strategy representation, the two-phase SA controller and
 from __future__ import annotations
 
 import time
-from typing import List, Optional
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -25,7 +25,12 @@ from repro.core.config import CNashConfig
 from repro.core.max_qubo import HardwareEvaluator, IdealEvaluator, ObjectiveEvaluator
 from repro.core.result import SolverBatchResult, SolverRunResult
 from repro.core.strategy import QuantizedStrategyPair
-from repro.core.two_phase_sa import run_two_phase_sa, run_two_phase_sa_batch
+from repro.core.two_phase_sa import (
+    fused_multi_supported,
+    run_two_phase_sa,
+    run_two_phase_sa_batch,
+    run_two_phase_sa_multi,
+)
 from repro.games.bimatrix import BimatrixGame
 from repro.games.equilibrium import (
     EquilibriumSet,
@@ -268,3 +273,79 @@ class CNashSolver:
         expected_runs = 1.0 / batch.success_rate
         total_iterations = expected_runs * self.config.num_iterations
         return timing.time_to_solution_s(total_iterations)
+
+
+def fused_shards_supported(config: CNashConfig, shape: Tuple[int, int]) -> bool:
+    """Whether same-shape shards under ``config`` may share one fused launch.
+
+    A thin re-export of
+    :func:`repro.core.two_phase_sa.fused_multi_supported` so service-layer
+    callers gate on the solver API rather than the kernel module.
+    """
+    return fused_multi_supported(config, shape)
+
+
+def solve_shards_fused(
+    shards: Sequence[Tuple[BimatrixGame, int, SeedLike]],
+    config: Optional[CNashConfig] = None,
+) -> List[SolverBatchResult]:
+    """Solve many same-shape shard jobs as one fused kernel launch.
+
+    ``shards[j] = (game, num_runs, seed)``; the returned batch ``j`` is
+    bit-identical (same runs, same classifications — everything except
+    ``wall_clock_seconds``) to
+    ``CNashSolver(game, config).solve_batch(num_runs, seed=seed)``,
+    because each shard keeps its own RNG stream inside the fused launch.
+    The launch amortises the per-iteration Python overhead of the fused
+    kernel across all shards, which at small per-shard chain counts is
+    the dominant cost.  Callers must gate on :func:`fused_shards_supported`
+    (all games must additionally share one shape) and should fall back to
+    per-shard :meth:`CNashSolver.solve_batch` when unsupported.
+
+    The launch's wall clock is attributed to the per-shard results
+    proportionally to chain counts.
+    """
+    if not shards:
+        return []
+    config = config or CNashConfig()
+    shape = shards[0][0].shape
+    if not fused_shards_supported(config, shape):
+        raise ValueError(
+            "configuration does not support fused multi-shard execution; "
+            "gate on fused_shards_supported() and dispatch shards solo"
+        )
+    start = time.perf_counter()
+    solvers = [CNashSolver(game, config) for game, _, _ in shards]
+    batch = run_two_phase_sa_multi(
+        [solver.evaluator for solver in solvers],
+        config,
+        [(num_runs, seed) for _, num_runs, seed in shards],
+    )
+    elapsed = time.perf_counter() - start
+    total_runs = sum(num_runs for _, num_runs, _ in shards)
+    acceptance_rates = batch.acceptance_rates
+    results: List[SolverBatchResult] = []
+    offset = 0
+    for solver, (game, num_runs, _) in zip(solvers, shards):
+        runs: List[SolverRunResult] = []
+        for index in range(offset, offset + num_runs):
+            runs.append(
+                solver._classify_run(
+                    best_state=batch.best_states.state(index),
+                    best_objective=float(batch.best_energies[index]),
+                    iterations=batch.num_iterations,
+                    iterations_to_best=int(batch.iterations_to_best[index]),
+                    acceptance_rate=float(acceptance_rates[index]),
+                    objective_history=batch.chain_history(index),
+                )
+            )
+        offset += num_runs
+        results.append(
+            SolverBatchResult(
+                game_name=game.name,
+                runs=runs,
+                num_intervals=config.num_intervals,
+                wall_clock_seconds=elapsed * num_runs / total_runs,
+            )
+        )
+    return results

@@ -66,8 +66,13 @@ class QuantizedStrategyPair:
         return self.q_counts.astype(float) / self.num_intervals
 
     def to_profile(self) -> StrategyProfile:
-        """Convert to a :class:`~repro.games.equilibrium.StrategyProfile`."""
-        return StrategyProfile(self.p, self.q)
+        """Convert to a :class:`~repro.games.equilibrium.StrategyProfile`.
+
+        Grid states are probability vectors by construction (counts are
+        non-negative and sum to the interval total), so the profile is
+        built through the validation-free trusted constructor.
+        """
+        return StrategyProfile.trusted(self.p, self.q)
 
     def is_pure(self) -> bool:
         """True when both players put all intervals on a single action."""

@@ -20,7 +20,7 @@ problem definition plus a convenience runner.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -30,10 +30,11 @@ from repro.annealing.vectorized import (
     BatchAnnealingResult,
     FusedAnnealer,
     FusedBatchProblem,
+    MultiFusedBatchProblem,
     VectorizedAnnealer,
 )
 from repro.core.config import CNashConfig
-from repro.core.max_qubo import ObjectiveEvaluator
+from repro.core.max_qubo import IdealEvaluator, ObjectiveEvaluator, StackedIncrementalState
 from repro.core.strategy import (
     BatchedStrategyState,
     QuantizedStrategyPair,
@@ -266,6 +267,207 @@ class FusedTwoPhaseProblem(FusedBatchProblem[BatchedStrategyState]):
 
     def unstack(self, states: BatchedStrategyState, index: int) -> QuantizedStrategyPair:
         return states.state(index)
+
+
+class MultiGameFusedProblem(MultiFusedBatchProblem[BatchedStrategyState]):
+    """Chains of several same-shape games fused into one kernel launch.
+
+    One launch per game: launch ``j``'s chains anneal against
+    ``evaluators[j]``'s game through a
+    :class:`~repro.core.max_qubo.StackedIncrementalState` whose
+    per-iteration math gathers each chain's own payoff matrices.  Every
+    launch draws from its own generator in the exact solo order
+    (initial states, then per block proposal uniforms followed by
+    acceptance uniforms), so each launch's chains are bit-identical to
+    a solo :class:`FusedTwoPhaseProblem` run with the same seed.
+
+    Only the incremental (delta) evaluation path exists here: full
+    evaluation batches the ``O(n·m)`` products per *game*, which would
+    change BLAS summation shapes and break bit-identity, and small
+    games below the incremental crossover are cheap enough to run solo.
+    Callers gate on :func:`fused_multi_supported`.
+    """
+
+    def __init__(
+        self,
+        evaluators: Sequence[IdealEvaluator],
+        num_intervals: int,
+        pure_start_bias: float = 0.5,
+    ) -> None:
+        if not evaluators:
+            raise ValueError("need at least one evaluator")
+        shape = evaluators[0].game.shape
+        for evaluator in evaluators:
+            if not evaluator.supports_incremental():
+                raise ValueError(
+                    f"{type(evaluator).__name__} does not support incremental (delta) "
+                    "evaluation; multi-game fusion requires it"
+                )
+            if evaluator.game.shape != shape:
+                raise ValueError(
+                    f"all fused games must share one shape, got {shape} "
+                    f"and {evaluator.game.shape}"
+                )
+        self.evaluators = list(evaluators)
+        self.num_intervals = num_intervals
+        self.pure_start_bias = pure_start_bias
+        self._shape = shape
+        self._moves: Optional[TransferMoveBatch] = None
+
+    # ------------------------------------------------------------------
+    # MultiFusedBatchProblem interface
+    # ------------------------------------------------------------------
+    def begin_multi(
+        self, launches: Sequence[Tuple[int, np.random.Generator]]
+    ) -> np.ndarray:
+        if len(launches) != len(self.evaluators):
+            raise ValueError(
+                f"expected {len(self.evaluators)} launches (one per game), "
+                f"got {len(launches)}"
+            )
+        n, m = self._shape
+        p_parts: List[np.ndarray] = []
+        q_parts: List[np.ndarray] = []
+        sizes: List[int] = []
+        for size, rng in launches:
+            # The solo initial draw of FusedTwoPhaseProblem.begin, from
+            # this launch's own generator.
+            states = BatchedStrategyState.random(
+                size, n, m, self.num_intervals, rng, pure_bias=self.pure_start_bias
+            )
+            p_parts.append(np.array(states.p_counts, dtype=int))
+            q_parts.append(np.array(states.q_counts, dtype=int))
+            sizes.append(size)
+        self._p_counts = np.concatenate(p_parts, axis=0)
+        self._q_counts = np.concatenate(q_parts, axis=0)
+        self._state_view = BatchedStrategyState(
+            self._p_counts, self._q_counts, self.num_intervals
+        )
+        offsets = np.cumsum([0] + sizes)
+        self._bounds = [
+            (int(offsets[j]), int(offsets[j + 1])) for j in range(len(sizes))
+        ]
+        chain_games = np.repeat(np.arange(len(sizes)), sizes)
+        self._incremental = StackedIncrementalState.from_evaluators(
+            self.evaluators, chain_games, self._state_view
+        )
+        return self._incremental.energies()
+
+    def draw_block_multi(
+        self, num_steps: int, rngs: Sequence[np.random.Generator]
+    ) -> np.ndarray:
+        blocks: List[np.ndarray] = []
+        accepts: List[np.ndarray] = []
+        for (start, stop), rng in zip(self._bounds, rngs):
+            size = stop - start
+            # Solo consumption order per launch: proposal block first,
+            # acceptance uniforms second.
+            blocks.append(rng.random((3, num_steps, size)))
+            accepts.append(rng.random((num_steps, size)))
+        self._uniforms = np.concatenate(blocks, axis=2)
+        return np.concatenate(accepts, axis=1)
+
+    # ------------------------------------------------------------------
+    # FusedBatchProblem interface (shared stage/commit cycle)
+    # ------------------------------------------------------------------
+    def propose(self, step: int) -> np.ndarray:
+        u_player, u_donor, u_receiver = self._uniforms[:, step]
+        moves = sample_transfer_moves(
+            self._p_counts, self._q_counts, u_player, u_donor, u_receiver
+        )
+        self._moves = moves
+        return self._incremental.candidate_energies(moves)
+
+    def commit(self, accept: np.ndarray) -> None:
+        assert self._moves is not None
+        self._moves.apply(self._p_counts, self._q_counts, accept=accept)
+        self._incremental.commit(accept)
+        self._moves = None
+
+    def resync(self) -> Optional[np.ndarray]:
+        return self._incremental.resync(self._state_view)
+
+    def make_snapshot(self) -> Tuple[np.ndarray, np.ndarray]:
+        return self._p_counts.copy(), self._q_counts.copy()
+
+    def update_snapshot(
+        self, snapshot: Tuple[np.ndarray, np.ndarray], mask: np.ndarray
+    ) -> None:
+        snapshot_p, snapshot_q = snapshot
+        np.copyto(snapshot_p, self._p_counts, where=mask[:, None])
+        np.copyto(snapshot_q, self._q_counts, where=mask[:, None])
+
+    def export_snapshot(
+        self, snapshot: Tuple[np.ndarray, np.ndarray]
+    ) -> BatchedStrategyState:
+        snapshot_p, snapshot_q = snapshot
+        return BatchedStrategyState(snapshot_p, snapshot_q, self.num_intervals)
+
+    def export_states(self) -> BatchedStrategyState:
+        return BatchedStrategyState(
+            self._p_counts.copy(), self._q_counts.copy(), self.num_intervals
+        )
+
+    def current_states(self) -> BatchedStrategyState:
+        return self._state_view
+
+    def unstack(self, states: BatchedStrategyState, index: int) -> QuantizedStrategyPair:
+        return states.state(index)
+
+
+def fused_multi_supported(config: CNashConfig, shape: Tuple[int, int]) -> bool:
+    """Whether a multi-game fused launch reproduces the solo kernel bit-for-bit.
+
+    True exactly when the solo :func:`run_two_phase_sa_batch` would take
+    the fused incremental (delta) path with an exact evaluator: the
+    multi launch replays each launch's RNG stream through the same
+    per-chain math, so any configuration outside that path (hardware
+    noise, both-player moves, full evaluation, games below the
+    incremental crossover) must keep solo dispatch.
+    """
+    n, m = shape
+    return (
+        config.execution == "vectorized"
+        and config.evaluation == "delta"
+        and not config.move_both_players
+        and not config.use_hardware
+        and n * m >= FusedTwoPhaseProblem.MIN_INCREMENTAL_CELLS
+    )
+
+
+def run_two_phase_sa_multi(
+    evaluators: Sequence[IdealEvaluator],
+    config: CNashConfig,
+    launches: Sequence[Tuple[int, SeedLike]],
+    callback=None,
+) -> BatchAnnealingResult[BatchedStrategyState]:
+    """Run several games' chain batches as one fused kernel launch.
+
+    ``launches[j] = (num_runs, seed)`` pairs with ``evaluators[j]``; the
+    stacked result holds launch ``j``'s chains at offset
+    ``sum(num_runs[:j])``, each bit-identical to
+    ``run_two_phase_sa_batch(evaluators[j], config, num_runs, seed)``.
+    Callers must check :func:`fused_multi_supported` first.
+    """
+    if len(evaluators) != len(launches):
+        raise ValueError(
+            f"got {len(evaluators)} evaluators but {len(launches)} launches"
+        )
+    problem = MultiGameFusedProblem(
+        evaluators=evaluators,
+        num_intervals=config.num_intervals,
+        pure_start_bias=config.pure_start_bias,
+    )
+    annealer = FusedAnnealer(
+        problem,
+        AnnealingConfig(
+            num_iterations=config.num_iterations,
+            schedule=config.schedule(),
+            acceptance=config.acceptance,
+            record_history=config.record_history,
+        ),
+    )
+    return annealer.run_multi(launches, callback=callback)
 
 
 @dataclass

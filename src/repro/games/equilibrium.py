@@ -32,6 +32,22 @@ class StrategyProfile:
         object.__setattr__(self, "p", ensure_probability_vector(self.p, "p"))
         object.__setattr__(self, "q", ensure_probability_vector(self.q, "q"))
 
+    @classmethod
+    def trusted(cls, p: np.ndarray, q: np.ndarray) -> "StrategyProfile":
+        """Build a profile from vectors that are valid by construction.
+
+        Skips ``__post_init__`` validation; callers guarantee float
+        probability vectors (e.g. grid states, whose entries are
+        non-negative interval counts over the interval total).  The
+        values are exactly what the validated constructor would store —
+        validation only rejects or clips negatives — so profiles built
+        here are bit-identical to validated ones.
+        """
+        profile = object.__new__(cls)
+        object.__setattr__(profile, "p", p)
+        object.__setattr__(profile, "q", q)
+        return profile
+
     def is_pure(self, atol: float = 1e-6) -> bool:
         """True when both players put (almost) all mass on a single action."""
         return bool(self.p.max() >= 1.0 - atol and self.q.max() >= 1.0 - atol)
@@ -50,11 +66,19 @@ class StrategyProfile:
         return StrategyProfile(p / p.sum(), q / q.sum())
 
     def close_to(self, other: "StrategyProfile", atol: float = 1e-3) -> bool:
-        """Element-wise closeness of both strategies."""
+        """Element-wise closeness of both strategies.
+
+        The test is ``np.allclose``'s exact criterion
+        (``|a - b| <= atol + rtol * |b|`` with the default
+        ``rtol=1e-5``), inlined because probability vectors are always
+        finite and this runs per pair in equilibrium de-duplication.
+        """
         if self.p.shape != other.p.shape or self.q.shape != other.q.shape:
             return False
+        rtol = 1e-5
         return bool(
-            np.allclose(self.p, other.p, atol=atol) and np.allclose(self.q, other.q, atol=atol)
+            np.all(np.abs(self.p - other.p) <= atol + rtol * np.abs(other.p))
+            and np.all(np.abs(self.q - other.q) <= atol + rtol * np.abs(other.q))
         )
 
     def as_tuple(self) -> Tuple[Tuple[float, ...], Tuple[float, ...]]:
@@ -109,9 +133,28 @@ def is_epsilon_equilibrium(
     """
     if epsilon < 0:
         raise ValueError(f"epsilon must be non-negative, got {epsilon}")
-    row_gap = game.row_regret(p, q)
-    col_gap = game.col_regret(p, q)
+    p = ensure_probability_vector(p, "p")
+    q = ensure_probability_vector(q, "q")
+    row_gap, col_gap = _regrets_trusted(game, p, q)
     return bool(row_gap <= epsilon and col_gap <= epsilon)
+
+
+def _regrets_trusted(
+    game: BimatrixGame, p: np.ndarray, q: np.ndarray
+) -> Tuple[float, float]:
+    """Both players' regrets for *already validated* vectors.
+
+    The exact expressions of :meth:`BimatrixGame.row_regret` /
+    :meth:`~BimatrixGame.col_regret` without their per-call input
+    validation — the classification hot path checks thousands of
+    solver-built grid states whose vectors are valid by construction.
+    """
+    row_values = game.payoff_row @ q
+    col_values = game.payoff_col.T @ p
+    return (
+        float(row_values.max() - p @ row_values),
+        float(col_values.max() - q @ col_values),
+    )
 
 
 def classify_profile(
@@ -126,7 +169,13 @@ def classify_profile(
     that is not an equilibrium is an ``"error"`` solution, matching the
     three categories of Fig. 8 in the paper.
     """
-    if not is_epsilon_equilibrium(game, profile.p, profile.q, epsilon):
+    if epsilon < 0:
+        raise ValueError(f"epsilon must be non-negative, got {epsilon}")
+    # Profile vectors are probability distributions by construction
+    # (validated or trusted at creation), so skip re-validating them on
+    # this hot path — the regret math is the bit-identical expressions.
+    row_gap, col_gap = _regrets_trusted(game, profile.p, profile.q)
+    if not (row_gap <= epsilon and col_gap <= epsilon):
         return "error"
     return "pure" if profile.is_pure(purity_atol) else "mixed"
 

@@ -1,0 +1,112 @@
+"""Process-wide materialisation cache for deterministic game specs.
+
+Spec-backed requests ship a ~100-byte :class:`~repro.games.spec.GameSpec`
+to workers and materialise the dense payoffs where they are solved.
+Without a cache, a sweep that routes many jobs over the *same* spec to
+one worker (repeat requests, multi-backend sweeps, coalesced batches)
+rebuilds the identical matrices once per job.  This module keeps one
+bounded LRU of :class:`~repro.games.spec.MaterializedGame` objects per
+process, keyed by spec fingerprint, so a repeated 64x64 generator spec
+materialises at most once per worker process.
+
+Only *deterministic* specs are cacheable (every materialisation yields
+the same game); unseeded generator specs bypass the cache so their
+fresh-draw semantics survive.  The cache is thread-safe — the thread
+executor shares one instance across all worker threads — and strictly
+bounded, so worker RSS stays flat no matter how many distinct specs a
+long-lived server sees.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import TYPE_CHECKING, Dict, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (spec imports are lazy)
+    from repro.games.spec import GameSpec, MaterializedGame
+
+#: Default number of materialised games retained per process.
+DEFAULT_MATCACHE_CAPACITY = 128
+
+
+class MaterializationCache:
+    """Bounded LRU of materialised games keyed by spec fingerprint."""
+
+    def __init__(self, capacity: int = DEFAULT_MATCACHE_CAPACITY) -> None:
+        if capacity < 0:
+            raise ValueError(f"capacity must be non-negative, got {capacity}")
+        self.capacity = capacity
+        self._entries: "OrderedDict[str, MaterializedGame]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def get(self, spec: "GameSpec") -> "MaterializedGame":
+        """The spec's materialised game, built at most once while cached.
+
+        Non-deterministic specs are materialised fresh on every call and
+        never stored (they draw a different game each time by design).
+        """
+        if not spec.deterministic or self.capacity == 0:
+            return spec.materialize_tracked()
+        key = spec.fingerprint()
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                return entry
+            self.misses += 1
+        # Materialise outside the lock: building a dense game can be the
+        # expensive part, and concurrent builders of the same spec all
+        # produce the identical (deterministic) value.
+        entry = spec.materialize_tracked()
+        with self._lock:
+            self._entries[key] = entry
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+        return entry
+
+    def clear(self) -> None:
+        """Drop every entry (counters are kept)."""
+        with self._lock:
+            self._entries.clear()
+
+    def stats(self) -> Dict[str, int]:
+        """Hit/miss/eviction counters plus current size."""
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "size": len(self._entries),
+                "capacity": self.capacity,
+            }
+
+
+#: The per-process cache instance used by the service layer.
+_GLOBAL_CACHE: Optional[MaterializationCache] = None
+_GLOBAL_LOCK = threading.Lock()
+
+
+def global_materialization_cache() -> MaterializationCache:
+    """The process-wide cache (created on first use)."""
+    global _GLOBAL_CACHE
+    if _GLOBAL_CACHE is None:
+        with _GLOBAL_LOCK:
+            if _GLOBAL_CACHE is None:
+                _GLOBAL_CACHE = MaterializationCache()
+    return _GLOBAL_CACHE
+
+
+def materialize_cached(spec: "GameSpec") -> "MaterializedGame":
+    """Materialise through the process-wide cache."""
+    return global_materialization_cache().get(spec)

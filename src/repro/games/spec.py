@@ -29,6 +29,7 @@ methodology calls for, so this module introduces a workload IR:
 from __future__ import annotations
 
 import dataclasses
+import functools
 import hashlib
 import inspect
 from dataclasses import dataclass, field
@@ -51,6 +52,19 @@ SOURCE_KINDS = ("library", "generator", "inline")
 TRANSFORM_OPS = ("shifted", "scaled", "transpose", "reduce_dominated")
 
 
+@functools.lru_cache(maxsize=256)
+def _factory_signature(factory: Callable[..., Any]) -> inspect.Signature:
+    """Cached ``inspect.signature`` lookup.
+
+    Signature introspection costs tens of microseconds per call; spec
+    validation runs once per constructed spec, which on the batched
+    submit path means once per job — the cache amortises it to once per
+    factory per process (factories are module-level callables, so the
+    cache cannot grow beyond the registered game/generator set).
+    """
+    return inspect.signature(factory)
+
+
 def validate_factory_params(
     factory: Callable[..., Any],
     params: Mapping[str, Any],
@@ -66,7 +80,7 @@ def validate_factory_params(
     arguments supplied positionally (parametric name syntax like
     ``"coordination_game(5)"``).
     """
-    signature = inspect.signature(factory)
+    signature = _factory_signature(factory)
     names = [
         name
         for name, parameter in signature.parameters.items()
@@ -436,12 +450,23 @@ class GameSpec:
         game it wraps, so requests for plain ``BimatrixGame`` payloads
         and their ``GameSpec.inline`` equivalents share cache entries
         (including entries persisted before specs existed).
+
+        The digest is memoised on first computation: the submit path
+        consults it several times per job (cache key, in-flight
+        coalescing, batch coalescing, outcome stamping), and the spec is
+        frozen, so one canonical-JSON encoding per object suffices.
         """
+        cached = getattr(self, "_fingerprint", None)
+        if cached is not None:
+            return cached
         if self.kind == "inline" and not self.transforms and self.label is None:
-            return self.materialize().fingerprint()
-        digest = hashlib.sha256(b"gamespec\x00")
-        digest.update(canonical_json(self.to_dict()).encode("utf-8"))
-        return digest.hexdigest()
+            value = self.materialize().fingerprint()
+        else:
+            digest = hashlib.sha256(b"gamespec\x00")
+            digest.update(canonical_json(self.to_dict()).encode("utf-8"))
+            value = digest.hexdigest()
+        object.__setattr__(self, "_fingerprint", value)
+        return value
 
     # ------------------------------------------------------------------
     # Wire form

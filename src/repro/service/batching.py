@@ -1,0 +1,211 @@
+"""Batch-coalescing dispatch: many compatible jobs, one worker round-trip.
+
+PR 4's fused kernel proposes ~700k moves/sec on 64x64 games, yet the
+serving layer moved ~70 jobs/sec: at sweep-sized run budgets (a couple
+of chains per job) every job paid its own executor round-trip, payload
+serialisation, RNG/temperature setup and — worst — a full fused-kernel
+launch whose per-iteration Python overhead dwarfs the arithmetic at
+``B=2`` chains.  This module closes that gap:
+
+* :func:`compute_batch_key` decides which queued jobs may share one
+  dispatch (same backend policy; for built-in C-Nash additionally the
+  same solver config + epsilon, so fused groups are config-uniform);
+* :func:`execute_job_batch_payload` is the worker-pool entry point for a
+  drained :class:`JobBatch`: it materialises each job's game (through
+  the process-wide :mod:`repro.games.matcache` LRU for specs), groups
+  same-shape eligible C-Nash shards into **one** multi-game fused
+  kernel launch (:func:`repro.core.solver.solve_shards_fused`), runs
+  the rest solo, and returns per-job results with per-job error
+  isolation — one failing job marks only itself failed.
+
+Bit-identity contract: a job's result is byte-identical to what the
+per-job dispatch path would have produced.  C-Nash jobs enter a batch
+only when they fit a single shard (``num_runs <= shard_size``), keep
+their exact shard seed (derived by :func:`~repro.service.portfolio.shard_payloads`
+as always), and the fused multi-launch replays each shard's solo RNG
+stream (see :class:`repro.annealing.vectorized.MultiFusedBatchProblem`).
+Batching is therefore purely a throughput knob.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.core.result import SolverBatchResult
+from repro.core.solver import fused_shards_supported, solve_shards_fused
+from repro.games.bimatrix import BimatrixGame
+from repro.service.jobs import SolveRequest
+from repro.service.portfolio import (
+    cnash_is_builtin,
+    effective_config,
+    execute_request,
+    outcome_from_batch,
+    solve_cnash,
+)
+from repro.utils.serialization import canonical_json
+
+#: Default ceiling on jobs drained into one dispatch batch.
+DEFAULT_MAX_BATCH_JOBS = 16
+
+#: Default linger budget (milliseconds) a leader waits for companions.
+#: Zero keeps dispatch opportunistic — only *already queued* jobs are
+#: coalesced, adding no latency; raise it on throughput-bound sweeps.
+DEFAULT_MAX_BATCH_LINGER_MS = 0.0
+
+
+def compute_batch_key(request: SolveRequest, shard_size: int) -> Optional[str]:
+    """The coalescing key of a request, or ``None`` when never batched.
+
+    Jobs sharing a key may ride one worker dispatch:
+
+    * built-in ``"cnash"`` requests that fit a single shard share a key
+      per (config, epsilon) — the uniformity the worker's fused
+      multi-game launch requires.  Multi-shard jobs keep the per-shard
+      gather path (their shards already fan out across the pool), and a
+      *substituted* ``"cnash"`` backend keeps solo dispatch (the
+      scheduler's executor-kind guards must see it individually);
+    * ``"portfolio"`` never batches — the scheduler routes its members
+      itself with early-exit semantics;
+    * every other policy batches per policy name, which amortises the
+      executor round-trip even though execution stays per-job.
+    """
+    if request.policy == "portfolio":
+        return None
+    if request.policy == "cnash":
+        if not cnash_is_builtin() or request.num_runs > shard_size:
+            return None
+        payload = canonical_json(
+            {
+                "config": request.config.to_dict(),
+                "epsilon": None if request.epsilon is None else float(request.epsilon),
+            }
+        )
+        digest = hashlib.sha256(payload.encode("utf-8")).hexdigest()
+        return f"cnash:{digest}"
+    return f"generic:{request.policy}"
+
+
+# ----------------------------------------------------------------------
+# Worker-side execution
+# ----------------------------------------------------------------------
+def _job_request(job: Dict[str, Any]) -> SolveRequest:
+    """Rebuild a job's request, resolving an out-of-band shared game."""
+    descriptor = job.get("game_shm")
+    if descriptor is not None:
+        from repro.service.shm import read_shared_game
+
+        return SolveRequest.from_dict(job["request"], game=read_shared_game(descriptor))
+    return SolveRequest.from_dict(job["request"])
+
+
+def _error_entry(exc: BaseException) -> Dict[str, Any]:
+    """Per-job failure entry, formatted exactly like the solo dispatch path."""
+    return {"ok": False, "error": f"{type(exc).__name__}: {exc}"}
+
+
+def _shard_outcome(request: SolveRequest, batch: SolverBatchResult) -> Dict[str, Any]:
+    """The finished outcome of a single-shard C-Nash job, worker-side.
+
+    Exactly the parent's solo settle — ``merge([shard])`` then
+    :func:`outcome_from_batch` — run where the materialised game already
+    lives, so the parent never rebuilds spec games or re-validates run
+    profiles just to deduplicate equilibria.
+    """
+    merged = SolverBatchResult.merge([batch])
+    return outcome_from_batch(request, merged, backend="cnash", shards=1).to_dict()
+
+
+def execute_job_batch_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Worker-pool entry point for one coalesced job batch.
+
+    ``payload["jobs"]`` holds one entry per job, in dispatch order:
+    ``{"kind": "cnash_shard", "request": <dict>, "shard_runs": n,
+    "shard_seed": s}`` or ``{"kind": "generic", "request": <dict>}``,
+    optionally with ``"game_shm"`` (see :mod:`repro.service.shm`).
+    Returns ``{"jobs": [...]}`` aligned with the input: each entry is
+    ``{"ok": True, "kind": ..., "result": <outcome dict>}`` or
+    ``{"ok": False, "error": str}``.  C-Nash jobs are settled to full
+    outcomes *in the worker* (see :func:`_shard_outcome`) so the parent
+    only deserialises.  Failures are isolated per job; a fused group
+    that fails as a whole (it is one kernel launch) fails only its own
+    members.
+    """
+    jobs = payload["jobs"]
+    results: List[Optional[Dict[str, Any]]] = [None] * len(jobs)
+
+    # Parse + materialise first so a bad spec fails its own job before
+    # any solve work starts.  Spec materialisation routes through the
+    # process-wide LRU via SolveRequest.resolved_game, so a batch of
+    # jobs over one spec builds the dense matrices once.
+    ParsedJob = Tuple[int, str, SolveRequest, int, Optional[int], Optional[BimatrixGame]]
+    solo: List[ParsedJob] = []
+    fusable: Dict[Tuple[int, int], List[ParsedJob]] = {}
+    for index, job in enumerate(jobs):
+        try:
+            request = _job_request(job)
+            if job["kind"] == "cnash_shard":
+                game = request.resolved_game
+                entry: ParsedJob = (
+                    index,
+                    "cnash_shard",
+                    request,
+                    int(job["shard_runs"]),
+                    job["shard_seed"],
+                    game,
+                )
+                if fused_shards_supported(effective_config(request), game.shape):
+                    fusable.setdefault(game.shape, []).append(entry)
+                else:
+                    solo.append(entry)
+            else:
+                solo.append((index, "generic", request, 0, None, None))
+        except Exception as exc:  # noqa: BLE001 - per-job isolation boundary
+            results[index] = _error_entry(exc)
+
+    # One fused kernel launch per same-shape group of two or more
+    # shards; each shard keeps its own RNG stream inside the launch, so
+    # the per-shard batches are bit-identical to solo execution.
+    for entries in fusable.values():
+        if len(entries) < 2:
+            solo.extend(entries)
+            continue
+        shards = [(game, runs, seed) for _, _, _, runs, seed, game in entries]
+        config = effective_config(entries[0][2])
+        try:
+            batches = solve_shards_fused(shards, config)
+        except Exception as exc:  # noqa: BLE001 - the launch is one kernel call
+            for index, *_ in entries:
+                results[index] = _error_entry(exc)
+            continue
+        for (index, _, request, _, _, _), batch in zip(entries, batches):
+            try:
+                results[index] = {
+                    "ok": True,
+                    "kind": "cnash_outcome",
+                    "result": _shard_outcome(request, batch),
+                }
+            except Exception as exc:  # noqa: BLE001 - per-job isolation boundary
+                results[index] = _error_entry(exc)
+
+    # Singleton / ineligible jobs run exactly the per-job worker code.
+    for index, kind, request, runs, seed, _ in solo:
+        try:
+            if kind == "cnash_shard":
+                batch = solve_cnash(request, num_runs=runs, seed=seed)
+                results[index] = {
+                    "ok": True,
+                    "kind": "cnash_outcome",
+                    "result": _shard_outcome(request, batch),
+                }
+            else:
+                results[index] = {
+                    "ok": True,
+                    "kind": "generic",
+                    "result": execute_request(request).to_dict(),
+                }
+        except Exception as exc:  # noqa: BLE001 - per-job isolation boundary
+            results[index] = _error_entry(exc)
+
+    assert all(entry is not None for entry in results)
+    return {"jobs": results}

@@ -151,6 +151,32 @@ class ResultCache:
             tmp.write_text(payload, encoding="utf-8")
             tmp.replace(path)
 
+    def put_many(self, entries: "list[tuple[str, Dict[str, Any]]]") -> None:
+        """Store several ``(fingerprint, outcome)`` pairs in one call.
+
+        The batched-dispatch path completes a whole coalesced batch of
+        jobs at once; storing their outcomes through one call costs one
+        lock acquisition for the memory tier and — crucially for the
+        scheduler, which offloads disk I/O to a worker thread — one
+        executor hop instead of one per job.
+        """
+        if not entries:
+            return
+        for fingerprint, _ in entries:
+            _check_fingerprint(fingerprint)
+        with self._lock:
+            for fingerprint, outcome in entries:
+                self._insert(fingerprint, outcome)
+                self.stats.stores += 1
+        if self.directory is not None:
+            self.directory.mkdir(parents=True, exist_ok=True)
+            for fingerprint, outcome in entries:
+                payload = json.dumps(outcome)
+                path = self.directory / f"{fingerprint}.json"
+                tmp = path.with_suffix(f".{uuid.uuid4().hex}.tmp")
+                tmp.write_text(payload, encoding="utf-8")
+                tmp.replace(path)
+
     def clear(self) -> None:
         """Drop the memory tier (disk entries are left in place)."""
         with self._lock:

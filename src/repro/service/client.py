@@ -24,8 +24,9 @@ from __future__ import annotations
 import asyncio
 import json
 import threading
-from typing import Any, Dict, Optional
+from typing import Any, Dict, List, Optional, Sequence
 
+from repro.service.batching import DEFAULT_MAX_BATCH_JOBS, DEFAULT_MAX_BATCH_LINGER_MS
 from repro.service.cache import ResultCache
 from repro.service.jobs import SolveOutcome, SolveRequest
 from repro.service.scheduler import DEFAULT_SHARD_SIZE, SolveScheduler
@@ -171,12 +172,19 @@ class InProcessClient:
         shard_size: int = DEFAULT_SHARD_SIZE,
         executor: str = "process",
         cache: Optional[ResultCache] = None,
+        max_batch_jobs: int = DEFAULT_MAX_BATCH_JOBS,
+        max_batch_linger_ms: float = DEFAULT_MAX_BATCH_LINGER_MS,
     ) -> None:
         # Validate the configuration (the scheduler constructor raises on
         # bad executor kinds / sizes) before starting the loop thread, so
         # a misconfiguration cannot leak a running daemon loop.
         self._scheduler = SolveScheduler(
-            max_workers=max_workers, shard_size=shard_size, executor=executor, cache=cache
+            max_workers=max_workers,
+            shard_size=shard_size,
+            executor=executor,
+            cache=cache,
+            max_batch_jobs=max_batch_jobs,
+            max_batch_linger_ms=max_batch_linger_ms,
         )
         self._loop = asyncio.new_event_loop()
         self._thread = threading.Thread(
@@ -211,9 +219,43 @@ class InProcessClient:
         record = self._call(self._scheduler.submit(request, priority=priority))
         return record.job_id
 
+    def submit_many(
+        self, requests: Sequence[SolveRequest], priority: Optional[int] = None
+    ) -> List[str]:
+        """Submit many requests in one loop-thread hop; returns job ids in order.
+
+        Enqueueing a whole sweep at once (rather than one
+        :meth:`submit` round-trip per request) is what lets the
+        scheduler's batch coalescing see companions in the queue even
+        with ``max_batch_linger_ms=0``.
+        """
+
+        async def body() -> List[str]:
+            records = [
+                await self._scheduler.submit(request, priority=priority)
+                for request in requests
+            ]
+            return [record.job_id for record in records]
+
+        return self._call(body())
+
     def result(self, job_id: str, timeout: Optional[float] = None) -> SolveOutcome:
         """Block until a submitted job's outcome arrives."""
         return self._call(self._scheduler.wait(job_id), timeout)
+
+    def results(
+        self, job_ids: Sequence[str], timeout: Optional[float] = None
+    ) -> List[SolveOutcome]:
+        """Block until every listed job's outcome arrives, in order."""
+
+        async def body() -> List[SolveOutcome]:
+            return list(
+                await asyncio.gather(
+                    *(self._scheduler.wait(job_id) for job_id in job_ids)
+                )
+            )
+
+        return self._call(body(), timeout)
 
     def status(self, job_id: str) -> Dict[str, Any]:
         """The job record of a submitted job."""

@@ -183,12 +183,22 @@ class SolveRequest:
         the cache is not part of the value), so repeated service-side
         consumers — shard execution, equilibrium dedup, verification —
         build the matrices at most once per request object.
+        Deterministic specs additionally resolve through the
+        process-wide :mod:`repro.games.matcache` LRU, so many request
+        objects over the same spec (repeat jobs, coalesced batches on
+        one worker) build the dense matrices at most once per process
+        while the cache retains them.
         """
         if isinstance(self.game, BimatrixGame):
             return self.game
         cached = getattr(self, "_resolved_game", None)
         if cached is None:
-            cached = self.game.materialize()
+            if self.game.deterministic:
+                from repro.games.matcache import materialize_cached
+
+                cached = materialize_cached(self.game).game
+            else:
+                cached = self.game.materialize()
             object.__setattr__(self, "_resolved_game", cached)
         return cached
 
@@ -225,7 +235,15 @@ class SolveRequest:
         Priority, deadline and cache preferences do not change what is
         computed, so they are excluded — two requests for the same work
         share a fingerprint regardless of how they are queued.
+
+        The digest is memoised on first computation (requests are
+        frozen): the scheduler consults it on every cache-key, in-flight
+        and batch-coalescing check, so re-encoding the canonical JSON
+        per lookup would dominate the submit path of large sweeps.
         """
+        cached = getattr(self, "_fingerprint", None)
+        if cached is not None:
+            return cached
         payload = {
             "game": self.game_fingerprint(),
             "config": config_to_dict(self.config),
@@ -238,7 +256,9 @@ class SolveRequest:
         # computed, so only a set value joins the hash.
         if self.epsilon is not None:
             payload["epsilon"] = float(self.epsilon)
-        return hashlib.sha256(canonical_json(payload).encode("utf-8")).hexdigest()
+        value = hashlib.sha256(canonical_json(payload).encode("utf-8")).hexdigest()
+        object.__setattr__(self, "_fingerprint", value)
+        return value
 
     def to_dict(self) -> Dict[str, Any]:
         """Wire representation (inverse of :meth:`from_dict`).
@@ -264,16 +284,24 @@ class SolveRequest:
         }
 
     @classmethod
-    def from_dict(cls, data: Dict[str, Any]) -> "SolveRequest":
+    def from_dict(
+        cls,
+        data: Dict[str, Any],
+        game: Optional[Union[BimatrixGame, GameSpec]] = None,
+    ) -> "SolveRequest":
         """Reconstruct a request from :meth:`to_dict` output.
 
         Accepts both wire forms: ``game_spec`` (the spec IR) and dense
-        ``game`` matrices.
+        ``game`` matrices.  ``game`` overrides the payload's own game —
+        used by transports that move the dense matrices out of band
+        (e.g. the batched dispatcher's shared-memory path), where the
+        wire dict intentionally carries no ``game`` field.
         """
-        if data.get("game_spec") is not None:
-            game: Union[BimatrixGame, GameSpec] = GameSpec.from_dict(data["game_spec"])
-        else:
-            game = game_from_dict(data["game"])
+        if game is None:
+            if data.get("game_spec") is not None:
+                game = GameSpec.from_dict(data["game_spec"])
+            else:
+                game = game_from_dict(data["game"])
         return cls(
             game=game,
             policy=str(data.get("policy", "cnash")),

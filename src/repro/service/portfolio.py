@@ -298,3 +298,19 @@ def shard_payloads(request: SolveRequest, shard_size: int) -> List[dict]:
         {"request": request_dict, "shard_runs": size, "shard_seed": seed}
         for size, seed in zip(sizes, seeds)
     ]
+
+
+def single_shard_payload(request: SolveRequest) -> dict:
+    """The one-shard worker payload of a batch-eligible C-Nash request.
+
+    Batch coalescing only admits C-Nash jobs whose whole run budget fits
+    a single shard (:func:`repro.service.batching.compute_batch_key`),
+    so the coalesced dispatch ships shard 0 of the standard plan — same
+    ``shard_seeds``-derived seed, hence bit-identical results to the
+    per-job path.
+    """
+    return {
+        "request": request.to_dict(),
+        "shard_runs": request.num_runs,
+        "shard_seed": shard_seeds(request.seed, 1)[0],
+    }

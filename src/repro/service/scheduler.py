@@ -32,6 +32,13 @@ from concurrent.futures import Executor, Future, ProcessPoolExecutor, ThreadPool
 from typing import Any, Callable, Deque, Dict, List, Optional
 
 from repro.core.result import SolverBatchResult
+from repro.games.bimatrix import BimatrixGame
+from repro.service.batching import (
+    DEFAULT_MAX_BATCH_JOBS,
+    DEFAULT_MAX_BATCH_LINGER_MS,
+    compute_batch_key,
+    execute_job_batch_payload,
+)
 from repro.service.cache import ResultCache
 from repro.service.jobs import JobRecord, JobStatus, SolveOutcome, SolveRequest
 from repro.service.portfolio import (
@@ -42,6 +49,7 @@ from repro.service.portfolio import (
     outcome_from_batch,
     portfolio_order,
     shard_payloads,
+    single_shard_payload,
     solve_shard_payload,
 )
 
@@ -110,6 +118,19 @@ class SolveScheduler:
         this bound so a long-running server does not grow without
         limit; clients that hold a :class:`JobRecord` reference keep it
         regardless.
+    max_batch_jobs:
+        Ceiling on compatible queued jobs coalesced into one worker
+        dispatch (see :mod:`repro.service.batching`).  ``1`` disables
+        batching entirely.  Batched results are bit-identical to
+        per-job dispatch — same shard seeds, same cache keys — so this
+        is purely a throughput knob.
+    max_batch_linger_ms:
+        How long (milliseconds) a dispatcher holding a batchable job
+        may wait for more compatible arrivals before dispatching a
+        partial batch.  The default ``0`` coalesces opportunistically —
+        only jobs *already queued* join, adding no latency; raise it on
+        throughput-bound sweeps where a fuller batch is worth a bounded
+        wait.
 
     Use as an async context manager::
 
@@ -126,9 +147,17 @@ class SolveScheduler:
         executor: str = "process",
         dispatch_concurrency: Optional[int] = None,
         finished_job_limit: int = DEFAULT_FINISHED_JOB_LIMIT,
+        max_batch_jobs: int = DEFAULT_MAX_BATCH_JOBS,
+        max_batch_linger_ms: float = DEFAULT_MAX_BATCH_LINGER_MS,
     ) -> None:
         if shard_size < 1:
             raise ValueError(f"shard_size must be >= 1, got {shard_size}")
+        if max_batch_jobs < 1:
+            raise ValueError(f"max_batch_jobs must be >= 1, got {max_batch_jobs}")
+        if max_batch_linger_ms < 0:
+            raise ValueError(
+                f"max_batch_linger_ms must be >= 0, got {max_batch_linger_ms}"
+            )
         if max_workers is not None and max_workers < 1:
             raise ValueError(f"max_workers must be >= 1, got {max_workers}")
         if finished_job_limit < 1:
@@ -137,6 +166,8 @@ class SolveScheduler:
             raise ValueError(f"executor must be one of {EXECUTOR_KINDS}, got {executor!r}")
         self.max_workers = max_workers
         self.shard_size = shard_size
+        self.max_batch_jobs = max_batch_jobs
+        self.max_batch_linger_ms = max_batch_linger_ms
         self.cache = cache if cache is not None else ResultCache()
         self.executor_kind = executor
         self._executor: Optional[Executor] = None
@@ -148,6 +179,8 @@ class SolveScheduler:
         self._jobs: Dict[str, JobRecord] = {}
         self._events: Dict[str, asyncio.Event] = {}
         self._inflight: Dict[str, JobRecord] = {}
+        self._batch_keys: Dict[str, Optional[str]] = {}
+        self._linger_seconds = 0.0
         self._followers: set = set()
         self.finished_job_limit = finished_job_limit
         self._finished_order: Deque[str] = deque()
@@ -167,6 +200,9 @@ class SolveScheduler:
             "cache_hits": 0,
             "coalesced": 0,
             "shards_executed": 0,
+            "batches_dispatched": 0,
+            "batched_jobs": 0,
+            "shm_games_shared": 0,
         }
 
     # ------------------------------------------------------------------
@@ -357,13 +393,26 @@ class SolveScheduler:
         return True
 
     def stats(self) -> Dict[str, Any]:
-        """Scheduler counters, queue depth and cache statistics."""
+        """Scheduler counters, queue depth, batching and cache statistics."""
+        batches = self.counters["batches_dispatched"]
+        batched_jobs = self.counters["batched_jobs"]
         return {
             "counters": dict(self.counters),
             "queue_depth": 0 if self._queue is None else self._queue.qsize(),
             "jobs": len(self._jobs),
             "shard_size": self.shard_size,
             "executor": self.executor_kind,
+            "batching": {
+                "max_batch_jobs": self.max_batch_jobs,
+                "max_batch_linger_ms": self.max_batch_linger_ms,
+                "batches_dispatched": batches,
+                "batched_jobs": batched_jobs,
+                "mean_jobs_per_batch": (batched_jobs / batches) if batches else 0.0,
+                "linger_ms_total": self._linger_seconds * 1000.0,
+                "mean_linger_ms_per_batch": (
+                    self._linger_seconds * 1000.0 / batches if batches else 0.0
+                ),
+            },
             "cache": self.cache.stats.to_dict(),
         }
 
@@ -383,6 +432,17 @@ class SolveScheduler:
                 self.counters["expired"] += 1
                 self._finish(record, JobStatus.EXPIRED, error="deadline expired in queue")
                 continue
+            if self.max_batch_jobs > 1 and self._batch_key_for(record) is not None:
+                batch = await self._drain_batch(record)
+                if len(batch) > 1:
+                    await self._execute_batch(batch)
+                    continue
+                if not batch:
+                    continue  # the leader was cancelled while lingering
+                record = batch[0]
+                # A batch of one takes the solo path below unchanged
+                # (including the per-job deadline wait_for semantics).
+                remaining = record.deadline_remaining()
             record.status = JobStatus.RUNNING
             record.started_at = time.time()
             try:
@@ -405,6 +465,198 @@ class SolveScheduler:
                 await self._cache_put(self._cache_key(record.request), outcome.to_dict())
             self.counters["completed"] += 1
             self._finish(record, JobStatus.DONE)
+
+    # ------------------------------------------------------------------
+    # Batched dispatch
+    # ------------------------------------------------------------------
+    def _batch_key_for(self, record: JobRecord) -> Optional[str]:
+        """The record's coalescing key (memoised; ``None`` = never batched)."""
+        job_id = record.job_id
+        if job_id not in self._batch_keys:
+            self._batch_keys[job_id] = compute_batch_key(record.request, self.shard_size)
+        return self._batch_keys[job_id]
+
+    async def _drain_batch(self, leader: JobRecord) -> List[JobRecord]:
+        """Coalesce queued jobs compatible with ``leader`` into one batch.
+
+        Opportunistically drains the queue for jobs sharing the leader's
+        batch key; incompatible jobs are re-queued with their original
+        (priority, sequence) so their heap position is unchanged.  With
+        ``max_batch_linger_ms > 0`` a partial batch then waits (bounded)
+        for more compatible arrivals — incompatible jobs that arrive
+        during the linger are held and re-queued when it ends, so the
+        linger trades *everyone's* latency for batch fullness; that is
+        why it defaults to off.  Cancelled jobs are dropped and expired
+        deadlines are honoured exactly as the solo pop does.
+        """
+        key = self._batch_key_for(leader)
+        batch = [leader]
+        requeue: List[tuple] = []
+        while len(batch) < self.max_batch_jobs:
+            try:
+                item = self._queue.get_nowait()
+            except asyncio.QueueEmpty:
+                break
+            self._consider_queue_item(item, key, batch, requeue)
+        if self.max_batch_linger_ms > 0 and len(batch) < self.max_batch_jobs:
+            loop = asyncio.get_running_loop()
+            linger_start = loop.time()
+            deadline = linger_start + self.max_batch_linger_ms / 1000.0
+            while len(batch) < self.max_batch_jobs:
+                timeout = deadline - loop.time()
+                if timeout <= 0:
+                    break
+                try:
+                    item = await asyncio.wait_for(self._queue.get(), timeout)
+                except asyncio.TimeoutError:
+                    break
+                self._consider_queue_item(item, key, batch, requeue)
+            self._linger_seconds += loop.time() - linger_start
+        for item in requeue:
+            self._queue.put_nowait(item)
+        # Drop members cancelled while the batch was forming.
+        return [record for record in batch if not record.done]
+
+    def _consider_queue_item(
+        self,
+        item: tuple,
+        key: str,
+        batch: List[JobRecord],
+        requeue: List[tuple],
+    ) -> None:
+        """Route one popped queue item: join the batch, re-queue, or finish."""
+        _, _, job_id = item
+        record = self._jobs.get(job_id)
+        if record is None or record.done:
+            return  # cancelled while queued — same as the solo pop
+        remaining = record.deadline_remaining()
+        if remaining is not None and remaining <= 0:
+            self.counters["expired"] += 1
+            self._finish(record, JobStatus.EXPIRED, error="deadline expired in queue")
+            return
+        if self._batch_key_for(record) == key:
+            batch.append(record)
+        else:
+            requeue.append(item)
+
+    async def _execute_batch(self, batch: List[JobRecord]) -> None:
+        """Ship a coalesced batch to one worker; settle every member.
+
+        Failure isolation mirrors the solo path per job: a job that
+        raises in the worker (or whose deadline expired by completion)
+        fails/expires alone, and ``_finish`` releases each job's spec
+        materialisation individually.  A transport-level failure (the
+        worker call itself raises) fails all still-live members.
+        """
+        loop = asyncio.get_running_loop()
+        self.counters["batches_dispatched"] += 1
+        self.counters["batched_jobs"] += len(batch)
+        jobs: List[Dict[str, Any]] = []
+        segments: List[Any] = []
+        share_dense = self.executor_kind == "process"
+        if share_dense:
+            from repro.service.shm import SHM_MIN_CELLS, share_game, shm_available
+
+            share_dense = shm_available()
+        for record in batch:
+            record.status = JobStatus.RUNNING
+            record.started_at = time.time()
+            request = record.request
+            if request.policy == "cnash":
+                # Single-shard by construction (the batch key refuses
+                # multi-shard jobs): the one payload carries exactly the
+                # shard seed the solo path would derive.
+                job = single_shard_payload(request)
+                job["kind"] = "cnash_shard"
+            else:
+                job = {"kind": "generic", "request": request.to_dict()}
+            if (
+                share_dense
+                and isinstance(request.game, BimatrixGame)
+                and request.game.payoff_row.size >= SHM_MIN_CELLS
+            ):
+                try:
+                    descriptor, segment = share_game(request.game)
+                except OSError:
+                    pass  # fall back to the in-payload dense matrices
+                else:
+                    segments.append(segment)
+                    self.counters["shm_games_shared"] += 1
+                    job = dict(job)
+                    request_dict = dict(job["request"])
+                    request_dict.pop("game", None)
+                    job["request"] = request_dict
+                    job["game_shm"] = descriptor
+            jobs.append(job)
+        try:
+            response = await loop.run_in_executor(
+                self._executor, execute_job_batch_payload, {"jobs": jobs}
+            )
+        except asyncio.CancelledError:
+            raise
+        except Exception as exc:  # noqa: BLE001 - transport-level failure
+            error = f"{type(exc).__name__}: {exc}"
+            for record in batch:
+                if record.done:
+                    continue
+                self.counters["failed"] += 1
+                self._finish(record, JobStatus.FAILED, error=error)
+            return
+        finally:
+            if segments:
+                from repro.service.shm import release_segments
+
+                release_segments(segments)
+        cache_entries: List[tuple] = []
+        settled: List[tuple] = []
+        for record, result in zip(batch, response["jobs"]):
+            if record.done:
+                continue
+            remaining = record.deadline_remaining()
+            if remaining is not None and remaining <= 0:
+                self.counters["expired"] += 1
+                self._finish(
+                    record, JobStatus.EXPIRED, error="deadline expired while running"
+                )
+                continue
+            if not result["ok"]:
+                self.counters["failed"] += 1
+                self._finish(record, JobStatus.FAILED, error=result["error"])
+                continue
+            request = record.request
+            try:
+                # Workers ship finished outcome dicts (C-Nash jobs are
+                # settled worker-side, where the game is materialised).
+                outcome = SolveOutcome.from_dict(result["result"])
+            except Exception as exc:  # noqa: BLE001 - job isolation boundary
+                self.counters["failed"] += 1
+                self._finish(record, JobStatus.FAILED, error=f"{type(exc).__name__}: {exc}")
+                continue
+            if result["kind"] == "cnash_outcome":
+                self.counters["shards_executed"] += 1
+            record.outcome = outcome
+            if request.cacheable:
+                # The worker's dict is exactly outcome.to_dict(); reuse
+                # it rather than re-serialising.
+                cache_entries.append((self._cache_key(request), result["result"]))
+            settled.append(record)
+        # One cache hop for the whole batch, and — like the solo path —
+        # written before any member's completion event fires.
+        await self._cache_put_many(cache_entries)
+        for record in settled:
+            self.counters["completed"] += 1
+            self._finish(record, JobStatus.DONE)
+
+    async def _cache_put_many(self, entries: List[tuple]) -> None:
+        """Batched cache store; disk-tier writes run off the loop in one hop."""
+        if not entries:
+            return
+        if self.cache.directory is None:
+            self.cache.put_many(entries)
+            return
+        await asyncio.get_running_loop().run_in_executor(
+            None, self.cache.put_many, entries
+        )
 
     async def _cache_get(self, key: str):
         """Cache lookup; disk-tier reads run off the event loop."""
@@ -539,6 +791,7 @@ class SolveScheduler:
         # in the retained job table, so drop the matrices now — a cold
         # thousand-game sweep must never pin every dense game at once.
         record.request.release_materialization()
+        self._batch_keys.pop(record.job_id, None)
         if record.request.cacheable:
             key = self._cache_key(record.request)
             if self._inflight.get(key) is record:

@@ -32,6 +32,7 @@ import asyncio
 import json
 from typing import Any, Dict, Optional, Sequence
 
+from repro.service.batching import DEFAULT_MAX_BATCH_JOBS, DEFAULT_MAX_BATCH_LINGER_MS
 from repro.service.cache import ResultCache
 from repro.service.jobs import SolveRequest
 from repro.service.scheduler import (
@@ -178,6 +179,8 @@ async def serve(
     executor: str = "process",
     cache: Optional[ResultCache] = None,
     finished_job_limit: int = DEFAULT_FINISHED_JOB_LIMIT,
+    max_batch_jobs: int = DEFAULT_MAX_BATCH_JOBS,
+    max_batch_linger_ms: float = DEFAULT_MAX_BATCH_LINGER_MS,
 ) -> None:
     """Run a server until shutdown (the ``python -m repro.service`` body)."""
     async with SolveScheduler(
@@ -186,6 +189,8 @@ async def serve(
         executor=executor,
         cache=cache,
         finished_job_limit=finished_job_limit,
+        max_batch_jobs=max_batch_jobs,
+        max_batch_linger_ms=max_batch_linger_ms,
     ) as scheduler:
         server = NashServer(scheduler, host=host, port=port)
         await server.start()
@@ -204,9 +209,12 @@ async def _smoke() -> int:
     the smoke run also covers the compact wire form end to end.
     """
     from repro.core.config import CNashConfig
+    from repro.games.spec import GameSpec
     from repro.service.client import ServiceClient
 
-    async with SolveScheduler(max_workers=2, shard_size=8, executor="thread") as scheduler:
+    async with SolveScheduler(
+        max_workers=2, shard_size=8, executor="thread", max_batch_linger_ms=50.0
+    ) as scheduler:
         server = NashServer(scheduler, port=0)
         await server.start()
         serve_task = asyncio.get_running_loop().create_task(server.serve_until_shutdown())
@@ -223,6 +231,22 @@ async def _smoke() -> int:
             assert (await client.ping())["pong"]
             outcome = await client.solve(request)
             repeat = await client.solve(request)
+            # A burst of compatible spec-shipped C-Nash jobs exercises the
+            # batch-coalescing dispatch path (they share one batch key).
+            sweep_config = CNashConfig(num_intervals=4, num_iterations=200)
+            job_ids = [
+                await client.submit(
+                    SolveRequest(
+                        game=GameSpec.generator("random", num_row_actions=8, seed=index),
+                        policy="cnash",
+                        num_runs=4,
+                        seed=index,
+                        config=sweep_config,
+                    )
+                )
+                for index in range(6)
+            ]
+            sweep_outcomes = [await client.result(job_id) for job_id in job_ids]
             stats = await client.stats()
             await client.shutdown()
         finally:
@@ -230,9 +254,21 @@ async def _smoke() -> int:
         await serve_task
         await server.close()
         hits = stats["cache"]["hits"]
-        ok = bool(outcome.equilibria) and repeat.to_dict() == outcome.to_dict() and hits >= 1
+        batching = stats["batching"]
+        ok = (
+            bool(outcome.equilibria)
+            and repeat.to_dict() == outcome.to_dict()
+            and hits >= 1
+            and len(sweep_outcomes) == 6
+            and batching["batches_dispatched"] >= 1
+        )
         print(f"smoke: backend={outcome.backend} equilibria={outcome.num_equilibria} "
               f"cache_hits={hits} -> {'OK' if ok else 'FAILED'}")
+        print(
+            "smoke batching: batches_dispatched={batches_dispatched} "
+            "batched_jobs={batched_jobs} mean_jobs_per_batch={mean_jobs_per_batch:.2f} "
+            "mean_linger_ms_per_batch={mean_linger_ms_per_batch:.2f}".format(**batching)
+        )
         return 0 if ok else 1
 
 
@@ -261,6 +297,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     )
     parser.add_argument("--cache-dir", default=None, help="directory for the persistent cache tier")
     parser.add_argument(
+        "--max-batch-jobs", type=int, default=DEFAULT_MAX_BATCH_JOBS,
+        help="ceiling on compatible queued jobs coalesced into one worker "
+        "dispatch (1 disables batching)",
+    )
+    parser.add_argument(
+        "--max-batch-linger-ms", type=float, default=DEFAULT_MAX_BATCH_LINGER_MS,
+        help="how long a dispatch may wait for companion jobs before "
+        "launching a partial batch (0 = opportunistic, no added latency)",
+    )
+    parser.add_argument(
         "--smoke", action="store_true",
         help="run a self-contained client-server round trip and exit (CI)",
     )
@@ -278,6 +324,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 executor=args.executor,
                 cache=cache,
                 finished_job_limit=args.finished_job_limit,
+                max_batch_jobs=args.max_batch_jobs,
+                max_batch_linger_ms=args.max_batch_linger_ms,
             )
         )
     except KeyboardInterrupt:  # pragma: no cover - interactive

@@ -1,0 +1,139 @@
+"""Shared-memory payoff transfer for dense games on process executors.
+
+A batched dispatch to a worker *process* normally pickles every job's
+payload; for dense-game requests that means re-encoding the payoff
+matrices as nested float lists (``game_to_dict``) and pickling ~100 KB
+per 64x64 job — easily more expensive than the solve at small run
+budgets.  This module moves the matrix *bytes* through
+:mod:`multiprocessing.shared_memory` instead: the parent copies both
+payoff matrices into one named segment per game and ships a ~100-byte
+descriptor; the worker attaches, copies the arrays out (the solver owns
+plain arrays — the segment's lifetime stays with the parent) and
+detaches.
+
+Lifecycle contract: the *parent* creates and unlinks every segment
+(after the batch future resolves, success or failure); workers only ever
+attach and close.  Attaching registers the segment with the worker's
+``resource_tracker`` on POSIX, which would try to unlink it again at
+worker shutdown and warn about a missing segment — :func:`read_shared_game`
+de-registers after closing, the documented workaround for
+reader-side attachments.
+
+Spec-backed requests never need this path (their wire form is already
+~100 bytes); the scheduler only shares dense games at or above
+:data:`SHM_MIN_CELLS` payoff cells, where the descriptor saving beats
+the segment setup cost.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Tuple
+
+import numpy as np
+
+from repro.games.bimatrix import BimatrixGame
+
+try:  # pragma: no cover - stdlib on every supported platform
+    from multiprocessing import shared_memory
+except ImportError:  # pragma: no cover - exotic builds only
+    shared_memory = None  # type: ignore[assignment]
+
+#: Smallest dense game (payoff cells) worth a shared-memory segment.
+SHM_MIN_CELLS = 1024
+
+
+def shm_available() -> bool:
+    """Whether shared-memory transfer is usable on this platform."""
+    return shared_memory is not None
+
+
+def share_game(game: BimatrixGame) -> Tuple[Dict[str, Any], "shared_memory.SharedMemory"]:
+    """Copy a game's payoff matrices into a fresh shared segment.
+
+    Returns the JSON-safe descriptor to ship to the worker and the
+    segment handle the parent must ``close()`` + ``unlink()`` once the
+    batch resolves.
+    """
+    if shared_memory is None:
+        raise RuntimeError("multiprocessing.shared_memory is unavailable")
+    row = np.ascontiguousarray(game.payoff_row, dtype=np.float64)
+    col = np.ascontiguousarray(game.payoff_col, dtype=np.float64)
+    segment = shared_memory.SharedMemory(create=True, size=row.nbytes + col.nbytes)
+    stacked = np.ndarray((2,) + row.shape, dtype=np.float64, buffer=segment.buf)
+    stacked[0] = row
+    stacked[1] = col
+    descriptor = {
+        "name": segment.name,
+        "shape": [int(dim) for dim in row.shape],
+        "game_name": game.name,
+        "tracker_pid": _tracker_pid(),
+    }
+    return descriptor, segment
+
+
+def read_shared_game(descriptor: Dict[str, Any]) -> BimatrixGame:
+    """Rebuild a dense game from a :func:`share_game` descriptor.
+
+    The returned game owns private copies of the matrices, so the parent
+    is free to unlink the segment the moment the batch future resolves.
+    """
+    if shared_memory is None:
+        raise RuntimeError("multiprocessing.shared_memory is unavailable")
+    segment = shared_memory.SharedMemory(name=descriptor["name"])
+    try:
+        shape = tuple(int(dim) for dim in descriptor["shape"])
+        stacked = np.ndarray((2,) + shape, dtype=np.float64, buffer=segment.buf)
+        payoff_row = np.array(stacked[0])
+        payoff_col = np.array(stacked[1])
+    finally:
+        segment.close()
+        _unregister_attachment(segment, descriptor.get("tracker_pid"))
+    return BimatrixGame(payoff_row, payoff_col, name=str(descriptor["game_name"]))
+
+
+def release_segments(segments: List["shared_memory.SharedMemory"]) -> None:
+    """Close and unlink parent-owned segments (idempotent, best-effort)."""
+    for segment in segments:
+        try:
+            segment.close()
+            segment.unlink()
+        except (FileNotFoundError, OSError):  # pragma: no cover - already gone
+            pass
+
+
+def _tracker_pid() -> "int | None":
+    """PID of this process's running resource-tracker helper, if any."""
+    try:  # pragma: no cover - private multiprocessing bookkeeping
+        from multiprocessing import resource_tracker
+
+        return getattr(resource_tracker._resource_tracker, "_pid", None)
+    except Exception:  # noqa: BLE001 - tracker introspection is best-effort
+        return None
+
+
+def _unregister_attachment(
+    segment: "shared_memory.SharedMemory", creator_tracker_pid: "int | None"
+) -> None:
+    """Undo the reader-side resource_tracker registration (POSIX only).
+
+    Attaching registers the segment for cleanup-at-exit in *this*
+    process.  When the worker runs its **own** tracker (spawn start
+    method), that registration must be undone or every worker shutdown
+    tries to unlink the parent's segment and warns.  When the worker
+    *shares* the parent's tracker (fork), the attach-registration was a
+    set-level no-op and unregistering would erase the parent's own
+    registration — so it must be skipped; the shared-tracker case is
+    recognised by the creator's tracker PID travelling in the
+    descriptor.
+    """
+    try:  # pragma: no cover - platform-dependent bookkeeping only
+        from multiprocessing import resource_tracker
+
+        if (
+            creator_tracker_pid is not None
+            and _tracker_pid() == creator_tracker_pid
+        ):
+            return
+        resource_tracker.unregister(segment._name, "shared_memory")  # type: ignore[attr-defined]
+    except Exception:  # noqa: BLE001 - cleanup must never fail a solve
+        pass

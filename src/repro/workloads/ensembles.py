@@ -213,3 +213,23 @@ def ensemble_or_specs(workload: Any) -> Iterator[GameSpec]:
     if isinstance(workload, EnsembleSpec):
         return workload.specs()
     return iter_specs(workload)
+
+
+def spec_chunks(workload: Any, chunk_size: int) -> Iterator[Tuple[GameSpec, ...]]:
+    """Yield specs from a workload in tuples of at most ``chunk_size``.
+
+    ``repro.api.sweep`` submits one chunk per service round-trip
+    (:meth:`~repro.service.client.InProcessClient.submit_many`), which
+    fills the scheduler's queue fast enough for batch coalescing to see
+    whole companion groups even with a zero linger budget.  Laziness is
+    preserved: only one chunk of specs is held at a time, so in-flight
+    materialisation stays bounded by the sweep window.
+    """
+    if chunk_size < 1:
+        raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+    iterator = ensemble_or_specs(workload)
+    while True:
+        chunk = tuple(itertools.islice(iterator, chunk_size))
+        if not chunk:
+            return
+        yield chunk

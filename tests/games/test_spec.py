@@ -250,6 +250,26 @@ class TestFingerprints:
         ).stdout.strip()
         assert output == spec.fingerprint()
 
+    def test_fingerprint_canonicalises_exactly_once(self, monkeypatch):
+        # The digest is memoised on the instance: repeated fingerprint()
+        # calls (batch keys, cache lookups, wire building) must not pay
+        # repeated canonical-JSON serialisation.
+        import repro.games.spec as spec_module
+
+        calls = {"count": 0}
+        real = spec_module.canonical_json
+
+        def counting(payload):
+            calls["count"] += 1
+            return real(payload)
+
+        monkeypatch.setattr(spec_module, "canonical_json", counting)
+        spec = GameSpec.generator("random", num_row_actions=8, seed=3)
+        first = spec.fingerprint()
+        for _ in range(5):
+            assert spec.fingerprint() == first
+        assert calls["count"] == 1
+
     def test_fingerprint_frozen_values(self):
         # Golden digests: a change here silently invalidates (or worse,
         # aliases) every persisted spec-keyed cache entry.  Update only

@@ -69,6 +69,26 @@ class TestFingerprint:
         round_tripped = SolveRequest.from_dict(json.loads(json.dumps(request.to_dict())))
         assert round_tripped.fingerprint() == request.fingerprint()
 
+    def test_fingerprint_canonicalises_exactly_once(self, monkeypatch):
+        # Memoised per instance: the scheduler fingerprints a request at
+        # submit, cache lookup and batch settle — only the first call may
+        # pay the canonical-JSON walk over config + game.
+        import repro.service.jobs as jobs_module
+
+        calls = {"count": 0}
+        real = jobs_module.canonical_json
+
+        def counting(payload):
+            calls["count"] += 1
+            return real(payload)
+
+        monkeypatch.setattr(jobs_module, "canonical_json", counting)
+        request = _request()
+        first = request.fingerprint()
+        for _ in range(5):
+            assert request.fingerprint() == first
+        assert calls["count"] == 1
+
 
 class TestWireRoundTrips:
     def test_game_round_trip(self):
