@@ -81,6 +81,9 @@ class BatchAnnealingResult(Generic[BatchStateT]):
     energy_history: Optional[np.ndarray] = None
     """``(num_records, B)`` energy trajectories when history was recorded
     (one row per ``history_stride`` iterations)."""
+    num_resyncs: int = 0
+    """Times the fused runner rebuilt its incremental energy caches
+    (always ``0`` for the non-fused lockstep runner)."""
 
     @property
     def batch_size(self) -> int:
@@ -541,6 +544,7 @@ class FusedAnnealer(Generic[BatchStateT]):
         acceptance = config.acceptance
         block_size = min(self.block_size, num_iterations)
         accept_uniforms: Optional[np.ndarray] = None
+        num_resyncs = 0
 
         for iteration in range(num_iterations):
             step = iteration % block_size
@@ -568,6 +572,7 @@ class FusedAnnealer(Generic[BatchStateT]):
                 and done < num_iterations
             ):
                 refreshed = problem.resync()
+                num_resyncs += 1
                 if refreshed is not None:
                     np.copyto(energies, refreshed)
             if history is not None and done % stride == 0:
@@ -584,4 +589,5 @@ class FusedAnnealer(Generic[BatchStateT]):
             num_accepted=accepted_counts,
             iterations_to_best=iterations_to_best,
             energy_history=history,
+            num_resyncs=num_resyncs,
         )

@@ -45,7 +45,12 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.backends.adapters import config_from_spec, label_is_exact
-from repro.backends.base import SolveReport, SolveSpec, profiles_from_wire
+from repro.backends.base import (
+    SolveReport,
+    SolveSpec,
+    observe_backend_latency,
+    profiles_from_wire,
+)
 from repro.backends.registry import available_backends, get_backend
 from repro.games.bimatrix import BimatrixGame
 from repro.games.spec import GameLike, GameSpec, MaterializedGame, as_game_spec
@@ -133,6 +138,7 @@ def _report_from_outcome(outcome, game_name: str, num_runs: int) -> SolveReport:
             "fingerprint": outcome.fingerprint,
             "shards": outcome.shards,
             "served_via": "service",
+            **({"trace": outcome.trace} if getattr(outcome, "trace", None) else {}),
         },
     )
 
@@ -215,8 +221,11 @@ def solve(
     if isinstance(work, GameSpec):
         tracked = work.materialize_tracked()
         report = get_backend(backend).solve(tracked.game, spec)
+        observe_backend_latency(report.backend, report.wall_clock_seconds)
         return _finalise_spec_report(report, work, tracked)
-    return get_backend(backend).solve(work, spec)
+    report = get_backend(backend).solve(work, spec)
+    observe_backend_latency(report.backend, report.wall_clock_seconds)
+    return report
 
 
 @dataclass
@@ -397,6 +406,15 @@ class SweepResult:
     elapsed_seconds: float = 0.0
     cache_hits: Optional[int] = None
     scheduler_stats: Optional[Dict[str, Any]] = None
+    phase_seconds: Dict[str, float] = field(default_factory=dict)
+    """Aggregate seconds per top-level trace phase (queue / coalesce /
+    shm / run / settle), summed over every traced job in the sweep.
+    The scheduler's depth-0 phases are contiguous, so these sum to the
+    total per-job latency of the traced jobs.  Empty when telemetry is
+    disabled (or the outcomes carry no traces, e.g. cache hits).
+    """
+    traced_jobs: int = 0
+    """How many of the sweep's jobs carried a trace timeline."""
 
     @property
     def num_jobs(self) -> int:
@@ -534,6 +552,16 @@ def sweep(
             _finalise_spec_report(report, work, tracked)
             if not keep_batches:
                 report.batch = None
+            trace = getattr(outcome, "trace", None)
+            if trace:
+                result.traced_jobs += 1
+                phase_seconds = result.phase_seconds
+                for phase in trace:
+                    if phase.get("depth", 0) == 0:
+                        name = phase["name"]
+                        phase_seconds[name] = phase_seconds.get(name, 0.0) + (
+                            phase["end_ms"] - phase["start_ms"]
+                        ) / 1000.0
             result.reports.append(report)
 
     try:

@@ -31,6 +31,7 @@ from repro.backends.base import (
     BackendCapabilities,
     SolveReport,
     SolveSpec,
+    observe_backend_latency,
     profiles_from_wire,
     profiles_to_wire,
 )
@@ -66,6 +67,7 @@ __all__ = [
     "BackendCapabilities",
     "SolveReport",
     "SolveSpec",
+    "observe_backend_latency",
     "profiles_to_wire",
     "profiles_from_wire",
     "UnknownBackendError",

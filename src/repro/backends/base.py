@@ -35,6 +35,27 @@ from repro.core.config import CNashConfig
 from repro.core.result import SolverBatchResult
 from repro.games.bimatrix import BimatrixGame
 from repro.games.equilibrium import StrategyProfile
+from repro.telemetry import family_cache
+
+
+@family_cache
+def _solve_seconds(reg):
+    return reg.histogram(
+        "repro_backend_solve_seconds",
+        "Backend solve wall-clock seconds, labelled by backend.",
+    )
+
+
+def observe_backend_latency(backend: str, seconds: float) -> None:
+    """Record one solve's wall clock under ``repro_backend_solve_seconds``.
+
+    ``backend`` is the report/outcome label (root or ``root/variant``);
+    the root becomes the histogram's ``backend`` label so variants of
+    one backend aggregate together.  Called wherever a finished solve's
+    wall clock is definitively known — the service outcome builders and
+    the in-process facade — exactly once per job.
+    """
+    _solve_seconds().labels(backend=backend.split("/", 1)[0]).observe(seconds)
 
 
 def profiles_to_wire(profiles: List[StrategyProfile]) -> List[Dict[str, List[float]]]:

@@ -42,7 +42,50 @@ from repro.hardware.bicrossbar import BiCrossbar
 from repro.hardware.corners import ProcessCorner, TT
 from repro.hardware.noise import VariabilityModel
 from repro.hardware.timing import CNashTimingModel, timing_for_game_shape
+from repro.telemetry import family_cache
 from repro.utils.rng import SeedLike
+
+
+@family_cache
+def _kernel_metrics(reg):
+    """Kernel-level metric handles on the process-global registry.
+
+    Declared lazily (declaration is idempotent) so importing the solver
+    never races registry swaps in tests; memoized per registry/pid.
+    """
+    return (
+        reg.counter(
+            "repro_kernel_launches_total",
+            "Annealing kernel launches (vectorized batch or fused multi-game).",
+        ),
+        reg.counter(
+            "repro_kernel_proposals_total",
+            "SA proposals evaluated, summed over every chain in every launch.",
+        ),
+        reg.counter(
+            "repro_kernel_accepted_total",
+            "SA proposals accepted, summed over every chain in every launch.",
+        ),
+        reg.counter(
+            "repro_kernel_resyncs_total",
+            "Incremental-energy cache rebuilds inside fused kernel launches.",
+        ),
+        reg.histogram(
+            "repro_kernel_seconds",
+            "Wall-clock seconds per kernel launch.",
+        ),
+    )
+
+
+def _record_kernel_launch(batch, num_chains: int, elapsed: float) -> None:
+    """Account one finished launch's work to the kernel metric families."""
+    launches, proposals, accepted, resyncs, seconds = _kernel_metrics()
+    launches.inc()
+    proposals.inc(batch.num_iterations * num_chains)
+    accepted.inc(int(np.sum(batch.num_accepted)))
+    if getattr(batch, "num_resyncs", 0):
+        resyncs.inc(batch.num_resyncs)
+    seconds.observe(elapsed)
 
 
 class CNashSolver:
@@ -191,9 +234,11 @@ class CNashSolver:
             callback = run_scaled_progress_callback(
                 progress, self.config.num_iterations, num_runs
             )
+        launch_start = time.perf_counter()
         batch = run_two_phase_sa_batch(
             self.evaluator, self.config, num_runs, seed=seed, callback=callback
         )
+        _record_kernel_launch(batch, num_runs, time.perf_counter() - launch_start)
         acceptance_rates = batch.acceptance_rates
         runs: List[SolverRunResult] = []
         for index in range(num_runs):
@@ -323,6 +368,7 @@ def solve_shards_fused(
     )
     elapsed = time.perf_counter() - start
     total_runs = sum(num_runs for _, num_runs, _ in shards)
+    _record_kernel_launch(batch, total_runs, elapsed)
     acceptance_rates = batch.acceptance_rates
     results: List[SolverBatchResult] = []
     offset = 0

@@ -23,6 +23,8 @@ import threading
 from collections import OrderedDict
 from typing import TYPE_CHECKING, Dict, Optional
 
+from repro.telemetry import family_cache
+
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (spec imports are lazy)
     from repro.games.spec import GameSpec, MaterializedGame
 
@@ -30,8 +32,26 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (spec imports are laz
 DEFAULT_MATCACHE_CAPACITY = 128
 
 
+@family_cache
+def _metrics(reg):
+    return (
+        reg.counter("repro_matcache_hits_total",
+                    "Materialisations served from the spec LRU"),
+        reg.counter("repro_matcache_misses_total",
+                    "Materialisations that had to build dense payoffs"),
+        reg.counter("repro_matcache_evictions_total",
+                    "Materialised games dropped by LRU capacity"),
+    )
+
+
 class MaterializationCache:
-    """Bounded LRU of materialised games keyed by spec fingerprint."""
+    """Bounded LRU of materialised games keyed by spec fingerprint.
+
+    The instance ``hits``/``misses``/``evictions`` attributes (and
+    :meth:`stats`) are deprecated aliases kept for one release; the
+    canonical counters are the ``repro_matcache_*_total`` telemetry
+    metrics, aggregated across every cache instance in the process.
+    """
 
     def __init__(self, capacity: int = DEFAULT_MATCACHE_CAPACITY) -> None:
         if capacity < 0:
@@ -55,14 +75,17 @@ class MaterializationCache:
         """
         if not spec.deterministic or self.capacity == 0:
             return spec.materialize_tracked()
+        hits, misses, evictions = _metrics()
         key = spec.fingerprint()
         with self._lock:
             entry = self._entries.get(key)
             if entry is not None:
                 self._entries.move_to_end(key)
                 self.hits += 1
+                hits.inc()
                 return entry
             self.misses += 1
+        misses.inc()
         # Materialise outside the lock: building a dense game can be the
         # expensive part, and concurrent builders of the same spec all
         # produce the identical (deterministic) value.
@@ -73,7 +96,20 @@ class MaterializationCache:
             while len(self._entries) > self.capacity:
                 self._entries.popitem(last=False)
                 self.evictions += 1
+                evictions.inc()
         return entry
+
+    def contains(self, spec: "GameSpec") -> bool:
+        """Whether the spec's game is currently cached (no LRU touch).
+
+        Used by the batch worker to tag trace spans with the upcoming
+        materialisation's hit/miss status.
+        """
+        if not spec.deterministic or self.capacity == 0:
+            return False
+        key = spec.fingerprint()
+        with self._lock:
+            return key in self._entries
 
     def clear(self) -> None:
         """Drop every entry (counters are kept)."""
@@ -81,7 +117,12 @@ class MaterializationCache:
             self._entries.clear()
 
     def stats(self) -> Dict[str, int]:
-        """Hit/miss/eviction counters plus current size."""
+        """Hit/miss/eviction counters plus current size.
+
+        .. deprecated:: PR 7
+            Use the ``repro_matcache_*_total`` telemetry metrics; this
+            per-instance dict is kept as an alias for one release.
+        """
         with self._lock:
             return {
                 "hits": self.hits,

@@ -30,11 +30,14 @@ Batching is therefore purely a throughput knob.
 from __future__ import annotations
 
 import hashlib
+import os
+from time import perf_counter_ns
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.core.result import SolverBatchResult
 from repro.core.solver import fused_shards_supported, solve_shards_fused
 from repro.games.bimatrix import BimatrixGame
+from repro.games.matcache import global_materialization_cache
 from repro.service.jobs import SolveRequest
 from repro.service.portfolio import (
     cnash_is_builtin,
@@ -43,7 +46,12 @@ from repro.service.portfolio import (
     outcome_from_batch,
     solve_cnash,
 )
+from repro.telemetry import Timeline, get_logger
+from repro.telemetry import enabled as telemetry_enabled
+from repro.telemetry import registry as telemetry_registry
 from repro.utils.serialization import canonical_json
+
+logger = get_logger("repro.service.batching")
 
 #: Default ceiling on jobs drained into one dispatch batch.
 DEFAULT_MAX_BATCH_JOBS = 16
@@ -130,9 +138,35 @@ def execute_job_batch_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
     only deserialises.  Failures are isolated per job; a fused group
     that fails as a whole (it is one kernel launch) fails only its own
     members.
+
+    Telemetry: when enabled, each job entry additionally carries a
+    ``"trace"`` phase list (materialise / kernel / settle spans relative
+    to the worker's batch-handling start — the parent splices them into
+    the job's timeline), and the response carries a ``"telemetry"``
+    metrics delta for worker *processes*.  On thread executors the
+    worker shares the parent's process-global registry, so the delta is
+    skipped (``payload["parent_pid"]`` matches) to avoid double counts.
     """
     jobs = payload["jobs"]
     results: List[Optional[Dict[str, Any]]] = [None] * len(jobs)
+    batch_id = payload.get("batch_id")
+    tracing = telemetry_enabled()
+    timelines = [Timeline() for _ in jobs] if tracing else None
+    matcache = global_materialization_cache()
+
+    def _fail(index: int, exc: BaseException, request: Optional[SolveRequest],
+              stage: str) -> None:
+        results[index] = _error_entry(exc)
+        logger.warning(
+            "batch member failed in %s", stage,
+            extra={
+                "batch_id": batch_id,
+                "job_index": index,
+                "job": request.fingerprint() if request is not None else None,
+                "span_id": timelines[index].span_id if timelines else None,
+                "err": f"{type(exc).__name__}: {exc}",
+            },
+        )
 
     # Parse + materialise first so a bad spec fails its own job before
     # any solve work starts.  Spec materialisation routes through the
@@ -142,10 +176,19 @@ def execute_job_batch_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
     solo: List[ParsedJob] = []
     fusable: Dict[Tuple[int, int], List[ParsedJob]] = {}
     for index, job in enumerate(jobs):
+        request = None
         try:
             request = _job_request(job)
             if job["kind"] == "cnash_shard":
-                game = request.resolved_game
+                spec = request.game_spec
+                cached = spec is not None and matcache.contains(spec)
+                if timelines:
+                    with timelines[index].span(
+                        "materialize", matcache_hit=cached, spec=spec is not None
+                    ):
+                        game = request.resolved_game
+                else:
+                    game = request.resolved_game
                 entry: ParsedJob = (
                     index,
                     "cnash_shard",
@@ -161,7 +204,7 @@ def execute_job_batch_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
             else:
                 solo.append((index, "generic", request, 0, None, None))
         except Exception as exc:  # noqa: BLE001 - per-job isolation boundary
-            results[index] = _error_entry(exc)
+            _fail(index, exc, request, "materialize")
 
     # One fused kernel launch per same-shape group of two or more
     # shards; each shard keeps its own RNG stream inside the launch, so
@@ -173,39 +216,76 @@ def execute_job_batch_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
         shards = [(game, runs, seed) for _, _, _, runs, seed, game in entries]
         config = effective_config(entries[0][2])
         try:
-            batches = solve_shards_fused(shards, config)
+            if timelines:
+                start_ns = perf_counter_ns()
+                batches = solve_shards_fused(shards, config)
+                end_ns = perf_counter_ns()
+                for index, *_ in entries:
+                    timelines[index].record(
+                        "kernel", start_ns, end_ns, depth=0,
+                        fused_games=len(entries),
+                    )
+            else:
+                batches = solve_shards_fused(shards, config)
         except Exception as exc:  # noqa: BLE001 - the launch is one kernel call
-            for index, *_ in entries:
-                results[index] = _error_entry(exc)
+            for index, _, request, *_ in entries:
+                _fail(index, exc, request, "fused kernel")
             continue
         for (index, _, request, _, _, _), batch in zip(entries, batches):
             try:
+                if timelines:
+                    with timelines[index].span("settle"):
+                        result = _shard_outcome(request, batch)
+                else:
+                    result = _shard_outcome(request, batch)
                 results[index] = {
                     "ok": True,
                     "kind": "cnash_outcome",
-                    "result": _shard_outcome(request, batch),
+                    "result": result,
                 }
             except Exception as exc:  # noqa: BLE001 - per-job isolation boundary
-                results[index] = _error_entry(exc)
+                _fail(index, exc, request, "settle")
 
     # Singleton / ineligible jobs run exactly the per-job worker code.
     for index, kind, request, runs, seed, _ in solo:
         try:
             if kind == "cnash_shard":
-                batch = solve_cnash(request, num_runs=runs, seed=seed)
+                if timelines:
+                    with timelines[index].span("kernel"):
+                        batch = solve_cnash(request, num_runs=runs, seed=seed)
+                    with timelines[index].span("settle"):
+                        result = _shard_outcome(request, batch)
+                else:
+                    batch = solve_cnash(request, num_runs=runs, seed=seed)
+                    result = _shard_outcome(request, batch)
                 results[index] = {
                     "ok": True,
                     "kind": "cnash_outcome",
-                    "result": _shard_outcome(request, batch),
+                    "result": result,
                 }
             else:
+                if timelines:
+                    with timelines[index].span("kernel", generic=True):
+                        result = execute_request(request).to_dict()
+                else:
+                    result = execute_request(request).to_dict()
                 results[index] = {
                     "ok": True,
                     "kind": "generic",
-                    "result": execute_request(request).to_dict(),
+                    "result": result,
                 }
         except Exception as exc:  # noqa: BLE001 - per-job isolation boundary
-            results[index] = _error_entry(exc)
+            _fail(index, exc, request, "solve")
 
     assert all(entry is not None for entry in results)
-    return {"jobs": results}
+    if timelines:
+        for entry, timeline in zip(results, timelines):
+            entry["trace"] = timeline.to_wire()
+            entry["span_id"] = timeline.span_id
+    response: Dict[str, Any] = {"jobs": results}
+    # Worker processes ship their metrics increments home with the
+    # results; on a thread executor the "worker" already mutated the
+    # parent's own registry, so exporting would double-count on merge.
+    if payload.get("parent_pid") != os.getpid():
+        response["telemetry"] = telemetry_registry().export_delta()
+    return response

@@ -26,7 +26,25 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, Optional
 
+from repro.telemetry import family_cache
+
 _FINGERPRINT_CHARS = set("0123456789abcdef")
+
+
+@family_cache
+def _metrics(reg):
+    return (
+        reg.counter("repro_cache_hits_total",
+                    "Result-cache lookups served from memory or disk"),
+        reg.counter("repro_cache_misses_total",
+                    "Result-cache lookups that found nothing"),
+        reg.counter("repro_cache_evictions_total",
+                    "Result-cache entries dropped by LRU capacity"),
+        reg.counter("repro_cache_stores_total",
+                    "Result-cache entries written"),
+        reg.counter("repro_cache_disk_hits_total",
+                    "Result-cache hits promoted from the disk tier"),
+    )
 
 
 def _check_fingerprint(fingerprint: str) -> str:
@@ -38,7 +56,14 @@ def _check_fingerprint(fingerprint: str) -> str:
 
 @dataclass
 class CacheStats:
-    """Hit/miss/eviction counters of one cache instance."""
+    """Hit/miss/eviction counters of one cache instance.
+
+    .. deprecated:: PR 7
+        These per-instance counters (and the ``stats`` dict shapes built
+        from them) are kept as aliases for one release; the canonical
+        counters are the ``repro_cache_*_total`` telemetry metrics,
+        aggregated across every cache instance in the process.
+    """
 
     hits: int = 0
     misses: int = 0
@@ -117,25 +142,31 @@ class ResultCache:
         Memory hits refresh recency; disk hits are promoted into memory.
         """
         _check_fingerprint(fingerprint)
+        hits, misses, _, _, disk_hits = _metrics()
         with self._lock:
             entry = self._entries.get(fingerprint)
             if entry is not None:
                 self._entries.move_to_end(fingerprint)
                 self.stats.hits += 1
+                hits.inc()
                 return entry
         entry = self._read_disk(fingerprint)
         with self._lock:
             if entry is not None:
                 self.stats.hits += 1
                 self.stats.disk_hits += 1
+                hits.inc()
+                disk_hits.inc()
                 self._insert(fingerprint, entry)
                 return entry
             self.stats.misses += 1
+            misses.inc()
             return None
 
     def put(self, fingerprint: str, outcome: Dict[str, Any]) -> None:
         """Store an outcome dict under ``fingerprint`` in both tiers."""
         _check_fingerprint(fingerprint)
+        _metrics()[3].inc()
         with self._lock:
             self._insert(fingerprint, outcome)
             self.stats.stores += 1
@@ -164,6 +195,7 @@ class ResultCache:
             return
         for fingerprint, _ in entries:
             _check_fingerprint(fingerprint)
+        _metrics()[3].inc(len(entries))
         with self._lock:
             for fingerprint, outcome in entries:
                 self._insert(fingerprint, outcome)
@@ -194,6 +226,7 @@ class ResultCache:
         while len(self._entries) > self.capacity:
             self._entries.popitem(last=False)
             self.stats.evictions += 1
+            _metrics()[2].inc()
 
     def _disk_path(self, fingerprint: str) -> Optional[Path]:
         if self.directory is None:

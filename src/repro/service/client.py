@@ -110,8 +110,12 @@ class ServiceClient:
         return (await self.call({"op": "cancel", "job_id": job_id}))["cancelled"]
 
     async def stats(self) -> Dict[str, Any]:
-        """Scheduler and cache statistics."""
+        """Scheduler and cache statistics (deprecated; see :meth:`telemetry`)."""
         return (await self.call({"op": "stats"}))["stats"]
+
+    async def telemetry(self) -> Dict[str, Any]:
+        """Unified metrics snapshot (``{"families": {...}}``)."""
+        return (await self.call({"op": "telemetry"}))["telemetry"]
 
     async def shutdown(self) -> None:
         """Ask the server to shut down."""
@@ -148,8 +152,12 @@ class SyncServiceClient:
         return self._run(lambda client: client.solve(request, priority=priority))
 
     def stats(self) -> Dict[str, Any]:
-        """Scheduler and cache statistics."""
+        """Scheduler and cache statistics (deprecated; see :meth:`telemetry`)."""
         return self._run(lambda client: client.stats())
+
+    def telemetry(self) -> Dict[str, Any]:
+        """Unified metrics snapshot (``{"families": {...}}``)."""
+        return self._run(lambda client: client.telemetry())
 
     def shutdown(self) -> None:
         """Ask the server to shut down."""
@@ -266,8 +274,12 @@ class InProcessClient:
         return self._on_loop(lambda: self._scheduler.cancel(job_id))
 
     def stats(self) -> Dict[str, Any]:
-        """Scheduler and cache statistics."""
+        """Scheduler and cache statistics (deprecated; see :meth:`telemetry`)."""
         return self._on_loop(self._scheduler.stats)
+
+    def telemetry(self) -> Dict[str, Any]:
+        """Unified metrics snapshot (``{"families": {...}}``)."""
+        return self._on_loop(self._scheduler.telemetry)
 
     def _on_loop(self, fn):
         """Run a synchronous scheduler call on the scheduler's own loop thread.

@@ -30,6 +30,7 @@ from repro.core.config import CNashConfig
 from repro.core.result import SolverBatchResult
 from repro.games.bimatrix import BimatrixGame
 from repro.games.spec import GameSpec
+from repro.telemetry import Timeline
 
 # Shared with GameSpec fingerprints so the two content-address layers
 # cannot drift apart (re-exported here for back-compat).
@@ -332,6 +333,11 @@ class SolveOutcome:
     batch: Optional[Dict[str, Any]] = None
     shards: int = 1
     wall_clock_seconds: float = 0.0
+    #: Per-job trace timeline (phase list from
+    #: :meth:`repro.telemetry.Timeline.to_wire`), attached by the
+    #: scheduler when telemetry is enabled.  ``None`` traces are omitted
+    #: from the wire form so pre-telemetry payloads are byte-identical.
+    trace: Optional[List[Dict[str, Any]]] = None
 
     @property
     def num_equilibria(self) -> int:
@@ -346,7 +352,7 @@ class SolveOutcome:
 
     def to_dict(self) -> Dict[str, Any]:
         """Wire representation (inverse of :meth:`from_dict`)."""
-        return {
+        payload = {
             "fingerprint": self.fingerprint,
             "policy": self.policy,
             "backend": self.backend,
@@ -356,6 +362,9 @@ class SolveOutcome:
             "shards": int(self.shards),
             "wall_clock_seconds": float(self.wall_clock_seconds),
         }
+        if self.trace is not None:
+            payload["trace"] = self.trace
+        return payload
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "SolveOutcome":
@@ -369,6 +378,7 @@ class SolveOutcome:
             batch=data.get("batch"),
             shards=int(data.get("shards", 1)),
             wall_clock_seconds=float(data.get("wall_clock_seconds", 0.0)),
+            trace=data.get("trace"),
         )
 
 
@@ -393,28 +403,40 @@ class JobRecord:
     result-cache hit or a coalesced duplicate that adopted its in-flight
     leader's outcome (the scheduler's ``cache_hits`` / ``coalesced``
     counters distinguish the two).
+
+    Wall-clock timestamps (``submitted_at``/``started_at``/
+    ``finished_at``) are for *display only*; all elapsed/deadline math
+    runs on ``submitted_monotonic`` (:func:`time.monotonic`), so an NTP
+    step cannot expire — or resurrect — a job mid-flight.
     """
 
     request: SolveRequest
     job_id: str = field(default_factory=lambda: uuid.uuid4().hex)
     status: str = JobStatus.PENDING
     submitted_at: float = field(default_factory=time.time)
+    submitted_monotonic: float = field(default_factory=time.monotonic)
     started_at: Optional[float] = None
     finished_at: Optional[float] = None
     outcome: Optional[SolveOutcome] = None
     error: Optional[str] = None
     cache_hit: bool = False
+    #: Per-job trace timeline (scheduler bookkeeping, not wire state).
+    timeline: Optional[Timeline] = None
 
     @property
     def done(self) -> bool:
         """Whether the job reached a terminal state."""
         return self.status in JobStatus.TERMINAL
 
+    def elapsed(self) -> float:
+        """Monotonic seconds since submission (NTP-step immune)."""
+        return time.monotonic() - self.submitted_monotonic
+
     def deadline_remaining(self) -> Optional[float]:
         """Seconds left before the deadline (``None`` when unbounded)."""
         if self.request.deadline_s is None:
             return None
-        return self.request.deadline_s - (time.time() - self.submitted_at)
+        return self.request.deadline_s - self.elapsed()
 
     def to_dict(self, include_outcome: bool = True) -> Dict[str, Any]:
         """Wire representation of the record (request omitted for brevity)."""

@@ -30,6 +30,7 @@ from repro.backends import (
     SolveReport,
     SolveSpec,
     get_backend,
+    observe_backend_latency,
     profiles_from_wire,
     profiles_to_wire,
     profiles_verified,
@@ -117,6 +118,7 @@ def spec_from_request(request: SolveRequest) -> SolveSpec:
 
 def outcome_from_report(request: SolveRequest, report: SolveReport) -> SolveOutcome:
     """The service wire outcome for one backend report."""
+    observe_backend_latency(report.backend, report.wall_clock_seconds)
     return SolveOutcome(
         fingerprint=request.fingerprint(),
         policy=request.policy,
@@ -140,6 +142,7 @@ def outcome_from_batch(
     Used both by the in-worker execution below and by the scheduler when
     it merges shard batches in the parent process.
     """
+    observe_backend_latency(backend, batch.wall_clock_seconds)
     atol = 0.5 / request.config.num_intervals
     distinct = EquilibriumSet.from_profiles(
         request.resolved_game, (run.profile for run in batch.runs if run.success), atol=atol

@@ -26,10 +26,12 @@ from __future__ import annotations
 import asyncio
 import hashlib
 import itertools
+import os
 import time
+import uuid
 from collections import deque
 from concurrent.futures import Executor, Future, ProcessPoolExecutor, ThreadPoolExecutor
-from typing import Any, Callable, Deque, Dict, List, Optional
+from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
 
 from repro.core.result import SolverBatchResult
 from repro.games.bimatrix import BimatrixGame
@@ -52,6 +54,9 @@ from repro.service.portfolio import (
     single_shard_payload,
     solve_shard_payload,
 )
+from repro.telemetry import Timeline, get_logger
+from repro.telemetry import enabled as telemetry_enabled
+from repro.telemetry import registry as telemetry_registry
 
 #: Executor kinds accepted by :class:`SolveScheduler`.
 EXECUTOR_KINDS = ("process", "thread", "inline")
@@ -61,6 +66,67 @@ DEFAULT_SHARD_SIZE = 64
 
 #: Default number of *finished* job records retained for status lookups.
 DEFAULT_FINISHED_JOB_LIMIT = 1024
+
+logger = get_logger("repro.service.scheduler")
+
+
+def _scheduler_metrics() -> Dict[str, Any]:
+    """Declare the scheduler's metric families on the current registry.
+
+    Resolved once per scheduler at construction, so a test wrapping
+    scheduler creation in :func:`repro.telemetry.temporary_registry`
+    observes that scheduler alone.  The counter keys deliberately mirror
+    the deprecated ``self.counters`` dict so both stay in lockstep.
+    Label-less entries are resolved to their child time series here —
+    ``child.inc()`` skips the per-call label-key build, which matters at
+    several increments per job on the dispatch loop thread.
+    """
+    reg = telemetry_registry()
+
+    def counter(name: str, help: str):
+        return reg.counter(name, help).labels()
+
+    return {
+        "submitted": counter("repro_scheduler_jobs_submitted_total",
+                             "Jobs accepted by submit()"),
+        "completed": counter("repro_scheduler_jobs_completed_total",
+                             "Jobs finished with a computed outcome"),
+        "failed": counter("repro_scheduler_jobs_failed_total",
+                          "Jobs that raised in a worker or transport"),
+        "cancelled": counter("repro_scheduler_jobs_cancelled_total",
+                             "Jobs cancelled before execution"),
+        "expired": counter("repro_scheduler_jobs_expired_total",
+                           "Jobs whose deadline passed before completion"),
+        "cache_hits": counter("repro_scheduler_cache_hits_total",
+                              "Jobs served from the result cache at submit"),
+        "coalesced": counter("repro_scheduler_jobs_coalesced_total",
+                             "Duplicate jobs that adopted an in-flight leader"),
+        "shards_executed": counter("repro_scheduler_shards_executed_total",
+                                   "Worker shard executions dispatched"),
+        "batches_dispatched": counter("repro_scheduler_batches_dispatched_total",
+                                      "Coalesced batches shipped to workers"),
+        "batched_jobs": counter("repro_scheduler_batched_jobs_total",
+                                "Jobs that rode a coalesced batch dispatch"),
+        "shm_games_shared": counter("repro_scheduler_shm_games_shared_total",
+                                    "Dense games moved via shared memory"),
+        "queue_depth": reg.gauge("repro_scheduler_queue_depth",
+                                 "Jobs waiting in the priority queue").labels(),
+        "inflight": reg.gauge("repro_scheduler_jobs_inflight",
+                              "Jobs currently in the running state").labels(),
+        # Kept as the family: observed with policy/status labels.
+        "latency": reg.histogram(
+            "repro_scheduler_job_latency_seconds",
+            "Submit-to-terminal latency per job, by policy and status"),
+        "batch_jobs": reg.histogram(
+            "repro_scheduler_batch_jobs",
+            "Jobs per coalesced batch dispatch",
+            boundaries=(1, 2, 4, 8, 16, 32, 64, 128)).labels(),
+        "batch_linger": reg.histogram(
+            "repro_scheduler_batch_linger_seconds",
+            "Time a batch leader lingered for companions",
+            boundaries=(0.0001, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+                        0.025, 0.05, 0.1, 0.25)).labels(),
+    }
 
 
 class _InlineExecutor(Executor):
@@ -191,6 +257,9 @@ class SolveScheduler:
         if concurrency is None:
             concurrency = max_workers if max_workers is not None else 4
         self._dispatch_concurrency = max(1, concurrency)
+        #: Deprecated alias — the canonical counters are the
+        #: ``repro_scheduler_*`` telemetry metrics (:meth:`telemetry`);
+        #: this dict mirrors them per instance for one more release.
         self.counters: Dict[str, int] = {
             "submitted": 0,
             "completed": 0,
@@ -204,6 +273,12 @@ class SolveScheduler:
             "batched_jobs": 0,
             "shm_games_shared": 0,
         }
+        self._registry = telemetry_registry()
+        self._metrics = _scheduler_metrics()
+        # (policy, status) -> latency histogram child, so the per-job
+        # observation skips the label-key build on the dispatch thread.
+        self._latency_children: Dict[Tuple[str, str], Any] = {}
+        self._running_jobs = 0
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -218,6 +293,12 @@ class SolveScheduler:
             asyncio.get_running_loop().create_task(self._dispatch_loop())
             for _ in range(self._dispatch_concurrency)
         ]
+        # Live-state gauges are computed at scrape time; with several
+        # schedulers on one registry the most recently started wins.
+        self._metrics["queue_depth"].set_function(
+            lambda: self._queue.qsize() if self._queue is not None else 0
+        )
+        self._metrics["inflight"].set_function(lambda: self._running_jobs)
         self._started = True
         return self
 
@@ -235,11 +316,13 @@ class SolveScheduler:
                 pass
         if self._executor is not None:
             self._executor.shutdown(wait=False, cancel_futures=True)
+        self._metrics["queue_depth"].set_function(None)
+        self._metrics["inflight"].set_function(None)
         # Anything still queued will never run.  (Snapshot: _finish may
         # evict old records from the job table as it marks these.)
         for record in list(self._jobs.values()):
             if not record.done:
-                self.counters["cancelled"] += 1
+                self._count("cancelled")
                 self._finish(record, JobStatus.CANCELLED, error="scheduler closed")
 
     async def __aenter__(self) -> "SolveScheduler":
@@ -264,9 +347,11 @@ class SolveScheduler:
         if not self._started or self._closed:
             raise RuntimeError("scheduler is not running (use 'async with' or call start())")
         record = JobRecord(request=request)
+        if telemetry_enabled():
+            record.timeline = Timeline()
         self._jobs[record.job_id] = record
         self._events[record.job_id] = asyncio.Event()
-        self.counters["submitted"] += 1
+        self._count("submitted")
         effective_priority = request.priority if priority is None else priority
 
         if request.cacheable:
@@ -275,12 +360,12 @@ class SolveScheduler:
             if cached is not None:
                 record.cache_hit = True
                 record.outcome = SolveOutcome.from_dict(cached)
-                self.counters["cache_hits"] += 1
+                self._count("cache_hits")
                 self._finish(record, JobStatus.DONE)
                 return record
             leader = self._inflight.get(key)
             if leader is not None and not leader.done:
-                self.counters["coalesced"] += 1
+                self._count("coalesced")
                 follower = asyncio.get_running_loop().create_task(
                     self._follow(
                         leader, self._events[leader.job_id], record, effective_priority
@@ -319,7 +404,7 @@ class SolveScheduler:
                     await asyncio.wait_for(leader_event.wait(), remaining)
             except asyncio.TimeoutError:
                 if not record.done:
-                    self.counters["expired"] += 1
+                    self._count("expired")
                     self._finish(
                         record, JobStatus.EXPIRED, error="deadline expired while coalesced"
                     )
@@ -339,7 +424,7 @@ class SolveScheduler:
             if cached is not None:
                 record.cache_hit = True
                 record.outcome = SolveOutcome.from_dict(cached)
-                self.counters["cache_hits"] += 1
+                self._count("cache_hits")
                 self._finish(record, JobStatus.DONE)
                 return
             new_leader = self._inflight.get(key)
@@ -388,12 +473,33 @@ class SolveScheduler:
         record = self.job(job_id)
         if record.status != JobStatus.PENDING:
             return False
-        self.counters["cancelled"] += 1
+        self._count("cancelled")
         self._finish(record, JobStatus.CANCELLED, error="cancelled by client")
         return True
 
+    def _count(self, key: str, amount: int = 1) -> None:
+        """Increment a counter in both surfaces (legacy dict + registry)."""
+        self.counters[key] += amount
+        self._metrics[key].inc(amount)
+
+    def telemetry(self) -> Dict[str, Any]:
+        """Snapshot of the telemetry registry this scheduler reports to.
+
+        The ``stats()``-superseding surface: every counter in
+        :meth:`stats` appears here as a ``repro_<subsystem>_<metric>``
+        family, plus latency/batch-size histograms and live gauges —
+        aggregated process-wide (worker-process deltas included).
+        """
+        return self._registry.snapshot()
+
     def stats(self) -> Dict[str, Any]:
-        """Scheduler counters, queue depth, batching and cache statistics."""
+        """Scheduler counters, queue depth, batching and cache statistics.
+
+        .. deprecated:: PR 7
+            Kept as an alias for one release; prefer :meth:`telemetry`,
+            which exposes the same counts under the unified
+            ``repro_<subsystem>_<metric>`` naming scheme.
+        """
         batches = self.counters["batches_dispatched"]
         batched_jobs = self.counters["batched_jobs"]
         return {
@@ -427,9 +533,11 @@ class SolveScheduler:
                 # Cancelled while queued (and possibly already evicted
                 # from the bounded job table) — nothing to run.
                 continue
+            if record.timeline is not None:
+                record.timeline.cut("queue")
             remaining = record.deadline_remaining()
             if remaining is not None and remaining <= 0:
-                self.counters["expired"] += 1
+                self._count("expired")
                 self._finish(record, JobStatus.EXPIRED, error="deadline expired in queue")
                 continue
             if self.max_batch_jobs > 1 and self._batch_key_for(record) is not None:
@@ -445,25 +553,29 @@ class SolveScheduler:
                 remaining = record.deadline_remaining()
             record.status = JobStatus.RUNNING
             record.started_at = time.time()
+            self._running_jobs += 1
             try:
                 if remaining is None:
                     outcome = await self._execute(record.request)
                 else:
                     outcome = await asyncio.wait_for(self._execute(record.request), remaining)
             except asyncio.TimeoutError:
-                self.counters["expired"] += 1
+                self._count("expired")
                 self._finish(record, JobStatus.EXPIRED, error="deadline expired while running")
                 continue
             except asyncio.CancelledError:
                 raise
             except Exception as exc:  # noqa: BLE001 - job isolation boundary
-                self.counters["failed"] += 1
+                self._count("failed")
+                self._log_job_failure(record, exc, stage="solo dispatch")
                 self._finish(record, JobStatus.FAILED, error=f"{type(exc).__name__}: {exc}")
                 continue
+            if record.timeline is not None:
+                record.timeline.cut("run", policy=record.request.policy)
             record.outcome = outcome
             if record.request.cacheable:
                 await self._cache_put(self._cache_key(record.request), outcome.to_dict())
-            self.counters["completed"] += 1
+            self._count("completed")
             self._finish(record, JobStatus.DONE)
 
     # ------------------------------------------------------------------
@@ -511,7 +623,9 @@ class SolveScheduler:
                 except asyncio.TimeoutError:
                     break
                 self._consider_queue_item(item, key, batch, requeue)
-            self._linger_seconds += loop.time() - linger_start
+            lingered = loop.time() - linger_start
+            self._linger_seconds += lingered
+            self._metrics["batch_linger"].observe(lingered)
         for item in requeue:
             self._queue.put_nowait(item)
         # Drop members cancelled while the batch was forming.
@@ -531,10 +645,12 @@ class SolveScheduler:
             return  # cancelled while queued — same as the solo pop
         remaining = record.deadline_remaining()
         if remaining is not None and remaining <= 0:
-            self.counters["expired"] += 1
+            self._count("expired")
             self._finish(record, JobStatus.EXPIRED, error="deadline expired in queue")
             return
         if self._batch_key_for(record) == key:
+            if record.timeline is not None:
+                record.timeline.cut("queue")
             batch.append(record)
         else:
             requeue.append(item)
@@ -549,8 +665,10 @@ class SolveScheduler:
         worker call itself raises) fails all still-live members.
         """
         loop = asyncio.get_running_loop()
-        self.counters["batches_dispatched"] += 1
-        self.counters["batched_jobs"] += len(batch)
+        self._count("batches_dispatched")
+        self._count("batched_jobs", len(batch))
+        self._metrics["batch_jobs"].observe(len(batch))
+        batch_id = uuid.uuid4().hex[:12]
         jobs: List[Dict[str, Any]] = []
         segments: List[Any] = []
         share_dense = self.executor_kind == "process"
@@ -561,6 +679,9 @@ class SolveScheduler:
         for record in batch:
             record.status = JobStatus.RUNNING
             record.started_at = time.time()
+            self._running_jobs += 1
+            if record.timeline is not None:
+                record.timeline.cut("coalesce", batch_jobs=len(batch))
             request = record.request
             if request.policy == "cnash":
                 # Single-shard by construction (the batch key refuses
@@ -581,25 +702,34 @@ class SolveScheduler:
                     pass  # fall back to the in-payload dense matrices
                 else:
                     segments.append(segment)
-                    self.counters["shm_games_shared"] += 1
+                    self._count("shm_games_shared")
                     job = dict(job)
                     request_dict = dict(job["request"])
                     request_dict.pop("game", None)
                     job["request"] = request_dict
                     job["game_shm"] = descriptor
             jobs.append(job)
+        for record in batch:
+            if record.timeline is not None:
+                record.timeline.cut("shm", segments=len(segments))
         try:
             response = await loop.run_in_executor(
-                self._executor, execute_job_batch_payload, {"jobs": jobs}
+                self._executor,
+                execute_job_batch_payload,
+                {"jobs": jobs, "batch_id": batch_id, "parent_pid": os.getpid()},
             )
         except asyncio.CancelledError:
             raise
         except Exception as exc:  # noqa: BLE001 - transport-level failure
             error = f"{type(exc).__name__}: {exc}"
+            logger.error(
+                "batch dispatch failed at the transport level",
+                extra={"batch_id": batch_id, "jobs": len(batch), "err": error},
+            )
             for record in batch:
                 if record.done:
                     continue
-                self.counters["failed"] += 1
+                self._count("failed")
                 self._finish(record, JobStatus.FAILED, error=error)
             return
         finally:
@@ -607,20 +737,37 @@ class SolveScheduler:
                 from repro.service.shm import release_segments
 
                 release_segments(segments)
+        # Worker *processes* piggyback their metric increments on the
+        # response; fold them into the parent's registry (thread
+        # executors share the registry and ship no delta).
+        delta = response.get("telemetry")
+        if delta:
+            self._registry.merge(delta)
         cache_entries: List[tuple] = []
         settled: List[tuple] = []
         for record, result in zip(batch, response["jobs"]):
             if record.done:
                 continue
+            if record.timeline is not None:
+                # Splice the worker's materialise/kernel/settle spans
+                # under this job's run window, then close the window.
+                offset_ms = record.timeline.cursor_ms()
+                record.timeline.splice(result.get("trace"), offset_ms)
+                record.timeline.cut(
+                    "run", batch_id=batch_id, worker_span=result.get("span_id")
+                )
             remaining = record.deadline_remaining()
             if remaining is not None and remaining <= 0:
-                self.counters["expired"] += 1
+                self._count("expired")
                 self._finish(
                     record, JobStatus.EXPIRED, error="deadline expired while running"
                 )
                 continue
             if not result["ok"]:
-                self.counters["failed"] += 1
+                self._count("failed")
+                self._log_job_failure(
+                    record, result["error"], stage="batch member", batch_id=batch_id
+                )
                 self._finish(record, JobStatus.FAILED, error=result["error"])
                 continue
             request = record.request
@@ -629,11 +776,14 @@ class SolveScheduler:
                 # settled worker-side, where the game is materialised).
                 outcome = SolveOutcome.from_dict(result["result"])
             except Exception as exc:  # noqa: BLE001 - job isolation boundary
-                self.counters["failed"] += 1
+                self._count("failed")
+                self._log_job_failure(
+                    record, exc, stage="batch settle", batch_id=batch_id
+                )
                 self._finish(record, JobStatus.FAILED, error=f"{type(exc).__name__}: {exc}")
                 continue
             if result["kind"] == "cnash_outcome":
-                self.counters["shards_executed"] += 1
+                self._count("shards_executed")
             record.outcome = outcome
             if request.cacheable:
                 # The worker's dict is exactly outcome.to_dict(); reuse
@@ -644,7 +794,7 @@ class SolveScheduler:
         # written before any member's completion event fires.
         await self._cache_put_many(cache_entries)
         for record in settled:
-            self.counters["completed"] += 1
+            self._count("completed")
             self._finish(record, JobStatus.DONE)
 
     async def _cache_put_many(self, entries: List[tuple]) -> None:
@@ -727,7 +877,7 @@ class SolveScheduler:
                     for payload in payloads
                 )
             )
-            self.counters["shards_executed"] += len(payloads)
+            self._count("shards_executed", len(payloads))
             merged = SolverBatchResult.merge(
                 [SolverBatchResult.from_dict(shard) for shard in shard_dicts]
             )
@@ -752,7 +902,7 @@ class SolveScheduler:
         outcome_dict = await loop.run_in_executor(
             self._executor, execute_request_payload, request.to_dict()
         )
-        self.counters["shards_executed"] += 1
+        self._count("shards_executed")
         return SolveOutcome.from_dict(outcome_dict)
 
     async def _execute_portfolio(
@@ -782,10 +932,53 @@ class SolveScheduler:
         last.wall_clock_seconds = time.perf_counter() - start
         return last
 
+    def _log_job_failure(
+        self,
+        record: JobRecord,
+        error: Any,
+        stage: str,
+        batch_id: Optional[str] = None,
+    ) -> None:
+        """Correlated failure log: job fingerprint + span id + stage."""
+        logger.warning(
+            "job failed in %s", stage,
+            extra={
+                "job": record.request.fingerprint(),
+                "job_id": record.job_id,
+                "batch_id": batch_id,
+                "span_id": None if record.timeline is None else record.timeline.span_id,
+                "policy": record.request.policy,
+                "err": str(error),
+            },
+        )
+
     def _finish(self, record: JobRecord, status: str, error: Optional[str] = None) -> None:
+        if record.status == JobStatus.RUNNING:
+            self._running_jobs -= 1
         record.status = status
         record.error = error
         record.finished_at = time.time()
+        latency_key = (record.request.policy, status)
+        latency = self._latency_children.get(latency_key)
+        if latency is None:
+            latency = self._latency_children[latency_key] = self._metrics[
+                "latency"
+            ].labels(policy=record.request.policy, status=status)
+        latency.observe(record.elapsed())
+        timeline = record.timeline
+        if (
+            timeline is not None
+            and status == JobStatus.DONE
+            and record.outcome is not None
+            and not record.cache_hit
+        ):
+            # Close the timeline so the contiguous top-level phases span
+            # submit-to-finish exactly, then publish it on the outcome.
+            # Cache hits and coalesced followers are skipped: their
+            # outcome object is shared (the leader's) or deserialised
+            # from a cache entry that carries no trace.
+            timeline.cut("settle", status=status)
+            record.outcome.trace = timeline.to_wire()
         # Spec-backed requests may have materialised their dense game in
         # this process (outcome merging, verification); the record stays
         # in the retained job table, so drop the matrices now — a cold

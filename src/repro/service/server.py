@@ -18,8 +18,13 @@ Operations
 ``submit``                   submit and return the job id immediately.
 ``status`` / ``result``      poll / wait on a previously submitted job.
 ``cancel``                   cancel a queued job.
-``stats``                    scheduler + cache counters.
+``stats``                    scheduler + cache counters (deprecated alias).
+``telemetry``                unified metrics snapshot (supersedes ``stats``).
 ``shutdown``                 stop the server (used by tests and smoke runs).
+
+A Prometheus text exposition of the same registry is served over HTTP
+when ``--metrics-port`` is given (``GET /metrics``), so a running server
+can be scraped by any Prometheus-compatible collector.
 
 Start a server from the command line with ``python -m repro.service``;
 see :mod:`repro.service.client` for the matching clients.
@@ -34,13 +39,14 @@ from typing import Any, Dict, Optional, Sequence
 
 from repro.service.batching import DEFAULT_MAX_BATCH_JOBS, DEFAULT_MAX_BATCH_LINGER_MS
 from repro.service.cache import ResultCache
-from repro.service.jobs import SolveRequest
+from repro.service.jobs import SolveOutcome, SolveRequest
 from repro.service.scheduler import (
     DEFAULT_FINISHED_JOB_LIMIT,
     DEFAULT_SHARD_SIZE,
     EXECUTOR_KINDS,
     SolveScheduler,
 )
+from repro.telemetry import configure_logging, start_metrics_server
 
 #: Safety bound on one protocol line (a 1000-run batch with history off
 #: is far below this; it guards the server against garbage input).
@@ -140,6 +146,8 @@ class NashServer:
             return {"ok": True, "pong": True}
         if op == "stats":
             return {"ok": True, "stats": self.scheduler.stats()}
+        if op == "telemetry":
+            return {"ok": True, "telemetry": self.scheduler.telemetry()}
         if op == "solve":
             request = SolveRequest.from_dict(message["request"])
             record = await self.scheduler.submit(request, priority=message.get("priority"))
@@ -181,8 +189,13 @@ async def serve(
     finished_job_limit: int = DEFAULT_FINISHED_JOB_LIMIT,
     max_batch_jobs: int = DEFAULT_MAX_BATCH_JOBS,
     max_batch_linger_ms: float = DEFAULT_MAX_BATCH_LINGER_MS,
+    metrics_port: Optional[int] = None,
 ) -> None:
-    """Run a server until shutdown (the ``python -m repro.service`` body)."""
+    """Run a server until shutdown (the ``python -m repro.service`` body).
+
+    ``metrics_port`` additionally serves the Prometheus text exposition
+    of the telemetry registry over HTTP on that port.
+    """
     async with SolveScheduler(
         max_workers=max_workers,
         shard_size=shard_size,
@@ -194,12 +207,20 @@ async def serve(
     ) as scheduler:
         server = NashServer(scheduler, host=host, port=port)
         await server.start()
+        metrics_server = None
+        if metrics_port is not None:
+            metrics_server = await start_metrics_server(host=host, port=metrics_port)
+            bound = metrics_server.sockets[0].getsockname()[1]
+            print(f"repro.service metrics on http://{host}:{bound}/metrics")
         print(f"repro.service listening on {server.host}:{server.port} "
               f"(executor={executor}, shard_size={shard_size})")
         try:
             await server.serve_until_shutdown()
         finally:
             await server.close()
+            if metrics_server is not None:
+                metrics_server.close()
+                await metrics_server.wait_closed()
 
 
 async def _smoke() -> int:
@@ -211,6 +232,7 @@ async def _smoke() -> int:
     from repro.core.config import CNashConfig
     from repro.games.spec import GameSpec
     from repro.service.client import ServiceClient
+    from repro.telemetry import render_prometheus, validate_phases
 
     async with SolveScheduler(
         max_workers=2, shard_size=8, executor="thread", max_batch_linger_ms=50.0
@@ -248,6 +270,7 @@ async def _smoke() -> int:
             ]
             sweep_outcomes = [await client.result(job_id) for job_id in job_ids]
             stats = await client.stats()
+            telemetry = await client.telemetry()
             await client.shutdown()
         finally:
             await client.close()
@@ -255,9 +278,53 @@ async def _smoke() -> int:
         await server.close()
         hits = stats["cache"]["hits"]
         batching = stats["batching"]
+
+        # The telemetry command must expose every metric family the
+        # layers registered in this process.
+        families = telemetry["families"]
+        expected_families = (
+            "repro_scheduler_jobs_submitted_total",
+            "repro_scheduler_jobs_completed_total",
+            "repro_scheduler_batches_dispatched_total",
+            "repro_scheduler_job_latency_seconds",
+            "repro_scheduler_queue_depth",
+            "repro_cache_hits_total",
+            "repro_cache_stores_total",
+            "repro_matcache_misses_total",
+            "repro_kernel_launches_total",
+            "repro_kernel_proposals_total",
+            "repro_backend_solve_seconds",
+        )
+        missing = [name for name in expected_families if name not in families]
+        assert not missing, f"telemetry is missing metric families: {missing}"
+
+        # The Prometheus text endpoint renders the same registry: every
+        # family (and the counter values) must agree with the snapshot.
+        prometheus = render_prometheus(scheduler.telemetry())
+        assert all(name in prometheus for name in expected_families)
+        submitted = families["repro_scheduler_jobs_submitted_total"]["samples"][0]["value"]
+        assert f"repro_scheduler_jobs_submitted_total {int(submitted)}" in prometheus
+
+        # Every computed sweep job carries a trace whose phases are
+        # monotone and non-overlapping per depth level.
+        traced = [o for o in sweep_outcomes if o.trace]
+        assert traced, "sweep outcomes carry no trace timelines"
+        for sweep_outcome in traced:
+            validate_phases(sweep_outcome.trace)
+            names = {phase["name"] for phase in sweep_outcome.trace}
+            assert "queue" in names and "settle" in names, names
+
+        # The trace is per-execution observability metadata: a computed
+        # outcome carries one, its cache-served repeat does not.  The
+        # *result* payload must still be byte-identical.
+        def _result_dict(o: SolveOutcome) -> Dict[str, Any]:
+            payload = o.to_dict()
+            payload.pop("trace", None)
+            return payload
+
         ok = (
             bool(outcome.equilibria)
-            and repeat.to_dict() == outcome.to_dict()
+            and _result_dict(repeat) == _result_dict(outcome)
             and hits >= 1
             and len(sweep_outcomes) == 6
             and batching["batches_dispatched"] >= 1
@@ -269,6 +336,8 @@ async def _smoke() -> int:
             "batched_jobs={batched_jobs} mean_jobs_per_batch={mean_jobs_per_batch:.2f} "
             "mean_linger_ms_per_batch={mean_linger_ms_per_batch:.2f}".format(**batching)
         )
+        print(f"smoke telemetry: {len(families)} metric families, "
+              f"{len(traced)}/{len(sweep_outcomes)} traced sweep jobs")
         return 0 if ok else 1
 
 
@@ -307,10 +376,22 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "launching a partial batch (0 = opportunistic, no added latency)",
     )
     parser.add_argument(
+        "--metrics-port", type=int, default=None,
+        help="serve a Prometheus text exposition of the telemetry "
+        "registry over HTTP on this port (0 = ephemeral)",
+    )
+    parser.add_argument(
+        "--log-json", action="store_true",
+        help="emit structured JSON logs (one object per line, "
+        "job/batch/span correlated) instead of staying silent",
+    )
+    parser.add_argument(
         "--smoke", action="store_true",
         help="run a self-contained client-server round trip and exit (CI)",
     )
     args = parser.parse_args(argv)
+    if args.log_json:
+        configure_logging(json_format=True)
     if args.smoke:
         return asyncio.run(_smoke())
     cache = ResultCache(capacity=args.cache_capacity, directory=args.cache_dir)
@@ -326,6 +407,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 finished_job_limit=args.finished_job_limit,
                 max_batch_jobs=args.max_batch_jobs,
                 max_batch_linger_ms=args.max_batch_linger_ms,
+                metrics_port=args.metrics_port,
             )
         )
     except KeyboardInterrupt:  # pragma: no cover - interactive

@@ -32,6 +32,7 @@ from typing import Any, Dict, List, Tuple
 import numpy as np
 
 from repro.games.bimatrix import BimatrixGame
+from repro.telemetry import family_cache, get_logger
 
 try:  # pragma: no cover - stdlib on every supported platform
     from multiprocessing import shared_memory
@@ -40,6 +41,20 @@ except ImportError:  # pragma: no cover - exotic builds only
 
 #: Smallest dense game (payoff cells) worth a shared-memory segment.
 SHM_MIN_CELLS = 1024
+
+logger = get_logger("repro.service.shm")
+
+
+@family_cache
+def _metrics(reg):
+    return (
+        reg.counter("repro_shm_segments_total",
+                    "Shared-memory segments created for payoff transfer"),
+        reg.counter("repro_shm_bytes_total",
+                    "Payoff bytes moved through shared-memory segments"),
+        reg.counter("repro_shm_release_errors_total",
+                    "Segment close/unlink attempts that failed"),
+    )
 
 
 def shm_available() -> bool:
@@ -62,6 +77,9 @@ def share_game(game: BimatrixGame) -> Tuple[Dict[str, Any], "shared_memory.Share
     stacked = np.ndarray((2,) + row.shape, dtype=np.float64, buffer=segment.buf)
     stacked[0] = row
     stacked[1] = col
+    segments_total, bytes_total, _ = _metrics()
+    segments_total.inc()
+    bytes_total.inc(row.nbytes + col.nbytes)
     descriptor = {
         "name": segment.name,
         "shape": [int(dim) for dim in row.shape],
@@ -92,13 +110,22 @@ def read_shared_game(descriptor: Dict[str, Any]) -> BimatrixGame:
 
 
 def release_segments(segments: List["shared_memory.SharedMemory"]) -> None:
-    """Close and unlink parent-owned segments (idempotent, best-effort)."""
+    """Close and unlink parent-owned segments (idempotent, best-effort).
+
+    A failed release cannot fail the solve, but it is no longer silent:
+    the segment name and error are logged (and counted) so leaked
+    segments can be traced back to the batch that owned them.
+    """
     for segment in segments:
         try:
             segment.close()
             segment.unlink()
-        except (FileNotFoundError, OSError):  # pragma: no cover - already gone
-            pass
+        except (FileNotFoundError, OSError) as exc:  # pragma: no cover - already gone
+            _metrics()[2].inc()
+            logger.warning(
+                "failed to release shared-memory segment",
+                extra={"segment": getattr(segment, "name", "?"), "err": repr(exc)},
+            )
 
 
 def _tracker_pid() -> "int | None":

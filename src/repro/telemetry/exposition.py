@@ -1,0 +1,132 @@
+"""Prometheus text exposition for the metrics registry.
+
+:func:`render_prometheus` turns a :meth:`MetricsRegistry.snapshot` into
+the Prometheus text format (version 0.0.4) — ``# HELP``/``# TYPE``
+headers, cumulative ``_bucket{le=...}`` series for histograms, plus
+``_sum``/``_count``.  :func:`start_metrics_server` serves that text over
+a minimal asyncio HTTP listener so a running
+``python -m repro.service --metrics-port 9100`` can be scraped with any
+Prometheus-compatible collector (or plain ``curl``).
+
+Both render from the same registry the JSON-over-TCP ``telemetry``
+command snapshots, so the two surfaces always agree.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Any, Dict, Optional
+
+from .metrics import MetricsRegistry, registry
+
+__all__ = ["render_prometheus", "start_metrics_server"]
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _label_str(labels: Dict[str, str], extra: Optional[Dict[str, str]] = None) -> str:
+    merged = dict(labels)
+    if extra:
+        merged.update(extra)
+    if not merged:
+        return ""
+    body = ",".join(
+        f'{key}="{_escape_label(str(value))}"' for key, value in sorted(merged.items())
+    )
+    return "{" + body + "}"
+
+
+def _format_value(value: float) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def render_prometheus(snapshot: Optional[Dict[str, Any]] = None) -> str:
+    """Render a registry snapshot as Prometheus text format."""
+    if snapshot is None:
+        snapshot = registry().snapshot()
+    lines = []
+    for name, family in snapshot.get("families", {}).items():
+        kind = family["type"]
+        if family.get("help"):
+            lines.append(f"# HELP {name} {family['help']}")
+        lines.append(f"# TYPE {name} {kind}")
+        for sample in family["samples"]:
+            labels = sample.get("labels", {})
+            if kind == "histogram":
+                cumulative = 0
+                for bound, count in sample["buckets"]:
+                    cumulative += count
+                    le = "+Inf" if bound == "+Inf" else _format_value(float(bound))
+                    lines.append(
+                        f"{name}_bucket{_label_str(labels, {'le': le})} {cumulative}"
+                    )
+                lines.append(f"{name}_sum{_label_str(labels)} "
+                             f"{_format_value(sample['sum'])}")
+                lines.append(f"{name}_count{_label_str(labels)} {sample['count']}")
+            else:
+                lines.append(
+                    f"{name}{_label_str(labels)} {_format_value(sample['value'])}"
+                )
+    return "\n".join(lines) + "\n"
+
+
+async def _handle_scrape(
+    reader: asyncio.StreamReader,
+    writer: asyncio.StreamWriter,
+    source: MetricsRegistry,
+) -> None:
+    try:
+        request_line = await asyncio.wait_for(reader.readline(), timeout=5.0)
+        # Drain headers until the blank line; we serve every path the same.
+        while True:
+            header = await asyncio.wait_for(reader.readline(), timeout=5.0)
+            if header in (b"\r\n", b"\n", b""):
+                break
+        parts = request_line.decode("latin-1", "replace").split()
+        path = parts[1] if len(parts) > 1 else "/"
+        if path.startswith("/telemetry"):
+            body = json.dumps(source.snapshot()).encode()
+            content_type = "application/json"
+        else:
+            body = render_prometheus(source.snapshot()).encode()
+            content_type = "text/plain; version=0.0.4; charset=utf-8"
+        writer.write(
+            b"HTTP/1.1 200 OK\r\n"
+            b"Content-Type: " + content_type.encode() + b"\r\n"
+            b"Content-Length: " + str(len(body)).encode() + b"\r\n"
+            b"Connection: close\r\n\r\n" + body
+        )
+        await writer.drain()
+    except (asyncio.TimeoutError, ConnectionError):
+        pass
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except ConnectionError:  # pragma: no cover - platform dependent
+            pass
+
+
+async def start_metrics_server(
+    host: str = "127.0.0.1",
+    port: int = 9100,
+    source: Optional[MetricsRegistry] = None,
+) -> asyncio.AbstractServer:
+    """Serve Prometheus text on ``GET /metrics`` (JSON on ``/telemetry``).
+
+    Returns the ``asyncio`` server; close it with ``server.close()`` +
+    ``await server.wait_closed()``.
+    """
+    reg = source if source is not None else registry()
+
+    async def handler(reader, writer):
+        await _handle_scrape(reader, writer, reg)
+
+    return await asyncio.start_server(handler, host, port)

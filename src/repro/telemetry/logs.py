@@ -1,0 +1,90 @@
+"""Structured stdlib logging for the repro service.
+
+Library code logs through ``get_logger("repro.<subsystem>")``; the
+``repro`` root logger carries a ``NullHandler`` so importing the library
+never prints anything — applications (or ``python -m repro.service
+--log-json``) opt in via :func:`configure_logging`.
+
+The JSON formatter emits one object per line with the record's message,
+level, logger name, and any *correlation fields* passed through
+``extra=`` (``job``, ``batch_id``, ``span_id``, ...), so failure logs
+from batch-member isolation and shm cleanup can be joined against trace
+timelines and the jobs table.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import time
+from typing import Any, Dict, Optional
+
+__all__ = ["get_logger", "configure_logging", "JsonFormatter"]
+
+# Attributes every LogRecord carries; anything else came in via extra=.
+_STANDARD_ATTRS = frozenset(
+    logging.LogRecord("", 0, "", 0, "", (), None).__dict__
+) | {"message", "asctime", "taskName"}
+
+
+class JsonFormatter(logging.Formatter):
+    """One JSON object per record, correlation fields included."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        entry: Dict[str, Any] = {
+            "ts": round(time.time(), 6),
+            "level": record.levelname,
+            "logger": record.name,
+            "message": record.getMessage(),
+        }
+        for key, value in record.__dict__.items():
+            if key not in _STANDARD_ATTRS and not key.startswith("_"):
+                try:
+                    json.dumps(value)
+                    entry[key] = value
+                except (TypeError, ValueError):
+                    entry[key] = repr(value)
+        if record.exc_info and record.exc_info[0] is not None:
+            entry["exception"] = self.formatException(record.exc_info)
+        return json.dumps(entry, sort_keys=True)
+
+
+_root = logging.getLogger("repro")
+if not any(isinstance(h, logging.NullHandler) for h in _root.handlers):
+    _root.addHandler(logging.NullHandler())
+
+
+def get_logger(name: str) -> logging.Logger:
+    """A logger under the ``repro`` namespace (``repro.service.scheduler``)."""
+    if not name.startswith("repro"):
+        name = f"repro.{name}"
+    return logging.getLogger(name)
+
+
+def configure_logging(
+    json_format: bool = False,
+    level: int = logging.INFO,
+    stream: Optional[Any] = None,
+) -> logging.Handler:
+    """Attach a stream handler to the ``repro`` root logger.
+
+    ``json_format=True`` uses :class:`JsonFormatter` (the ``--log-json``
+    CLI path); otherwise a conventional text format.  Idempotent: a
+    previously attached handler is replaced, not duplicated.  Returns
+    the handler (tests capture its stream).
+    """
+    handler = logging.StreamHandler(stream)
+    if json_format:
+        handler.setFormatter(JsonFormatter())
+    else:
+        handler.setFormatter(logging.Formatter(
+            "%(asctime)s %(levelname)s %(name)s: %(message)s"
+        ))
+    for existing in list(_root.handlers):
+        if isinstance(existing, logging.StreamHandler) and not isinstance(
+            existing, logging.NullHandler
+        ):
+            _root.removeHandler(existing)
+    _root.addHandler(handler)
+    _root.setLevel(level)
+    return handler

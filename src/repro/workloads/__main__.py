@@ -19,6 +19,7 @@ def run_smoke(num_seeds: int = 3, verbose: bool = True) -> int:
     import repro.api as api
     from repro.core.config import CNashConfig
     from repro.service.client import InProcessClient
+    from repro.telemetry import validate_phases
     from repro.workloads import EnsembleSpec
 
     ensemble = EnsembleSpec(
@@ -43,6 +44,16 @@ def run_smoke(num_seeds: int = 3, verbose: bool = True) -> int:
     if verbose:
         print(f"pass 1: {first.summary()}")
         print(f"pass 2: {second.summary()}")
+    # Every traced first-pass job must carry a well-formed timeline:
+    # monotone, non-overlapping phases at every depth (cache-served
+    # repeats legitimately carry none).
+    traces = [
+        report.metadata["trace"]
+        for report in first.reports
+        if "trace" in report.metadata
+    ]
+    for trace in traces:
+        validate_phases(trace)
     ok = (
         first.num_jobs == len(ensemble)
         and second.num_jobs == first.num_jobs
@@ -50,9 +61,12 @@ def run_smoke(num_seeds: int = 3, verbose: bool = True) -> int:
         and second.cache_hits is not None
         and second.cache_hit_rate is not None
         and second.cache_hit_rate >= 0.95
+        and len(traces) == first.num_jobs
     )
     if verbose:
         print(f"smoke: jobs={second.num_jobs} repeat_cache_hits={second.cache_hits} "
+              f"traced={len(traces)} phase_seconds="
+              f"{ {k: round(v, 4) for k, v in first.phase_seconds.items()} } "
               f"-> {'OK' if ok else 'FAILED'}")
     return 0 if ok else 1
 

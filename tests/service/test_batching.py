@@ -41,9 +41,14 @@ def spec_request(seed: int, *, size: int = 8, config: CNashConfig = FAST, **over
 
 
 def canon(outcome) -> dict:
-    """Outcome wire dict minus measured wall clocks (the only wart allowed)."""
+    """Outcome wire dict minus measured timings (the only wart allowed).
+
+    Wall clocks and trace timelines describe the *execution*, not the
+    result, so bit-identity is asserted on everything but them.
+    """
     data = outcome.to_dict()
     data.pop("wall_clock_seconds", None)
+    data.pop("trace", None)
     if data.get("batch"):
         data["batch"] = {
             key: value

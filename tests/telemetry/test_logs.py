@@ -1,0 +1,101 @@
+"""Tests for the structured JSON logging layer."""
+
+from __future__ import annotations
+
+import io
+import json
+import logging
+
+from repro.telemetry import JsonFormatter, configure_logging, get_logger
+
+
+def _teardown():
+    root = logging.getLogger("repro")
+    for handler in list(root.handlers):
+        if isinstance(handler, logging.StreamHandler) and not isinstance(
+            handler, logging.NullHandler
+        ):
+            root.removeHandler(handler)
+    root.setLevel(logging.NOTSET)
+
+
+def test_repro_root_logger_has_null_handler():
+    root = logging.getLogger("repro")
+    assert any(isinstance(h, logging.NullHandler) for h in root.handlers)
+
+
+def test_get_logger_prefixes_namespace():
+    assert get_logger("service.scheduler").name == "repro.service.scheduler"
+    assert get_logger("repro.service.shm").name == "repro.service.shm"
+
+
+def test_json_formatter_emits_correlation_fields():
+    stream = io.StringIO()
+    handler = logging.StreamHandler(stream)
+    handler.setFormatter(JsonFormatter())
+    logger = logging.getLogger("repro.test.json")
+    logger.addHandler(handler)
+    logger.setLevel(logging.WARNING)
+    try:
+        logger.warning(
+            "batch member failed in %s", "kernel",
+            extra={"batch_id": "abc123", "job_index": 2, "span_id": "deadbeef",
+                   "unjsonable": {1, 2}},
+        )
+    finally:
+        logger.removeHandler(handler)
+    entry = json.loads(stream.getvalue())
+    assert entry["message"] == "batch member failed in kernel"
+    assert entry["level"] == "WARNING"
+    assert entry["logger"] == "repro.test.json"
+    assert entry["batch_id"] == "abc123"
+    assert entry["job_index"] == 2
+    assert entry["span_id"] == "deadbeef"
+    assert isinstance(entry["unjsonable"], str)  # repr fallback, still one line
+    assert isinstance(entry["ts"], float)
+
+
+def test_json_formatter_includes_exception_text():
+    stream = io.StringIO()
+    handler = logging.StreamHandler(stream)
+    handler.setFormatter(JsonFormatter())
+    logger = logging.getLogger("repro.test.exc")
+    logger.addHandler(handler)
+    logger.setLevel(logging.ERROR)
+    try:
+        try:
+            raise RuntimeError("boom")
+        except RuntimeError:
+            logger.exception("it failed")
+    finally:
+        logger.removeHandler(handler)
+    entry = json.loads(stream.getvalue())
+    assert "RuntimeError: boom" in entry["exception"]
+
+
+def test_configure_logging_is_idempotent_and_switchable():
+    try:
+        stream_a, stream_b = io.StringIO(), io.StringIO()
+        configure_logging(json_format=False, stream=stream_a)
+        configure_logging(json_format=True, stream=stream_b)
+        root = logging.getLogger("repro")
+        stream_handlers = [
+            h for h in root.handlers
+            if isinstance(h, logging.StreamHandler)
+            and not isinstance(h, logging.NullHandler)
+        ]
+        assert len(stream_handlers) == 1  # replaced, not stacked
+        get_logger("test.cfg").info("hello", extra={"job": "fp"})
+        assert stream_a.getvalue() == ""
+        entry = json.loads(stream_b.getvalue())
+        assert entry["message"] == "hello"
+        assert entry["job"] == "fp"
+    finally:
+        _teardown()
+
+
+def test_library_import_does_not_log_to_stderr(capsys):
+    get_logger("test.silent").warning("should go nowhere")
+    captured = capsys.readouterr()
+    assert "should go nowhere" not in captured.err
+    assert "should go nowhere" not in captured.out
