@@ -398,6 +398,12 @@ class SweepResult:
     without recomputation (result-cache hits plus coalesced duplicates),
     measured as the scheduler-counter delta across the sweep; it is
     ``None`` when the attached client exposes no ``stats()``.
+
+    Jobs that fail terminally (quarantined poison pills, worker faults
+    past the retry budget, permanent errors) land in ``failed`` instead
+    of aborting the sweep; ``attempts`` records each *successful* job's
+    execution count (1 = first try; more = the resilience layer
+    retried it), aligned with ``reports``.
     """
 
     backends: Tuple[str, ...]
@@ -406,6 +412,10 @@ class SweepResult:
     elapsed_seconds: float = 0.0
     cache_hits: Optional[int] = None
     scheduler_stats: Optional[Dict[str, Any]] = None
+    attempts: List[int] = field(default_factory=list)
+    """Per-report execution attempt counts (aligned with ``reports``)."""
+    failed: List[Dict[str, Any]] = field(default_factory=list)
+    """Terminally failed jobs: ``{"game", "backend", "error", "error_type"}``."""
     phase_seconds: Dict[str, float] = field(default_factory=dict)
     """Aggregate seconds per top-level trace phase (queue / coalesce /
     shm / run / settle), summed over every traced job in the sweep.
@@ -420,6 +430,11 @@ class SweepResult:
     def num_jobs(self) -> int:
         """Jobs executed: one per (game, backend) pair."""
         return len(self.reports)
+
+    @property
+    def retried_jobs(self) -> int:
+        """Successful jobs that needed more than one execution attempt."""
+        return sum(1 for count in self.attempts if count > 1)
 
     @property
     def cache_hit_rate(self) -> Optional[float]:
@@ -443,10 +458,15 @@ class SweepResult:
         hit_part = ""
         if self.cache_hit_rate is not None:
             hit_part = f", {self.cache_hit_rate:.0%} cache hits"
+        resilience_part = ""
+        if self.retried_jobs:
+            resilience_part = f", {self.retried_jobs} retried"
+        if self.failed:
+            resilience_part += f", {len(self.failed)} failed"
         return (
             f"{self.num_games} games x {len(self.backends)} backends = "
             f"{self.num_jobs} jobs in {self.elapsed_seconds:.2f}s "
-            f"(mean success {self.mean_success_rate():.1%}{hit_part})"
+            f"(mean success {self.mean_success_rate():.1%}{hit_part}{resilience_part})"
         )
 
 
@@ -543,10 +563,28 @@ def sweep(
         if not taken:
             return
         if bulk:
-            outcomes = client.results([job_id for job_id, _, _ in taken])
+            outcomes = client.results(
+                [job_id for job_id, _, _ in taken], return_exceptions=True
+            )
         else:
-            outcomes = [client.result(job_id) for job_id, _, _ in taken]
-        for (_, work, _), outcome in zip(taken, outcomes):
+            outcomes = []
+            for job_id, _, _ in taken:
+                try:
+                    outcomes.append(client.result(job_id))
+                except Exception as exc:  # noqa: BLE001 - per-job failure bucket
+                    outcomes.append(exc)
+        for (_, work, backend), outcome in zip(taken, outcomes):
+            if isinstance(outcome, BaseException):
+                # A terminally failed job (quarantined, out of retries,
+                # bad spec) is reported, not fatal to the whole sweep.
+                _, game_name = _spec_context(work)
+                result.failed.append({
+                    "game": game_name,
+                    "backend": backend,
+                    "error": str(outcome),
+                    "error_type": getattr(outcome, "ERROR_TYPE", type(outcome).__name__),
+                })
+                continue
             tracked, game_name = _spec_context(work)
             report = _report_from_outcome(outcome, game_name, spec.num_runs)
             _finalise_spec_report(report, work, tracked)
@@ -563,6 +601,7 @@ def sweep(
                             phase["end_ms"] - phase["start_ms"]
                         ) / 1000.0
             result.reports.append(report)
+            result.attempts.append(int(getattr(outcome, "attempts", 1)))
 
     try:
         if bulk:

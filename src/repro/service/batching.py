@@ -46,6 +46,12 @@ from repro.service.portfolio import (
     outcome_from_batch,
     solve_cnash,
 )
+from repro.service.resilience.faults import (
+    InjectedFault,
+    WorkerCrash,
+    fault_point,
+    installed_fault_plan,
+)
 from repro.telemetry import Timeline, get_logger
 from repro.telemetry import enabled as telemetry_enabled
 from repro.telemetry import registry as telemetry_registry
@@ -109,7 +115,22 @@ def _job_request(job: Dict[str, Any]) -> SolveRequest:
 
 def _error_entry(exc: BaseException) -> Dict[str, Any]:
     """Per-job failure entry, formatted exactly like the solo dispatch path."""
-    return {"ok": False, "error": f"{type(exc).__name__}: {exc}"}
+    entry: Dict[str, Any] = {"ok": False, "error": f"{type(exc).__name__}: {exc}"}
+    if isinstance(exc, InjectedFault):
+        # A live class hint survives the wire; the parent's marker-based
+        # fallback classification would reach the same verdict.
+        entry["fault_class"] = "transient"
+    return entry
+
+
+def _maybe_corrupt(result: Dict[str, Any], request: SolveRequest,
+                   in_subprocess: bool) -> None:
+    """Chaos hook: the ``settle``-point ``corrupt`` action mangles the
+    outcome fingerprint, which the parent's integrity gate rejects."""
+    action = fault_point("settle", key=request.fingerprint(),
+                         in_subprocess=in_subprocess)
+    if action == "corrupt":
+        result["fingerprint"] = "0" * 64
 
 
 def _shard_outcome(request: SolveRequest, batch: SolverBatchResult) -> Dict[str, Any]:
@@ -146,10 +167,28 @@ def execute_job_batch_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
     metrics delta for worker *processes*.  On thread executors the
     worker shares the parent's process-global registry, so the delta is
     skipped (``payload["parent_pid"]`` matches) to avoid double counts.
+
+    Chaos: when the payload ships a ``"fault_plan"`` (see
+    :mod:`repro.service.resilience.faults`) it is installed for the
+    duration of the call and the named injection points fire —
+    ``worker_entry`` before any work, ``materialize`` per job,
+    ``kernel`` before each solve, ``settle`` after each result (the
+    ``corrupt`` action mangles the outcome fingerprint).  ``crash``
+    actions hard-exit real worker processes and raise
+    :class:`WorkerCrash` on thread/inline executors, which deliberately
+    escapes the per-job isolation boundaries below — a dying worker
+    takes its whole batch, exactly like a real crash.
     """
+    with installed_fault_plan(payload.get("fault_plan")):
+        return _execute_job_batch(payload)
+
+
+def _execute_job_batch(payload: Dict[str, Any]) -> Dict[str, Any]:
     jobs = payload["jobs"]
     results: List[Optional[Dict[str, Any]]] = [None] * len(jobs)
     batch_id = payload.get("batch_id")
+    in_subprocess = payload.get("parent_pid") not in (None, os.getpid())
+    fault_point("worker_entry", key=str(batch_id), in_subprocess=in_subprocess)
     tracing = telemetry_enabled()
     timelines = [Timeline() for _ in jobs] if tracing else None
     matcache = global_materialization_cache()
@@ -179,6 +218,8 @@ def execute_job_batch_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
         request = None
         try:
             request = _job_request(job)
+            fault_point("materialize", key=request.fingerprint(),
+                        in_subprocess=in_subprocess)
             if job["kind"] == "cnash_shard":
                 spec = request.game_spec
                 cached = spec is not None and matcache.contains(spec)
@@ -203,6 +244,8 @@ def execute_job_batch_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
                     solo.append(entry)
             else:
                 solo.append((index, "generic", request, 0, None, None))
+        except WorkerCrash:
+            raise  # a crashing worker takes the whole batch, not one job
         except Exception as exc:  # noqa: BLE001 - per-job isolation boundary
             _fail(index, exc, request, "materialize")
 
@@ -216,6 +259,9 @@ def execute_job_batch_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
         shards = [(game, runs, seed) for _, _, _, runs, seed, game in entries]
         config = effective_config(entries[0][2])
         try:
+            for _, _, request, *_ in entries:
+                fault_point("kernel", key=request.fingerprint(),
+                            in_subprocess=in_subprocess)
             if timelines:
                 start_ns = perf_counter_ns()
                 batches = solve_shards_fused(shards, config)
@@ -227,6 +273,8 @@ def execute_job_batch_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
                     )
             else:
                 batches = solve_shards_fused(shards, config)
+        except WorkerCrash:
+            raise  # a crashing worker takes the whole batch, not one job
         except Exception as exc:  # noqa: BLE001 - the launch is one kernel call
             for index, _, request, *_ in entries:
                 _fail(index, exc, request, "fused kernel")
@@ -238,17 +286,22 @@ def execute_job_batch_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
                         result = _shard_outcome(request, batch)
                 else:
                     result = _shard_outcome(request, batch)
+                _maybe_corrupt(result, request, in_subprocess)
                 results[index] = {
                     "ok": True,
                     "kind": "cnash_outcome",
                     "result": result,
                 }
+            except WorkerCrash:
+                raise  # a crashing worker takes the whole batch, not one job
             except Exception as exc:  # noqa: BLE001 - per-job isolation boundary
                 _fail(index, exc, request, "settle")
 
     # Singleton / ineligible jobs run exactly the per-job worker code.
     for index, kind, request, runs, seed, _ in solo:
         try:
+            fault_point("kernel", key=request.fingerprint(),
+                        in_subprocess=in_subprocess)
             if kind == "cnash_shard":
                 if timelines:
                     with timelines[index].span("kernel"):
@@ -258,6 +311,7 @@ def execute_job_batch_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
                 else:
                     batch = solve_cnash(request, num_runs=runs, seed=seed)
                     result = _shard_outcome(request, batch)
+                _maybe_corrupt(result, request, in_subprocess)
                 results[index] = {
                     "ok": True,
                     "kind": "cnash_outcome",
@@ -269,11 +323,14 @@ def execute_job_batch_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
                         result = execute_request(request).to_dict()
                 else:
                     result = execute_request(request).to_dict()
+                _maybe_corrupt(result, request, in_subprocess)
                 results[index] = {
                     "ok": True,
                     "kind": "generic",
                     "result": result,
                 }
+        except WorkerCrash:
+            raise  # a crashing worker takes the whole batch, not one job
         except Exception as exc:  # noqa: BLE001 - per-job isolation boundary
             _fail(index, exc, request, "solve")
 

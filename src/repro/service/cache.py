@@ -5,8 +5,11 @@ values are :class:`~repro.service.jobs.SolveOutcome` JSON dicts, so a
 cache entry is exactly what the wire protocol and the worker pool
 already exchange.  The memory tier is a strict LRU bounded by
 ``capacity``; the optional disk tier (one ``<fingerprint>.json`` file
-per entry) is unbounded and survives restarts — a disk hit is promoted
-back into memory.
+per entry) survives restarts — a disk hit is promoted back into memory
+(and its file's mtime refreshed, so disk recency tracks access, not
+write time).  The disk tier is unbounded by default; set
+``max_disk_bytes`` to bound it, evicting oldest-mtime entries first
+once the tier's total size passes the budget.
 
 All operations are thread-safe: a lock guards the memory tier's
 bookkeeping, while disk I/O runs lock-free (atomic rename writes of
@@ -19,6 +22,7 @@ blocks its event loop.
 from __future__ import annotations
 
 import json
+import os
 import threading
 import uuid
 from collections import OrderedDict
@@ -44,6 +48,8 @@ def _metrics(reg):
                     "Result-cache entries written"),
         reg.counter("repro_cache_disk_hits_total",
                     "Result-cache hits promoted from the disk tier"),
+        reg.counter("repro_cache_disk_evictions_total",
+                    "Result-cache disk entries dropped by the max-bytes budget"),
     )
 
 
@@ -70,6 +76,7 @@ class CacheStats:
     evictions: int = 0
     stores: int = 0
     disk_hits: int = 0
+    disk_evictions: int = 0
 
     @property
     def lookups(self) -> int:
@@ -91,6 +98,7 @@ class CacheStats:
             "evictions": self.evictions,
             "stores": self.stores,
             "disk_hits": self.disk_hits,
+            "disk_evictions": self.disk_evictions,
             "hit_rate": self.hit_rate,
         }
 
@@ -106,16 +114,28 @@ class ResultCache:
         entries are evicted first).  ``0`` disables the memory tier.
     directory:
         Optional directory for the persistent tier; created on first
-        store.  Disk entries are never evicted by the cache.
+        store.
+    max_disk_bytes:
+        Optional byte budget for the disk tier.  ``None`` (default)
+        keeps it unbounded; otherwise, after every store the
+        oldest-mtime entries are unlinked until the tier's total size
+        fits the budget (disk hits refresh mtime, so this is an LRU by
+        access).  A budget smaller than one entry still admits the
+        freshly written entry — the bound is best-effort, enforced
+        after the write.
     """
 
     capacity: int = 256
     directory: Optional[Path] = None
+    max_disk_bytes: Optional[int] = None
     stats: CacheStats = field(default_factory=CacheStats)
 
     def __post_init__(self) -> None:
         if self.capacity < 0:
             raise ValueError(f"capacity must be non-negative, got {self.capacity}")
+        if self.max_disk_bytes is not None and self.max_disk_bytes < 0:
+            raise ValueError(
+                f"max_disk_bytes must be non-negative, got {self.max_disk_bytes}")
         if self.directory is not None:
             self.directory = Path(self.directory)
         self._entries: "OrderedDict[str, Dict[str, Any]]" = OrderedDict()
@@ -142,7 +162,7 @@ class ResultCache:
         Memory hits refresh recency; disk hits are promoted into memory.
         """
         _check_fingerprint(fingerprint)
-        hits, misses, _, _, disk_hits = _metrics()
+        hits, misses, _, _, disk_hits, _ = _metrics()
         with self._lock:
             entry = self._entries.get(fingerprint)
             if entry is not None:
@@ -181,6 +201,7 @@ class ResultCache:
             tmp = path.with_suffix(f".{uuid.uuid4().hex}.tmp")
             tmp.write_text(payload, encoding="utf-8")
             tmp.replace(path)
+            self._enforce_disk_budget()
 
     def put_many(self, entries: "list[tuple[str, Dict[str, Any]]]") -> None:
         """Store several ``(fingerprint, outcome)`` pairs in one call.
@@ -208,6 +229,7 @@ class ResultCache:
                 tmp = path.with_suffix(f".{uuid.uuid4().hex}.tmp")
                 tmp.write_text(payload, encoding="utf-8")
                 tmp.replace(path)
+            self._enforce_disk_budget()
 
     def clear(self) -> None:
         """Drop the memory tier (disk entries are left in place)."""
@@ -241,6 +263,51 @@ class ResultCache:
         if path is None:
             return None
         try:
-            return json.loads(path.read_text(encoding="utf-8"))
+            entry = json.loads(path.read_text(encoding="utf-8"))
         except (OSError, json.JSONDecodeError):
             return None
+        if self.max_disk_bytes is not None:
+            try:
+                # Refresh mtime so the budget enforcer's oldest-first
+                # ordering is an LRU by access rather than by write.
+                os.utime(path)
+            except OSError:  # pragma: no cover - raced with eviction
+                pass
+        return entry
+
+    def _enforce_disk_budget(self) -> None:
+        """Evict oldest-mtime disk entries until the tier fits the budget.
+
+        Best-effort and lock-free like the writes: a concurrently
+        unlinked file is simply skipped, and two enforcers racing will
+        at worst both observe an over-budget tier and delete disjoint
+        files (unlink is idempotent via ``missing_ok``).
+        """
+        budget = self.max_disk_bytes
+        if budget is None or self.directory is None:
+            return
+        entries = []
+        total = 0
+        for path in self.directory.glob("*.json"):
+            try:
+                stat = path.stat()
+            except OSError:  # pragma: no cover - raced with eviction
+                continue
+            entries.append((stat.st_mtime, stat.st_size, path))
+            total += stat.st_size
+        if total <= budget:
+            return
+        entries.sort(key=lambda item: item[0])
+        # Never evict the newest entry: a budget smaller than one entry
+        # must still admit the write that triggered enforcement.
+        for _, size, path in entries[:-1]:
+            if total <= budget:
+                break
+            try:
+                path.unlink(missing_ok=True)
+            except OSError:  # pragma: no cover - raced with eviction
+                continue
+            total -= size
+            with self._lock:
+                self.stats.disk_evictions += 1
+            _metrics()[5].inc()

@@ -24,17 +24,63 @@ from __future__ import annotations
 import asyncio
 import json
 import threading
-from typing import Any, Dict, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Union
 
 from repro.service.batching import DEFAULT_MAX_BATCH_JOBS, DEFAULT_MAX_BATCH_LINGER_MS
 from repro.service.cache import ResultCache
 from repro.service.jobs import SolveOutcome, SolveRequest
+from repro.service.resilience import WIRE_ERRORS, ServiceUnavailable
 from repro.service.scheduler import DEFAULT_SHARD_SIZE, SolveScheduler
 from repro.service.server import MAX_LINE_BYTES
 
 
 class ServiceError(RuntimeError):
-    """An error response from the service."""
+    """An error response from the service (untyped / legacy)."""
+
+
+@dataclass(frozen=True)
+class ReconnectPolicy:
+    """Bounded reconnect-with-backoff for the TCP clients.
+
+    ``max_attempts`` counts total connection attempts; exhaustion
+    surfaces as the typed
+    :class:`~repro.service.resilience.ServiceUnavailable` instead of a
+    raw ``ConnectionError`` traceback.
+    """
+
+    max_attempts: int = 3
+    base_backoff_s: float = 0.1
+    max_backoff_s: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {self.max_attempts}")
+
+    def backoff_s(self, attempt: int) -> float:
+        """Delay before attempt ``attempt + 1`` (attempt is 1-based)."""
+        return min(self.base_backoff_s * (2 ** max(0, attempt - 1)),
+                   self.max_backoff_s)
+
+
+def _raise_from_response(response: Dict[str, Any]) -> None:
+    """Re-raise a ``{"ok": false}`` response as its typed exception.
+
+    Responses carrying an ``error_type`` wire tag (load shedding, open
+    breakers, …) become the matching
+    :class:`~repro.service.resilience.ResilienceError` subclass with its
+    ``retry_after_s`` hint restored; everything else stays the legacy
+    :class:`ServiceError`.
+    """
+    message = response.get("error", "unknown service error")
+    error_cls = WIRE_ERRORS.get(response.get("error_type"))
+    if error_cls is None:
+        raise ServiceError(message)
+    exc = error_cls(message)
+    retry_after = response.get("retry_after_s")
+    if retry_after is not None:
+        exc.retry_after_s = float(retry_after)
+    raise exc
 
 
 class ServiceClient:
@@ -45,10 +91,35 @@ class ServiceClient:
         self._writer = writer
 
     @classmethod
-    async def connect(cls, host: str = "127.0.0.1", port: int = 8765) -> "ServiceClient":
-        """Open a connection to a running server."""
-        reader, writer = await asyncio.open_connection(host, port, limit=MAX_LINE_BYTES)
-        return cls(reader, writer)
+    async def connect(
+        cls,
+        host: str = "127.0.0.1",
+        port: int = 8765,
+        reconnect: Optional[ReconnectPolicy] = None,
+    ) -> "ServiceClient":
+        """Open a connection to a running server.
+
+        With a :class:`ReconnectPolicy`, failed connection attempts are
+        retried with bounded backoff; exhaustion (and a policy-less
+        failure) raises the typed :class:`ServiceUnavailable` instead of
+        leaking ``ConnectionRefusedError``.
+        """
+        policy = reconnect or ReconnectPolicy(max_attempts=1)
+        last_error: Optional[BaseException] = None
+        for attempt in range(1, policy.max_attempts + 1):
+            try:
+                reader, writer = await asyncio.open_connection(
+                    host, port, limit=MAX_LINE_BYTES
+                )
+                return cls(reader, writer)
+            except (ConnectionError, OSError) as exc:
+                last_error = exc
+                if attempt < policy.max_attempts:
+                    await asyncio.sleep(policy.backoff_s(attempt))
+        raise ServiceUnavailable(
+            f"cannot connect to {host}:{port} after {policy.max_attempts} "
+            f"attempt(s): {last_error}"
+        ) from last_error
 
     async def close(self) -> None:
         """Close the connection."""
@@ -61,16 +132,23 @@ class ServiceClient:
     async def call(self, message: Dict[str, Any]) -> Dict[str, Any]:
         """Send one protocol message and return the decoded response.
 
-        Raises :class:`ServiceError` on ``{"ok": false}`` responses.
+        ``{"ok": false}`` responses raise their typed
+        :class:`~repro.service.resilience.ResilienceError` when the
+        server tagged them (``Overloaded``, ``CircuitOpen``, …), else
+        the legacy :class:`ServiceError`; transport-level drops raise
+        :class:`ServiceUnavailable`.
         """
-        self._writer.write(json.dumps(message).encode("utf-8") + b"\n")
-        await self._writer.drain()
-        line = await self._reader.readline()
+        try:
+            self._writer.write(json.dumps(message).encode("utf-8") + b"\n")
+            await self._writer.drain()
+            line = await self._reader.readline()
+        except (ConnectionError, OSError) as exc:
+            raise ServiceUnavailable(f"connection lost mid-call: {exc}") from exc
         if not line:
-            raise ServiceError("server closed the connection")
+            raise ServiceUnavailable("server closed the connection")
         response = json.loads(line)
         if not response.get("ok"):
-            raise ServiceError(response.get("error", "unknown service error"))
+            _raise_from_response(response)
         return response
 
     # ------------------------------------------------------------------
@@ -126,16 +204,29 @@ class SyncServiceClient:
     """Blocking TCP client: one connection and event loop per call.
 
     Convenient for scripts; for high request rates use
-    :class:`ServiceClient` on a long-lived loop instead.
+    :class:`ServiceClient` on a long-lived loop instead.  Connection
+    failures retry per ``reconnect`` (a :class:`ReconnectPolicy` or an
+    attempt count) and surface as the typed
+    :class:`~repro.service.resilience.ServiceUnavailable`.
     """
 
-    def __init__(self, host: str = "127.0.0.1", port: int = 8765) -> None:
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8765,
+        reconnect: Union[ReconnectPolicy, int, None] = None,
+    ) -> None:
         self.host = host
         self.port = port
+        if isinstance(reconnect, int):
+            reconnect = ReconnectPolicy(max_attempts=reconnect)
+        self.reconnect = reconnect
 
     def _run(self, op_coro_factory):
         async def body():
-            client = await ServiceClient.connect(self.host, self.port)
+            client = await ServiceClient.connect(
+                self.host, self.port, reconnect=self.reconnect
+            )
             try:
                 return await op_coro_factory(client)
             finally:
@@ -182,10 +273,14 @@ class InProcessClient:
         cache: Optional[ResultCache] = None,
         max_batch_jobs: int = DEFAULT_MAX_BATCH_JOBS,
         max_batch_linger_ms: float = DEFAULT_MAX_BATCH_LINGER_MS,
+        **scheduler_kwargs: Any,
     ) -> None:
         # Validate the configuration (the scheduler constructor raises on
         # bad executor kinds / sizes) before starting the loop thread, so
         # a misconfiguration cannot leak a running daemon loop.
+        # ``scheduler_kwargs`` passes the resilience knobs straight
+        # through (retry_policy, max_queue_depth, worker_timeout_s,
+        # fault_plan, ...).
         self._scheduler = SolveScheduler(
             max_workers=max_workers,
             shard_size=shard_size,
@@ -193,6 +288,7 @@ class InProcessClient:
             cache=cache,
             max_batch_jobs=max_batch_jobs,
             max_batch_linger_ms=max_batch_linger_ms,
+            **scheduler_kwargs,
         )
         self._loop = asyncio.new_event_loop()
         self._thread = threading.Thread(
@@ -252,14 +348,24 @@ class InProcessClient:
         return self._call(self._scheduler.wait(job_id), timeout)
 
     def results(
-        self, job_ids: Sequence[str], timeout: Optional[float] = None
-    ) -> List[SolveOutcome]:
-        """Block until every listed job's outcome arrives, in order."""
+        self,
+        job_ids: Sequence[str],
+        timeout: Optional[float] = None,
+        return_exceptions: bool = False,
+    ) -> List[Any]:
+        """Block until every listed job's outcome arrives, in order.
 
-        async def body() -> List[SolveOutcome]:
+        With ``return_exceptions=True``, per-job failures (``FAILED`` /
+        ``QUARANTINED`` records, shed submissions) come back as the
+        exception object in that job's slot instead of aborting the
+        whole wait — the sweep-with-failures path.
+        """
+
+        async def body() -> List[Any]:
             return list(
                 await asyncio.gather(
-                    *(self._scheduler.wait(job_id) for job_id in job_ids)
+                    *(self._scheduler.wait(job_id) for job_id in job_ids),
+                    return_exceptions=return_exceptions,
                 )
             )
 

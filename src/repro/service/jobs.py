@@ -338,6 +338,12 @@ class SolveOutcome:
     #: scheduler when telemetry is enabled.  ``None`` traces are omitted
     #: from the wire form so pre-telemetry payloads are byte-identical.
     trace: Optional[List[Dict[str, Any]]] = None
+    #: Total executions this outcome took (1 = first try).  Execution
+    #: metadata like ``trace``: the default is omitted from the wire
+    #: form so fault-free payloads stay byte-identical to earlier
+    #: releases, and result comparisons must strip it alongside the
+    #: trace.
+    attempts: int = 1
 
     @property
     def num_equilibria(self) -> int:
@@ -364,6 +370,8 @@ class SolveOutcome:
         }
         if self.trace is not None:
             payload["trace"] = self.trace
+        if self.attempts > 1:
+            payload["attempts"] = int(self.attempts)
         return payload
 
     @classmethod
@@ -379,6 +387,7 @@ class SolveOutcome:
             shards=int(data.get("shards", 1)),
             wall_clock_seconds=float(data.get("wall_clock_seconds", 0.0)),
             trace=data.get("trace"),
+            attempts=int(data.get("attempts", 1)),
         )
 
 
@@ -391,8 +400,12 @@ class JobStatus:
     FAILED = "failed"
     CANCELLED = "cancelled"
     EXPIRED = "expired"
+    #: Terminal state for poison pills: the job's execution killed a
+    #: worker ``RetryPolicy.quarantine_after`` times, so the scheduler
+    #: refuses to crash-loop the pool on it.
+    QUARANTINED = "quarantined"
 
-    TERMINAL = (DONE, FAILED, CANCELLED, EXPIRED)
+    TERMINAL = (DONE, FAILED, CANCELLED, EXPIRED, QUARANTINED)
 
 
 @dataclass
@@ -422,6 +435,17 @@ class JobRecord:
     cache_hit: bool = False
     #: Per-job trace timeline (scheduler bookkeeping, not wire state).
     timeline: Optional[Timeline] = None
+    #: Executions so far (1 while the first attempt runs); bumped by the
+    #: scheduler's retry machinery and published on the outcome.
+    attempts: int = 1
+    #: Worker deaths attributed to this job (poison-pill accounting).
+    worker_deaths: int = 0
+    #: Set when a retry must dispatch solo (never coalesced), so a
+    #: poison pill cannot drag innocent batch companions down with it.
+    no_batch: bool = False
+    #: Solver-miss escalation rung: 0 = original policy and seed,
+    #: 1 = fresh seed, >= 2 = walk the registry portfolio order.
+    escalation_stage: int = 0
 
     @property
     def done(self) -> bool:
@@ -451,6 +475,7 @@ class JobRecord:
             "finished_at": self.finished_at,
             "error": self.error,
             "cache_hit": self.cache_hit,
+            "attempts": self.attempts,
         }
         if include_outcome:
             payload["outcome"] = None if self.outcome is None else self.outcome.to_dict()

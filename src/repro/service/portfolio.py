@@ -22,6 +22,7 @@ dicts back (see :func:`execute_request_payload`).
 from __future__ import annotations
 
 import dataclasses
+import os
 from typing import Dict, List, Optional, Tuple
 
 from repro.backends import (
@@ -39,6 +40,7 @@ from repro.core.result import SolverBatchResult
 from repro.core.solver import CNashSolver
 from repro.games.equilibrium import EquilibriumSet, StrategyProfile
 from repro.service.jobs import SolveOutcome, SolveRequest
+from repro.service.resilience.faults import fault_point, installed_fault_plan
 from repro.utils.rng import shard_seeds
 
 #: Deprecated alias — the portfolio member order is now data on the
@@ -265,7 +267,17 @@ def execute_request_payload(payload: dict) -> dict:
     and sees only built-ins) — serve custom backends with the
     thread/inline executors for portable behaviour.
     """
-    return execute_request(SolveRequest.from_dict(payload)).to_dict()
+    with installed_fault_plan(payload.get("fault_plan")):
+        request = SolveRequest.from_dict(payload)
+        in_subprocess = payload.get("parent_pid") not in (None, os.getpid())
+        fault_point("worker_entry", key=request.fingerprint(),
+                    in_subprocess=in_subprocess)
+        # Same injection point as the batched path: the kernel launch
+        # happens here too, so a fault matched to one job's fingerprint
+        # follows it onto solo (no-batch) retries.
+        fault_point("kernel", key=request.fingerprint(),
+                    in_subprocess=in_subprocess)
+        return execute_request(request).to_dict()
 
 
 def solve_shard_payload(payload: dict) -> dict:
@@ -274,9 +286,17 @@ def solve_shard_payload(payload: dict) -> dict:
     ``payload`` is ``{"request": <request dict>, "shard_runs": n,
     "shard_seed": s}``; returns the shard's batch dict.
     """
-    request = SolveRequest.from_dict(payload["request"])
-    batch = solve_cnash(request, num_runs=payload["shard_runs"], seed=payload["shard_seed"])
-    return batch.to_dict()
+    with installed_fault_plan(payload.get("fault_plan")):
+        request = SolveRequest.from_dict(payload["request"])
+        in_subprocess = payload.get("parent_pid") not in (None, os.getpid())
+        fault_point("worker_entry", key=request.fingerprint(),
+                    in_subprocess=in_subprocess)
+        fault_point("kernel", key=request.fingerprint(),
+                    in_subprocess=in_subprocess)
+        batch = solve_cnash(
+            request, num_runs=payload["shard_runs"], seed=payload["shard_seed"]
+        )
+        return batch.to_dict()
 
 
 def shard_payloads(request: SolveRequest, shard_size: int) -> List[dict]:

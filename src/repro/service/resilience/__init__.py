@@ -1,0 +1,81 @@
+"""Resilience subsystem for the serving layer.
+
+Dependency-free failure handling wired through the whole serving path:
+typed errors (:mod:`.errors`), deterministic fault injection
+(:mod:`.faults`), retry/backoff/escalation policy (:mod:`.policy`),
+per-backend circuit breakers (:mod:`.breaker`), admission control /
+load shedding (:mod:`.admission`) and worker-pool supervision
+(:mod:`.supervisor`).  See the README "Resilience" section for the
+operational story.
+"""
+
+from .admission import AdmissionController
+from .breaker import BreakerBoard, CircuitBreaker
+from .errors import (
+    CircuitOpen,
+    Overloaded,
+    ResilienceError,
+    ServiceUnavailable,
+    WIRE_ERRORS,
+    WorkerDeath,
+    WorkerHang,
+)
+from .faults import (
+    CRASH_EXIT_CODE,
+    FaultPlan,
+    FaultRule,
+    InjectedDisconnect,
+    InjectedFault,
+    WorkerCrash,
+    active_fault_plan,
+    chaos_plan,
+    fault_point,
+    install_fault_plan,
+    installed_fault_plan,
+)
+from .policy import (
+    FAULT_CLASSES,
+    PERMANENT,
+    RetryPolicy,
+    RetryRule,
+    SOLVER_MISS,
+    TRANSIENT,
+    WORKER_DEATH,
+    classify_failure,
+    retry_seed,
+)
+from .supervisor import WorkerPoolSupervisor
+
+__all__ = [
+    "AdmissionController",
+    "BreakerBoard",
+    "CircuitBreaker",
+    "CircuitOpen",
+    "CRASH_EXIT_CODE",
+    "FAULT_CLASSES",
+    "FaultPlan",
+    "FaultRule",
+    "InjectedDisconnect",
+    "InjectedFault",
+    "Overloaded",
+    "PERMANENT",
+    "ResilienceError",
+    "RetryPolicy",
+    "RetryRule",
+    "SOLVER_MISS",
+    "ServiceUnavailable",
+    "TRANSIENT",
+    "WIRE_ERRORS",
+    "WORKER_DEATH",
+    "WorkerCrash",
+    "WorkerDeath",
+    "WorkerHang",
+    "WorkerPoolSupervisor",
+    "active_fault_plan",
+    "chaos_plan",
+    "classify_failure",
+    "fault_point",
+    "install_fault_plan",
+    "installed_fault_plan",
+    "retry_seed",
+]

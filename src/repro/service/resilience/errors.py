@@ -1,0 +1,105 @@
+"""Typed failure vocabulary of the resilience subsystem.
+
+Every failure mode the serving layer can now *handle* (rather than
+merely propagate) has a first-class exception type, so callers can
+branch on ``except Overloaded`` instead of string-matching a
+``RuntimeError``.  The hierarchy is deliberately flat and rooted in
+:class:`ResilienceError` (a ``RuntimeError``), so pre-existing
+``except RuntimeError`` handlers keep working unchanged.
+
+Wire mapping: the TCP server serialises these as
+``{"ok": false, "error": ..., "error_type": <ERROR_TYPE>}`` and the
+clients re-raise the matching type (see
+:meth:`repro.service.server.NashServer._handle_line` and
+:meth:`repro.service.client.ServiceClient.call`).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class ResilienceError(RuntimeError):
+    """Base class for every typed serving-layer failure."""
+
+    #: Stable wire tag (``error_type`` field of error responses).
+    ERROR_TYPE = "resilience"
+
+
+class Overloaded(ResilienceError):
+    """The scheduler shed this job: the queue is at (or near) capacity.
+
+    Carries enough context for a client to back off intelligently:
+    the observed queue depth, the configured capacity, and a
+    ``retry_after_s`` hint.
+    """
+
+    ERROR_TYPE = "overloaded"
+
+    def __init__(
+        self,
+        message: str,
+        queue_depth: Optional[int] = None,
+        capacity: Optional[int] = None,
+        retry_after_s: Optional[float] = None,
+    ) -> None:
+        super().__init__(message)
+        self.queue_depth = queue_depth
+        self.capacity = capacity
+        self.retry_after_s = retry_after_s
+
+
+class CircuitOpen(ResilienceError):
+    """The backend's circuit breaker is open: failing fast, not queueing.
+
+    Raised at submit time so the client learns immediately instead of
+    waiting for a doomed execution; ``retry_after_s`` is the remaining
+    cooldown before the breaker half-opens.
+    """
+
+    ERROR_TYPE = "circuit_open"
+
+    def __init__(
+        self,
+        message: str,
+        backend: Optional[str] = None,
+        retry_after_s: Optional[float] = None,
+    ) -> None:
+        super().__init__(message)
+        self.backend = backend
+        self.retry_after_s = retry_after_s
+
+
+class ServiceUnavailable(ResilienceError):
+    """The service endpoint cannot be reached (connect/reset exhausted).
+
+    Replaces the raw ``ConnectionError`` / ``asyncio`` tracebacks the
+    TCP clients used to surface when the server was down; raised only
+    after the client's reconnect policy has been exhausted.
+    """
+
+    ERROR_TYPE = "service_unavailable"
+
+
+class WorkerDeath(ResilienceError):
+    """A worker process died (or was killed) while holding jobs.
+
+    Raised by the worker-pool supervisor when the executor reports a
+    broken pool; the scheduler classifies it as an infrastructure fault
+    and re-enqueues the in-flight jobs with their original seeds.
+    """
+
+    ERROR_TYPE = "worker_death"
+
+
+class WorkerHang(ResilienceError):
+    """A worker missed its heartbeat deadline; the pool was rebuilt."""
+
+    ERROR_TYPE = "worker_hang"
+
+
+#: ``error_type`` wire tag -> exception class, for client-side re-raising.
+WIRE_ERRORS = {
+    cls.ERROR_TYPE: cls
+    for cls in (Overloaded, CircuitOpen, ServiceUnavailable, WorkerDeath, WorkerHang)
+}

@@ -1,0 +1,321 @@
+"""Deterministic fault injection for the serving path.
+
+A :class:`FaultPlan` is a list of :class:`FaultRule` entries, each
+naming an *injection point* already on the hot path and an action to
+perform there.  The scheduler attaches the active plan to every worker
+payload, so faults fire identically on thread and process executors —
+and identically across pool rebuilds, because each rule's firing budget
+is claimed through atomic ``O_CREAT | O_EXCL`` file slots in a shared
+scratch directory (``times=2`` means *exactly two* firings process-wide,
+even when the firing process is killed by the fault itself).
+
+Injection points (see the call sites for exact placement):
+
+=================  ====================================================
+``worker_entry``   top of every worker-side payload execution
+                   (coalesced batches, C-Nash shards, generic requests)
+``materialize``    per job, around dense-game materialisation
+``kernel``         per job / fused group, around the solve itself
+``settle``         per job, around worker-side outcome settling
+``wire``           per protocol message, in the TCP server
+``shm``            in the worker, before attaching a shared segment
+=================  ====================================================
+
+Actions: ``"crash"`` (kill the worker process — or raise
+:class:`WorkerCrash` on in-process executors), ``"delay"`` (sleep
+``delay_s``), ``"error"`` (raise :class:`InjectedFault`, a transient
+infrastructure fault), ``"corrupt"`` (the call site mangles its payload
+— :func:`fault_point` returns the ``"corrupt"`` token), and
+``"disconnect"`` (the TCP server drops the connection mid-exchange).
+
+Used by the chaos test suite (``tests/service/test_resilience.py``) and
+the ``--chaos`` smoke mode of ``python -m repro.service``.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+import time
+import uuid
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.telemetry import family_cache, get_logger
+
+logger = get_logger("repro.service.resilience.faults")
+
+#: The injection points :func:`fault_point` accepts.
+FAULT_POINTS = ("worker_entry", "materialize", "kernel", "settle", "wire", "shm")
+
+#: The actions a rule may perform.
+FAULT_ACTIONS = ("crash", "delay", "error", "corrupt", "disconnect")
+
+#: Exit code of fault-killed worker processes (visible in pool logs).
+CRASH_EXIT_CODE = 13
+
+
+@family_cache
+def _metrics(reg):
+    return (
+        reg.counter("repro_resilience_faults_injected_total",
+                    "Faults fired by the active FaultPlan, by point and action"),
+    )
+
+
+class InjectedFault(RuntimeError):
+    """A fault injected by the active plan (classified as transient)."""
+
+
+class WorkerCrash(RuntimeError):
+    """In-process surrogate for a worker death (thread/inline executors).
+
+    On a process executor the ``"crash"`` action calls ``os._exit`` and
+    the parent observes ``BrokenProcessPool``; thread and inline
+    executors cannot kill their host process, so the crash surfaces as
+    this exception instead — the failure classifier treats both as the
+    same ``worker_death`` fault class.
+    """
+
+
+class InjectedDisconnect(RuntimeError):
+    """Signal for the TCP server to drop the connection abruptly."""
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """One deterministic fault: where, what, how often, and to whom.
+
+    Parameters
+    ----------
+    point:
+        Injection point name (one of :data:`FAULT_POINTS`).
+    action:
+        What to do when the rule fires (one of :data:`FAULT_ACTIONS`).
+    times:
+        Total firings allowed, *process-wide and crash-proof* (claimed
+        through the plan's shared scratch directory).  ``0`` disables
+        the rule.
+    match:
+        Optional substring filter on the call site's ``key`` (typically
+        a request fingerprint or an op name); ``None`` matches every
+        key.  This is what makes a fault stick to *one* job — a poison
+        pill — instead of whatever hits the point first.
+    delay_s:
+        Sleep duration for ``action="delay"``.
+    message:
+        Error text for ``action="error"``.
+    """
+
+    point: str
+    action: str
+    times: int = 1
+    match: Optional[str] = None
+    delay_s: float = 0.0
+    message: str = "injected fault"
+
+    def __post_init__(self) -> None:
+        if self.point not in FAULT_POINTS:
+            raise ValueError(
+                f"point must be one of {FAULT_POINTS}, got {self.point!r}")
+        if self.action not in FAULT_ACTIONS:
+            raise ValueError(
+                f"action must be one of {FAULT_ACTIONS}, got {self.action!r}")
+        if self.times < 0:
+            raise ValueError(f"times must be >= 0, got {self.times}")
+        if self.delay_s < 0:
+            raise ValueError(f"delay_s must be >= 0, got {self.delay_s}")
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON wire form (rides worker payloads)."""
+        return {
+            "point": self.point,
+            "action": self.action,
+            "times": self.times,
+            "match": self.match,
+            "delay_s": self.delay_s,
+            "message": self.message,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "FaultRule":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            point=str(data["point"]),
+            action=str(data["action"]),
+            times=int(data.get("times", 1)),
+            match=data.get("match"),
+            delay_s=float(data.get("delay_s", 0.0)),
+            message=str(data.get("message", "injected fault")),
+        )
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An ordered set of fault rules sharing one firing-budget scratch dir.
+
+    The ``token`` names a directory under the system temp dir where
+    rule firings are claimed as ``O_CREAT | O_EXCL`` slot files; plans
+    reconstructed from the wire (in worker processes) share the token
+    and therefore the budget.  Call :meth:`reset` to reclaim the
+    scratch space (tests) — a plan is single-use by design.
+    """
+
+    rules: Tuple[FaultRule, ...]
+    token: str = field(default_factory=lambda: uuid.uuid4().hex[:16])
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "rules", tuple(self.rules))
+
+    @property
+    def scratch_dir(self) -> str:
+        """The shared firing-budget directory of this plan."""
+        return os.path.join(tempfile.gettempdir(), f"repro-faults-{self.token}")
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON wire form (rides worker payloads)."""
+        return {
+            "token": self.token,
+            "rules": [rule.to_dict() for rule in self.rules],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "FaultPlan":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            rules=tuple(FaultRule.from_dict(rule) for rule in data["rules"]),
+            token=str(data["token"]),
+        )
+
+    def fired(self, rule_index: int) -> int:
+        """How many times rule ``rule_index`` has fired so far (all processes)."""
+        count = 0
+        for slot in range(self.rules[rule_index].times):
+            if os.path.exists(os.path.join(self.scratch_dir, f"{rule_index}.{slot}")):
+                count += 1
+        return count
+
+    def _claim(self, rule_index: int, times: int) -> bool:
+        """Atomically claim one firing slot; ``False`` when exhausted."""
+        os.makedirs(self.scratch_dir, exist_ok=True)
+        for slot in range(times):
+            path = os.path.join(self.scratch_dir, f"{rule_index}.{slot}")
+            try:
+                fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+            except FileExistsError:
+                continue
+            os.close(fd)
+            return True
+        return False
+
+    def reset(self) -> None:
+        """Release the firing-budget scratch directory (best-effort)."""
+        try:
+            for name in os.listdir(self.scratch_dir):
+                try:
+                    os.unlink(os.path.join(self.scratch_dir, name))
+                except OSError:
+                    pass
+            os.rmdir(self.scratch_dir)
+        except OSError:
+            pass
+
+
+# ----------------------------------------------------------------------
+# Plan activation
+# ----------------------------------------------------------------------
+_ACTIVE_PLAN: Optional[FaultPlan] = None
+
+
+def install_fault_plan(plan: Optional[FaultPlan]) -> None:
+    """Set (or clear, with ``None``) the process-global fault plan."""
+    global _ACTIVE_PLAN
+    _ACTIVE_PLAN = plan
+
+
+def active_fault_plan() -> Optional[FaultPlan]:
+    """The currently installed fault plan, if any."""
+    return _ACTIVE_PLAN
+
+
+@contextmanager
+def installed_fault_plan(plan: Optional[Dict[str, Any]]) -> Iterator[None]:
+    """Scoped activation from a wire dict (worker-side payload entry).
+
+    Worker processes receive the plan on the payload; workers on thread
+    executors already share the parent's global plan, so re-installing
+    the same token is harmless.  ``None`` payloads are a no-op.
+    """
+    if plan is None:
+        yield
+        return
+    previous = _ACTIVE_PLAN
+    install_fault_plan(FaultPlan.from_dict(plan))
+    try:
+        yield
+    finally:
+        install_fault_plan(previous)
+
+
+def fault_point(point: str, key: str = "", in_subprocess: bool = False) -> Optional[str]:
+    """Fire the active plan's matching rule at a named injection point.
+
+    Returns ``None`` (no fault, or a non-returning action handled here)
+    or the ``"corrupt"`` token, which the call site uses to mangle its
+    own payload.  ``key`` is matched against each rule's ``match``
+    substring; ``in_subprocess`` selects real process death
+    (``os._exit``) over the :class:`WorkerCrash` surrogate for
+    ``"crash"`` actions.
+
+    The fast path — no plan installed — is a single global read, so
+    production serving pays nothing for the instrumentation.
+    """
+    plan = _ACTIVE_PLAN
+    if plan is None:
+        return None
+    for index, rule in enumerate(plan.rules):
+        if rule.point != point or rule.times == 0:
+            continue
+        if rule.match is not None and rule.match not in key:
+            continue
+        if not plan._claim(index, rule.times):
+            continue
+        _metrics()[0].labels(point=point, action=rule.action).inc()
+        logger.warning(
+            "injecting fault", extra={
+                "point": point, "action": rule.action, "key": key[:64],
+                "pid": os.getpid(),
+            },
+        )
+        if rule.action == "crash":
+            if in_subprocess:
+                os._exit(CRASH_EXIT_CODE)
+            raise WorkerCrash(f"injected worker crash at {point}")
+        if rule.action == "delay":
+            time.sleep(rule.delay_s)
+            return None
+        if rule.action == "error":
+            raise InjectedFault(f"{rule.message} (at {point})")
+        if rule.action == "disconnect":
+            raise InjectedDisconnect(f"injected disconnect at {point}")
+        return "corrupt"
+    return None
+
+
+def chaos_plan(seed_faults: Optional[Sequence[FaultRule]] = None) -> FaultPlan:
+    """The default ``--chaos`` smoke plan: one of each recoverable fault.
+
+    A worker crash at batch entry, a transient kernel error, a corrupt
+    settle payload and a short materialisation delay — every one of
+    which the retry/supervision machinery must absorb without losing a
+    job.
+    """
+    rules = tuple(seed_faults) if seed_faults is not None else (
+        FaultRule(point="worker_entry", action="crash", times=1),
+        FaultRule(point="kernel", action="error", times=1,
+                  message="injected kernel fault"),
+        FaultRule(point="settle", action="corrupt", times=1),
+        FaultRule(point="materialize", action="delay", times=1, delay_s=0.01),
+    )
+    return FaultPlan(rules=rules)

@@ -24,6 +24,7 @@ path all sit on top of exactly this class.
 from __future__ import annotations
 
 import asyncio
+import dataclasses
 import hashlib
 import itertools
 import os
@@ -47,12 +48,29 @@ from repro.service.portfolio import (
     adopt_portfolio_attempt,
     cnash_is_builtin,
     execute_request_payload,
+    has_verified_equilibrium,
     member_request,
     outcome_from_batch,
     portfolio_order,
     shard_payloads,
     single_shard_payload,
     solve_shard_payload,
+)
+from repro.service.resilience import (
+    PERMANENT,
+    SOLVER_MISS,
+    TRANSIENT,
+    WORKER_DEATH,
+    AdmissionController,
+    BreakerBoard,
+    CircuitOpen,
+    FaultPlan,
+    RetryPolicy,
+    WorkerPoolSupervisor,
+    active_fault_plan,
+    classify_failure,
+    install_fault_plan,
+    retry_seed,
 )
 from repro.telemetry import Timeline, get_logger
 from repro.telemetry import enabled as telemetry_enabled
@@ -109,6 +127,11 @@ def _scheduler_metrics() -> Dict[str, Any]:
                                 "Jobs that rode a coalesced batch dispatch"),
         "shm_games_shared": counter("repro_scheduler_shm_games_shared_total",
                                     "Dense games moved via shared memory"),
+        "quarantined": counter("repro_resilience_quarantined_total",
+                               "Jobs quarantined as poison pills after repeated worker deaths"),
+        # Kept as the family: incremented with a fault_class label.
+        "retries": reg.counter("repro_resilience_retries_total",
+                               "Retry attempts scheduled, by fault class"),
         "queue_depth": reg.gauge("repro_scheduler_queue_depth",
                                  "Jobs waiting in the priority queue").labels(),
         "inflight": reg.gauge("repro_scheduler_jobs_inflight",
@@ -197,6 +220,30 @@ class SolveScheduler:
         only jobs *already queued* join, adding no latency; raise it on
         throughput-bound sweeps where a fuller batch is worth a bounded
         wait.
+    retry_policy:
+        Per-fault-class retry rules
+        (:class:`~repro.service.resilience.RetryPolicy`).  The default
+        retries infrastructure faults (worker deaths, transient errors)
+        once with bit-identical seeds and leaves solver-miss escalation
+        off; ``RetryPolicy.disabled()`` turns all retrying off.
+    max_queue_depth:
+        Admission-control bound on the dispatch queue.  ``None`` (the
+        default) keeps the queue unbounded; with a bound set, submits
+        past capacity are shed with a typed
+        :class:`~repro.service.resilience.Overloaded` (background
+        priorities are shed earlier than interactive ones).
+    worker_timeout_s:
+        Heartbeat deadline for a single worker-pool call.  ``None``
+        (the default) never times a worker out; with a deadline set, a
+        hung worker is detected, the pool is rebuilt, and the affected
+        jobs retry under the ``worker_death`` rules.
+    breaker_threshold / breaker_cooldown_s:
+        Per-backend circuit breaker tuning: consecutive infrastructure
+        failures before a backend's breaker opens, and how long it stays
+        open before admitting a half-open probe.
+    fault_plan:
+        Optional :class:`~repro.service.resilience.FaultPlan` injected
+        into every worker dispatch (chaos testing only).
 
     Use as an async context manager::
 
@@ -215,7 +262,15 @@ class SolveScheduler:
         finished_job_limit: int = DEFAULT_FINISHED_JOB_LIMIT,
         max_batch_jobs: int = DEFAULT_MAX_BATCH_JOBS,
         max_batch_linger_ms: float = DEFAULT_MAX_BATCH_LINGER_MS,
+        retry_policy: Optional[RetryPolicy] = None,
+        max_queue_depth: Optional[int] = None,
+        worker_timeout_s: Optional[float] = None,
+        breaker_threshold: int = 8,
+        breaker_cooldown_s: float = 30.0,
+        fault_plan: Optional[FaultPlan] = None,
     ) -> None:
+        if worker_timeout_s is not None and worker_timeout_s <= 0:
+            raise ValueError(f"worker_timeout_s must be positive, got {worker_timeout_s}")
         if shard_size < 1:
             raise ValueError(f"shard_size must be >= 1, got {shard_size}")
         if max_batch_jobs < 1:
@@ -236,7 +291,15 @@ class SolveScheduler:
         self.max_batch_linger_ms = max_batch_linger_ms
         self.cache = cache if cache is not None else ResultCache()
         self.executor_kind = executor
-        self._executor: Optional[Executor] = None
+        self.retry_policy = retry_policy if retry_policy is not None else RetryPolicy()
+        self.worker_timeout_s = worker_timeout_s
+        self.fault_plan = fault_plan
+        self._admission = AdmissionController(max_queue_depth=max_queue_depth)
+        self._breakers = BreakerBoard(
+            failure_threshold=breaker_threshold, cooldown_s=breaker_cooldown_s
+        )
+        self._supervisor: Optional[WorkerPoolSupervisor] = None
+        self._retry_tasks: set = set()
         # Created in start(): asyncio.Queue binds the running loop on
         # construction on older Pythons, and start() runs on the loop
         # that will serve the queue (__init__ may run on another thread).
@@ -272,6 +335,8 @@ class SolveScheduler:
             "batches_dispatched": 0,
             "batched_jobs": 0,
             "shm_games_shared": 0,
+            "retried": 0,
+            "quarantined": 0,
         }
         self._registry = telemetry_registry()
         self._metrics = _scheduler_metrics()
@@ -283,11 +348,22 @@ class SolveScheduler:
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
+    @property
+    def _executor(self) -> Optional[Executor]:
+        """The live worker pool (owned by the supervisor across rebuilds)."""
+        return None if self._supervisor is None else self._supervisor.executor
+
     async def start(self) -> "SolveScheduler":
         """Create the worker pool and the dispatch tasks."""
         if self._started:
             return self
-        self._executor = _make_executor(self.executor_kind, self.max_workers)
+        self._supervisor = WorkerPoolSupervisor(
+            lambda: _make_executor(self.executor_kind, self.max_workers)
+        )
+        if self.fault_plan is not None:
+            # Thread/inline workers share this process's globals; process
+            # workers additionally get the plan on every payload.
+            install_fault_plan(self.fault_plan)
         self._queue = asyncio.PriorityQueue()
         self._dispatchers = [
             asyncio.get_running_loop().create_task(self._dispatch_loop())
@@ -307,15 +383,18 @@ class SolveScheduler:
         if self._closed:
             return
         self._closed = True
-        for task in list(self._dispatchers) + list(self._followers):
+        pending = list(self._dispatchers) + list(self._followers) + list(self._retry_tasks)
+        for task in pending:
             task.cancel()
-        for task in list(self._dispatchers) + list(self._followers):
+        for task in pending:
             try:
                 await task
             except asyncio.CancelledError:
                 pass
-        if self._executor is not None:
-            self._executor.shutdown(wait=False, cancel_futures=True)
+        if self._supervisor is not None:
+            self._supervisor.shutdown(wait=False)
+        if self.fault_plan is not None and active_fault_plan() is self.fault_plan:
+            install_fault_plan(None)
         self._metrics["queue_depth"].set_function(None)
         self._metrics["inflight"].set_function(None)
         # Anything still queued will never run.  (Snapshot: _finish may
@@ -343,16 +422,24 @@ class SolveScheduler:
         A cacheable request identical to one already queued or running
         is *coalesced* onto the in-flight job instead of computing the
         same work twice; it resolves when the leader does.
+
+        With admission control enabled (``max_queue_depth``), an
+        over-capacity submit raises a typed
+        :class:`~repro.service.resilience.Overloaded` before any state
+        is created; a job whose backend breaker is open raises
+        :class:`~repro.service.resilience.CircuitOpen` (after the cache
+        and coalescing checks — neither touches the backend).
         """
         if not self._started or self._closed:
             raise RuntimeError("scheduler is not running (use 'async with' or call start())")
+        effective_priority = request.priority if priority is None else priority
+        self._admission.admit(self._queue.qsize(), priority=effective_priority)
         record = JobRecord(request=request)
         if telemetry_enabled():
             record.timeline = Timeline()
         self._jobs[record.job_id] = record
         self._events[record.job_id] = asyncio.Event()
         self._count("submitted")
-        effective_priority = request.priority if priority is None else priority
 
         if request.cacheable:
             key = self._cache_key(request)
@@ -374,10 +461,29 @@ class SolveScheduler:
                 self._followers.add(follower)
                 follower.add_done_callback(self._followers.discard)
                 return record
+            self._admit_backend(record)
             self._inflight[key] = record
+        else:
+            self._admit_backend(record)
 
         await self._queue.put((effective_priority, next(self._sequence), record.job_id))
         return record
+
+    def _admit_backend(self, record: JobRecord) -> None:
+        """Gate a job on its backend's circuit breaker before it queues.
+
+        Runs after the cache/coalescing checks — a cache hit touches no
+        backend, so an open breaker must not reject it.  A rejected job
+        is finished ``FAILED`` (so its record and completion event stay
+        consistent) before the :class:`CircuitOpen` propagates to the
+        submitter.
+        """
+        try:
+            self._breakers.admit(record.request.policy)
+        except CircuitOpen as exc:
+            self._count("failed")
+            self._finish(record, JobStatus.FAILED, error=str(exc))
+            raise
 
     async def _follow(
         self,
@@ -520,6 +626,16 @@ class SolveScheduler:
                 ),
             },
             "cache": self.cache.stats.to_dict(),
+            "resilience": {
+                "retry_policy": self.retry_policy.to_dict(),
+                "retried": self.counters["retried"],
+                "quarantined": self.counters["quarantined"],
+                "admission": self._admission.snapshot(),
+                "breakers": self._breakers.snapshot(),
+                "supervisor": (
+                    None if self._supervisor is None else self._supervisor.snapshot()
+                ),
+            },
         }
 
     # ------------------------------------------------------------------
@@ -555,10 +671,11 @@ class SolveScheduler:
             record.started_at = time.time()
             self._running_jobs += 1
             try:
+                execute = self._execute(self._effective_request(record))
                 if remaining is None:
-                    outcome = await self._execute(record.request)
+                    outcome = await execute
                 else:
-                    outcome = await asyncio.wait_for(self._execute(record.request), remaining)
+                    outcome = await asyncio.wait_for(execute, remaining)
             except asyncio.TimeoutError:
                 self._count("expired")
                 self._finish(record, JobStatus.EXPIRED, error="deadline expired while running")
@@ -566,12 +683,18 @@ class SolveScheduler:
             except asyncio.CancelledError:
                 raise
             except Exception as exc:  # noqa: BLE001 - job isolation boundary
+                if self._handle_execution_failure(record, exc, stage="solo dispatch"):
+                    continue
                 self._count("failed")
                 self._log_job_failure(record, exc, stage="solo dispatch")
                 self._finish(record, JobStatus.FAILED, error=f"{type(exc).__name__}: {exc}")
                 continue
+            self._relabel_outcome(record, outcome)
             if record.timeline is not None:
                 record.timeline.cut("run", policy=record.request.policy)
+            if self._maybe_escalate_solver_miss(record, outcome):
+                continue
+            self._breakers.on_success(record.request.policy)
             record.outcome = outcome
             if record.request.cacheable:
                 await self._cache_put(self._cache_key(record.request), outcome.to_dict())
@@ -583,6 +706,11 @@ class SolveScheduler:
     # ------------------------------------------------------------------
     def _batch_key_for(self, record: JobRecord) -> Optional[str]:
         """The record's coalescing key (memoised; ``None`` = never batched)."""
+        if record.no_batch:
+            # Worker-death retries and escalated attempts dispatch solo:
+            # a repeat crash must uniquely identify the poison job, and
+            # escalated requests differ from the record's own request.
+            return None
         job_id = record.job_id
         if job_id not in self._batch_keys:
             self._batch_keys[job_id] = compute_batch_key(record.request, self.shard_size)
@@ -662,9 +790,10 @@ class SolveScheduler:
         raises in the worker (or whose deadline expired by completion)
         fails/expires alone, and ``_finish`` releases each job's spec
         materialisation individually.  A transport-level failure (the
-        worker call itself raises) fails all still-live members.
+        worker call itself raises) fails all still-live members — unless
+        the retry policy absorbs it (worker deaths re-enqueue each
+        member solo with bit-identical seeds).
         """
-        loop = asyncio.get_running_loop()
         self._count("batches_dispatched")
         self._count("batched_jobs", len(batch))
         self._metrics["batch_jobs"].observe(len(batch))
@@ -712,22 +841,38 @@ class SolveScheduler:
         for record in batch:
             if record.timeline is not None:
                 record.timeline.cut("shm", segments=len(segments))
+        payload: Dict[str, Any] = {
+            "jobs": jobs,
+            "batch_id": batch_id,
+            "parent_pid": os.getpid(),
+        }
+        if self.fault_plan is not None:
+            payload["fault_plan"] = self.fault_plan.to_dict()
         try:
-            response = await loop.run_in_executor(
-                self._executor,
-                execute_job_batch_payload,
-                {"jobs": jobs, "batch_id": batch_id, "parent_pid": os.getpid()},
-            )
+            response = await self._run_worker(execute_job_batch_payload, payload)
         except asyncio.CancelledError:
             raise
         except Exception as exc:  # noqa: BLE001 - transport-level failure
             error = f"{type(exc).__name__}: {exc}"
+            fault_class = classify_failure(exc)
             logger.error(
                 "batch dispatch failed at the transport level",
-                extra={"batch_id": batch_id, "jobs": len(batch), "err": error},
+                extra={
+                    "batch_id": batch_id, "jobs": len(batch), "err": error,
+                    "fault_class": fault_class,
+                },
             )
+            # One transport event is one backend failure, not one per
+            # member (the batch shares a policy by construction).
+            if fault_class != PERMANENT:
+                self._breakers.on_failure(batch[0].request.policy)
             for record in batch:
                 if record.done:
+                    continue
+                if self._apply_failure_policy(
+                    record, fault_class, error,
+                    stage="batch transport", batch_id=batch_id, count_breaker=False,
+                ):
                     continue
                 self._count("failed")
                 self._finish(record, JobStatus.FAILED, error=error)
@@ -764,6 +909,14 @@ class SolveScheduler:
                 )
                 continue
             if not result["ok"]:
+                fault_class = result.get("fault_class") or classify_failure(
+                    RuntimeError(result["error"])
+                )
+                if self._apply_failure_policy(
+                    record, fault_class, result["error"],
+                    stage="batch member", batch_id=batch_id,
+                ):
+                    continue
                 self._count("failed")
                 self._log_job_failure(
                     record, result["error"], stage="batch member", batch_id=batch_id
@@ -775,13 +928,28 @@ class SolveScheduler:
                 # Workers ship finished outcome dicts (C-Nash jobs are
                 # settled worker-side, where the game is materialised).
                 outcome = SolveOutcome.from_dict(result["result"])
+                if outcome.fingerprint != request.fingerprint():
+                    # Integrity gate: a worker result must answer the
+                    # request it was asked — a mismatch means the payload
+                    # was corrupted in flight (an infrastructure fault).
+                    raise RuntimeError(
+                        "corrupt result payload: worker outcome fingerprint "
+                        f"{outcome.fingerprint[:12]}... does not match the request"
+                    )
             except Exception as exc:  # noqa: BLE001 - job isolation boundary
+                if self._handle_execution_failure(
+                    record, exc, stage="batch settle", batch_id=batch_id
+                ):
+                    continue
                 self._count("failed")
                 self._log_job_failure(
                     record, exc, stage="batch settle", batch_id=batch_id
                 )
                 self._finish(record, JobStatus.FAILED, error=f"{type(exc).__name__}: {exc}")
                 continue
+            if self._maybe_escalate_solver_miss(record, outcome):
+                continue
+            self._breakers.on_success(request.policy)
             if result["kind"] == "cnash_outcome":
                 self._count("shards_executed")
             record.outcome = outcome
@@ -847,6 +1015,12 @@ class SolveScheduler:
         suffix = f":registry={registry_fingerprint()}"
         if request.policy in ("cnash", "portfolio"):
             suffix += f":shard_size={self.shard_size}"
+        retry_token = self.retry_policy.fingerprint_token()
+        if retry_token is not None:
+            # Solver-miss escalation can change which bytes a request
+            # returns (fresh seeds, stronger backends), so escalated
+            # configurations get their own cache namespace.
+            suffix += f":retry={retry_token}"
         return hashlib.sha256(f"{fingerprint}{suffix}".encode("ascii")).hexdigest()
 
     async def _execute(self, request: SolveRequest) -> SolveOutcome:
@@ -858,7 +1032,6 @@ class SolveScheduler:
         started yet are dropped rather than executed; only shards
         already running on a worker complete (and are discarded).
         """
-        loop = asyncio.get_running_loop()
         if request.policy == "cnash" and not cnash_is_builtin():
             # A substituted "cnash" backend must actually be the one that
             # answers; run it through the generic registry path below
@@ -871,9 +1044,10 @@ class SolveScheduler:
                 )
         elif request.policy == "cnash":
             payloads = shard_payloads(request, self.shard_size)
+            self._attach_fault_plan(payloads)
             shard_dicts = await asyncio.gather(
                 *(
-                    loop.run_in_executor(self._executor, solve_shard_payload, payload)
+                    self._run_worker(solve_shard_payload, payload)
                     for payload in payloads
                 )
             )
@@ -899,9 +1073,9 @@ class SolveScheduler:
                     "name to the built-in portfolio chain instead; use "
                     "executor='thread' or 'inline'"
                 )
-        outcome_dict = await loop.run_in_executor(
-            self._executor, execute_request_payload, request.to_dict()
-        )
+        payload = request.to_dict()
+        self._attach_fault_plan([payload])
+        outcome_dict = await self._run_worker(execute_request_payload, payload)
         self._count("shards_executed")
         return SolveOutcome.from_dict(outcome_dict)
 
@@ -931,6 +1105,209 @@ class SolveScheduler:
         assert last is not None  # order is non-empty
         last.wall_clock_seconds = time.perf_counter() - start
         return last
+
+    # ------------------------------------------------------------------
+    # Resilience: supervised execution, retry, escalation, quarantine
+    # ------------------------------------------------------------------
+    async def _run_worker(self, fn: Callable, payload: Dict[str, Any]) -> Any:
+        """One worker-pool call under supervision.
+
+        The supervisor converts a broken pool into
+        :class:`~repro.service.resilience.WorkerDeath` and a missed
+        ``worker_timeout_s`` heartbeat into
+        :class:`~repro.service.resilience.WorkerHang` — rebuilding the
+        pool in both cases so the retry lands on healthy workers.
+        """
+        assert self._supervisor is not None
+        return await self._supervisor.run(fn, payload, timeout_s=self.worker_timeout_s)
+
+    def _attach_fault_plan(self, payloads: List[Dict[str, Any]]) -> None:
+        """Ship the chaos fault plan (if any) with worker payloads."""
+        if self.fault_plan is None:
+            return
+        plan = self.fault_plan.to_dict()
+        pid = os.getpid()
+        for payload in payloads:
+            payload["fault_plan"] = plan
+            payload["parent_pid"] = pid
+
+    def _effective_request(self, record: JobRecord) -> SolveRequest:
+        """The request to actually execute for the record's current attempt.
+
+        Attempt 1 — and every *infrastructure-fault* retry — is the
+        original request, so retried results are bit-identical to a
+        fault-free run.  Solver-miss escalation rungs derive a fresh
+        (but reproducible) seed via :func:`retry_seed`; from the second
+        rung the policy additionally walks the registry portfolio order
+        past the original backend, so a stochastic miss gets both new
+        randomness and stronger solvers.
+        """
+        stage = record.escalation_stage
+        if stage <= 0:
+            return record.request
+        request = record.request
+        seed = request.seed if request.seed is None else retry_seed(request.seed, record.attempts)
+        policy = request.policy
+        if stage >= 2:
+            order = portfolio_order() or ()
+            ladder = [name for name in order if name != request.policy]
+            if ladder:
+                policy = ladder[min(stage - 2, len(ladder) - 1)]
+        return dataclasses.replace(request, seed=seed, policy=policy)
+
+    def _relabel_outcome(self, record: JobRecord, outcome: SolveOutcome) -> None:
+        """Re-label an escalated attempt as the original request's outcome.
+
+        Mirrors :func:`~repro.service.portfolio.adopt_portfolio_attempt`:
+        the client asked for ``record.request`` — the outcome carries
+        that identity, while ``outcome.backend`` keeps naming the solver
+        that actually answered.
+        """
+        request = record.request
+        if outcome.fingerprint != request.fingerprint():
+            outcome.fingerprint = request.fingerprint()
+            outcome.policy = request.policy
+
+    def _handle_execution_failure(
+        self,
+        record: JobRecord,
+        exc: BaseException,
+        stage: str,
+        batch_id: Optional[str] = None,
+    ) -> bool:
+        """Classify a live execution exception and apply the retry policy."""
+        return self._apply_failure_policy(
+            record,
+            classify_failure(exc),
+            f"{type(exc).__name__}: {exc}",
+            stage,
+            batch_id=batch_id,
+        )
+
+    def _apply_failure_policy(
+        self,
+        record: JobRecord,
+        fault_class: str,
+        error_text: str,
+        stage: str,
+        batch_id: Optional[str] = None,
+        count_breaker: bool = True,
+    ) -> bool:
+        """Route one classified failure: quarantine, retry, or decline.
+
+        Returns ``True`` when the failure was fully handled here (a
+        retry was scheduled or the job was quarantined); the caller must
+        not mark the job ``FAILED`` in that case.  Permanent job errors
+        never touch the breaker — a bad spec says nothing about backend
+        health.
+        """
+        policy = record.request.policy
+        if count_breaker and fault_class in (WORKER_DEATH, TRANSIENT):
+            self._breakers.on_failure(policy)
+        if fault_class == WORKER_DEATH:
+            record.worker_deaths += 1
+            if record.worker_deaths >= self.retry_policy.quarantine_after:
+                self._count("quarantined")
+                self._log_job_failure(
+                    record, error_text, stage=f"{stage} (quarantined)", batch_id=batch_id
+                )
+                self._finish(
+                    record,
+                    JobStatus.QUARANTINED,
+                    error=(
+                        f"quarantined after {record.worker_deaths} worker deaths "
+                        f"(poison pill): {error_text}"
+                    ),
+                )
+                return True
+        if not self.retry_policy.should_retry(fault_class, record.attempts):
+            return False
+        self._schedule_retry(record, fault_class, error_text, stage, batch_id=batch_id)
+        return True
+
+    def _schedule_retry(
+        self,
+        record: JobRecord,
+        fault_class: str,
+        error_text: str,
+        stage: str,
+        batch_id: Optional[str] = None,
+    ) -> None:
+        """Re-enqueue a failed job after its deterministic backoff."""
+        attempt = record.attempts
+        delay = self.retry_policy.backoff_s(fault_class, attempt, record.request.fingerprint())
+        record.attempts = attempt + 1
+        if record.status == JobStatus.RUNNING:
+            self._running_jobs -= 1
+        record.status = JobStatus.PENDING
+        record.started_at = None
+        record.error = None
+        if fault_class == WORKER_DEATH:
+            # Crash retries dispatch solo: if the job kills its worker
+            # again, it is uniquely identified as the poison pill instead
+            # of dragging innocent batch companions toward quarantine.
+            record.no_batch = True
+        elif fault_class == SOLVER_MISS:
+            record.escalation_stage += 1
+            record.no_batch = True  # escalated attempts differ from the batch key
+        self._batch_keys.pop(record.job_id, None)
+        if record.timeline is not None:
+            record.timeline.cut(
+                "retry", fault_class=fault_class, attempt=attempt,
+                backoff_ms=round(delay * 1000.0, 3),
+            )
+        self.counters["retried"] += 1
+        self._metrics["retries"].labels(fault_class=fault_class).inc()
+        logger.warning(
+            "retrying job after %s failure", fault_class,
+            extra={
+                "job": record.request.fingerprint(),
+                "job_id": record.job_id,
+                "batch_id": batch_id,
+                "stage": stage,
+                "attempt": attempt,
+                "next_attempt": record.attempts,
+                "backoff_s": delay,
+                "escalation_stage": record.escalation_stage,
+                "err": error_text,
+            },
+        )
+        task = asyncio.get_running_loop().create_task(self._requeue_after(record, delay))
+        self._retry_tasks.add(task)
+        task.add_done_callback(self._retry_tasks.discard)
+
+    async def _requeue_after(self, record: JobRecord, delay: float) -> None:
+        """Sleep out the backoff, then put the job back on the queue."""
+        if delay > 0:
+            await asyncio.sleep(delay)
+        if record.done or self._closed:
+            return
+        await self._queue.put(
+            (record.request.priority, next(self._sequence), record.job_id)
+        )
+
+    def _maybe_escalate_solver_miss(self, record: JobRecord, outcome: SolveOutcome) -> bool:
+        """Escalate a completed-but-unverified solve when policy allows.
+
+        C-Nash is a stochastic annealer with per-run success rate below
+        one; when escalation is enabled (it is off by default — it can
+        change which bytes a request returns) an outcome with no
+        verified ε-equilibrium re-runs with a fresh derived seed and,
+        past the first rung, through the registry portfolio order.
+        ``"exact"`` is deterministic and ``"portfolio"`` escalates
+        internally, so neither re-enters here.
+        """
+        if not self.retry_policy.escalation_enabled():
+            return False
+        request = record.request
+        if request.policy in ("exact", "portfolio"):
+            return False
+        if has_verified_equilibrium(request, outcome):
+            return False
+        return self._apply_failure_policy(
+            record, SOLVER_MISS,
+            "no verified equilibrium (solver miss)", stage="verification",
+        )
 
     def _log_job_failure(
         self,
@@ -965,6 +1342,15 @@ class SolveScheduler:
                 "latency"
             ].labels(policy=record.request.policy, status=status)
         latency.observe(record.elapsed())
+        if (
+            status == JobStatus.DONE
+            and record.outcome is not None
+            and not record.cache_hit
+        ):
+            # Attempt count is execution metadata (like the trace): it is
+            # stamped after cache writes, so cached bytes stay identical
+            # whether or not the computing run needed retries.
+            record.outcome.attempts = record.attempts
         timeline = record.timeline
         if (
             timeline is not None

@@ -40,6 +40,12 @@ from typing import Any, Dict, Optional, Sequence
 from repro.service.batching import DEFAULT_MAX_BATCH_JOBS, DEFAULT_MAX_BATCH_LINGER_MS
 from repro.service.cache import ResultCache
 from repro.service.jobs import SolveOutcome, SolveRequest
+from repro.service.resilience import (
+    InjectedDisconnect,
+    ResilienceError,
+    chaos_plan,
+    fault_point,
+)
 from repro.service.scheduler import (
     DEFAULT_FINISHED_JOB_LIMIT,
     DEFAULT_SHARD_SIZE,
@@ -113,7 +119,12 @@ class NashServer:
                     break
                 if not line.strip():
                     break
-                response = await self._handle_line(line)
+                try:
+                    response = await self._handle_line(line)
+                except InjectedDisconnect:
+                    # Chaos "disconnect" action at the wire point: drop
+                    # the connection mid-request, no response line.
+                    break
                 await self._send(writer, response)
                 if response.get("bye"):
                     break
@@ -134,7 +145,20 @@ class NashServer:
         if not isinstance(message, dict) or "op" not in message:
             return {"ok": False, "error": "message must be an object with an 'op' field"}
         try:
+            fault_point("wire", key=str(message.get("op")))
             return await self._dispatch(message)
+        except InjectedDisconnect:
+            raise  # handled at the connection level (drops the client)
+        except ResilienceError as exc:
+            # Typed failures (load shedding, open breakers, ...) ship
+            # their wire tag so clients re-raise the matching class.
+            response: Dict[str, Any] = {
+                "ok": False, "error": str(exc), "error_type": exc.ERROR_TYPE,
+            }
+            retry_after = getattr(exc, "retry_after_s", None)
+            if retry_after is not None:
+                response["retry_after_s"] = float(retry_after)
+            return response
         except (KeyError, ValueError, TypeError) as exc:
             return {"ok": False, "error": f"{type(exc).__name__}: {exc}"}
         except RuntimeError as exc:
@@ -190,11 +214,16 @@ async def serve(
     max_batch_jobs: int = DEFAULT_MAX_BATCH_JOBS,
     max_batch_linger_ms: float = DEFAULT_MAX_BATCH_LINGER_MS,
     metrics_port: Optional[int] = None,
+    max_queue_depth: Optional[int] = None,
+    worker_timeout_s: Optional[float] = None,
 ) -> None:
     """Run a server until shutdown (the ``python -m repro.service`` body).
 
     ``metrics_port`` additionally serves the Prometheus text exposition
     of the telemetry registry over HTTP on that port.
+    ``max_queue_depth`` bounds the scheduler queue (admission control /
+    load shedding); ``worker_timeout_s`` sets the per-dispatch worker
+    heartbeat deadline (hang detection + pool rebuild).
     """
     async with SolveScheduler(
         max_workers=max_workers,
@@ -204,6 +233,8 @@ async def serve(
         finished_job_limit=finished_job_limit,
         max_batch_jobs=max_batch_jobs,
         max_batch_linger_ms=max_batch_linger_ms,
+        max_queue_depth=max_queue_depth,
+        worker_timeout_s=worker_timeout_s,
     ) as scheduler:
         server = NashServer(scheduler, host=host, port=port)
         await server.start()
@@ -223,19 +254,39 @@ async def serve(
                 await metrics_server.wait_closed()
 
 
-async def _smoke() -> int:
+async def _smoke(chaos: bool = False) -> int:
     """One client-server round trip in a single process (CI smoke check).
 
     The request ships as a ``game_spec`` payload (the GameSpec IR), so
     the smoke run also covers the compact wire form end to end.
+
+    With ``chaos=True`` the scheduler runs under the stock chaos fault
+    plan (:func:`~repro.service.resilience.chaos_plan`: one worker
+    crash, one injected kernel error, one corrupted settle payload, one
+    materialisation delay) — the run must still produce every result,
+    with the retries visible in the attempt counters.
     """
     from repro.core.config import CNashConfig
     from repro.games.spec import GameSpec
     from repro.service.client import ServiceClient
     from repro.telemetry import render_prometheus, validate_phases
 
+    # Under chaos, one job can absorb several injections back to back
+    # (a worker crash fails its whole batch, then the kernel error can
+    # land on the same job's solo retry) — give the transient budget
+    # headroom beyond the two-attempt default so the plan is always
+    # recoverable.
+    from repro.service.resilience import RetryPolicy, RetryRule
+
+    chaos_policy = RetryPolicy(
+        transient=RetryRule(max_attempts=4, base_backoff_s=0.01, max_backoff_s=0.05),
+        worker_death=RetryRule(max_attempts=4, base_backoff_s=0.01, max_backoff_s=0.05),
+        quarantine_after=4,
+    )
     async with SolveScheduler(
-        max_workers=2, shard_size=8, executor="thread", max_batch_linger_ms=50.0
+        max_workers=2, shard_size=8, executor="thread", max_batch_linger_ms=50.0,
+        fault_plan=chaos_plan() if chaos else None,
+        retry_policy=chaos_policy if chaos else RetryPolicy(),
     ) as scheduler:
         server = NashServer(scheduler, port=0)
         await server.start()
@@ -314,12 +365,14 @@ async def _smoke() -> int:
             names = {phase["name"] for phase in sweep_outcome.trace}
             assert "queue" in names and "settle" in names, names
 
-        # The trace is per-execution observability metadata: a computed
-        # outcome carries one, its cache-served repeat does not.  The
-        # *result* payload must still be byte-identical.
+        # Trace and attempt count are per-execution observability
+        # metadata: a computed outcome carries them, its cache-served
+        # repeat does not.  The *result* payload must still be
+        # byte-identical.
         def _result_dict(o: SolveOutcome) -> Dict[str, Any]:
             payload = o.to_dict()
             payload.pop("trace", None)
+            payload.pop("attempts", None)
             return payload
 
         ok = (
@@ -329,6 +382,29 @@ async def _smoke() -> int:
             and len(sweep_outcomes) == 6
             and batching["batches_dispatched"] >= 1
         )
+        if chaos:
+            # Every injected fault must have been absorbed: all results
+            # arrived above, and the retries are visible in the counters.
+            resilience = stats["resilience"]
+            retried_attempts = [
+                o.attempts for o in [outcome] + sweep_outcomes if o.attempts > 1
+            ]
+            injected = families.get("repro_resilience_faults_injected_total")
+            chaos_ok = (
+                resilience["retried"] >= 1
+                and resilience["quarantined"] == 0
+                and bool(retried_attempts)
+                and injected is not None
+                and sum(s["value"] for s in injected["samples"]) >= 1
+                and "repro_resilience_retries_total" in families
+            )
+            print(
+                f"smoke chaos: retried={resilience['retried']} "
+                f"jobs_with_retries={len(retried_attempts)} "
+                f"faults_injected={0 if injected is None else int(sum(s['value'] for s in injected['samples']))} "
+                f"-> {'OK' if chaos_ok else 'FAILED'}"
+            )
+            ok = ok and chaos_ok
         print(f"smoke: backend={outcome.backend} equilibria={outcome.num_equilibria} "
               f"cache_hits={hits} -> {'OK' if ok else 'FAILED'}")
         print(
@@ -386,14 +462,32 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "job/batch/span correlated) instead of staying silent",
     )
     parser.add_argument(
+        "--max-queue-depth", type=int, default=None,
+        help="admission-control bound on the scheduler queue; over-capacity "
+        "submits are shed with a typed Overloaded error (default: unbounded)",
+    )
+    parser.add_argument(
+        "--worker-timeout-s", type=float, default=None,
+        help="per-dispatch worker heartbeat deadline; a worker silent past "
+        "it counts as hung and the pool is rebuilt (default: no deadline)",
+    )
+    parser.add_argument(
         "--smoke", action="store_true",
         help="run a self-contained client-server round trip and exit (CI)",
+    )
+    parser.add_argument(
+        "--chaos", action="store_true",
+        help="with --smoke: run under the stock fault-injection plan "
+        "(worker crash, kernel error, corrupt payload, delay) and assert "
+        "the retry machinery absorbs every fault",
     )
     args = parser.parse_args(argv)
     if args.log_json:
         configure_logging(json_format=True)
+    if args.chaos and not args.smoke:
+        parser.error("--chaos requires --smoke")
     if args.smoke:
-        return asyncio.run(_smoke())
+        return asyncio.run(_smoke(chaos=args.chaos))
     cache = ResultCache(capacity=args.cache_capacity, directory=args.cache_dir)
     try:
         asyncio.run(
@@ -408,6 +502,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 max_batch_jobs=args.max_batch_jobs,
                 max_batch_linger_ms=args.max_batch_linger_ms,
                 metrics_port=args.metrics_port,
+                max_queue_depth=args.max_queue_depth,
+                worker_timeout_s=args.worker_timeout_s,
             )
         )
     except KeyboardInterrupt:  # pragma: no cover - interactive

@@ -32,6 +32,7 @@ from typing import Any, Dict, List, Tuple
 import numpy as np
 
 from repro.games.bimatrix import BimatrixGame
+from repro.service.resilience.faults import fault_point
 from repro.telemetry import family_cache, get_logger
 
 try:  # pragma: no cover - stdlib on every supported platform
@@ -97,6 +98,9 @@ def read_shared_game(descriptor: Dict[str, Any]) -> BimatrixGame:
     """
     if shared_memory is None:
         raise RuntimeError("multiprocessing.shared_memory is unavailable")
+    # Chaos hook: simulates the attach race where the parent unlinked
+    # the segment before the worker attached (classified transient).
+    fault_point("shm", key=str(descriptor["name"]))
     segment = shared_memory.SharedMemory(name=descriptor["name"])
     try:
         shape = tuple(int(dim) for dim in descriptor["shape"])

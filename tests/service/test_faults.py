@@ -1,0 +1,163 @@
+"""Fault-injection harness mechanics: rules, plans, budgets, activation.
+
+The chaos tests in ``test_resilience.py`` lean on this machinery; here
+the machinery itself is pinned down — validation, wire round-trips, the
+crash-proof cross-plan firing budget, match filters, and the scoped
+plan activation used by worker entry points.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service.resilience import (
+    FaultPlan,
+    FaultRule,
+    InjectedDisconnect,
+    InjectedFault,
+    WorkerCrash,
+    active_fault_plan,
+    fault_point,
+    install_fault_plan,
+    installed_fault_plan,
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_plan():
+    """Never leak an installed plan (or its scratch dir) across tests."""
+    install_fault_plan(None)
+    plans = []
+    yield plans
+    for plan in plans:
+        plan.reset()
+    install_fault_plan(None)
+
+
+def make_plan(_clean_plan, *rules: FaultRule) -> FaultPlan:
+    plan = FaultPlan(rules=tuple(rules))
+    _clean_plan.append(plan)
+    return plan
+
+
+class TestFaultRule:
+    def test_rejects_unknown_point_and_action(self):
+        with pytest.raises(ValueError, match="point"):
+            FaultRule(point="nope", action="error")
+        with pytest.raises(ValueError, match="action"):
+            FaultRule(point="kernel", action="nope")
+        with pytest.raises(ValueError, match="times"):
+            FaultRule(point="kernel", action="error", times=-1)
+        with pytest.raises(ValueError, match="delay_s"):
+            FaultRule(point="kernel", action="delay", delay_s=-0.1)
+
+    def test_wire_round_trip(self):
+        rule = FaultRule(point="settle", action="corrupt", times=3,
+                         match="abc", delay_s=0.5, message="boom")
+        assert FaultRule.from_dict(rule.to_dict()) == rule
+
+
+class TestFaultPlan:
+    def test_wire_round_trip_shares_token(self, _clean_plan):
+        plan = make_plan(_clean_plan, FaultRule(point="kernel", action="error"))
+        clone = FaultPlan.from_dict(plan.to_dict())
+        assert clone.token == plan.token
+        assert clone.rules == plan.rules
+        assert clone.scratch_dir == plan.scratch_dir
+
+    def test_budget_is_shared_across_plan_copies(self, _clean_plan):
+        # A worker process reconstructs the plan from the wire; its
+        # claims must count against the parent's budget (same token).
+        plan = make_plan(
+            _clean_plan, FaultRule(point="kernel", action="error", times=1))
+        clone = FaultPlan.from_dict(plan.to_dict())
+        assert clone._claim(0, 1) is True
+        assert plan._claim(0, 1) is False  # the clone spent the only slot
+        assert plan.fired(0) == 1
+
+    def test_reset_reclaims_budget(self, _clean_plan):
+        plan = make_plan(
+            _clean_plan, FaultRule(point="kernel", action="error", times=1))
+        assert plan._claim(0, 1) is True
+        plan.reset()
+        assert plan.fired(0) == 0
+        assert plan._claim(0, 1) is True
+
+
+class TestFaultPoint:
+    def test_no_plan_is_a_no_op(self):
+        assert fault_point("kernel", key="anything") is None
+
+    def test_error_fires_exactly_times(self, _clean_plan):
+        plan = make_plan(
+            _clean_plan, FaultRule(point="kernel", action="error", times=2))
+        install_fault_plan(plan)
+        for _ in range(2):
+            with pytest.raises(InjectedFault):
+                fault_point("kernel")
+        # Budget exhausted: the point goes quiet.
+        for _ in range(5):
+            assert fault_point("kernel") is None
+        assert plan.fired(0) == 2
+
+    def test_match_filter_selects_the_key(self, _clean_plan):
+        plan = make_plan(
+            _clean_plan,
+            FaultRule(point="kernel", action="error", times=5, match="poison"),
+        )
+        install_fault_plan(plan)
+        assert fault_point("kernel", key="healthy-job") is None
+        with pytest.raises(InjectedFault):
+            fault_point("kernel", key="the-poison-job")
+
+    def test_point_mismatch_does_not_fire(self, _clean_plan):
+        plan = make_plan(
+            _clean_plan, FaultRule(point="settle", action="error", times=1))
+        install_fault_plan(plan)
+        assert fault_point("kernel") is None
+        assert plan.fired(0) == 0
+
+    def test_crash_in_process_raises_worker_crash(self, _clean_plan):
+        plan = make_plan(
+            _clean_plan, FaultRule(point="worker_entry", action="crash", times=1))
+        install_fault_plan(plan)
+        with pytest.raises(WorkerCrash):
+            fault_point("worker_entry", in_subprocess=False)
+
+    def test_corrupt_returns_the_token(self, _clean_plan):
+        plan = make_plan(
+            _clean_plan, FaultRule(point="settle", action="corrupt", times=1))
+        install_fault_plan(plan)
+        assert fault_point("settle") == "corrupt"
+        assert fault_point("settle") is None
+
+    def test_disconnect_raises_signal(self, _clean_plan):
+        plan = make_plan(
+            _clean_plan, FaultRule(point="wire", action="disconnect", times=1))
+        install_fault_plan(plan)
+        with pytest.raises(InjectedDisconnect):
+            fault_point("wire", key="solve")
+
+    def test_delay_returns_none(self, _clean_plan):
+        plan = make_plan(
+            _clean_plan,
+            FaultRule(point="materialize", action="delay", times=1, delay_s=0.0),
+        )
+        install_fault_plan(plan)
+        assert fault_point("materialize") is None
+
+
+class TestInstalledFaultPlan:
+    def test_scoped_activation_restores_previous(self, _clean_plan):
+        outer = make_plan(
+            _clean_plan, FaultRule(point="kernel", action="error", times=0))
+        install_fault_plan(outer)
+        inner = make_plan(
+            _clean_plan, FaultRule(point="settle", action="corrupt", times=1))
+        with installed_fault_plan(inner.to_dict()):
+            assert active_fault_plan().token == inner.token
+        assert active_fault_plan() is outer
+
+    def test_none_payload_is_a_no_op(self, _clean_plan):
+        with installed_fault_plan(None):
+            assert active_fault_plan() is None
